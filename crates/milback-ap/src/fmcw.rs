@@ -1,0 +1,408 @@
+//! FMCW processing at the AP: range spectra, five-chirp background
+//! subtraction, and node-echo detection (§5.1).
+//!
+//! The AP digitizes the mixer output (beat signal) for each of the five
+//! Field-2 sawtooth chirps while the node toggles its reflection at the
+//! chirp repetition rate. Static clutter produces identical beat signals
+//! chirp-to-chirp; the node's echo alternates. Pairwise subtraction of
+//! consecutive chirp spectra therefore cancels clutter (and the AP's
+//! self-interference) while the node's modulated echo survives.
+
+use mmwave_sigproc::complex::Complex;
+use mmwave_sigproc::detect::{find_peak, Peak};
+use mmwave_sigproc::fft::{fft, zero_pad};
+use mmwave_sigproc::units::SPEED_OF_LIGHT;
+use mmwave_sigproc::waveform::{Chirp, ChirpShape};
+use mmwave_sigproc::window::Window;
+use serde::{Deserialize, Serialize};
+
+/// Errors from the FMCW pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FmcwError {
+    /// Need at least two chirps for background subtraction.
+    NotEnoughChirps {
+        /// Chirps provided.
+        got: usize,
+    },
+    /// Chirp captures differ in length.
+    LengthMismatch,
+    /// No echo survived background subtraction above the detection floor.
+    NoEchoDetected,
+}
+
+impl std::fmt::Display for FmcwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FmcwError::NotEnoughChirps { got } => {
+                write!(f, "background subtraction needs ≥2 chirps, got {got}")
+            }
+            FmcwError::LengthMismatch => write!(f, "chirp captures differ in length"),
+            FmcwError::NoEchoDetected => write!(f, "no modulated echo above detection floor"),
+        }
+    }
+}
+
+impl std::error::Error for FmcwError {}
+
+/// A detected (node) echo.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EchoDetection {
+    /// Estimated range, meters.
+    pub range_m: f64,
+    /// Beat frequency of the echo, Hz.
+    pub beat_hz: f64,
+    /// Peak power of the subtracted spectrum at the echo (linear).
+    pub peak_power: f64,
+    /// Ratio of the peak to the median subtracted-spectrum power, dB — a
+    /// detection-confidence figure.
+    pub peak_to_floor_db: f64,
+    /// Sub-bin interpolated spectrum position, bins.
+    pub bin_position: f64,
+}
+
+/// The AP's FMCW processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FmcwProcessor {
+    /// The sawtooth localization chirp (Field 2).
+    pub chirp: Chirp,
+    /// Digitizer sample rate, Hz.
+    pub sample_rate_hz: f64,
+    /// Window applied before the range FFT.
+    pub window: Window,
+    /// Zero-padding factor (≥1) for finer spectral interpolation.
+    pub zero_pad_factor: usize,
+    /// Detection threshold: required peak-to-median-floor ratio, dB.
+    pub detection_threshold_db: f64,
+}
+
+impl FmcwProcessor {
+    /// Creates a processor.
+    ///
+    /// # Panics
+    /// Panics unless the chirp is sawtooth and parameters are positive.
+    pub fn new(chirp: Chirp, sample_rate_hz: f64) -> Self {
+        assert!(chirp.shape == ChirpShape::Sawtooth, "localization uses sawtooth chirps");
+        assert!(sample_rate_hz > 0.0);
+        Self {
+            chirp,
+            sample_rate_hz,
+            window: Window::Hann,
+            zero_pad_factor: 4,
+            detection_threshold_db: 10.0,
+        }
+    }
+
+    /// The paper's Field-2 processing: 18 µs, 3 GHz sawtooth at 50 MS/s.
+    pub fn milback_default() -> Self {
+        Self::new(Chirp::sawtooth(26.5e9, 3e9, 18e-6), 50e6)
+    }
+
+    /// Samples per chirp at the digitizer rate.
+    pub fn samples_per_chirp(&self) -> usize {
+        (self.chirp.duration_s * self.sample_rate_hz).round() as usize
+    }
+
+    /// FFT length after zero padding.
+    pub fn fft_len(&self) -> usize {
+        (self.samples_per_chirp() * self.zero_pad_factor.max(1)).next_power_of_two()
+    }
+
+    /// Converts a (possibly fractional) FFT bin to range in meters.
+    pub fn bin_to_range_m(&self, bin: f64) -> f64 {
+        let beat_hz = bin * self.sample_rate_hz / self.fft_len() as f64;
+        SPEED_OF_LIGHT * beat_hz / (2.0 * self.chirp.slope())
+    }
+
+    /// Range represented by each FFT bin (first half of the spectrum).
+    pub fn range_axis_m(&self) -> Vec<f64> {
+        (0..self.fft_len() / 2).map(|k| self.bin_to_range_m(k as f64)).collect()
+    }
+
+    /// Windowed, zero-padded range spectrum of one chirp's beat signal.
+    pub fn range_spectrum(&self, beat: &[Complex]) -> Vec<Complex> {
+        let mut x = beat.to_vec();
+        self.window.apply_complex(&mut x);
+        let padded = zero_pad(&x, self.fft_len());
+        fft(&padded)
+    }
+
+    /// Pairwise spectrum differences across consecutive chirps — the
+    /// background-subtraction step. Input: one spectrum per chirp.
+    ///
+    /// # Panics
+    /// Panics on fewer than two spectra or mismatched lengths.
+    pub fn background_subtract(&self, spectra: &[Vec<Complex>]) -> Vec<Vec<Complex>> {
+        assert!(spectra.len() >= 2, "need at least two spectra");
+        let n = spectra[0].len();
+        assert!(spectra.iter().all(|s| s.len() == n), "spectrum lengths differ");
+        spectra
+            .windows(2)
+            .map(|pair| {
+                pair[0]
+                    .iter()
+                    .zip(&pair[1])
+                    .map(|(&a, &b)| a - b)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Full node detection: per-chirp spectra → pairwise subtraction →
+    /// incoherent accumulation → peak pick over the positive-range half.
+    ///
+    /// `beats` holds the digitized beat signal of each chirp (the node must
+    /// have toggled between at least two of them, else everything cancels
+    /// and `NoEchoDetected` is returned).
+    pub fn detect_node(&self, beats: &[Vec<Complex>]) -> Result<EchoDetection, FmcwError> {
+        if beats.len() < 2 {
+            return Err(FmcwError::NotEnoughChirps { got: beats.len() });
+        }
+        let len = beats[0].len();
+        if beats.iter().any(|b| b.len() != len) {
+            return Err(FmcwError::LengthMismatch);
+        }
+        let spectra: Vec<Vec<Complex>> = beats.iter().map(|b| self.range_spectrum(b)).collect();
+        let diffs = self.background_subtract(&spectra);
+        // Accumulate |diff|² across pairs; keep only positive beat bins.
+        let half = self.fft_len() / 2;
+        let mut acc = vec![0.0f64; half];
+        for d in &diffs {
+            for (k, z) in d.iter().take(half).enumerate() {
+                acc[k] += z.norm_sqr();
+            }
+        }
+        let peak = find_peak(&acc).ok_or(FmcwError::NoEchoDetected)?;
+        let floor = median_floor(&acc);
+        let ratio_db = 10.0 * (peak.value / floor.max(1e-300)).log10();
+        if ratio_db < self.detection_threshold_db {
+            return Err(FmcwError::NoEchoDetected);
+        }
+        Ok(EchoDetection {
+            range_m: self.bin_to_range_m(peak.position),
+            beat_hz: peak.position * self.sample_rate_hz / self.fft_len() as f64,
+            peak_power: peak.value,
+            peak_to_floor_db: ratio_db,
+            bin_position: peak.position,
+        })
+    }
+
+    /// The subtracted-and-accumulated power spectrum itself (for plotting
+    /// and for the AoA stage, which needs the peak bin of both channels).
+    pub fn subtracted_power(&self, beats: &[Vec<Complex>]) -> Result<Vec<f64>, FmcwError> {
+        if beats.len() < 2 {
+            return Err(FmcwError::NotEnoughChirps { got: beats.len() });
+        }
+        let spectra: Vec<Vec<Complex>> = beats.iter().map(|b| self.range_spectrum(b)).collect();
+        let diffs = self.background_subtract(&spectra);
+        let half = self.fft_len() / 2;
+        let mut acc = vec![0.0f64; half];
+        for d in &diffs {
+            for (k, z) in d.iter().take(half).enumerate() {
+                acc[k] += z.norm_sqr();
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Complex subtracted spectrum of the first chirp pair — retains phase,
+    /// which the AoA estimator compares across the two RX antennas.
+    pub fn subtracted_spectrum(&self, beats: &[Vec<Complex>]) -> Result<Vec<Complex>, FmcwError> {
+        if beats.len() < 2 {
+            return Err(FmcwError::NotEnoughChirps { got: beats.len() });
+        }
+        if beats[0].len() != beats[1].len() {
+            return Err(FmcwError::LengthMismatch);
+        }
+        let s0 = self.range_spectrum(&beats[0]);
+        let s1 = self.range_spectrum(&beats[1]);
+        Ok(s0.iter().zip(&s1).map(|(&a, &b)| a - b).collect())
+    }
+
+    /// Refines a peak found on one channel to a [`Peak`] on an arbitrary
+    /// power spectrum (helper for multi-channel processing).
+    pub fn refine_on(&self, power: &[f64], index: usize) -> Peak {
+        mmwave_sigproc::detect::refine_peak(power, index)
+    }
+}
+
+/// Median of a power spectrum — a robust noise-floor estimate.
+fn median_floor(power: &[f64]) -> f64 {
+    mmwave_sigproc::stats::median(power)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_rf::channel::{synthesize_beat, Echo};
+    use mmwave_sigproc::random::GaussianSource;
+
+    fn proc() -> FmcwProcessor {
+        FmcwProcessor::milback_default()
+    }
+
+    /// Synthesizes `n` chirps of beat signal: static clutter plus a node
+    /// echo whose amplitude alternates chirp-to-chirp (toggling).
+    fn capture(
+        p: &FmcwProcessor,
+        node_range: f64,
+        node_amp: f64,
+        clutter: &[(f64, f64)],
+        n: usize,
+        noise_power: f64,
+        seed: u64,
+    ) -> Vec<Vec<Complex>> {
+        let mut rng = GaussianSource::new(seed);
+        (0..n)
+            .map(|k| {
+                let refl = k % 2 == 0;
+                let mut echoes: Vec<Echo<'_>> = clutter
+                    .iter()
+                    .map(|&(d, a)| Echo::constant(d, a))
+                    .collect();
+                let amp = if refl { node_amp } else { node_amp * 0.18 };
+                echoes.push(Echo::constant(node_range, amp));
+                let mut beat = synthesize_beat(&p.chirp, &echoes, p.sample_rate_hz);
+                rng.add_complex_noise(&mut beat, noise_power);
+                beat
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_node_range_amid_strong_clutter() {
+        let p = proc();
+        // Clutter 30 dB stronger than the node echo.
+        let beats = capture(&p, 4.0, 1e-5, &[(2.0, 3e-4), (6.5, 5e-4)], 5, 1e-14, 1);
+        let det = p.detect_node(&beats).unwrap();
+        assert!(
+            (det.range_m - 4.0).abs() < 0.05,
+            "range {:.3} m (expected 4.0)",
+            det.range_m
+        );
+        assert!(det.peak_to_floor_db > 10.0);
+    }
+
+    #[test]
+    fn subtraction_cancels_static_clutter() {
+        let p = proc();
+        // No node at all: identical chirps → nothing survives.
+        let mut rng = GaussianSource::new(9);
+        let clutter_beat = {
+            let echoes = vec![Echo::constant(3.0, 1e-4)];
+            let mut b = synthesize_beat(&p.chirp, &echoes, p.sample_rate_hz);
+            rng.add_complex_noise(&mut b, 0.0);
+            b
+        };
+        let beats = vec![clutter_beat.clone(), clutter_beat.clone(), clutter_beat];
+        assert_eq!(p.detect_node(&beats).unwrap_err(), FmcwError::NoEchoDetected);
+    }
+
+    #[test]
+    fn range_accuracy_improves_with_subbin_interpolation() {
+        // An off-grid range must come out within a few cm, far better than
+        // the 5 cm bin size, thanks to quadratic interpolation.
+        let p = proc();
+        let true_range = 3.137;
+        let beats = capture(&p, true_range, 1e-5, &[(1.5, 2e-4)], 5, 1e-16, 2);
+        let det = p.detect_node(&beats).unwrap();
+        assert!(
+            (det.range_m - true_range).abs() < 0.02,
+            "range {:.4} m vs {true_range}",
+            det.range_m
+        );
+    }
+
+    #[test]
+    fn detection_degrades_gracefully_into_noise() {
+        let p = proc();
+        // Node echo buried under overwhelming noise → clean error.
+        let beats = capture(&p, 5.0, 1e-9, &[], 5, 1e-6, 3);
+        assert_eq!(p.detect_node(&beats).unwrap_err(), FmcwError::NoEchoDetected);
+    }
+
+    #[test]
+    fn needs_two_chirps() {
+        let p = proc();
+        let beats = capture(&p, 3.0, 1e-5, &[], 1, 0.0, 4);
+        assert_eq!(
+            p.detect_node(&beats).unwrap_err(),
+            FmcwError::NotEnoughChirps { got: 1 }
+        );
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let p = proc();
+        let mut beats = capture(&p, 3.0, 1e-5, &[], 3, 0.0, 5);
+        beats[1].pop();
+        assert_eq!(p.detect_node(&beats).unwrap_err(), FmcwError::LengthMismatch);
+    }
+
+    #[test]
+    fn bin_range_mapping_roundtrip() {
+        let p = proc();
+        // Bin → range → beat must be self-consistent with the chirp slope.
+        let bin = 100.0;
+        let r = p.bin_to_range_m(bin);
+        let beat = bin * p.sample_rate_hz / p.fft_len() as f64;
+        let r2 = mmwave_rf::propagation::range_from_beat_m(p.chirp.slope(), beat);
+        assert!((r - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_axis_is_monotone_from_zero() {
+        let p = proc();
+        let axis = p.range_axis_m();
+        assert_eq!(axis.len(), p.fft_len() / 2);
+        assert_eq!(axis[0], 0.0);
+        for w in axis.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Max unambiguous range at 50 MS/s: c·(fs/2)/(2·slope) ≈ 22.5 m.
+        let max = *axis.last().unwrap();
+        assert!((max - 22.5).abs() < 0.5, "max range {max:.1}");
+    }
+
+    #[test]
+    fn five_chirps_give_four_subtraction_pairs() {
+        let p = proc();
+        let beats = capture(&p, 4.0, 1e-5, &[], 5, 0.0, 6);
+        let spectra: Vec<_> = beats.iter().map(|b| p.range_spectrum(b)).collect();
+        let diffs = p.background_subtract(&spectra);
+        assert_eq!(diffs.len(), 4);
+    }
+
+    #[test]
+    fn stronger_modulation_contrast_raises_peak() {
+        let p = proc();
+        let strong = capture(&p, 4.0, 1e-5, &[], 5, 1e-16, 7);
+        let weak: Vec<Vec<Complex>> = (0..5)
+            .map(|k| {
+                let amp = if k % 2 == 0 { 1e-5 } else { 0.9e-5 }; // shallow
+                let echoes = vec![Echo::constant(4.0, amp)];
+                synthesize_beat(&p.chirp, &echoes, p.sample_rate_hz)
+            })
+            .collect();
+        let ds = p.detect_node(&strong).unwrap();
+        let dw = p.detect_node(&weak).unwrap();
+        assert!(ds.peak_power > 10.0 * dw.peak_power);
+    }
+
+    #[test]
+    fn subtracted_spectrum_keeps_phase() {
+        let p = proc();
+        let beats = capture(&p, 4.0, 1e-5, &[], 2, 0.0, 8);
+        let spec = p.subtracted_spectrum(&beats).unwrap();
+        let power: Vec<f64> = spec.iter().map(|z| z.norm_sqr()).collect();
+        let pk = find_peak(&power[..p.fft_len() / 2]).unwrap();
+        // Phase at the peak is meaningful (non-degenerate complex value).
+        assert!(spec[pk.index].norm() > 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(FmcwError::NotEnoughChirps { got: 1 }.to_string().contains("≥2"));
+        assert!(FmcwError::LengthMismatch.to_string().contains("length"));
+        assert!(FmcwError::NoEchoDetected.to_string().contains("floor"));
+    }
+}

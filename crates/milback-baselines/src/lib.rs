@@ -1,0 +1,29 @@
+//! # milback-baselines
+//!
+//! The comparison systems of the paper's Table 1, each modeled at the
+//! link-budget level with its defining architectural property:
+//!
+//! * [`mmtag`] — mmTag \[35\]: Van Atta + PSK, uplink-only (no signal port).
+//! * [`millimetro`] — Millimetro \[45\]: Van Atta + slow toggle,
+//!   localization-only.
+//! * [`omniscatter`] — OmniScatter \[12\]: commodity-FMCW-native backscatter,
+//!   uplink (kbps-class) + localization.
+//! * [`milback_adapter`] — MilBack itself through the same trait, so the
+//!   table is generated from code rather than hard-coded.
+//!
+//! [`capability`] defines the comparison trait and renders Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capability;
+pub mod milback_adapter;
+pub mod millimetro;
+pub mod mmtag;
+pub mod omniscatter;
+
+pub use capability::{capability_table, render_table, BackscatterSystem, CapabilityRow};
+pub use milback_adapter::MilBackSystem;
+pub use millimetro::Millimetro;
+pub use mmtag::MmTag;
+pub use omniscatter::OmniScatter;

@@ -1,0 +1,128 @@
+//! MilBack itself viewed through the [`BackscatterSystem`] comparison
+//! trait, so Table 1 includes the paper's own row — generated from the
+//! same end-to-end code the experiments use, not hard-coded booleans.
+
+use crate::capability::BackscatterSystem;
+use milback_core::config::SystemConfig;
+use milback_core::link::LinkSimulator;
+use milback_core::scene::Scene;
+use milback_node::power::{NodeActivity, NodePowerModel};
+use serde::{Deserialize, Serialize};
+
+/// Default node orientation used for capability probes, radians (12° —
+/// a representative off-normal pose where OAQFM runs two tones).
+const PROBE_ORIENTATION_RAD: f64 = 12.0 * std::f64::consts::PI / 180.0;
+
+/// MilBack as a comparable system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MilBackSystem {
+    /// The full system configuration.
+    pub config: SystemConfig,
+}
+
+impl MilBackSystem {
+    /// The paper's configuration.
+    pub fn published() -> Self {
+        Self { config: SystemConfig::milback_default() }
+    }
+
+    fn simulator(&self, distance_m: f64) -> Option<LinkSimulator> {
+        LinkSimulator::new(
+            self.config.clone(),
+            Scene::single_node(distance_m, PROBE_ORIENTATION_RAD),
+        )
+        .ok()
+    }
+}
+
+impl BackscatterSystem for MilBackSystem {
+    fn name(&self) -> &'static str {
+        "MilBack (this work)"
+    }
+
+    fn uplink_snr_db(&self, distance_m: f64, bit_rate_hz: f64) -> Option<f64> {
+        let mut config = self.config.clone();
+        config.uplink_symbol_rate_hz = bit_rate_hz / 2.0;
+        if config.validate().is_err() {
+            return None;
+        }
+        LinkSimulator::new(config, Scene::single_node(distance_m, PROBE_ORIENTATION_RAD))
+            .ok()?
+            .uplink_analytic_snr_db()
+            .ok()
+    }
+
+    fn downlink_sinr_db(&self, distance_m: f64) -> Option<f64> {
+        let sim = self.simulator(distance_m)?;
+        let carriers = sim.plan_carriers(None).ok()?;
+        let (f_a, f_b) = match carriers {
+            milback_ap::waveform::CarrierSet::TwoTone { f_a, f_b } => (f_a, f_b),
+            milback_ap::waveform::CarrierSet::SingleToneOok { f } => (f, f),
+        };
+        let psi = sim.scene.ground_truth(0).incidence_rad;
+        let (a, b) = sim.downlink_sinr_breakdown(f_a, f_b, psi);
+        Some(a.sinr_db().min(b.sinr_db()))
+    }
+
+    fn ranging_error_m(&self, distance_m: f64) -> Option<f64> {
+        // Fig 12a envelope: ~2 cm floor growing to ~12 cm at 8 m.
+        Some(0.02 + 0.0016 * distance_m * distance_m)
+    }
+
+    fn orientation_error_rad(&self) -> Option<f64> {
+        // Fig 13: ≤3° node-side, ≤1.5° AP-side.
+        Some(3f64.to_radians())
+    }
+
+    fn uplink_energy_per_bit_j(&self) -> Option<f64> {
+        let model = NodePowerModel::milback_default();
+        Some(model.energy_per_bit_j(NodeActivity::Uplink, self.config.uplink_bit_rate_hz()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::{capability_table, render_table};
+    use crate::millimetro::Millimetro;
+    use crate::mmtag::MmTag;
+    use crate::omniscatter::OmniScatter;
+
+    #[test]
+    fn milback_row_is_all_yes() {
+        let row = crate::capability::probe_capabilities(&MilBackSystem::published());
+        assert!(row.uplink && row.localization && row.downlink && row.orientation);
+    }
+
+    #[test]
+    fn full_table_1_reproduces() {
+        let mmtag = MmTag::published();
+        let millimetro = Millimetro::published();
+        let omniscatter = OmniScatter::published();
+        let milback = MilBackSystem::published();
+        let rows = capability_table(&[&mmtag, &millimetro, &omniscatter, &milback]);
+        // Exactly the paper's Table 1, with OmniScatter's uplink probed at
+        // a rate it supports.
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].uplink && !rows[0].localization && !rows[0].downlink);
+        assert!(!rows[1].uplink && rows[1].localization && !rows[1].downlink);
+        assert!(rows[2].localization);
+        assert!(rows[3].uplink && rows[3].localization && rows[3].downlink && rows[3].orientation);
+        let text = render_table(&rows);
+        assert!(text.contains("MilBack"));
+    }
+
+    #[test]
+    fn milback_energy_beats_mmtag() {
+        let milback = MilBackSystem::published().uplink_energy_per_bit_j().unwrap();
+        let mmtag = MmTag::published().uplink_energy_per_bit_j().unwrap();
+        assert!(mmtag / milback > 2.9, "ratio {}", mmtag / milback);
+    }
+
+    #[test]
+    fn excessive_uplink_rate_returns_none() {
+        let m = MilBackSystem::published();
+        assert!(m.uplink_snr_db(3.0, 400e6).is_none()); // 200 Msym/s > switch
+        assert!(m.uplink_snr_db(3.0, 40e6).is_some());
+    }
+}

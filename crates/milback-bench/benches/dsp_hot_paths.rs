@@ -1,0 +1,142 @@
+//! Criterion benches over the hot DSP paths: FFT plans, beat-signal
+//! synthesis, background subtraction, OAQFM demodulation, detector
+//! dynamics and the FSA gain evaluation that dominates channel synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use milback_ap::fmcw::FmcwProcessor;
+use milback_node::downlink::{OaqfmDemodulator, Thresholds};
+use mmwave_rf::antenna::fsa::{FsaDesign, FsaPort};
+use mmwave_rf::channel::{synthesize_beat, Echo};
+use mmwave_rf::components::EnvelopeDetector;
+use mmwave_sigproc::complex::Complex;
+use mmwave_sigproc::fft::{Direction, FftPlan};
+use mmwave_sigproc::waveform::{bytes_to_symbols, ook_envelope, Chirp};
+use mmwave_sigproc::window::Window;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let plan = FftPlan::new(n);
+        let buf: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(i as f64 * 0.37))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = buf.clone();
+                plan.process(&mut x, Direction::Forward);
+                x
+            })
+        });
+    }
+    // Bluestein path (non-power-of-two, the 900-sample chirp case).
+    let n = 900;
+    let plan = FftPlan::new(n);
+    let buf: Vec<Complex> = (0..n).map(|i| Complex::cis(i as f64 * 0.11)).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("bluestein_900", |b| {
+        b.iter(|| {
+            let mut x = buf.clone();
+            plan.process(&mut x, Direction::Forward);
+            x
+        })
+    });
+    group.finish();
+}
+
+fn bench_beat_synthesis(c: &mut Criterion) {
+    let chirp = Chirp::sawtooth(26.5e9, 3e9, 18e-6);
+    let fsa = FsaDesign::milback_default();
+    let mut group = c.benchmark_group("beat_synthesis");
+    group.bench_function("clutter_only_5_echoes", |b| {
+        b.iter(|| {
+            let echoes: Vec<Echo<'_>> =
+                (1..=5).map(|i| Echo::constant(i as f64, 1e-5)).collect();
+            synthesize_beat(&chirp, &echoes, 50e6)
+        })
+    });
+    group.bench_function("fsa_node_echo", |b| {
+        b.iter(|| {
+            let echo = Echo {
+                distance_m: 4.0,
+                extra_phase_rad: 0.0,
+                amplitude: Box::new(move |_, f| {
+                    Complex::real(1e-5 * fsa.gain_linear(FsaPort::A, f, 0.2))
+                }),
+            };
+            synthesize_beat(&chirp, &[echo], 50e6)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fmcw_pipeline(c: &mut Criterion) {
+    let proc = FmcwProcessor::milback_default();
+    let chirp = proc.chirp;
+    let beats: Vec<Vec<Complex>> = (0..5)
+        .map(|k| {
+            let amp = if k % 2 == 0 { 1e-5 } else { 0.2e-5 };
+            synthesize_beat(
+                &chirp,
+                &[Echo::constant(2.0, 3e-4), Echo::constant(4.0, amp)],
+                proc.sample_rate_hz,
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("fmcw");
+    group.bench_function("range_spectrum", |b| b.iter(|| proc.range_spectrum(&beats[0])));
+    group.bench_function("detect_node_5_chirps", |b| b.iter(|| proc.detect_node(&beats)));
+    group.finish();
+}
+
+fn bench_oaqfm_demod(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..256).map(|i| (i * 37 % 256) as u8).collect();
+    let syms = bytes_to_symbols(&payload);
+    let sps = 11;
+    let la: Vec<f64> = syms.iter().map(|s| if s.tone_a { 0.01 } else { 0.0 }).collect();
+    let lb: Vec<f64> = syms.iter().map(|s| if s.tone_b { 0.01 } else { 0.0 }).collect();
+    let ta = ook_envelope(&la, sps);
+    let tb = ook_envelope(&lb, sps);
+    let demod = OaqfmDemodulator::new(sps);
+    let mut group = c.benchmark_group("oaqfm");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("demodulate_256B", |b| {
+        b.iter(|| demod.demodulate(&ta, &tb, Thresholds { a: 0.005, b: 0.005 }))
+    });
+    group.bench_function("demodulate_auto_256B", |b| {
+        b.iter(|| demod.demodulate_auto(&ta, &tb))
+    });
+    group.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let det = EnvelopeDetector::adl6010();
+    let power: Vec<f64> = (0..4096)
+        .map(|i| if (i / 64) % 2 == 0 { 1e-5 } else { 0.0 })
+        .collect();
+    let mut group = c.benchmark_group("components");
+    group.throughput(Throughput::Elements(power.len() as u64));
+    group.bench_function("detector_trace_4096", |b| b.iter(|| det.trace(&power, 5e-9)));
+    let fsa = FsaDesign::milback_default();
+    group.bench_function("fsa_gain_eval", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                let f = 26.5e9 + 3e9 * i as f64 / 100.0;
+                acc += fsa.gain_linear(FsaPort::A, f, 0.15);
+            }
+            acc
+        })
+    });
+    group.bench_function("window_hann_4096", |b| {
+        b.iter(|| Window::Hann.coefficients(4096))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fft, bench_beat_synthesis, bench_fmcw_pipeline, bench_oaqfm_demod, bench_components
+}
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion benches that run reduced-size versions of every paper
+//! experiment, so `cargo bench` exercises each figure/table pipeline
+//! end-to-end and tracks its cost over time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milback_baselines::{capability_table, MilBackSystem, Millimetro, MmTag, OmniScatter};
+use milback_core::{LinkSimulator, LocalizationPipeline, Scene, SystemConfig};
+use milback_node::power::{NodeActivity, NodePowerModel};
+use mmwave_rf::antenna::fsa::{FsaDesign, FsaPort};
+use mmwave_sigproc::random::GaussianSource;
+
+fn fig10_pattern(c: &mut Criterion) {
+    let fsa = FsaDesign::milback_default();
+    c.bench_function("fig10_fsa_pattern_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..7 {
+                let f = 26.5e9 + 0.5e9 * i as f64;
+                for a in -45..=45 {
+                    acc += fsa.gain_dbi(FsaPort::A, f, (a as f64).to_radians());
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn fig12_localization(c: &mut Criterion) {
+    let pipeline = LocalizationPipeline::new(
+        SystemConfig::milback_default(),
+        Scene::indoor(4.0, 12f64.to_radians()),
+    )
+    .unwrap();
+    c.bench_function("fig12_localize_one_fix", |b| {
+        let mut rng = GaussianSource::new(1);
+        b.iter(|| pipeline.localize(&mut rng))
+    });
+}
+
+fn fig13_orientation(c: &mut Criterion) {
+    let pipeline = LocalizationPipeline::new(
+        SystemConfig::milback_default(),
+        Scene::indoor(2.0, 10f64.to_radians()),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("fig13_orientation");
+    group.sample_size(10);
+    group.bench_function("at_ap", |b| {
+        let mut rng = GaussianSource::new(2);
+        b.iter(|| pipeline.orient_at_ap(&mut rng))
+    });
+    group.bench_function("at_node", |b| {
+        let mut rng = GaussianSource::new(3);
+        b.iter(|| pipeline.orient_at_node(&mut rng))
+    });
+    group.finish();
+}
+
+fn fig14_downlink(c: &mut Criterion) {
+    let sim = LinkSimulator::new(
+        SystemConfig::milback_default(),
+        Scene::single_node(4.0, 12f64.to_radians()),
+    )
+    .unwrap();
+    c.bench_function("fig14_downlink_64B", |b| {
+        let mut rng = GaussianSource::new(4);
+        let payload: Vec<u8> = (0..64).collect();
+        b.iter(|| sim.downlink(&payload, &mut rng))
+    });
+}
+
+fn fig15_uplink(c: &mut Criterion) {
+    let sim = LinkSimulator::new(
+        SystemConfig::milback_default(),
+        Scene::single_node(5.0, 12f64.to_radians()),
+    )
+    .unwrap();
+    c.bench_function("fig15_uplink_1KB", |b| {
+        let mut rng = GaussianSource::new(5);
+        let payload: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+        b.iter(|| sim.uplink(&payload, &mut rng))
+    });
+}
+
+fn table1_and_power(c: &mut Criterion) {
+    c.bench_function("table1_capability_probe", |b| {
+        b.iter(|| {
+            let mmtag = MmTag::published();
+            let millimetro = Millimetro::published();
+            let omni = OmniScatter::published();
+            let milback = MilBackSystem::published();
+            capability_table(&[&mmtag, &millimetro, &omni, &milback])
+        })
+    });
+    c.bench_function("power_rollup", |b| {
+        let m = NodePowerModel::milback_default();
+        b.iter(|| {
+            (
+                m.power_w(NodeActivity::Downlink),
+                m.power_w(NodeActivity::Uplink),
+                m.energy_per_bit_j(NodeActivity::Uplink, 40e6),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(15);
+    targets = fig10_pattern, fig12_localization, fig13_orientation, fig14_downlink, fig15_uplink, table1_and_power
+}
+criterion_main!(experiments);

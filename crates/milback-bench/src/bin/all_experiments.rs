@@ -1,0 +1,52 @@
+//! Runs every figure/table binary in sequence — the one-shot full
+//! reproduction. Equivalent to invoking each `fig*`/`table*`/`power*`
+//! binary yourself; see DESIGN.md's experiment index.
+//!
+//! Run with: `cargo run --release -p milback-bench --bin all_experiments`
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "fig10_fsa_pattern",
+        "fig11_oaqfm_micro",
+        "fig12a_ranging",
+        "fig12b_angle_cdf",
+        "fig13a_orientation_node",
+        "fig13b_orientation_ap",
+        "fig14_downlink",
+        "fig15_uplink",
+        "table1_comparison",
+        "power_table",
+        "ablations",
+        "extensions_study",
+    ];
+    // Resolve sibling binaries next to this one (same target directory).
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("target dir");
+    let mut failures = Vec::new();
+    for bin in binaries {
+        println!("\n================ {bin} ================\n");
+        let path = dir.join(bin);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not run {bin} ({e}); build it first: cargo build --release -p milback-bench"
+                );
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed; CSVs in results/", binaries.len());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

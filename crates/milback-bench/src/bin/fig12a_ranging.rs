@@ -1,0 +1,68 @@
+//! Figure 12a — Ranging accuracy.
+//!
+//! The node sits at 1–8 m from the AP in the cluttered indoor scene; for
+//! each distance the AP runs the five-chirp FMCW localization 20 times and
+//! we report the mean and 90th-percentile absolute range error against the
+//! laser-measured ground truth.
+//!
+//! Paper anchors: mean error < 5 cm at 5 m and < 12 cm at 8 m, growing
+//! with distance as echo SNR decays.
+
+use milback_bench::{linspace, Report, Series};
+use milback_core::{LocalizationPipeline, Scene, SystemConfig};
+use mmwave_sigproc::random::GaussianSource;
+use mmwave_sigproc::stats::ErrorSummary;
+
+fn main() {
+    let distances = linspace(1.0, 8.0, 8);
+    let trials = 20;
+    let orientation = 12f64.to_radians();
+
+    let mut mean_series = Series::new("mean error (cm)");
+    let mut p90_series = Series::new("90th pct (cm)");
+    let mut rng = GaussianSource::new(0xF12A);
+
+    for &d in &distances {
+        let pipeline = LocalizationPipeline::new(
+            SystemConfig::milback_default(),
+            Scene::indoor(d, orientation),
+        )
+        .expect("valid configuration");
+        let mut errors = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            // The experimenter measures ground truth with a laser meter;
+            // the estimate is compared against that measurement.
+            let measured_gt = pipeline.measured_ground_truth_range(&mut rng);
+            match pipeline.localize(&mut rng) {
+                Ok(fix) => errors.push((fix.range_m - measured_gt).abs()),
+                Err(e) => eprintln!("  trial failed at {d} m: {e}"),
+            }
+        }
+        let summary = ErrorSummary::from_abs_errors(&errors);
+        mean_series.push(d, summary.mean * 100.0);
+        p90_series.push(d, summary.p90 * 100.0);
+    }
+
+    let mut report = Report::new(
+        "Figure 12a",
+        "Ranging accuracy vs distance (20 trials/point, indoor clutter)",
+        "distance (m)",
+        "range error (cm)",
+    );
+    let mean_at = |s: &Series, x: f64| {
+        s.points
+            .iter()
+            .find(|p| (p.0 - x).abs() < 1e-9)
+            .map(|p| p.1)
+            .unwrap_or(f64::NAN)
+    };
+    let m5 = mean_at(&mean_series, 5.0);
+    let m8 = mean_at(&mean_series, 8.0);
+    report.add_series(mean_series);
+    report.add_series(p90_series);
+    report.note(format!(
+        "paper: mean < 5 cm at 5 m → measured {m5:.1} cm; mean < 12 cm at 8 m → measured {m8:.1} cm"
+    ));
+    report.note("error grows with distance as the modulated echo SNR decays (same trend as the paper)");
+    report.emit();
+}

@@ -1,0 +1,58 @@
+//! Figure 13a — Orientation estimation at the node.
+//!
+//! The node sits 2 m from the AP; the AP transmits Field-1 triangular
+//! chirps while both node ports absorb; the MCU samples both detectors at
+//! 1 MS/s, measures the peak separation per port and averages the two
+//! estimates. 25 trials per orientation.
+//!
+//! Paper anchor: mean error < 3° at every orientation.
+
+use milback_bench::{Report, Series};
+use milback_core::{LocalizationPipeline, Scene, SystemConfig};
+use mmwave_sigproc::random::GaussianSource;
+use mmwave_sigproc::stats::ErrorSummary;
+
+fn main() {
+    let orientations: Vec<f64> = vec![-20.0, -15.0, -10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0];
+    let trials = 25;
+    let mut rng = GaussianSource::new(0xF13A);
+
+    let mut mean_series = Series::new("mean error (deg)");
+    let mut std_series = Series::new("std dev (deg)");
+    let mut worst = 0.0f64;
+
+    for &deg in &orientations {
+        // `orientation_rad` rotates the board; the sensed incidence is its
+        // negative — sweep the board and compare in incidence space.
+        let pipeline = LocalizationPipeline::new(
+            SystemConfig::milback_default(),
+            Scene::indoor(2.0, (-deg as f64).to_radians()),
+        )
+        .unwrap();
+        let truth = pipeline.scene.ground_truth(0).incidence_rad.to_degrees();
+        let mut errors = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            match pipeline.orient_at_node(&mut rng) {
+                Ok(est) => errors.push((est.to_degrees() - truth).abs()),
+                Err(e) => eprintln!("  trial failed at {deg}°: {e}"),
+            }
+        }
+        let s = ErrorSummary::from_abs_errors(&errors);
+        mean_series.push(deg, s.mean);
+        std_series.push(deg, s.std_dev);
+        worst = worst.max(s.mean);
+    }
+
+    let mut report = Report::new(
+        "Figure 13a",
+        "Node-side orientation error vs true orientation (25 trials, 2 m, 1 MS/s MCU)",
+        "orientation (deg)",
+        "error (deg)",
+    );
+    report.add_series(mean_series);
+    report.add_series(std_series);
+    report.note(format!(
+        "worst mean error {worst:.2}° (paper: always < 3°, comparable to smartphone IMUs [25])"
+    ));
+    report.emit();
+}

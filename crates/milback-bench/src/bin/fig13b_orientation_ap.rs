@@ -1,0 +1,67 @@
+//! Figure 13b — Orientation estimation at the AP.
+//!
+//! The node sits 2 m away; port A toggles while port B absorbs; the AP
+//! measures which part of the Field-2 sweep reflects strongest after
+//! background subtraction. 25 trials per orientation.
+//!
+//! Paper anchors: mean error < 1.5° generally, rising toward ~3° between
+//! −6° and −2° where the FSA ground plane's switching-correlated mirror
+//! reflection collides with the modulated backscatter.
+
+use milback_bench::{Report, Series};
+use milback_core::{LocalizationPipeline, Scene, SystemConfig};
+use mmwave_sigproc::random::GaussianSource;
+use mmwave_sigproc::stats::ErrorSummary;
+
+fn main() {
+    let orientations: Vec<f64> = vec![
+        -24.0, -18.0, -12.0, -8.0, -6.0, -4.0, -2.0, 0.0, 4.0, 8.0, 12.0, 18.0, 24.0,
+    ];
+    let trials = 25;
+    let mut rng = GaussianSource::new(0xF13B);
+
+    let mut mean_series = Series::new("mean error (deg)");
+    let mut std_series = Series::new("std dev (deg)");
+    let mut near_normal = Vec::new();
+    let mut elsewhere = Vec::new();
+
+    for &deg in &orientations {
+        let pipeline = LocalizationPipeline::new(
+            SystemConfig::milback_default(),
+            Scene::indoor(2.0, (-deg as f64).to_radians()),
+        )
+        .unwrap();
+        let truth = pipeline.scene.ground_truth(0).incidence_rad.to_degrees();
+        let mut errors = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            match pipeline.orient_at_ap(&mut rng) {
+                Ok(est) => errors.push((est.to_degrees() - truth).abs()),
+                Err(e) => eprintln!("  trial failed at {deg}°: {e}"),
+            }
+        }
+        let s = ErrorSummary::from_abs_errors(&errors);
+        mean_series.push(deg, s.mean);
+        std_series.push(deg, s.std_dev);
+        if (-4.0..=4.0).contains(&deg) {
+            near_normal.push(s.mean);
+        } else {
+            elsewhere.push(s.mean);
+        }
+    }
+
+    let mut report = Report::new(
+        "Figure 13b",
+        "AP-side orientation error vs orientation (25 trials, 2 m, port A toggling)",
+        "orientation (deg)",
+        "error (deg)",
+    );
+    report.add_series(mean_series);
+    report.add_series(std_series);
+    report.note(format!(
+        "mean error in the mirror-collision band (±4° of normal): {:.2}°; elsewhere: {:.2}° (paper: error elevated near normal, ≤3° everywhere)",
+        mmwave_sigproc::stats::mean(&near_normal),
+        mmwave_sigproc::stats::mean(&elsewhere)
+    ));
+    report.note("cause: the switching-correlated fraction of the FSA ground-plane mirror reflection survives background subtraction (§9.3)");
+    report.emit();
+}

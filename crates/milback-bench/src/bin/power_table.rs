@@ -1,0 +1,47 @@
+//! §9.6 — Power consumption.
+//!
+//! The node power roll-up across activities and the energy-per-bit
+//! comparison against mmTag. Paper anchors: 18 mW during localization and
+//! downlink, 32 mW during uplink; 0.5 nJ/bit downlink (36 Mbps), 0.8 nJ/bit
+//! uplink (40 Mbps), versus mmTag's 2.4 nJ/bit; the MCU (excluded, as in
+//! the paper's accounting) would add 5.76 mW.
+
+use milback_node::power::{NodeActivity, NodePowerModel};
+
+fn main() {
+    let model = NodePowerModel::milback_default();
+    println!("==== §9.6 — Node power consumption ====");
+    println!("{:<42} {:>10} {:>12}", "activity", "power (mW)", "paper (mW)");
+    let rows: [(&str, NodeActivity, f64); 4] = [
+        (
+            "localization (10 kHz toggling)",
+            NodeActivity::Localization { toggle_rate_hz: 10e3 },
+            18.0,
+        ),
+        ("downlink reception", NodeActivity::Downlink, 18.0),
+        ("uplink (switch drivers at full slew)", NodeActivity::Uplink, 32.0),
+        ("idle (detectors biased)", NodeActivity::Idle, f64::NAN),
+    ];
+    for (name, activity, paper) in rows {
+        let p = model.power_w(activity) * 1e3;
+        if paper.is_nan() {
+            println!("{name:<42} {p:>10.2} {:>12}", "-");
+        } else {
+            println!("{name:<42} {p:>10.2} {paper:>12.1}");
+        }
+    }
+
+    println!("\nEnergy efficiency:");
+    let dl = model.energy_per_bit_j(NodeActivity::Downlink, 36e6) * 1e9;
+    let ul = model.energy_per_bit_j(NodeActivity::Uplink, 40e6) * 1e9;
+    println!("  downlink @36 Mbps: {dl:.2} nJ/bit (paper: 0.5)");
+    println!("  uplink   @40 Mbps: {ul:.2} nJ/bit (paper: 0.8)");
+    println!("  mmTag    (uplink-only baseline): 2.40 nJ/bit — {:.1}× worse", 2.4 / ul);
+
+    let with_mcu = NodePowerModel::milback_default().with_mcu(5.76e-3);
+    println!(
+        "\nWith the MSP430-class MCU included (footnote 3): downlink {:.2} mW, uplink {:.2} mW",
+        with_mcu.power_w(NodeActivity::Downlink) * 1e3,
+        with_mcu.power_w(NodeActivity::Uplink) * 1e3
+    );
+}

@@ -1,0 +1,49 @@
+//! Table 1 — Comparison with state-of-the-art mmWave backscatter systems.
+//!
+//! The capability matrix is *generated from the code*: each system
+//! implements `BackscatterSystem` and a capability registers as "Yes"
+//! exactly when the corresponding probe succeeds. Below the matrix we add
+//! quantified context the paper makes in prose (rates, energy, range).
+
+use milback_baselines::{
+    capability_table, render_table, BackscatterSystem, MilBackSystem, Millimetro, MmTag,
+    OmniScatter,
+};
+
+fn main() {
+    let mmtag = MmTag::published();
+    let millimetro = Millimetro::published();
+    let omniscatter = OmniScatter::published();
+    let milback = MilBackSystem::published();
+
+    let rows = capability_table(&[&mmtag, &millimetro, &omniscatter, &milback]);
+    println!("==== Table 1 — mmWave backscatter systems ====");
+    print!("{}", render_table(&rows));
+
+    println!("\nQuantified context:");
+    println!(
+        "  energy/bit uplink: mmTag {:.1} nJ/bit vs MilBack {:.1} nJ/bit ({}× better, §9.6)",
+        mmtag.uplink_energy_per_bit_j().unwrap() * 1e9,
+        milback.uplink_energy_per_bit_j().unwrap() * 1e9,
+        (mmtag.uplink_energy_per_bit_j().unwrap() / milback.uplink_energy_per_bit_j().unwrap())
+            .round()
+    );
+    println!(
+        "  uplink SNR at 4 m / 10 Mbps: mmTag {:.1} dB, MilBack {:.1} dB",
+        mmtag.uplink_snr_db(4.0, 10e6).unwrap(),
+        milback.uplink_snr_db(4.0, 10e6).unwrap()
+    );
+    println!(
+        "  OmniScatter max bit rate: {:.0} kbps (one symbol per radar chirp) — no 10 Mbps mode exists",
+        omniscatter.max_symbol_rate_hz() / 1e3
+    );
+    println!(
+        "  Millimetro range resolution: {:.2} m (250 MHz sweep) vs MilBack {:.2} m (3 GHz sweep)",
+        millimetro.range_resolution_m(),
+        mmwave_rf::propagation::range_resolution_m(3e9)
+    );
+    println!(
+        "  MilBack downlink SINR at 10 m: {:.1} dB — the only system with a downlink at all",
+        milback.downlink_sinr_db(10.0).unwrap()
+    );
+}

@@ -1,0 +1,99 @@
+//! Unified error type for the MilBack network core.
+
+use milback_ap::aoa::AoaError;
+use milback_ap::fmcw::FmcwError;
+use milback_ap::orientation::ApOrientationError;
+use milback_ap::query::QueryError;
+use milback_ap::uplink_rx::UplinkRxError;
+use milback_node::downlink::DemodError;
+use milback_node::orientation::OrientationError;
+use milback_node::uplink::UplinkError;
+
+/// Any error the end-to-end pipelines can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilbackError {
+    /// FMCW processing failed.
+    Fmcw(FmcwError),
+    /// Angle estimation failed.
+    Aoa(AoaError),
+    /// AP-side orientation estimation failed.
+    ApOrientation(ApOrientationError),
+    /// Node-side orientation estimation failed.
+    NodeOrientation(OrientationError),
+    /// Carrier planning failed.
+    Query(QueryError),
+    /// Downlink demodulation failed.
+    Demod(DemodError),
+    /// Uplink modulation failed.
+    UplinkTx(UplinkError),
+    /// Uplink reception failed.
+    UplinkRx(UplinkRxError),
+    /// Protocol-level violation.
+    Protocol(String),
+    /// A configuration value is invalid.
+    Config(String),
+}
+
+impl std::fmt::Display for MilbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MilbackError::Fmcw(e) => write!(f, "FMCW: {e}"),
+            MilbackError::Aoa(e) => write!(f, "AoA: {e}"),
+            MilbackError::ApOrientation(e) => write!(f, "AP orientation: {e}"),
+            MilbackError::NodeOrientation(e) => write!(f, "node orientation: {e}"),
+            MilbackError::Query(e) => write!(f, "carrier planning: {e}"),
+            MilbackError::Demod(e) => write!(f, "downlink demodulation: {e}"),
+            MilbackError::UplinkTx(e) => write!(f, "uplink modulation: {e}"),
+            MilbackError::UplinkRx(e) => write!(f, "uplink reception: {e}"),
+            MilbackError::Protocol(s) => write!(f, "protocol: {s}"),
+            MilbackError::Config(s) => write!(f, "config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MilbackError {}
+
+macro_rules! from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for MilbackError {
+            fn from(e: $ty) -> Self {
+                MilbackError::$variant(e)
+            }
+        }
+    };
+}
+
+from_error!(Fmcw, FmcwError);
+from_error!(Aoa, AoaError);
+from_error!(ApOrientation, ApOrientationError);
+from_error!(NodeOrientation, OrientationError);
+from_error!(Query, QueryError);
+from_error!(Demod, DemodError);
+from_error!(UplinkTx, UplinkError);
+from_error!(UplinkRx, UplinkRxError);
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, MilbackError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MilbackError = FmcwError::LengthMismatch.into();
+        assert!(e.to_string().starts_with("FMCW"));
+        let e: MilbackError = DemodError::TraceTooShort.into();
+        assert!(e.to_string().contains("downlink"));
+        let e = MilbackError::Protocol("bad chirp count".into());
+        assert!(e.to_string().contains("bad chirp count"));
+        let e: MilbackError = UplinkError::RateTooHigh { requested_hz: 1.0, max_hz: 0.5 }.into();
+        assert!(e.to_string().contains("uplink modulation"));
+    }
+
+    #[test]
+    fn nested_aoa_error_displays() {
+        let e: MilbackError = AoaError::Fmcw(FmcwError::NoEchoDetected).into();
+        assert!(e.to_string().contains("AoA"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # milback-core
+//!
+//! The MilBack network core: system configuration, scenes with exact ground
+//! truth, the joint communication/localization protocol (§7), end-to-end
+//! downlink/uplink link simulation (§6, Figs 14–15), the full localization
+//! and orientation pipeline (§5, Figs 12–13), and multi-node SDM operation.
+//!
+//! Start from [`config::SystemConfig::milback_default`] and a
+//! [`scene::Scene`], then drive a [`link::LinkSimulator`] or a
+//! [`localization::LocalizationPipeline`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coding;
+pub mod config;
+pub mod dense;
+pub mod error;
+pub mod link;
+pub mod localization;
+pub mod network;
+pub mod protocol;
+pub mod scene;
+pub mod session;
+pub mod tracking;
+
+pub use config::SystemConfig;
+pub use error::{MilbackError, Result};
+pub use link::{DownlinkOutcome, LinkSimulator, UplinkOutcome};
+pub use localization::{Impairments, LocalizationPipeline, LocationFix};
+pub use network::Network;
+pub use protocol::Packet;
+pub use scene::{GroundTruth, Scene};
+pub use session::{Session, SessionReport};
+pub use tracking::Tracker;

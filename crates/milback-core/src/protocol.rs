@@ -1,0 +1,333 @@
+//! The MilBack joint communication-and-localization protocol (§7, Fig 8).
+//!
+//! A packet is: **Preamble Field 1** (triangular chirps — lets the node
+//! sense its orientation, and the chirp count tells it whether the payload
+//! is uplink [3 chirps] or downlink [2 chirps + gap]) → **Preamble Field 2**
+//! (five sawtooth chirps while the node toggles — AP-side localization and
+//! orientation) → **Payload** (OAQFM uplink or downlink data).
+//!
+//! This module owns packet framing, timing and (de)serialization, plus the
+//! node-side chirp-count detector that decodes the Field-1 mode signal.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use milback_ap::waveform::{FmcwConfig, LinkDirection};
+use serde::{Deserialize, Serialize};
+
+/// Gap between the two Field-1 chirps that signals downlink, seconds.
+pub const FIELD1_GAP_S: f64 = 45e-6;
+
+/// Magic byte opening every serialized MilBack frame.
+pub const FRAME_MAGIC: u8 = 0xB7;
+
+/// A MilBack packet: direction, payload, and the timing derived from the
+/// waveform configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Whether the payload is uplink or downlink.
+    pub direction: LinkDirection,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Creates a downlink packet.
+    pub fn downlink(payload: impl Into<Vec<u8>>) -> Self {
+        Self { direction: LinkDirection::Downlink, payload: payload.into() }
+    }
+
+    /// Creates an uplink packet (payload supplied by the node).
+    pub fn uplink(payload: impl Into<Vec<u8>>) -> Self {
+        Self { direction: LinkDirection::Uplink, payload: payload.into() }
+    }
+
+    /// Airtime of the preamble, seconds.
+    pub fn preamble_duration_s(&self, fmcw: &FmcwConfig) -> f64 {
+        let field1 = match self.direction {
+            LinkDirection::Uplink => 3.0 * fmcw.field1_chirp_s,
+            LinkDirection::Downlink => 2.0 * fmcw.field1_chirp_s + FIELD1_GAP_S,
+        };
+        // Field 2: five chirps at the chirp repetition interval.
+        let field2 = 5.0 * fmcw.chirp_interval_s;
+        field1 + field2
+    }
+
+    /// Airtime of the payload at a symbol rate (2 bits/symbol), seconds.
+    pub fn payload_duration_s(&self, symbol_rate_hz: f64) -> f64 {
+        assert!(symbol_rate_hz > 0.0);
+        (self.payload.len() as f64 * 4.0) / symbol_rate_hz
+    }
+
+    /// Total packet airtime, seconds.
+    pub fn duration_s(&self, fmcw: &FmcwConfig, symbol_rate_hz: f64) -> f64 {
+        self.preamble_duration_s(fmcw) + self.payload_duration_s(symbol_rate_hz)
+    }
+
+    /// Protocol efficiency: payload airtime over total airtime.
+    pub fn efficiency(&self, fmcw: &FmcwConfig, symbol_rate_hz: f64) -> f64 {
+        self.payload_duration_s(symbol_rate_hz) / self.duration_s(fmcw, symbol_rate_hz)
+    }
+
+    /// Serializes to a length-prefixed wire frame:
+    /// `magic(1) | direction(1) | len(u16 BE) | payload | checksum(1)`.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.payload.len() + 5);
+        buf.put_u8(FRAME_MAGIC);
+        buf.put_u8(match self.direction {
+            LinkDirection::Uplink => 0x01,
+            LinkDirection::Downlink => 0x02,
+        });
+        assert!(self.payload.len() <= u16::MAX as usize, "payload too large");
+        buf.put_u16(self.payload.len() as u16);
+        buf.put_slice(&self.payload);
+        buf.put_u8(checksum(&buf));
+        buf.freeze()
+    }
+
+    /// Parses a wire frame produced by [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, FrameError> {
+        if data.len() < 5 {
+            return Err(FrameError::Truncated { len: data.len() });
+        }
+        let expected_sum = checksum(&data[..data.len() - 1]);
+        let magic = data.get_u8();
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::BadMagic { got: magic });
+        }
+        let direction = match data.get_u8() {
+            0x01 => LinkDirection::Uplink,
+            0x02 => LinkDirection::Downlink,
+            other => return Err(FrameError::BadDirection { got: other }),
+        };
+        let len = data.get_u16() as usize;
+        if data.len() != len + 1 {
+            return Err(FrameError::LengthMismatch { declared: len, actual: data.len() - 1 });
+        }
+        let payload = data.split_to(len).to_vec();
+        let sum = data.get_u8();
+        if sum != expected_sum {
+            return Err(FrameError::BadChecksum { expected: expected_sum, got: sum });
+        }
+        Ok(Self { direction, payload })
+    }
+}
+
+/// XOR checksum over a byte slice.
+fn checksum(data: &[u8]) -> u8 {
+    data.iter().fold(0u8, |a, &b| a ^ b)
+}
+
+/// Wire-frame parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the minimum frame.
+    Truncated {
+        /// Bytes available.
+        len: usize,
+    },
+    /// Wrong magic byte.
+    BadMagic {
+        /// The byte found.
+        got: u8,
+    },
+    /// Unknown direction code.
+    BadDirection {
+        /// The code found.
+        got: u8,
+    },
+    /// Declared and actual payload lengths disagree.
+    LengthMismatch {
+        /// Declared length.
+        declared: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// Checksum failure.
+    BadChecksum {
+        /// Expected checksum.
+        expected: u8,
+        /// Received checksum.
+        got: u8,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { len } => write!(f, "frame truncated at {len} bytes"),
+            FrameError::BadMagic { got } => write!(f, "bad magic byte 0x{got:02X}"),
+            FrameError::BadDirection { got } => write!(f, "bad direction code 0x{got:02X}"),
+            FrameError::LengthMismatch { declared, actual } => {
+                write!(f, "length field says {declared}, payload has {actual}")
+            }
+            FrameError::BadChecksum { expected, got } => {
+                write!(f, "checksum 0x{got:02X} != expected 0x{expected:02X}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Node-side Field-1 detector: counts triangular-chirp power bursts in a
+/// detector trace and decodes the signalled direction (§7).
+#[derive(Debug, Clone, Copy)]
+pub struct Field1Detector {
+    /// Power threshold separating chirp activity from the gap.
+    pub threshold: f64,
+    /// Minimum quiet samples separating two bursts.
+    pub min_gap_samples: usize,
+}
+
+impl Field1Detector {
+    /// Creates a detector.
+    pub fn new(threshold: f64, min_gap_samples: usize) -> Self {
+        Self { threshold, min_gap_samples }
+    }
+
+    /// Counts activity bursts in a node detector trace.
+    pub fn count_bursts(&self, trace: &[f64]) -> usize {
+        let mut bursts = 0;
+        let mut quiet = self.min_gap_samples; // start "quiet enough"
+        for &v in trace {
+            if v > self.threshold {
+                if quiet >= self.min_gap_samples {
+                    bursts += 1;
+                }
+                quiet = 0;
+            } else {
+                quiet = quiet.saturating_add(1);
+            }
+        }
+        bursts
+    }
+
+    /// Decodes the direction from a trace.
+    pub fn detect_direction(&self, trace: &[f64]) -> Option<LinkDirection> {
+        LinkDirection::from_chirp_count(self.count_bursts(trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        for packet in [
+            Packet::uplink(vec![1, 2, 3]),
+            Packet::downlink(vec![]),
+            Packet::downlink(vec![0xFF; 1000]),
+        ] {
+            let wire = packet.to_bytes();
+            assert_eq!(Packet::from_bytes(wire).unwrap(), packet);
+        }
+    }
+
+    #[test]
+    fn frame_detects_corruption() {
+        let wire = Packet::uplink(vec![1, 2, 3]).to_bytes();
+        let mut corrupted = wire.to_vec();
+        corrupted[4] ^= 0x10;
+        let err = Packet::from_bytes(Bytes::from(corrupted)).unwrap_err();
+        assert!(matches!(err, FrameError::BadChecksum { .. }));
+    }
+
+    #[test]
+    fn frame_rejects_bad_magic_and_direction() {
+        let wire = Packet::uplink(vec![9]).to_bytes();
+        let mut bad_magic = wire.to_vec();
+        bad_magic[0] = 0x00;
+        assert!(matches!(
+            Packet::from_bytes(Bytes::from(bad_magic)).unwrap_err(),
+            FrameError::BadMagic { .. }
+        ));
+        let mut bad_dir = wire.to_vec();
+        bad_dir[1] = 0x07;
+        // Fix checksum so the direction check is what fails... checksum is
+        // verified against the received buffer, so recompute it.
+        let n = bad_dir.len();
+        bad_dir[n - 1] = super::checksum(&bad_dir[..n - 1]);
+        assert!(matches!(
+            Packet::from_bytes(Bytes::from(bad_dir)).unwrap_err(),
+            FrameError::BadDirection { got: 0x07 }
+        ));
+    }
+
+    #[test]
+    fn frame_rejects_truncation_and_length_lies() {
+        assert!(matches!(
+            Packet::from_bytes(Bytes::from(vec![1, 2])).unwrap_err(),
+            FrameError::Truncated { len: 2 }
+        ));
+        let wire = Packet::uplink(vec![1, 2, 3, 4]).to_bytes();
+        let mut lying = wire.to_vec();
+        lying[3] = 2; // declare 2 bytes instead of 4
+        assert!(matches!(
+            Packet::from_bytes(Bytes::from(lying)).unwrap_err(),
+            FrameError::LengthMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn preamble_timing_matches_protocol() {
+        let fmcw = FmcwConfig::milback_default();
+        let up = Packet::uplink(vec![0; 10]);
+        let down = Packet::downlink(vec![0; 10]);
+        // Uplink: 3×45 µs field 1 + 5×100 µs field 2 = 635 µs.
+        assert!((up.preamble_duration_s(&fmcw) - 635e-6).abs() < 1e-9);
+        // Downlink: 2×45 + 45 gap + 500 = 635 µs as well.
+        assert!((down.preamble_duration_s(&fmcw) - 635e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn payload_timing_and_efficiency() {
+        let fmcw = FmcwConfig::milback_default();
+        let p = Packet::downlink(vec![0; 4500]); // 18000 symbols
+        // At 18 Msym/s: payload = 1 ms; preamble 635 µs → efficiency ≈ 0.61.
+        let eff = p.efficiency(&fmcw, 18e6);
+        assert!((eff - 0.61).abs() < 0.02, "efficiency {eff:.3}");
+        assert!((p.payload_duration_s(18e6) - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn field1_burst_counting() {
+        let d = Field1Detector::new(0.5, 3);
+        // Three bursts separated by quiet gaps.
+        let mut trace = Vec::new();
+        for _ in 0..3 {
+            trace.extend([1.0; 10]);
+            trace.extend([0.0; 5]);
+        }
+        assert_eq!(d.count_bursts(&trace), 3);
+        assert_eq!(d.detect_direction(&trace), Some(LinkDirection::Uplink));
+    }
+
+    #[test]
+    fn field1_two_bursts_mean_downlink() {
+        let d = Field1Detector::new(0.5, 3);
+        let mut trace = vec![1.0; 10];
+        trace.extend([0.0; 8]);
+        trace.extend([1.0; 10]);
+        assert_eq!(d.detect_direction(&trace), Some(LinkDirection::Downlink));
+    }
+
+    #[test]
+    fn field1_ripple_within_burst_not_double_counted() {
+        let d = Field1Detector::new(0.5, 5);
+        // A burst with one sample dipping below threshold.
+        let trace = [1.0, 1.0, 0.2, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(d.count_bursts(&trace), 1);
+    }
+
+    #[test]
+    fn field1_unknown_counts_yield_none() {
+        let d = Field1Detector::new(0.5, 3);
+        assert_eq!(d.detect_direction(&[0.0; 20]), None); // zero bursts
+        let mut five = Vec::new();
+        for _ in 0..5 {
+            five.extend([1.0; 4]);
+            five.extend([0.0; 6]);
+        }
+        assert_eq!(d.detect_direction(&five), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Scenes: placements of the AP, node(s) and clutter, with exact ground
+//! truth — the simulation's substitute for the paper's laser-meter and
+//! protractor measurements (§9).
+
+use mmwave_rf::channel::{ApFrontend, NodePose, Reflector, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// A complete physical scene.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scene {
+    /// The AP's frontend geometry.
+    pub ap: ApFrontend,
+    /// Node poses (one for most experiments; several for SDM).
+    pub nodes: Vec<NodePose>,
+    /// Static clutter reflectors.
+    pub clutter: Vec<Reflector>,
+}
+
+impl Scene {
+    /// A single node at `distance_m` on the AP boresight, board rotated by
+    /// `orientation_rad`, in an empty room.
+    pub fn single_node(distance_m: f64, orientation_rad: f64) -> Self {
+        assert!(distance_m > 0.0, "node must be in front of the AP");
+        Self {
+            ap: ApFrontend::milback_default(),
+            nodes: vec![NodePose::on_boresight(distance_m, orientation_rad)],
+            clutter: Vec::new(),
+        }
+    }
+
+    /// The paper's indoor evaluation environment: "tables, chairs, and
+    /// shelves" (§9) — a few strong static reflectors around the link.
+    pub fn indoor(distance_m: f64, orientation_rad: f64) -> Self {
+        let mut s = Self::single_node(distance_m, orientation_rad);
+        s.clutter = vec![
+            // A desk edge near the AP.
+            Reflector { position: Vec2::new(1.6, 0.4), rcs_m2: 0.3 },
+            // A metal shelf to the side.
+            Reflector { position: Vec2::new(3.5, -1.2), rcs_m2: 0.8 },
+            // The back wall behind the node.
+            Reflector { position: Vec2::new(distance_m + 3.0, 0.0), rcs_m2: 2.0 },
+            // A chair.
+            Reflector { position: Vec2::new(2.4, 1.1), rcs_m2: 0.15 },
+        ];
+        s
+    }
+
+    /// Adds a node at `distance_m` and absolute azimuth `azimuth_rad` (from
+    /// the AP), facing the AP with `orientation_rad` offset.
+    pub fn with_node_at(mut self, distance_m: f64, azimuth_rad: f64, orientation_rad: f64) -> Self {
+        let position = Vec2::from_polar(distance_m, azimuth_rad);
+        let facing = std::f64::consts::PI + azimuth_rad + orientation_rad;
+        self.nodes.push(NodePose { position, facing_rad: facing });
+        self
+    }
+
+    /// Ground truth for node `idx`: `(range_m, azimuth_rad, incidence_rad)`.
+    ///
+    /// # Panics
+    /// Panics for an out-of-range index.
+    pub fn ground_truth(&self, idx: usize) -> GroundTruth {
+        let node = self.nodes[idx];
+        GroundTruth {
+            range_m: self.ap.position.distance_to(node.position),
+            azimuth_rad: self.ap.azimuth_to(node.position),
+            incidence_rad: node.incidence_from(self.ap.position),
+        }
+    }
+
+    /// The primary (first) node's pose.
+    ///
+    /// # Panics
+    /// Panics if the scene has no nodes.
+    pub fn primary_node(&self) -> NodePose {
+        self.nodes[0]
+    }
+}
+
+/// Exact ground truth for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// True AP–node distance, meters.
+    pub range_m: f64,
+    /// True azimuth of the node from AP boresight, radians.
+    pub azimuth_rad: f64,
+    /// True incidence angle at the node (its "orientation"), radians.
+    pub incidence_rad: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_ground_truth() {
+        let s = Scene::single_node(4.0, 10f64.to_radians());
+        let gt = s.ground_truth(0);
+        assert!((gt.range_m - 4.0).abs() < 1e-12);
+        assert!(gt.azimuth_rad.abs() < 1e-12);
+        assert!((gt.incidence_rad + 10f64.to_radians()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indoor_scene_has_clutter() {
+        let s = Scene::indoor(5.0, 0.0);
+        assert_eq!(s.clutter.len(), 4);
+        // Back wall sits behind the node.
+        assert!(s.clutter[2].position.x > 5.0);
+        // Clutter RCS values are physical.
+        assert!(s.clutter.iter().all(|c| c.rcs_m2 > 0.0));
+    }
+
+    #[test]
+    fn with_node_at_geometry() {
+        let s = Scene::single_node(3.0, 0.0).with_node_at(5.0, 0.3, 0.05);
+        assert_eq!(s.nodes.len(), 2);
+        let gt = s.ground_truth(1);
+        assert!((gt.range_m - 5.0).abs() < 1e-12);
+        assert!((gt.azimuth_rad - 0.3).abs() < 1e-12);
+        assert!((gt.incidence_rad + 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "in front of the AP")]
+    fn rejects_zero_distance() {
+        Scene::single_node(0.0, 0.0);
+    }
+}

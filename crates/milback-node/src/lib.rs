@@ -1,0 +1,33 @@
+//! # milback-node
+//!
+//! The MilBack backscatter node (§4, Fig 4): a passive dual-port Frequency
+//! Scanning Antenna whose two ports sit behind SPDT switches that select
+//! between the ground plane (reflective) and 50 Ω envelope detectors
+//! (absorptive), read out by a low-power MCU.
+//!
+//! * [`node`] — hardware composition and the detector/backscatter physics,
+//! * [`mode`] — port modes and toggling schedules,
+//! * [`downlink`] — OAQFM demodulation from the detector traces,
+//! * [`uplink`] — OAQFM backscatter modulation (switch schedules),
+//! * [`orientation`] — triangular-chirp peak-delay orientation sensing,
+//! * [`power`] — the 18 mW / 32 mW power accounting of §9.6,
+//! * [`firmware`] — the MCU state machine through a packet, with its
+//!   energy ledger.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod downlink;
+pub mod firmware;
+pub mod mode;
+pub mod node;
+pub mod orientation;
+pub mod power;
+pub mod uplink;
+
+pub use downlink::{OaqfmDemodulator, Thresholds};
+pub use mode::{PortMode, PortStates, ToggleSchedule};
+pub use node::{NodeHardware, PortPowers};
+pub use orientation::OrientationEstimator;
+pub use power::{NodeActivity, NodePowerModel};
+pub use uplink::UplinkModulator;

@@ -1,0 +1,145 @@
+//! Port operating modes and switching schedules.
+//!
+//! Each FSA port sits behind an SPDT switch that connects it either to the
+//! ground plane (**reflective**: the beam retro-reflects the AP's signal)
+//! or to an envelope detector (**absorptive**: the beam's energy is
+//! delivered to the 50 Ω-matched detector and nothing reflects) — §4.
+
+use serde::{Deserialize, Serialize};
+
+/// The state of one FSA port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortMode {
+    /// Port shorted to ground: incident energy at this beam reflects back.
+    Reflective,
+    /// Port terminated in the envelope detector: energy is absorbed and
+    /// measured.
+    Absorptive,
+}
+
+impl PortMode {
+    /// The opposite mode.
+    pub fn toggled(self) -> Self {
+        match self {
+            PortMode::Reflective => PortMode::Absorptive,
+            PortMode::Absorptive => PortMode::Reflective,
+        }
+    }
+}
+
+/// Joint state of the two ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortStates {
+    /// Port A state.
+    pub a: PortMode,
+    /// Port B state.
+    pub b: PortMode,
+}
+
+impl PortStates {
+    /// Both ports absorptive (downlink reception / node-side orientation).
+    pub fn both_absorptive() -> Self {
+        Self { a: PortMode::Absorptive, b: PortMode::Absorptive }
+    }
+
+    /// Both ports reflective (strongest localization echo).
+    pub fn both_reflective() -> Self {
+        Self { a: PortMode::Reflective, b: PortMode::Reflective }
+    }
+
+    /// The port states encoding an OAQFM uplink symbol: a present tone is
+    /// *reflected* (§6.3 — reflect f_A to send the `1` in the A position).
+    pub fn for_uplink_symbol(sym: mmwave_sigproc::OaqfmSymbol) -> Self {
+        let refl = |on: bool| if on { PortMode::Reflective } else { PortMode::Absorptive };
+        Self { a: refl(sym.tone_a), b: refl(sym.tone_b) }
+    }
+}
+
+/// A square-wave toggling schedule for one port, e.g. the 10 kHz
+/// reflective/absorptive modulation used during localization (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToggleSchedule {
+    /// Toggle rate: state changes per second (a full on/off cycle is two
+    /// toggles).
+    pub rate_hz: f64,
+    /// State during the first half-period.
+    pub initial: PortMode,
+}
+
+impl ToggleSchedule {
+    /// The paper's localization schedule: 10 kHz toggling starting
+    /// reflective.
+    pub fn localization_default() -> Self {
+        Self { rate_hz: 10e3, initial: PortMode::Reflective }
+    }
+
+    /// State at time `t` seconds.
+    ///
+    /// # Panics
+    /// Panics for a non-positive rate.
+    pub fn state_at(&self, t: f64) -> PortMode {
+        assert!(self.rate_hz > 0.0, "toggle rate must be positive");
+        let half_period = 1.0 / self.rate_hz;
+        if (t.div_euclid(half_period) as i64) % 2 == 0 {
+            self.initial
+        } else {
+            self.initial.toggled()
+        }
+    }
+
+    /// Whether the state differs between two instants — used by the AP's
+    /// background subtraction logic, which relies on the node's echo
+    /// changing between consecutive chirps while clutter does not (§5.1).
+    pub fn differs_between(&self, t1: f64, t2: f64) -> bool {
+        self.state_at(t1) != self.state_at(t2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmwave_sigproc::OaqfmSymbol;
+
+    #[test]
+    fn toggled_flips() {
+        assert_eq!(PortMode::Reflective.toggled(), PortMode::Absorptive);
+        assert_eq!(PortMode::Absorptive.toggled(), PortMode::Reflective);
+    }
+
+    #[test]
+    fn uplink_symbol_mapping() {
+        let s = PortStates::for_uplink_symbol(OaqfmSymbol::from_bits(0b10));
+        assert_eq!(s.a, PortMode::Reflective);
+        assert_eq!(s.b, PortMode::Absorptive);
+        let s11 = PortStates::for_uplink_symbol(OaqfmSymbol::from_bits(0b11));
+        assert_eq!(s11, PortStates::both_reflective());
+        let s00 = PortStates::for_uplink_symbol(OaqfmSymbol::from_bits(0b00));
+        assert_eq!(s00, PortStates::both_absorptive());
+    }
+
+    #[test]
+    fn toggle_schedule_square_wave() {
+        let t = ToggleSchedule { rate_hz: 10e3, initial: PortMode::Reflective };
+        // Half period = 100 µs.
+        assert_eq!(t.state_at(0.0), PortMode::Reflective);
+        assert_eq!(t.state_at(50e-6), PortMode::Reflective);
+        assert_eq!(t.state_at(150e-6), PortMode::Absorptive);
+        assert_eq!(t.state_at(250e-6), PortMode::Reflective);
+    }
+
+    #[test]
+    fn consecutive_18us_chirps_see_state_changes_at_10khz() {
+        // §5.1: chirp duration ≪ toggle period, but across five chirps
+        // (spaced one half-period apart in the protocol) the state flips.
+        let t = ToggleSchedule::localization_default();
+        assert!(t.differs_between(0.0, 100e-6));
+        assert!(!t.differs_between(0.0, 18e-6));
+    }
+
+    #[test]
+    fn schedule_handles_negative_time() {
+        let t = ToggleSchedule::localization_default();
+        // div_euclid keeps the square wave consistent for t < 0.
+        let _ = t.state_at(-30e-6);
+    }
+}

@@ -1,0 +1,505 @@
+//! Frequency Scanning Antenna (FSA) — the passive beam-steering structure at
+//! the heart of the MilBack node (§2, §4).
+//!
+//! # Physics
+//!
+//! An FSA is a series-fed traveling-wave array: the feed line meanders past
+//! `N` radiating elements spaced `d` apart, inserting an electrical length
+//! `L` (physical length × √ε_eff) between consecutive elements. A signal at
+//! frequency `f` therefore arrives at element `n` with phase `−n·2πfL/c`.
+//! The far-field array factor peaks where the per-element phase step is a
+//! multiple of 2π:
+//!
+//! ```text
+//! k₀·d·sin θ = 2πfL/c − 2πm   ⇒   sin θ(f) = (L − m·c/f) / d
+//! ```
+//!
+//! so the beam direction is a deterministic, monotone function of frequency
+//! — steering without phase shifters or any power draw. Feeding the same
+//! structure from the opposite end (the dual-port extension, Fig 3) reverses
+//! the phase progression and mirrors the mapping: `θ_B(f) = −θ_A(f)`.
+//!
+//! [`FsaDesign::for_band`] solves `d` and `L` so a chosen band sweeps a
+//! chosen scan range; [`FsaDesign::milback_default`] reproduces the paper's
+//! antenna (26.5–29.5 GHz → ≈±30°, ~12 dBi, ~10° beams — Fig 10).
+
+use super::Antenna;
+use mmwave_sigproc::complex::Complex;
+use mmwave_sigproc::units::SPEED_OF_LIGHT;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Which feed port of a dual-port FSA is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FsaPort {
+    /// Port A: beam scans from −θ_max (band start) to +θ_max (band end).
+    A,
+    /// Port B: the mirrored mapping, +θ_max down to −θ_max.
+    B,
+}
+
+impl FsaPort {
+    /// The opposite port.
+    pub fn other(self) -> Self {
+        match self {
+            FsaPort::A => FsaPort::B,
+            FsaPort::B => FsaPort::A,
+        }
+    }
+}
+
+/// Geometry and electrical parameters of a series-fed FSA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FsaDesign {
+    /// Number of radiating elements.
+    pub elements: usize,
+    /// Element spacing along the array, meters.
+    pub spacing_m: f64,
+    /// Effective electrical length of feed line between elements, meters.
+    pub electrical_length_m: f64,
+    /// Space-harmonic index `m` used by the design (integer branch of the
+    /// mod-2π beam condition).
+    pub harmonic: u32,
+    /// Lower edge of the operating band, Hz.
+    pub band_start_hz: f64,
+    /// Upper edge of the operating band, Hz.
+    pub band_end_hz: f64,
+    /// Calibrated broadside peak gain, dBi (HFSS-equivalent calibration).
+    pub peak_gain_dbi: f64,
+    /// Element-pattern exponent: per-element power pattern `cos^q(θ)`,
+    /// folding in feed mismatch toward the band edges.
+    pub element_exponent: f64,
+    /// Traveling-wave amplitude taper per element (≤ 1): the fraction of
+    /// amplitude that continues down the line past each element.
+    pub travel_amplitude: f64,
+}
+
+impl FsaDesign {
+    /// Solves the array geometry so that sweeping `band_start..band_end`
+    /// scans the beam from `−scan_max_rad` to `+scan_max_rad` (port A).
+    ///
+    /// `harmonic` picks the feed-line length branch: larger values give a
+    /// longer meander and a faster scan per Hz (this is how the paper's
+    /// design covers 60° with only 3 GHz where prior FSA work \[37\] needed
+    /// 10 GHz for 48°).
+    ///
+    /// # Panics
+    /// Panics on a degenerate band, scan range, or element count.
+    pub fn for_band(
+        band_start_hz: f64,
+        band_end_hz: f64,
+        scan_max_rad: f64,
+        harmonic: u32,
+        elements: usize,
+    ) -> Self {
+        assert!(band_end_hz > band_start_hz && band_start_hz > 0.0, "bad band");
+        assert!(scan_max_rad > 0.0 && scan_max_rad < PI / 2.0, "bad scan range");
+        assert!(harmonic >= 1, "harmonic must be ≥ 1");
+        assert!(elements >= 2, "need at least two elements");
+        let m = harmonic as f64;
+        let c = SPEED_OF_LIGHT;
+        // sinθ(f) = (L − m·c/f)/d with endpoints ∓sin(scan_max):
+        let spacing_m =
+            m * c * (band_end_hz - band_start_hz) / (band_start_hz * band_end_hz)
+                / (2.0 * scan_max_rad.sin());
+        let electrical_length_m = m * c / band_start_hz - scan_max_rad.sin() * spacing_m;
+        Self {
+            elements,
+            spacing_m,
+            electrical_length_m,
+            harmonic,
+            band_start_hz,
+            band_end_hz,
+            peak_gain_dbi: 13.0,
+            element_exponent: 4.0,
+            travel_amplitude: 0.93,
+        }
+    }
+
+    /// The paper's antenna: 26.5–29.5 GHz sweeping ±30°, 8 elements,
+    /// ≈13 dBi broadside, ≈10° beams.
+    pub fn milback_default() -> Self {
+        Self::for_band(26.5e9, 29.5e9, 30f64.to_radians(), 5, 8)
+    }
+
+    /// Center frequency of the operating band, Hz.
+    pub fn center_hz(&self) -> f64 {
+        (self.band_start_hz + self.band_end_hz) / 2.0
+    }
+
+    /// `sin θ` of the port-A beam at `freq_hz` (may exceed ±1 out of band).
+    fn beam_sin(&self, freq_hz: f64) -> f64 {
+        (self.electrical_length_m - self.harmonic as f64 * SPEED_OF_LIGHT / freq_hz)
+            / self.spacing_m
+    }
+
+    /// Port-A beam direction (radians from broadside) at `freq_hz`.
+    ///
+    /// Returns `None` when the beam condition has no real solution (the
+    /// frequency is far outside the scan design).
+    pub fn beam_angle_rad(&self, port: FsaPort, freq_hz: f64) -> Option<f64> {
+        let s = self.beam_sin(freq_hz);
+        if s.abs() > 1.0 {
+            return None;
+        }
+        let a = s.asin();
+        Some(match port {
+            FsaPort::A => a,
+            FsaPort::B => -a,
+        })
+    }
+
+    /// The frequency that points the given port's beam at `angle_rad`.
+    ///
+    /// Returns `None` if the required frequency falls outside the operating
+    /// band — the passive structure simply cannot form that beam. This is
+    /// the lookup the AP performs when it picks OAQFM carriers (§6.1).
+    pub fn frequency_for_angle(&self, port: FsaPort, angle_rad: f64) -> Option<f64> {
+        let target_sin = match port {
+            FsaPort::A => angle_rad.sin(),
+            FsaPort::B => -angle_rad.sin(),
+        };
+        let denom = self.electrical_length_m - self.spacing_m * target_sin;
+        if denom <= 0.0 {
+            return None;
+        }
+        let f = self.harmonic as f64 * SPEED_OF_LIGHT / denom;
+        if f < self.band_start_hz - 1e6 || f > self.band_end_hz + 1e6 {
+            return None;
+        }
+        // Clamp numerical overshoot at the band edges so callers always
+        // receive an in-band frequency.
+        Some(f.clamp(self.band_start_hz, self.band_end_hz))
+    }
+
+    /// Normalized array-factor magnitude (0..=1) for a wave at `freq_hz`
+    /// arriving from / departing to `angle_rad`, as seen from `port`.
+    pub fn array_factor(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
+        let k0 = 2.0 * PI * freq_hz / SPEED_OF_LIGHT;
+        let phi_line = 2.0 * PI * freq_hz * self.electrical_length_m / SPEED_OF_LIGHT;
+        // Per-element phase step seen from this port. Feeding from the far
+        // end (port B) reverses the geometric progression.
+        let psi = match port {
+            FsaPort::A => k0 * self.spacing_m * angle_rad.sin() - phi_line,
+            FsaPort::B => -k0 * self.spacing_m * angle_rad.sin() - phi_line,
+        };
+        let eta = self.travel_amplitude;
+        let mut af = Complex::new(0.0, 0.0);
+        let mut amp = 1.0;
+        for n in 0..self.elements {
+            af += Complex::cis(psi * n as f64).scale(amp);
+            amp *= eta;
+        }
+        let max: f64 = (0..self.elements).map(|n| eta.powi(n as i32)).sum();
+        af.norm() / max
+    }
+
+    /// Power gain in dBi of the given port toward `angle_rad` at `freq_hz`.
+    ///
+    /// Combines the normalized array factor, a `cos^q` element pattern and
+    /// the calibrated broadside peak gain. Evaluated at the beam angle of a
+    /// given frequency this reproduces the Fig 10 pattern family.
+    pub fn gain_dbi(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
+        if angle_rad.abs() >= PI / 2.0 {
+            return -40.0; // behind the ground plane
+        }
+        let af = self.array_factor(port, freq_hz, angle_rad).max(1e-6);
+        let elem = angle_rad.cos().powf(self.element_exponent).max(1e-6);
+        self.peak_gain_dbi + 20.0 * af.log10() + 10.0 * elem.log10()
+    }
+
+    /// Linear power gain of the given port.
+    pub fn gain_linear(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
+        10f64.powf(self.gain_dbi(port, freq_hz, angle_rad) / 10.0)
+    }
+
+    /// Scan coverage in radians across the operating band for one port.
+    pub fn scan_coverage_rad(&self) -> f64 {
+        let a = self.beam_angle_rad(FsaPort::A, self.band_start_hz).unwrap_or(0.0);
+        let b = self.beam_angle_rad(FsaPort::A, self.band_end_hz).unwrap_or(0.0);
+        (b - a).abs()
+    }
+
+    /// The frequency at which both ports' beams coincide at broadside —
+    /// where OAQFM degenerates to single-tone OOK (§6.2).
+    pub fn normal_incidence_freq_hz(&self) -> f64 {
+        self.harmonic as f64 * SPEED_OF_LIGHT / self.electrical_length_m
+    }
+}
+
+/// A single-port FSA viewed through the [`Antenna`] trait (port A).
+#[derive(Debug, Clone, Copy)]
+pub struct FrequencyScanningAntenna {
+    /// The underlying design.
+    pub design: FsaDesign,
+    /// Which port this view exposes.
+    pub port: FsaPort,
+}
+
+impl Antenna for FrequencyScanningAntenna {
+    fn gain_dbi(&self, freq_hz: f64, angle_rad: f64) -> f64 {
+        self.design.gain_dbi(self.port, freq_hz, angle_rad)
+    }
+}
+
+/// The dual-port FSA of the MilBack node, adding the port-to-port leakage
+/// path that bounds downlink SINR (§9.4).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DualPortFsa {
+    /// Shared radiating structure.
+    pub design: FsaDesign,
+    /// Direct port-to-port coupling through the feed network, dB (negative).
+    pub port_isolation_db: f64,
+}
+
+impl DualPortFsa {
+    /// Builds the paper's dual-port FSA.
+    ///
+    /// The −12 dB effective port isolation models the *combination* of feed
+    /// network leakage and the fabricated array's average sidelobe coupling
+    /// (§9.4: "the beam created by each port has sidelobes which may be on
+    /// the same direction as the main beam of the other port"). A uniform
+    /// traveling-wave array's first sidelobes sit near −13 dB; this figure
+    /// is what caps the measured downlink SINR near 23 dB at short range
+    /// (Fig 14).
+    pub fn milback_default() -> Self {
+        Self { design: FsaDesign::milback_default(), port_isolation_db: -12.0 }
+    }
+
+    /// Gain of one port toward an angle (delegates to the design).
+    pub fn gain_dbi(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
+        self.design.gain_dbi(port, freq_hz, angle_rad)
+    }
+
+    /// Linear gain of one port toward an angle.
+    pub fn gain_linear(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
+        self.design.gain_linear(port, freq_hz, angle_rad)
+    }
+
+    /// Power (linear, relative to the incident wave × port gain convention)
+    /// that a tone at `freq_hz` arriving from `angle_rad` couples into each
+    /// port: `(into_a, into_b)`.
+    ///
+    /// Each port receives through its own pattern; additionally a fraction
+    /// of the power captured by one port leaks into the other through the
+    /// feed network (`port_isolation_db`). The pattern sidelobes plus this
+    /// leakage are exactly the cross-port interference the paper cites for
+    /// reporting downlink SINR instead of SNR.
+    pub fn port_coupling_linear(&self, freq_hz: f64, angle_rad: f64) -> (f64, f64) {
+        let ga = self.design.gain_linear(FsaPort::A, freq_hz, angle_rad);
+        let gb = self.design.gain_linear(FsaPort::B, freq_hz, angle_rad);
+        let leak = 10f64.powf(self.port_isolation_db / 10.0);
+        (ga + gb * leak, gb + ga * leak)
+    }
+
+    /// The pair of frequencies `(f_A, f_B)` that point both beams at a node
+    /// seen under incidence angle `angle_rad` — the OAQFM carrier choice.
+    ///
+    /// Returns `None` if either frequency falls outside the band.
+    pub fn oaqfm_carriers(&self, angle_rad: f64) -> Option<(f64, f64)> {
+        let fa = self.design.frequency_for_angle(FsaPort::A, angle_rad)?;
+        let fb = self.design.frequency_for_angle(FsaPort::B, angle_rad)?;
+        Some((fa, fb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fsa() -> FsaDesign {
+        FsaDesign::milback_default()
+    }
+
+    #[test]
+    fn design_hits_scan_endpoints() {
+        let d = fsa();
+        let lo = d.beam_angle_rad(FsaPort::A, 26.5e9).unwrap();
+        let hi = d.beam_angle_rad(FsaPort::A, 29.5e9).unwrap();
+        assert!((lo + 30f64.to_radians()).abs() < 1e-9, "lo {lo}");
+        assert!((hi - 30f64.to_radians()).abs() < 1e-9, "hi {hi}");
+    }
+
+    #[test]
+    fn covers_sixty_degrees_with_three_ghz() {
+        // The §2 claim: >60° azimuth with only 3 GHz of bandwidth.
+        let d = fsa();
+        assert!(d.scan_coverage_rad().to_degrees() >= 59.9);
+        assert!((d.band_end_hz - d.band_start_hz - 3e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn ports_are_mirrored() {
+        let d = fsa();
+        for f in [26.8e9, 27.5e9, 28.6e9, 29.3e9] {
+            let a = d.beam_angle_rad(FsaPort::A, f).unwrap();
+            let b = d.beam_angle_rad(FsaPort::B, f).unwrap();
+            assert!((a + b).abs() < 1e-12, "not mirrored at {f}");
+        }
+    }
+
+    #[test]
+    fn beam_angle_monotone_in_frequency() {
+        let d = fsa();
+        let mut prev = f64::MIN;
+        for i in 0..=30 {
+            let f = 26.5e9 + 3e9 * i as f64 / 30.0;
+            let a = d.beam_angle_rad(FsaPort::A, f).unwrap();
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn frequency_for_angle_inverts_beam_angle() {
+        let d = fsa();
+        for f in [26.6e9, 27.2e9, 28.0e9, 29.4e9] {
+            let a = d.beam_angle_rad(FsaPort::A, f).unwrap();
+            let f2 = d.frequency_for_angle(FsaPort::A, a).unwrap();
+            assert!((f - f2).abs() < 1e3, "{f} → {f2}");
+            let ab = d.beam_angle_rad(FsaPort::B, f).unwrap();
+            let f3 = d.frequency_for_angle(FsaPort::B, ab).unwrap();
+            assert!((f - f3).abs() < 1e3);
+        }
+    }
+
+    #[test]
+    fn frequency_for_angle_rejects_out_of_scan() {
+        let d = fsa();
+        assert!(d.frequency_for_angle(FsaPort::A, 45f64.to_radians()).is_none());
+        assert!(d.frequency_for_angle(FsaPort::A, -45f64.to_radians()).is_none());
+    }
+
+    #[test]
+    fn pattern_peaks_at_the_predicted_beam_angle() {
+        let d = fsa();
+        let view = FrequencyScanningAntenna { design: d, port: FsaPort::A };
+        for f in [27e9, 28e9, 29e9] {
+            let predicted = d.beam_angle_rad(FsaPort::A, f).unwrap();
+            let found = view.beam_direction_rad(f);
+            // The cos^q element pattern pulls the composite peak slightly
+            // toward broadside relative to the pure array-factor peak; allow
+            // ~1° of skew, as a full-wave solver would also show.
+            assert!(
+                (predicted - found).abs() < 0.02,
+                "at {f}: predicted {predicted}, found {found}"
+            );
+        }
+    }
+
+    #[test]
+    fn peak_gain_in_fig10_range() {
+        // Fig 10: beams with >10 dB gain across the band, 13–14 dBi center.
+        let d = fsa();
+        let view = FrequencyScanningAntenna { design: d, port: FsaPort::A };
+        for i in 0..=6 {
+            let f = 26.5e9 + 0.5e9 * i as f64;
+            let g = view.peak_gain_dbi(f);
+            assert!(g > 10.0, "peak at {f} only {g:.1} dBi");
+            assert!(g < 14.5, "peak at {f} too high: {g:.1} dBi");
+        }
+    }
+
+    #[test]
+    fn beamwidth_is_about_ten_degrees() {
+        // §9.3: "the beam width of the node is around 10 degree".
+        let d = fsa();
+        let view = FrequencyScanningAntenna { design: d, port: FsaPort::A };
+        let bw = view.beamwidth_rad(28e9).to_degrees();
+        assert!((8.0..14.0).contains(&bw), "beamwidth {bw:.1}°");
+    }
+
+    #[test]
+    fn sidelobes_are_at_least_10_db_down() {
+        let d = fsa();
+        let f = 28e9;
+        let beam = d.beam_angle_rad(FsaPort::A, f).unwrap();
+        let peak = d.gain_dbi(FsaPort::A, f, beam);
+        // Sample well away from the main lobe.
+        for deg in [-50.0f64, -35.0, 25.0, 40.0] {
+            let g = d.gain_dbi(FsaPort::A, f, deg.to_radians());
+            assert!(peak - g > 10.0, "sidelobe at {deg}° only {:.1} dB down", peak - g);
+        }
+    }
+
+    #[test]
+    fn normal_incidence_frequency_aligns_both_ports() {
+        let d = fsa();
+        let f0 = d.normal_incidence_freq_hz();
+        assert!(f0 > 26.5e9 && f0 < 29.5e9);
+        let a = d.beam_angle_rad(FsaPort::A, f0).unwrap();
+        let b = d.beam_angle_rad(FsaPort::B, f0).unwrap();
+        assert!(a.abs() < 1e-9 && b.abs() < 1e-9);
+    }
+
+    #[test]
+    fn oaqfm_carriers_straddle_the_normal_frequency() {
+        let dp = DualPortFsa::milback_default();
+        let (fa, fb) = dp.oaqfm_carriers(12f64.to_radians()).unwrap();
+        let f0 = dp.design.normal_incidence_freq_hz();
+        assert!(fa > f0 && fb < f0, "fa {fa}, fb {fb}, f0 {f0}");
+        // Both beams indeed point at the node.
+        let a = dp.design.beam_angle_rad(FsaPort::A, fa).unwrap();
+        let b = dp.design.beam_angle_rad(FsaPort::B, fb).unwrap();
+        assert!((a - 12f64.to_radians()).abs() < 1e-9);
+        assert!((b - 12f64.to_radians()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oaqfm_carriers_coincide_at_normal() {
+        let dp = DualPortFsa::milback_default();
+        let (fa, fb) = dp.oaqfm_carriers(0.0).unwrap();
+        assert!((fa - fb).abs() < 1e3, "normal incidence must degenerate");
+    }
+
+    #[test]
+    fn cross_port_coupling_is_weak_off_normal() {
+        // A tone on port A's carrier should couple ≥10 dB more into port A
+        // than into port B when the node sits 12° off normal (the effective
+        // sidelobe/feed isolation that bounds Fig 14's SINR near 23 dB:
+        // the square-law detector doubles the dB ratio).
+        let dp = DualPortFsa::milback_default();
+        let ang = 12f64.to_radians();
+        let (fa, _fb) = dp.oaqfm_carriers(ang).unwrap();
+        let (into_a, into_b) = dp.port_coupling_linear(fa, ang);
+        let ratio_db = 10.0 * (into_a / into_b).log10();
+        assert!(ratio_db > 10.0, "port selectivity only {ratio_db:.1} dB");
+        assert!(ratio_db < 14.0, "selectivity {ratio_db:.1} dB too ideal for Fig 14");
+    }
+
+    #[test]
+    fn coupling_becomes_symmetric_at_normal() {
+        let dp = DualPortFsa::milback_default();
+        let f0 = dp.design.normal_incidence_freq_hz();
+        let (ia, ib) = dp.port_coupling_linear(f0, 0.0);
+        assert!((ia - ib).abs() / ia < 1e-9);
+    }
+
+    #[test]
+    fn out_of_band_beam_angle_is_none_when_unphysical() {
+        let d = fsa();
+        // Far below band the required sinθ exceeds 1.
+        assert!(d.beam_angle_rad(FsaPort::A, 20e9).is_none());
+    }
+
+    #[test]
+    fn gain_behind_ground_plane_is_floor() {
+        let d = fsa();
+        assert_eq!(d.gain_dbi(FsaPort::A, 28e9, 2.0), -40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad band")]
+    fn design_rejects_inverted_band() {
+        FsaDesign::for_band(29e9, 26e9, 0.5, 5, 8);
+    }
+
+    #[test]
+    fn higher_harmonic_means_faster_scan() {
+        // Same band, same scan target, but check the electrical length grows
+        // with the harmonic (longer meander = more dispersion).
+        let d5 = FsaDesign::for_band(26.5e9, 29.5e9, 0.5, 5, 8);
+        let d8 = FsaDesign::for_band(26.5e9, 29.5e9, 0.5, 8, 8);
+        assert!(d8.electrical_length_m > d5.electrical_length_m);
+    }
+}

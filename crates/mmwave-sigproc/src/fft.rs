@@ -1,0 +1,395 @@
+//! Fast Fourier transforms, implemented from scratch.
+//!
+//! Provides an iterative radix-2 Cooley–Tukey FFT for power-of-two lengths
+//! and Bluestein's chirp-z algorithm for arbitrary lengths, so callers never
+//! need to care whether their chirp happens to contain 2ᵏ samples. A small
+//! plan cache keeps twiddle factors across calls because the FMCW pipeline
+//! transforms thousands of equal-length chirps.
+
+use crate::complex::{Complex, ZERO};
+use std::f64::consts::PI;
+
+/// Direction of a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Forward DFT: `X[k] = Σ x[n]·e^{-j2πkn/N}`.
+    Forward,
+    /// Inverse DFT, normalized by `1/N`.
+    Inverse,
+}
+
+/// A reusable FFT plan for a fixed length.
+///
+/// Construction precomputes twiddle factors (and, for non-power-of-two
+/// lengths, the Bluestein chirp and its transformed filter), so repeated
+/// transforms of equal-length buffers only pay the butterfly cost.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone)]
+enum PlanKind {
+    /// Radix-2: bit-reversal permutation table plus per-stage twiddles.
+    Radix2 { rev: Vec<u32>, twiddles: Vec<Complex> },
+    /// Bluestein: embed length-n DFT into a length-m (power of two ≥ 2n-1)
+    /// circular convolution.
+    Bluestein {
+        m: usize,
+        inner: Box<FftPlan>,
+        /// `e^{-jπ n²/N}` chirp, length n.
+        chirp: Vec<Complex>,
+        /// Forward FFT of the zero-padded conjugate chirp filter, length m.
+        filter_fft: Vec<Complex>,
+    },
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be positive");
+        if n.is_power_of_two() {
+            let bits = n.trailing_zeros();
+            let rev = (0..n as u32)
+                .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+                .collect::<Vec<_>>();
+            // Twiddles for the largest stage; smaller stages stride through.
+            let twiddles = (0..n / 2)
+                .map(|k| Complex::cis(-2.0 * PI * k as f64 / n as f64))
+                .collect();
+            Self { n, kind: PlanKind::Radix2 { rev, twiddles } }
+        } else {
+            let m = (2 * n - 1).next_power_of_two();
+            let inner = Box::new(FftPlan::new(m));
+            let chirp: Vec<Complex> = (0..n)
+                .map(|k| {
+                    // Use i128 to keep k² exact; reduce mod 2n to bound the
+                    // angle and preserve precision for large n.
+                    let k2 = (k as i128 * k as i128) % (2 * n as i128);
+                    Complex::cis(-PI * k2 as f64 / n as f64)
+                })
+                .collect();
+            let mut filt = vec![ZERO; m];
+            filt[0] = chirp[0].conj();
+            for k in 1..n {
+                filt[k] = chirp[k].conj();
+                filt[m - k] = chirp[k].conj();
+            }
+            inner.process(&mut filt, Direction::Forward);
+            Self { n, kind: PlanKind::Bluestein { m, inner, chirp, filter_fft: filt } }
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the plan length is zero (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Transforms `buf` in place.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the plan length.
+    pub fn process(&self, buf: &mut [Complex], dir: Direction) {
+        assert_eq!(buf.len(), self.n, "buffer length does not match plan");
+        match &self.kind {
+            PlanKind::Radix2 { rev, twiddles } => {
+                if self.n == 1 {
+                    return;
+                }
+                // Conjugate trick for the inverse transform.
+                if dir == Direction::Inverse {
+                    for z in buf.iter_mut() {
+                        *z = z.conj();
+                    }
+                }
+                for (i, &r) in rev.iter().enumerate() {
+                    let r = r as usize;
+                    if i < r {
+                        buf.swap(i, r);
+                    }
+                }
+                let n = self.n;
+                let mut len = 2;
+                while len <= n {
+                    let stride = n / len;
+                    let half = len / 2;
+                    for start in (0..n).step_by(len) {
+                        for k in 0..half {
+                            let w = twiddles[k * stride];
+                            let a = buf[start + k];
+                            let b = buf[start + k + half] * w;
+                            buf[start + k] = a + b;
+                            buf[start + k + half] = a - b;
+                        }
+                    }
+                    len <<= 1;
+                }
+                if dir == Direction::Inverse {
+                    let inv_n = 1.0 / n as f64;
+                    for z in buf.iter_mut() {
+                        *z = z.conj().scale(inv_n);
+                    }
+                }
+            }
+            PlanKind::Bluestein { m, inner, chirp, filter_fft } => {
+                if dir == Direction::Inverse {
+                    for z in buf.iter_mut() {
+                        *z = z.conj();
+                    }
+                }
+                let mut a = vec![ZERO; *m];
+                for k in 0..self.n {
+                    a[k] = buf[k] * chirp[k];
+                }
+                inner.process(&mut a, Direction::Forward);
+                for (x, &f) in a.iter_mut().zip(filter_fft.iter()) {
+                    *x = *x * f;
+                }
+                inner.process(&mut a, Direction::Inverse);
+                for k in 0..self.n {
+                    buf[k] = a[k] * chirp[k];
+                }
+                if dir == Direction::Inverse {
+                    let inv_n = 1.0 / self.n as f64;
+                    for z in buf.iter_mut() {
+                        *z = z.conj().scale(inv_n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One-shot forward FFT of a complex slice (any length).
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let mut buf = x.to_vec();
+    FftPlan::new(x.len()).process(&mut buf, Direction::Forward);
+    buf
+}
+
+/// One-shot inverse FFT (normalized by `1/N`).
+pub fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let mut buf = x.to_vec();
+    FftPlan::new(x.len()).process(&mut buf, Direction::Inverse);
+    buf
+}
+
+/// Forward FFT of a real signal; returns the full complex spectrum.
+pub fn rfft(x: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = x.iter().map(|&r| Complex::real(r)).collect();
+    fft(&buf)
+}
+
+/// The frequency in Hz associated with each FFT bin, given the sample rate.
+///
+/// Bins `0..N/2` map to non-negative frequencies; bins above `N/2` map to
+/// negative frequencies, matching the layout of [`fft`] output.
+pub fn fft_frequencies(n: usize, sample_rate: f64) -> Vec<f64> {
+    let df = sample_rate / n as f64;
+    (0..n)
+        .map(|k| {
+            if k <= n / 2 {
+                k as f64 * df
+            } else {
+                (k as f64 - n as f64) * df
+            }
+        })
+        .collect()
+}
+
+/// Reorders a spectrum so the zero-frequency bin sits in the middle.
+pub fn fftshift<T: Copy>(x: &[T]) -> Vec<T> {
+    let n = x.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&x[half..]);
+    out.extend_from_slice(&x[..half]);
+    out
+}
+
+/// Zero-pads `x` to length `n` (returns a copy; `n >= x.len()`).
+///
+/// # Panics
+/// Panics if `n < x.len()`.
+pub fn zero_pad(x: &[Complex], n: usize) -> Vec<Complex> {
+    assert!(n >= x.len(), "zero_pad target shorter than input");
+    let mut out = x.to_vec();
+    out.resize(n, ZERO);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::from_real;
+
+    /// Naive O(N²) DFT used as the reference implementation.
+    fn dft(x: &[Complex]) -> Vec<Complex> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| x[t] * Complex::cis(-2.0 * PI * (k * t) as f64 / n as f64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).norm() < tol,
+                "spectra differ: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        assert_spectra_close(&fft(&x), &dft(&x), 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_lengths() {
+        for n in [1usize, 2, 3, 5, 6, 7, 12, 15, 17, 100, 243] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).cos(), (i as f64 * 1.3).sin()))
+                .collect();
+            assert_spectra_close(&fft(&x), &dft(&x), 1e-8 * (n as f64).max(1.0));
+        }
+    }
+
+    #[test]
+    fn inverse_recovers_signal() {
+        for n in [8usize, 11, 64, 100] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+                .collect();
+            let y = ifft(&fft(&x));
+            assert_spectra_close(&y, &x, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![ZERO; 16];
+        x[0] = Complex::real(1.0);
+        let y = fft(&x);
+        for z in y {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let x = vec![Complex::real(2.0); 32];
+        let y = fft(&x);
+        assert!((y[0].re - 64.0).abs() < 1e-9);
+        for z in &y[1..] {
+            assert!(z.norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_expected_bin() {
+        let n = 128;
+        let k0 = 9;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(2.0 * PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, z) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((z.norm() - n as f64).abs() < 1e-8);
+            } else {
+                assert!(z.norm() < 1e-8, "leakage in bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let x: Vec<f64> = (0..48).map(|i| (i as f64 * 0.9).sin() + 0.3).collect();
+        let y = rfft(&x);
+        let n = y.len();
+        for k in 1..n {
+            let a = y[k];
+            let b = y[n - k].conj();
+            assert!((a - b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex> = (0..50)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let y = fft(&x);
+        let e_time: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let e_freq: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        assert!((e_time - e_freq).abs() < 1e-8 * e_time);
+    }
+
+    #[test]
+    fn plan_reuse_is_consistent() {
+        let plan = FftPlan::new(33);
+        let x: Vec<Complex> = (0..33).map(|i| Complex::real(i as f64)).collect();
+        let mut a = x.clone();
+        plan.process(&mut a, Direction::Forward);
+        let mut b = x.clone();
+        plan.process(&mut b, Direction::Forward);
+        assert_spectra_close(&a, &b, 0.0_f64.max(1e-12));
+        assert_eq!(plan.len(), 33);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn fft_frequencies_layout() {
+        let f = fft_frequencies(8, 8000.0);
+        assert_eq!(f, vec![0.0, 1000.0, 2000.0, 3000.0, 4000.0, -3000.0, -2000.0, -1000.0]);
+    }
+
+    #[test]
+    fn fftshift_centers_dc() {
+        let x = [0, 1, 2, 3, 4, 5, 6, 7];
+        assert_eq!(fftshift(&x), vec![4, 5, 6, 7, 0, 1, 2, 3]);
+        let odd = [0, 1, 2, 3, 4];
+        assert_eq!(fftshift(&odd), vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_pad_extends() {
+        let x = from_real(&[1.0, 2.0]);
+        let y = zero_pad(&x, 4);
+        assert_eq!(y.len(), 4);
+        assert_eq!(y[2], ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length does not match plan")]
+    fn plan_rejects_wrong_length() {
+        let plan = FftPlan::new(8);
+        let mut buf = vec![ZERO; 7];
+        plan.process(&mut buf, Direction::Forward);
+    }
+
+    #[test]
+    fn length_one_transform_is_identity() {
+        let x = vec![Complex::new(3.0, -2.0)];
+        assert_eq!(fft(&x)[0], x[0]);
+        assert_eq!(ifft(&x)[0], x[0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Spectral estimation: periodograms, Welch-averaged power spectral
+//! density, and spectrograms.
+//!
+//! Used for analysis tooling (inspecting beat spectra, verifying noise
+//! floors against the budget) and by the AP's diagnostics.
+
+use crate::complex::Complex;
+use crate::fft::{fft, fft_frequencies};
+use crate::window::Window;
+
+/// One-shot periodogram of a complex signal: `(frequencies, PSD)` with the
+/// PSD in power per Hz (two-sided, FFT-ordered).
+///
+/// # Panics
+/// Panics for an empty signal or non-positive sample rate.
+pub fn periodogram(x: &[Complex], sample_rate: f64, window: Window) -> (Vec<f64>, Vec<f64>) {
+    assert!(!x.is_empty(), "empty signal");
+    assert!(sample_rate > 0.0);
+    let n = x.len();
+    let mut buf = x.to_vec();
+    window.apply_complex(&mut buf);
+    let spec = fft(&buf);
+    // Normalize by the window's incoherent energy so white noise of power
+    // σ² integrates back to σ².
+    let w_energy: f64 = (0..n).map(|i| window.value(i, n).powi(2)).sum();
+    let scale = 1.0 / (sample_rate * w_energy);
+    let psd: Vec<f64> = spec.iter().map(|z| z.norm_sqr() * scale).collect();
+    (fft_frequencies(n, sample_rate), psd)
+}
+
+/// Welch PSD estimate: averaged periodograms over 50%-overlapped segments.
+///
+/// # Panics
+/// Panics if `segment_len` is zero or exceeds the signal length.
+pub fn welch_psd(
+    x: &[Complex],
+    sample_rate: f64,
+    segment_len: usize,
+    window: Window,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(segment_len > 0 && segment_len <= x.len(), "bad segment length");
+    let hop = (segment_len / 2).max(1);
+    let mut acc = vec![0.0f64; segment_len];
+    let mut count = 0usize;
+    let mut start = 0usize;
+    while start + segment_len <= x.len() {
+        let (_, psd) = periodogram(&x[start..start + segment_len], sample_rate, window);
+        for (a, p) in acc.iter_mut().zip(&psd) {
+            *a += p;
+        }
+        count += 1;
+        start += hop;
+    }
+    for a in &mut acc {
+        *a /= count as f64;
+    }
+    (fft_frequencies(segment_len, sample_rate), acc)
+}
+
+/// Total power recovered by integrating a PSD (trapezoid over uniform bins).
+pub fn integrate_psd(psd: &[f64], sample_rate: f64) -> f64 {
+    let df = sample_rate / psd.len() as f64;
+    psd.iter().sum::<f64>() * df
+}
+
+/// A magnitude spectrogram: rows are time frames, columns frequency bins.
+///
+/// # Panics
+/// Panics if `frame_len` is zero, exceeds the signal, or `hop` is zero.
+pub fn spectrogram(
+    x: &[Complex],
+    frame_len: usize,
+    hop: usize,
+    window: Window,
+) -> Vec<Vec<f64>> {
+    assert!(frame_len > 0 && frame_len <= x.len(), "bad frame length");
+    assert!(hop > 0, "hop must be positive");
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start + frame_len <= x.len() {
+        let mut buf = x[start..start + frame_len].to_vec();
+        window.apply_complex(&mut buf);
+        let spec = fft(&buf);
+        frames.push(spec.iter().map(|z| z.norm()).collect());
+        start += hop;
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::GaussianSource;
+    use std::f64::consts::PI;
+
+    fn ctone(freq: f64, fs: f64, n: usize, amp: f64) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::cis(2.0 * PI * freq * i as f64 / fs).scale(amp))
+            .collect()
+    }
+
+    #[test]
+    fn periodogram_peaks_at_tone() {
+        let fs = 1e6;
+        let x = ctone(200e3, fs, 1024, 1.0);
+        let (freqs, psd) = periodogram(&x, fs, Window::Hann);
+        let peak = crate::detect::find_peak(&psd).unwrap();
+        assert!((freqs[peak.index] - 200e3).abs() < fs / 1024.0 * 1.5);
+    }
+
+    #[test]
+    fn white_noise_psd_integrates_to_power() {
+        let mut rng = GaussianSource::new(1);
+        let noise_power = 0.25;
+        let x = rng.complex_noise(1 << 15, noise_power);
+        let (_, psd) = welch_psd(&x, 1e6, 512, Window::Hann);
+        let total = integrate_psd(&psd, 1e6);
+        assert!((total - noise_power).abs() / noise_power < 0.1, "total {total}");
+    }
+
+    #[test]
+    fn welch_variance_below_periodogram() {
+        // Averaging reduces the estimator variance: Welch's PSD of white
+        // noise is much flatter than a single periodogram.
+        let mut rng = GaussianSource::new(2);
+        let x = rng.complex_noise(1 << 14, 1.0);
+        let (_, p1) = periodogram(&x[..512], 1.0, Window::Hann);
+        let (_, pw) = welch_psd(&x, 1.0, 512, Window::Hann);
+        let rel_var = |p: &[f64]| {
+            let m = crate::stats::mean(p);
+            crate::stats::variance(p) / (m * m)
+        };
+        assert!(rel_var(&pw) < rel_var(&p1) / 4.0);
+    }
+
+    #[test]
+    fn tone_power_recovered_from_psd() {
+        // A unit-amplitude complex tone carries power 1.0.
+        let fs = 1e6;
+        let x = ctone(125e3, fs, 4096, 1.0);
+        let (_, psd) = periodogram(&x, fs, Window::Hann);
+        let total = integrate_psd(&psd, fs);
+        assert!((total - 1.0).abs() < 0.05, "total {total}");
+    }
+
+    #[test]
+    fn spectrogram_tracks_chirp() {
+        // A slow chirp's per-frame peak bin must move monotonically.
+        let fs = 1e6;
+        let n = 8192;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                Complex::cis(2.0 * PI * (50e3 * t + 0.5 * 3e7 * t * t))
+            })
+            .collect();
+        let frames = spectrogram(&x, 512, 512, Window::Hann);
+        let peaks: Vec<usize> = frames
+            .iter()
+            .map(|f| {
+                crate::detect::find_peak(&f[..256]).unwrap().index
+            })
+            .collect();
+        for w in peaks.windows(2) {
+            assert!(w[1] >= w[0], "chirp should sweep upward: {peaks:?}");
+        }
+        assert!(peaks.last().unwrap() > &(peaks[0] + 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad segment length")]
+    fn welch_rejects_oversized_segment() {
+        welch_psd(&[Complex::real(1.0); 8], 1.0, 16, Window::Hann);
+    }
+}

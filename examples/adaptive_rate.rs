@@ -1,0 +1,53 @@
+//! Adaptive-rate downlink: as the node moves away, the AP measures SINR,
+//! picks the densest OAQFM constellation meeting a BER target (§9.4's
+//! future-work extension), and adds FEC at the range edge — showing the
+//! goodput staircase across the whole cell.
+//!
+//! Run with: `cargo run --release --example adaptive_rate`
+
+use milback::core::dense::DenseOaqfm;
+use milback::core::{coding::PayloadCodec, LinkSimulator, Scene, SystemConfig};
+
+fn main() {
+    println!("Adaptive dense-OAQFM downlink (18 Msym/s, raw-BER target 1e-3 over FEC)\n");
+    println!(
+        "{:>8} {:>10} {:>8} {:>12} {:>12} {:>14}",
+        "dist(m)", "SINR(dB)", "levels", "rate(Mbps)", "FEC?", "goodput(Mbps)"
+    );
+
+    let codec = PayloadCodec::new(7);
+    for i in 0..14 {
+        let d = 0.5 + i as f64 * 0.85;
+        let sim = LinkSimulator::new(
+            SystemConfig::milback_default(),
+            Scene::single_node(d, 12f64.to_radians()),
+        )
+        .unwrap();
+        let carriers = sim.plan_carriers(None).unwrap();
+        let (f_a, f_b) = match carriers {
+            milback::ap::waveform::CarrierSet::TwoTone { f_a, f_b } => (f_a, f_b),
+            milback::ap::waveform::CarrierSet::SingleToneOok { f } => (f, f),
+        };
+        let psi = sim.scene.ground_truth(0).incidence_rad;
+        let (ra, rb) = sim.downlink_sinr_breakdown(f_a, f_b, psi);
+        let sinr = ra.sinr_db().min(rb.sinr_db());
+
+        // Raw target 1e-3: the Hamming layer cleans that up to ~1e-7.
+        let scheme = DenseOaqfm::densest_for(sinr, 1e-3, 16);
+        let raw_rate = scheme.throughput_bps(18e6);
+        // FEC always runs under the adaptive layer; count its rate cost
+        // whenever the raw BER is high enough to need it.
+        let use_fec = scheme.ber(sinr) > 1e-8;
+        let goodput = if use_fec { raw_rate * codec.rate() } else { raw_rate };
+        println!(
+            "{d:>8.2} {sinr:>10.1} {:>8} {:>12.0} {:>12} {:>14.1}",
+            scheme.levels,
+            raw_rate / 1e6,
+            if use_fec { "Hamming 4/7" } else { "-" },
+            goodput / 1e6
+        );
+    }
+
+    println!("\nthe staircase: dense constellations near the AP (interference-limited");
+    println!("SINR ceiling ~20+ dB), plain OAQFM mid-cell, FEC-protected at the edge.");
+}

@@ -1,0 +1,39 @@
+//! Single-shot multi-node ranging: three tags toggling with distinct
+//! Doppler signatures are all localized from ONE 24-chirp capture —
+//! composing the paper's toggling-modulation primitive into a mode it only
+//! sketches (§7's SDM note).
+//!
+//! Run with: `cargo run --release --example doppler_inventory`
+
+use milback::core::network::{localize_all_doppler, DopplerSignature};
+use milback::core::{Network, Scene, SystemConfig};
+use milback::sigproc::random::GaussianSource;
+
+fn main() {
+    let scene = Scene::single_node(3.0, 12f64.to_radians())
+        .with_node_at(5.0, 0.15, 0.2)
+        .with_node_at(7.0, -0.12, -0.15);
+    let network = Network::new(SystemConfig::milback_default(), scene.clone()).unwrap();
+    let n_chirps = 24;
+
+    println!("Single-capture multi-node ranging ({n_chirps} chirps)\n");
+    println!("{:>5} {:>16} {:>13} {:>9} {:>9}", "node", "toggle period", "Doppler row", "true r", "est r");
+
+    let mut rng = GaussianSource::new(7);
+    let fixes = localize_all_doppler(&network, n_chirps, &mut rng).expect("capture");
+    for &(idx, range) in &fixes {
+        let sig = DopplerSignature::for_node(idx);
+        let gt = scene.ground_truth(idx);
+        println!(
+            "{idx:>5} {:>13} ch {:>13} {:>9.2} {:>9.2}",
+            sig.period_chirps,
+            sig.doppler_row(n_chirps),
+            gt.range_m,
+            range
+        );
+    }
+    println!(
+        "\nall {} tags ranged from one chirp train — no beam scheduling, no\nper-node captures; each tag's toggle period is its identity (as in\nMillimetro) and its Doppler bin is its channel.",
+        fixes.len()
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure-5 walkthrough: how the node senses its own orientation from a
+//! triangular chirp with nothing but an envelope detector and a slow ADC.
+//!
+//! Prints the received-power traces (the Fig 5b waveforms) for three node
+//! orientations and shows the peak-separation → orientation inversion step
+//! by step.
+//!
+//! Run with: `cargo run --release --example orientation_demo`
+
+use milback::node::OrientationEstimator;
+use milback::rf::antenna::fsa::{FsaDesign, FsaPort};
+
+fn main() {
+    let est = OrientationEstimator::milback_default();
+    let fsa = FsaDesign::milback_default();
+
+    println!("Node-side orientation sensing (triangular chirp, §5.2b / Fig 5)\n");
+    println!(
+        "chirp: {:.1}–{:.1} GHz over {:.0} µs (apex at {:.1} µs), node ADC {} kS/s\n",
+        est.chirp.start_hz / 1e9,
+        est.chirp.end_hz() / 1e9,
+        est.chirp.duration_s * 1e6,
+        est.chirp.duration_s * 5e5,
+        est.sample_rate_hz / 1e3
+    );
+
+    for orientation_deg in [-20.0f64, 0.0, 15.0] {
+        let psi = orientation_deg.to_radians();
+        let trace_a = est.ideal_power_trace(FsaPort::A, psi, &fsa, 1.0);
+
+        println!("--- orientation {orientation_deg:+.0}° — port A normalized power trace ---");
+        render_trace(&trace_a, est.sample_rate_hz);
+
+        match est.estimate_port(FsaPort::A, &trace_a, &fsa) {
+            Ok(p) => {
+                println!(
+                    "peaks at {:.1} µs and {:.1} µs → Δt = {:.1} µs → beam frequency {:.2} GHz → orientation {:+.2}°\n",
+                    p.peak_up_s * 1e6,
+                    p.peak_down_s * 1e6,
+                    (p.peak_down_s - p.peak_up_s) * 1e6,
+                    p.beam_freq_hz / 1e9,
+                    p.incidence_rad.to_degrees()
+                );
+            }
+            Err(e) => println!("estimation failed: {e}\n"),
+        }
+    }
+
+    println!("note the V-shape property: the closer the beam frequency sits to the");
+    println!("sweep apex, the closer the two peaks — a one-to-one map from peak");
+    println!("separation to orientation that needs no frequency-selective hardware.");
+}
+
+/// Renders a power trace as a rough ASCII strip chart.
+fn render_trace(trace: &[f64], fs: f64) {
+    let peak = trace.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+    let rows = 8;
+    for row in (0..rows).rev() {
+        let threshold = (row as f64 + 0.5) / rows as f64;
+        let line: String = trace
+            .iter()
+            .map(|&v| if v / peak >= threshold { '█' } else { ' ' })
+            .collect();
+        println!("  |{line}|");
+    }
+    let n = trace.len();
+    println!("  +{}+", "-".repeat(n));
+    println!(
+        "   0 µs{}{:.0} µs",
+        " ".repeat(n.saturating_sub(11)),
+        n as f64 / fs * 1e6
+    );
+}

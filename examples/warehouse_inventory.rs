@@ -1,0 +1,105 @@
+//! Warehouse inventory scenario: many cheap tags on shelves, an AP that
+//! sweeps its beam across them, localizes each tag, and collects an
+//! inventory record over the uplink — the IoT deployment pattern the
+//! paper's abstract targets ("devices with limited energy sources").
+//!
+//! Exercises multi-node SDM separability, per-tag localization and uplink,
+//! and aggregates a success/energy report.
+//!
+//! Run with: `cargo run --release --example warehouse_inventory`
+
+use milback::core::{LocalizationPipeline, Network, Scene, SystemConfig};
+use milback::node::{NodeActivity, NodePowerModel};
+use milback::sigproc::random::GaussianSource;
+
+fn main() {
+    let config = SystemConfig::milback_default();
+    let mut rng = GaussianSource::new(0x1A6);
+
+    // Six tags across two shelf rows, 3–7 m out, ±35° across the aisle.
+    let placements: Vec<(f64, f64, f64)> = vec![
+        // (distance m, azimuth deg, orientation deg)
+        (3.0, -35.0, 8.0),
+        (3.5, -15.0, -12.0),
+        (4.0, 5.0, 15.0),
+        (5.5, 20.0, -8.0),
+        (6.0, 35.0, 10.0),
+        (7.0, -5.0, 5.0),
+    ];
+
+    let mut scene = Scene::indoor(3.0, 0.0);
+    scene.nodes.clear();
+    for &(r, az, orient) in &placements {
+        scene = scene.with_node_at(r, (az as f64).to_radians(), (orient as f64).to_radians());
+    }
+    let network = Network::new(config.clone(), scene.clone()).unwrap();
+
+    println!("Warehouse inventory: {} tags on shelves\n", network.node_count());
+
+    // SDM separability matrix.
+    println!("pairwise SDM beam-isolation margins (dB):");
+    for i in 0..network.node_count() {
+        let mut row = format!("  tag {i}:");
+        for j in 0..network.node_count() {
+            if i == j {
+                row.push_str("     -");
+            } else {
+                row.push_str(&format!(" {:>5.1}", network.sdm_margin_db(i, j)));
+            }
+        }
+        println!("{row}");
+    }
+
+    // Inventory round: localize + read each tag.
+    println!("\n{:>4} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "tag", "true r", "est r", "true az", "est az", "UL SNR", "BER");
+    let mut ok = 0;
+    let payloads: Vec<Vec<u8>> = (0..network.node_count())
+        .map(|i| format!("SKU-{i:04};qty=42;batt=93%").into_bytes())
+        .collect();
+    let reports = network.uplink_round(&payloads, &mut rng).expect("round");
+
+    for (idx, report) in reports.iter().enumerate() {
+        let gt = scene.ground_truth(idx);
+        // Localize this tag with the beam steered at it.
+        let mut view = scene.clone();
+        view.nodes.swap(0, idx);
+        view.nodes.truncate(1);
+        view.ap.boresight_rad = view.ap.position.bearing_to(view.nodes[0].position);
+        let pipeline = LocalizationPipeline::new(config.clone(), view.clone()).unwrap();
+        let fix = pipeline.localize(&mut rng);
+        let (est_r, est_az) = match &fix {
+            Ok(f) => (f.range_m, (f.angle_rad + view.ap.boresight_rad).to_degrees()),
+            Err(_) => (f64::NAN, f64::NAN),
+        };
+        let delivered = report.outcome.decoded == payloads[idx];
+        if delivered && fix.is_ok() {
+            ok += 1;
+        }
+        println!(
+            "{idx:>4} {:>8.2} {est_r:>8.2} {:>8.1}° {est_az:>8.1}° {:>8.1} {:>8.1e}",
+            gt.range_m,
+            (gt.azimuth_rad + 0.0).to_degrees(),
+            report.outcome.snr_db,
+            report.outcome.ber
+        );
+    }
+
+    // Fleet economics: what a year of hourly inventory costs each tag.
+    let power = NodePowerModel::milback_default();
+    let reads_per_day = 24.0;
+    let seconds_per_read = 0.01; // preamble + ~50 kbit payload at 40 Mbps
+    let joules_per_year = power.power_w(NodeActivity::Uplink)
+        * seconds_per_read
+        * reads_per_day
+        * 365.0;
+    println!(
+        "\n{ok}/{} tags localized and read successfully",
+        network.node_count()
+    );
+    println!(
+        "energy per tag for hourly reads, one year: {joules_per_year:.2} J — \
+         ~{:.4}% of a CR2032 coin cell",
+        joules_per_year / 2340.0 * 100.0
+    );
+}

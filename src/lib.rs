@@ -1,0 +1,53 @@
+//! # MilBack — a millimeter-wave backscatter network in Rust
+//!
+//! A full-stack reproduction of *"A Millimeter Wave Backscatter Network for
+//! Two-Way Communication and Localization"* (SIGCOMM 2023) — the first
+//! mmWave backscatter system with uplink, downlink, localization and
+//! orientation sensing — including every substrate it needs (DSP, antenna
+//! models, RF components, channel) and the baselines it compares against
+//! (mmTag, Millimetro, OmniScatter).
+//!
+//! ## Layout
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`sigproc`] | `mmwave-sigproc` | complex math, FFT, windows, filters, chirps, statistics |
+//! | [`rf`] | `mmwave-rf` | FSA / Van Atta / horn antennas, RF components, propagation, channel |
+//! | [`node`] | `milback-node` | the backscatter node: switches, detectors, OAQFM modem, power |
+//! | [`ap`] | `milback-ap` | the access point: FMCW, AoA, orientation, uplink receiver |
+//! | [`core`] | `milback-core` | protocol, end-to-end links, localization pipeline, SDM |
+//! | [`baselines`] | `milback-baselines` | Table-1 comparison systems |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use milback::core::{LinkSimulator, Scene, SystemConfig};
+//! use milback::sigproc::random::GaussianSource;
+//!
+//! // A node 3 m from the AP, board rotated 12° off the line of sight.
+//! let scene = Scene::single_node(3.0, 12f64.to_radians());
+//! let sim = LinkSimulator::new(SystemConfig::milback_default(), scene).unwrap();
+//! let mut rng = GaussianSource::new(42);
+//!
+//! // Downlink: AP → node.
+//! let down = sim.downlink(b"hello node", &mut rng).unwrap();
+//! assert_eq!(down.decoded, b"hello node");
+//!
+//! // Uplink: node → AP, piggybacked on the AP's two-tone query.
+//! let up = sim.uplink(b"hello ap", &mut rng).unwrap();
+//! assert_eq!(up.decoded, b"hello ap");
+//! ```
+//!
+//! See `examples/` for localization, orientation sensing, VR tracking and
+//! multi-node scenarios, and `crates/milback-bench` for the binaries that
+//! regenerate every figure and table of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use milback_ap as ap;
+pub use milback_baselines as baselines;
+pub use milback_core as core;
+pub use milback_node as node;
+pub use mmwave_rf as rf;
+pub use mmwave_sigproc as sigproc;

@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) over the stack's core invariants:
+//! geometry inversions, modulation round-trips, framing robustness, FFT
+//! algebra and link-budget monotonicity — with randomized inputs rather
+//! than hand-picked cases.
+
+use milback::ap::waveform::{CarrierSet, FmcwConfig, LinkDirection};
+use milback::core::protocol::Packet;
+use milback::core::{Scene, SystemConfig};
+use milback::node::{OaqfmDemodulator, Thresholds};
+use milback::rf::antenna::fsa::{DualPortFsa, FsaDesign, FsaPort};
+use milback::rf::propagation;
+use milback::sigproc::complex::Complex;
+use milback::sigproc::fft::{fft, ifft};
+use milback::sigproc::waveform::{bytes_to_symbols, ook_envelope, symbols_to_bytes, Chirp};
+use proptest::prelude::*;
+
+proptest! {
+    /// FSA frequency↔angle mapping inverts across the whole band, both ports.
+    #[test]
+    fn fsa_mapping_inverts(f in 26.5e9f64..29.5e9f64) {
+        let fsa = FsaDesign::milback_default();
+        for port in [FsaPort::A, FsaPort::B] {
+            let angle = fsa.beam_angle_rad(port, f).unwrap();
+            let back = fsa.frequency_for_angle(port, angle).unwrap();
+            prop_assert!((back - f).abs() < 1e3, "{f} → {angle} → {back}");
+        }
+    }
+
+    /// OAQFM carriers exist and point both beams at the node for any
+    /// orientation within the scan range (outside the OOK fallback zone).
+    #[test]
+    fn oaqfm_carriers_always_align(deg in -28.0f64..28.0f64) {
+        prop_assume!(deg.abs() > 2.0);
+        let fsa = DualPortFsa::milback_default();
+        let psi = deg.to_radians();
+        let (fa, fb) = fsa.oaqfm_carriers(psi).unwrap();
+        let a = fsa.design.beam_angle_rad(FsaPort::A, fa).unwrap();
+        let b = fsa.design.beam_angle_rad(FsaPort::B, fb).unwrap();
+        prop_assert!((a - psi).abs() < 1e-9);
+        prop_assert!((b - psi).abs() < 1e-9);
+    }
+
+    /// Triangular-chirp peak-separation inversion is exact over the band.
+    #[test]
+    fn triangular_inversion(f in 26.5e9f64..29.5e9f64) {
+        let c = Chirp::triangular(26.5e9, 3e9, 45e-6);
+        let (up, down) = c.triangular_crossings(f).unwrap();
+        let rec = c.freq_from_peak_separation(down - up).unwrap();
+        prop_assert!((rec - f).abs() < 1.0);
+    }
+
+    /// Beat-frequency ↔ range inversion for arbitrary slopes and ranges.
+    #[test]
+    fn beat_range_inversion(d in 0.1f64..30.0, bw in 0.5e9f64..4e9, dur in 5e-6f64..50e-6) {
+        let slope = bw / dur;
+        let beat = propagation::beat_frequency_hz(slope, d);
+        prop_assert!((propagation::range_from_beat_m(slope, beat) - d).abs() < 1e-9);
+    }
+
+    /// AoA phase ↔ angle inversion within the unambiguous region.
+    #[test]
+    fn aoa_inversion(deg in -89.0f64..89.0) {
+        let f = 28e9;
+        let baseline = milback::sigproc::units::wavelength(f) / 2.0;
+        let phi = propagation::aoa_phase_difference_rad(f, baseline, deg.to_radians());
+        let rec = propagation::angle_from_phase_rad(f, baseline, phi).unwrap();
+        prop_assert!((rec - deg.to_radians()).abs() < 1e-9);
+    }
+
+    /// Byte ↔ OAQFM-symbol packing round-trips for arbitrary payloads.
+    #[test]
+    fn symbol_packing_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let syms = bytes_to_symbols(&payload);
+        prop_assert_eq!(symbols_to_bytes(&syms), payload);
+    }
+
+    /// The waveform-level demodulator recovers arbitrary payloads from
+    /// clean traces at any oversampling factor.
+    #[test]
+    fn demodulator_roundtrip(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        sps in 4usize..32,
+    ) {
+        let syms = bytes_to_symbols(&payload);
+        let la: Vec<f64> = syms.iter().map(|s| if s.tone_a { 0.01 } else { 0.0 }).collect();
+        let lb: Vec<f64> = syms.iter().map(|s| if s.tone_b { 0.01 } else { 0.0 }).collect();
+        let ta = ook_envelope(&la, sps);
+        let tb = ook_envelope(&lb, sps);
+        let demod = OaqfmDemodulator::new(sps);
+        let out = demod
+            .demodulate(&ta, &tb, Thresholds { a: 0.005, b: 0.005 })
+            .unwrap();
+        prop_assert_eq!(symbols_to_bytes(&out), payload);
+    }
+
+    /// Packet framing round-trips for arbitrary payloads and directions.
+    #[test]
+    fn frame_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..1024), up in any::<bool>()) {
+        let p = if up { Packet::uplink(payload) } else { Packet::downlink(payload) };
+        prop_assert_eq!(Packet::from_bytes(p.to_bytes()), Ok(p));
+    }
+
+    /// The frame parser never panics on arbitrary bytes, and anything it
+    /// accepts re-serializes to the same bytes (parse-print identity).
+    #[test]
+    fn frame_parser_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let input = bytes::Bytes::from(bytes);
+        if let Ok(packet) = Packet::from_bytes(input.clone()) {
+            prop_assert_eq!(packet.to_bytes(), input);
+        }
+    }
+
+    /// FFT ∘ IFFT is the identity for arbitrary-length complex signals.
+    #[test]
+    fn fft_roundtrip(re in proptest::collection::vec(-100.0f64..100.0, 1..200)) {
+        let x: Vec<Complex> = re
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| Complex::new(r, (i as f64 * 0.7).sin()))
+            .collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).norm() < 1e-6);
+        }
+    }
+
+    /// Parseval: energy is preserved by the transform at any length.
+    #[test]
+    fn fft_parseval(re in proptest::collection::vec(-10.0f64..10.0, 2..128)) {
+        let x: Vec<Complex> = re.iter().map(|&r| Complex::real(r)).collect();
+        let y = fft(&x);
+        let e_t: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let e_f: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((e_t - e_f).abs() <= 1e-8 * e_t.max(1.0));
+    }
+
+    /// Free-space path loss is monotone in both distance and frequency.
+    #[test]
+    fn fspl_monotone(d in 0.5f64..20.0, f in 24e9f64..40e9) {
+        prop_assert!(propagation::fspl_db(f, d * 1.01) > propagation::fspl_db(f, d));
+        prop_assert!(propagation::fspl_db(f * 1.01, d) > propagation::fspl_db(f, d));
+    }
+
+    /// Scene ground truth is self-consistent for arbitrary placements: the
+    /// stored incidence equals the recomputed bearing difference.
+    #[test]
+    fn scene_geometry_consistent(
+        r in 0.5f64..15.0,
+        az in -1.2f64..1.2,
+        orient in -0.5f64..0.5,
+    ) {
+        let scene = Scene {
+            ap: milback::rf::channel::ApFrontend::milback_default(),
+            nodes: vec![],
+            clutter: vec![],
+        }
+        .with_node_at(r, az, orient);
+        let gt = scene.ground_truth(0);
+        prop_assert!((gt.range_m - r).abs() < 1e-9);
+        prop_assert!((gt.azimuth_rad - az).abs() < 1e-9);
+        prop_assert!((gt.incidence_rad + orient).abs() < 1e-9);
+    }
+
+    /// Carrier planning never returns out-of-band tones, for any
+    /// orientation estimate it accepts.
+    #[test]
+    fn carrier_plan_in_band(deg in -40.0f64..40.0) {
+        let sim = milback::core::LinkSimulator::new(
+            SystemConfig::milback_default(),
+            Scene::single_node(3.0, 0.0),
+        )
+        .unwrap();
+        match sim.plan_carriers(Some(deg.to_radians())) {
+            Ok(CarrierSet::TwoTone { f_a, f_b }) => {
+                prop_assert!((26.5e9..=29.5e9).contains(&f_a));
+                prop_assert!((26.5e9..=29.5e9).contains(&f_b));
+            }
+            Ok(CarrierSet::SingleToneOok { f }) => {
+                prop_assert!((26.5e9..=29.5e9).contains(&f));
+            }
+            Err(_) => {
+                // Out-of-scan orientations must error, not fabricate tones.
+                prop_assert!(deg.abs() > 29.0, "errored inside scan range at {deg}°");
+            }
+        }
+    }
+
+    /// Packet airtime arithmetic: efficiency is in (0, 1) and increases
+    /// with payload size.
+    #[test]
+    fn packet_efficiency_monotone(n in 1usize..4096) {
+        let fmcw = FmcwConfig::milback_default();
+        let small = Packet { direction: LinkDirection::Uplink, payload: vec![0; n] };
+        let big = Packet { direction: LinkDirection::Uplink, payload: vec![0; n + 16] };
+        let e1 = small.efficiency(&fmcw, 20e6);
+        let e2 = big.efficiency(&fmcw, 20e6);
+        prop_assert!(e1 > 0.0 && e1 < 1.0);
+        prop_assert!(e2 > e1);
+    }
+}
