@@ -74,15 +74,15 @@ impl CaCfar {
             // Left window.
             let left_hi = cut.saturating_sub(g);
             let left_lo = cut.saturating_sub(span);
-            for k in left_lo..left_hi {
-                noise += power[k];
+            for &p in &power[left_lo..left_hi] {
+                noise += p;
                 count += 1;
             }
             // Right window.
             let right_lo = (cut + g + 1).min(power.len());
             let right_hi = (cut + span + 1).min(power.len());
-            for k in right_lo..right_hi {
-                noise += power[k];
+            for &p in &power[right_lo..right_hi] {
+                noise += p;
                 count += 1;
             }
             if count == 0 {

@@ -11,9 +11,10 @@
 //! case; the full Doppler FFT buys `10·log10(N)` of integration gain and
 //! per-bin clutter rejection.
 
-use mmwave_sigproc::complex::Complex;
+use mmwave_sigproc::complex::{Complex, ZERO};
 use mmwave_sigproc::detect::find_peak;
-use mmwave_sigproc::fft::fft;
+use mmwave_sigproc::fft::{Direction, FftPlanner};
+use mmwave_sigproc::parallel;
 use mmwave_sigproc::window::Window;
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +94,18 @@ impl DopplerProcessor {
         proc: &FmcwProcessor,
         beats: &[Vec<Complex>],
     ) -> Result<RangeDopplerMap, FmcwError> {
+        self.range_doppler_with_threads(proc, beats, parallel::max_threads())
+    }
+
+    /// [`Self::range_doppler`] with an explicit worker budget. The map is
+    /// bit-identical for every `threads` value; `threads <= 1` runs entirely
+    /// on the calling thread (the serial reference path).
+    pub fn range_doppler_with_threads(
+        &self,
+        proc: &FmcwProcessor,
+        beats: &[Vec<Complex>],
+        threads: usize,
+    ) -> Result<RangeDopplerMap, FmcwError> {
         if beats.len() < 2 {
             return Err(FmcwError::NotEnoughChirps { got: beats.len() });
         }
@@ -100,19 +113,35 @@ impl DopplerProcessor {
         if beats.iter().any(|b| b.len() != len) {
             return Err(FmcwError::LengthMismatch);
         }
-        // Fast time: range spectra per chirp (positive half).
-        let spectra: Vec<Vec<Complex>> = beats.iter().map(|b| proc.range_spectrum(b)).collect();
-        let n_range = proc.fft_len() / 2;
+        // Fast time: range spectra per chirp, one flat row-major buffer.
+        let fft_len = proc.fft_len();
+        let flat = proc.range_spectra_flat(beats, threads)?;
+        let n_range = fft_len / 2;
         let n_chirps = beats.len();
-        // Slow time: FFT down each range column.
+        // Slow time: FFT down each range column. The plan (and the window
+        // values) are hoisted out of the column loop; each worker carries one
+        // scratch buffer across all of its columns, and columns are laid out
+        // contiguously (column-major) so the per-column FFT is in-place.
+        let win: Vec<f64> =
+            (0..n_chirps).map(|k| self.doppler_window.value(k, n_chirps)).collect();
+        let plan = FftPlanner::plan(n_chirps);
+        let mut cols = vec![ZERO; n_range * n_chirps];
+        parallel::for_each_chunk_with(
+            &mut cols,
+            n_chirps,
+            threads,
+            || vec![0.0f64; plan.scratch_len()],
+            |scratch, start, col| {
+                let r = start / n_chirps;
+                for (k, c) in col.iter_mut().enumerate() {
+                    *c = flat[k * fft_len + r].scale(win[k]);
+                }
+                plan.process_with_scratch(col, scratch, Direction::Forward);
+            },
+        );
         let mut map = vec![vec![0.0f64; n_range]; n_chirps];
-        let mut column = vec![mmwave_sigproc::complex::ZERO; n_chirps];
         for r in 0..n_range {
-            for (k, s) in spectra.iter().enumerate() {
-                column[k] = s[r].scale(self.doppler_window.value(k, n_chirps));
-            }
-            let dop = fft(&column);
-            for (d, z) in dop.iter().enumerate() {
+            for (d, z) in cols[r * n_chirps..(r + 1) * n_chirps].iter().enumerate() {
                 map[d][r] = z.norm_sqr();
             }
         }
@@ -255,6 +284,18 @@ mod tests {
         let mut ragged = capture(&proc, 3, 3.0, &[], 7);
         ragged[1].pop();
         assert_eq!(dp.range_doppler(&proc, &ragged).unwrap_err(), FmcwError::LengthMismatch);
+    }
+
+    #[test]
+    fn parallel_map_bit_exact_across_thread_counts() {
+        let proc = FmcwProcessor::milback_default();
+        let dp = DopplerProcessor::milback_default();
+        let beats = capture(&proc, 8, 4.5, &[(2.2, 3e-4)], 9);
+        let serial = dp.range_doppler_with_threads(&proc, &beats, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = dp.range_doppler_with_threads(&proc, &beats, threads).unwrap();
+            assert!(par == serial, "threads={threads} diverges from the serial map");
+        }
     }
 
     #[test]

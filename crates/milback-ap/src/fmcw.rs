@@ -8,9 +8,10 @@
 //! consecutive chirp spectra therefore cancels clutter (and the AP's
 //! self-interference) while the node's modulated echo survives.
 
-use mmwave_sigproc::complex::Complex;
+use mmwave_sigproc::complex::{Complex, ZERO};
 use mmwave_sigproc::detect::{find_peak, Peak};
-use mmwave_sigproc::fft::{fft, zero_pad};
+use mmwave_sigproc::fft::{Direction, FftPlanner};
+use mmwave_sigproc::parallel;
 use mmwave_sigproc::units::SPEED_OF_LIGHT;
 use mmwave_sigproc::waveform::{Chirp, ChirpShape};
 use mmwave_sigproc::window::Window;
@@ -120,10 +121,58 @@ impl FmcwProcessor {
 
     /// Windowed, zero-padded range spectrum of one chirp's beat signal.
     pub fn range_spectrum(&self, beat: &[Complex]) -> Vec<Complex> {
-        let mut x = beat.to_vec();
-        self.window.apply_complex(&mut x);
-        let padded = zero_pad(&x, self.fft_len());
-        fft(&padded)
+        let n = self.fft_len();
+        let plan = FftPlanner::plan(n);
+        let mut out = vec![ZERO; n];
+        let mut scratch = vec![0.0f64; plan.scratch_len()];
+        self.range_spectrum_into(beat, &mut out, &mut scratch);
+        out
+    }
+
+    /// Allocation-free core of [`range_spectrum`]: windows `beat`, zero-pads
+    /// it into `out`, and runs the planned range FFT in place, using
+    /// caller-owned `scratch`. Hot loops (per-chirp fan-out, benches) call
+    /// this with reused buffers so the steady state performs no heap
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics unless `out.len() == fft_len()`, `beat.len() <= fft_len()`,
+    /// and `scratch` is at least `FftPlanner::plan(fft_len()).scratch_len()`.
+    pub fn range_spectrum_into(&self, beat: &[Complex], out: &mut [Complex], scratch: &mut [f64]) {
+        let n = self.fft_len();
+        assert_eq!(out.len(), n, "output buffer must be fft_len() long");
+        assert!(beat.len() <= n, "beat signal longer than the FFT length");
+        out[..beat.len()].copy_from_slice(beat);
+        self.window.apply_complex(&mut out[..beat.len()]);
+        out[beat.len()..].fill(ZERO);
+        FftPlanner::plan(n).process_with_scratch(out, scratch, Direction::Forward);
+    }
+
+    /// Range spectra of every chirp as one flat row-major buffer
+    /// (spectrum of chirp `c` occupies `flat[c * fft_len()..][..fft_len()]`),
+    /// computed by up to `threads` workers. One FFT plan and one scratch
+    /// buffer per worker; output is bit-identical for every thread count.
+    pub fn range_spectra_flat(
+        &self,
+        beats: &[Vec<Complex>],
+        threads: usize,
+    ) -> Result<Vec<Complex>, FmcwError> {
+        if let Some(first) = beats.first() {
+            if beats.iter().any(|b| b.len() != first.len()) {
+                return Err(FmcwError::LengthMismatch);
+            }
+        }
+        let n = self.fft_len();
+        let plan = FftPlanner::plan(n);
+        let mut flat = vec![ZERO; n * beats.len()];
+        parallel::for_each_chunk_with(
+            &mut flat,
+            n,
+            threads,
+            || vec![0.0f64; plan.scratch_len()],
+            |scratch, start, out| self.range_spectrum_into(&beats[start / n], out, scratch),
+        );
+        Ok(flat)
     }
 
     /// Pairwise spectrum differences across consecutive chirps — the
@@ -157,20 +206,7 @@ impl FmcwProcessor {
         if beats.len() < 2 {
             return Err(FmcwError::NotEnoughChirps { got: beats.len() });
         }
-        let len = beats[0].len();
-        if beats.iter().any(|b| b.len() != len) {
-            return Err(FmcwError::LengthMismatch);
-        }
-        let spectra: Vec<Vec<Complex>> = beats.iter().map(|b| self.range_spectrum(b)).collect();
-        let diffs = self.background_subtract(&spectra);
-        // Accumulate |diff|² across pairs; keep only positive beat bins.
-        let half = self.fft_len() / 2;
-        let mut acc = vec![0.0f64; half];
-        for d in &diffs {
-            for (k, z) in d.iter().take(half).enumerate() {
-                acc[k] += z.norm_sqr();
-            }
-        }
+        let acc = self.subtracted_power(beats)?;
         let peak = find_peak(&acc).ok_or(FmcwError::NoEchoDetected)?;
         let floor = median_floor(&acc);
         let ratio_db = 10.0 * (peak.value / floor.max(1e-300)).log10();
@@ -192,13 +228,16 @@ impl FmcwProcessor {
         if beats.len() < 2 {
             return Err(FmcwError::NotEnoughChirps { got: beats.len() });
         }
-        let spectra: Vec<Vec<Complex>> = beats.iter().map(|b| self.range_spectrum(b)).collect();
-        let diffs = self.background_subtract(&spectra);
-        let half = self.fft_len() / 2;
+        let n = self.fft_len();
+        let flat = self.range_spectra_flat(beats, parallel::max_threads())?;
+        let rows: Vec<&[Complex]> = flat.chunks_exact(n).collect();
+        // Accumulate |diff|² across consecutive-chirp pairs; keep only the
+        // positive-beat half.
+        let half = n / 2;
         let mut acc = vec![0.0f64; half];
-        for d in &diffs {
-            for (k, z) in d.iter().take(half).enumerate() {
-                acc[k] += z.norm_sqr();
+        for pair in rows.windows(2) {
+            for (k, slot) in acc.iter_mut().enumerate() {
+                *slot += (pair[0][k] - pair[1][k]).norm_sqr();
             }
         }
         Ok(acc)
@@ -397,6 +436,30 @@ mod tests {
         let pk = find_peak(&power[..p.fft_len() / 2]).unwrap();
         // Phase at the peak is meaningful (non-degenerate complex value).
         assert!(spec[pk.index].norm() > 0.0);
+    }
+
+    #[test]
+    fn flat_spectra_match_per_chirp_path_and_thread_counts() {
+        let p = proc();
+        let beats = capture(&p, 4.0, 1e-5, &[(2.0, 3e-4)], 4, 1e-14, 10);
+        let n = p.fft_len();
+        let serial = p.range_spectra_flat(&beats, 1).unwrap();
+        for (k, b) in beats.iter().enumerate() {
+            let s = p.range_spectrum(b);
+            assert!(serial[k * n..(k + 1) * n] == s[..], "chirp {k} differs");
+        }
+        for threads in [2usize, 4] {
+            let par = p.range_spectra_flat(&beats, threads).unwrap();
+            assert!(par == serial, "threads={threads} diverges");
+        }
+    }
+
+    #[test]
+    fn ragged_beats_rejected_by_flat_spectra() {
+        let p = proc();
+        let mut beats = capture(&p, 3.0, 1e-5, &[], 3, 0.0, 11);
+        beats[2].pop();
+        assert_eq!(p.range_spectra_flat(&beats, 2).unwrap_err(), FmcwError::LengthMismatch);
     }
 
     #[test]

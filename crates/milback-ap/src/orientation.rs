@@ -157,6 +157,7 @@ mod tests {
 
     /// Captures chirps where the node's echo amplitude follows the FSA gain
     /// at the instantaneous sweep frequency and toggles chirp-to-chirp.
+    #[allow(clippy::too_many_arguments)]
     fn capture(
         proc: &FmcwProcessor,
         fsa: &FsaDesign,

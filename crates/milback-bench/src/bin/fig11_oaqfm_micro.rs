@@ -46,8 +46,8 @@ fn main() {
             tones.push((f_b, incident(&sim, f_b)));
         }
         let p = port_powers_for_tones(&config.node.fsa, gt.incidence_rad, &tones);
-        pa.extend(std::iter::repeat(p.a_w).take(sps));
-        pb.extend(std::iter::repeat(p.b_w).take(sps));
+        pa.extend(std::iter::repeat_n(p.a_w, sps));
+        pb.extend(std::iter::repeat_n(p.b_w, sps));
     }
     let mut rng = GaussianSource::new(0xF11);
     let (va, vb) = config.node.detector_traces(&pa, &pb, trace_rate, &mut rng);

@@ -15,14 +15,14 @@ fn main() {
     let mut errors_deg: Vec<f64> = Vec::new();
 
     // Sweep azimuths and distances like the paper's placements.
-    for &az_deg in &[-20.0, -10.0, 0.0, 8.0, 15.0] {
+    for &az_deg in &[-20.0f64, -10.0, 0.0, 8.0, 15.0] {
         for &dist in &[2.0, 4.0, 6.0] {
             let scene = Scene {
                 ap: mmwave_rf::channel::ApFrontend::milback_default(),
                 nodes: vec![],
                 clutter: Scene::indoor(dist, 0.0).clutter,
             }
-            .with_node_at(dist, (az_deg as f64).to_radians(), 12f64.to_radians());
+            .with_node_at(dist, az_deg.to_radians(), 12f64.to_radians());
             let pipeline =
                 LocalizationPipeline::new(SystemConfig::milback_default(), scene).unwrap();
             for _ in 0..8 {

@@ -26,7 +26,7 @@ fn main() {
         // negative — sweep the board and compare in incidence space.
         let pipeline = LocalizationPipeline::new(
             SystemConfig::milback_default(),
-            Scene::indoor(2.0, (-deg as f64).to_radians()),
+            Scene::indoor(2.0, (-deg).to_radians()),
         )
         .unwrap();
         let truth = pipeline.scene.ground_truth(0).incidence_rad.to_degrees();

@@ -28,7 +28,7 @@ fn main() {
     for &deg in &orientations {
         let pipeline = LocalizationPipeline::new(
             SystemConfig::milback_default(),
-            Scene::indoor(2.0, (-deg as f64).to_radians()),
+            Scene::indoor(2.0, (-deg).to_radians()),
         )
         .unwrap();
         let truth = pipeline.scene.ground_truth(0).incidence_rad.to_degrees();

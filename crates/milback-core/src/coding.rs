@@ -47,7 +47,7 @@ pub fn bytes_to_bits(data: &[u8]) -> Vec<bool> {
 /// # Panics
 /// Panics if `bits.len() % 8 != 0`.
 pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
-    assert!(bits.len() % 8 == 0, "bit count must be a byte multiple");
+    assert!(bits.len().is_multiple_of(8), "bit count must be a byte multiple");
     bits.chunks_exact(8)
         .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
         .collect()
@@ -77,7 +77,7 @@ impl BlockInterleaver {
     /// # Panics
     /// Panics if `bits.len() % rows != 0`.
     pub fn interleave(&self, bits: &[bool]) -> Vec<bool> {
-        assert!(bits.len() % self.rows == 0, "length must divide into rows");
+        assert!(bits.len().is_multiple_of(self.rows), "length must divide into rows");
         let cols = bits.len() / self.rows;
         let mut out = Vec::with_capacity(bits.len());
         for c in 0..cols {
@@ -93,7 +93,7 @@ impl BlockInterleaver {
     /// # Panics
     /// Panics if `bits.len() % rows != 0`.
     pub fn deinterleave(&self, bits: &[bool]) -> Vec<bool> {
-        assert!(bits.len() % self.rows == 0, "length must divide into rows");
+        assert!(bits.len().is_multiple_of(self.rows), "length must divide into rows");
         let cols = bits.len() / self.rows;
         let mut out = vec![false; bits.len()];
         let mut it = bits.iter();

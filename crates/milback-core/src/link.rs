@@ -170,8 +170,8 @@ impl LinkSimulator {
                 tones.push((f_b, p_b_in));
             }
             let p = port_powers_for_tones(&self.config.node.fsa, psi, &tones);
-            pa.extend(std::iter::repeat(p.a_w).take(sps));
-            pb.extend(std::iter::repeat(p.b_w).take(sps));
+            pa.extend(std::iter::repeat_n(p.a_w, sps));
+            pb.extend(std::iter::repeat_n(p.b_w, sps));
         }
         let (va, vb) =
             self.config
@@ -217,8 +217,8 @@ impl LinkSimulator {
             } else {
                 milback_node::node::PortPowers::default()
             };
-            pa.extend(std::iter::repeat(p.a_w).take(sps));
-            pb.extend(std::iter::repeat(p.b_w).take(sps));
+            pa.extend(std::iter::repeat_n(p.a_w, sps));
+            pb.extend(std::iter::repeat_n(p.b_w, sps));
         }
         let (va, vb) =
             self.config

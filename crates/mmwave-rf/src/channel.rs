@@ -22,6 +22,7 @@
 
 use crate::propagation;
 use mmwave_sigproc::complex::Complex;
+use mmwave_sigproc::parallel;
 use mmwave_sigproc::units::{wavelength, wrap_angle};
 use mmwave_sigproc::waveform::{Chirp, ChirpShape};
 use serde::{Deserialize, Serialize};
@@ -139,13 +140,17 @@ impl ApFrontend {
 /// `(t_seconds_into_chirp, instantaneous_tx_freq_hz)` and returns the
 /// complex amplitude (√watts at the mixer input, phase free to encode
 /// modulation) of this echo at that instant.
+///
+/// The closure is `Send + Sync` so [`synthesize_beat_with_threads`] can
+/// evaluate echoes from worker threads; amplitude models are pure functions
+/// of `(t, f)` in practice, so the bounds cost nothing.
 pub struct Echo<'a> {
     /// One-way distance of the reflector, meters.
     pub distance_m: f64,
     /// Additional fixed phase, radians (e.g. AoA inter-antenna phase).
     pub extra_phase_rad: f64,
     /// Complex amplitude as a function of time and instantaneous frequency.
-    pub amplitude: Box<dyn Fn(f64, f64) -> Complex + 'a>,
+    pub amplitude: Box<dyn Fn(f64, f64) -> Complex + Send + Sync + 'a>,
 }
 
 impl<'a> Echo<'a> {
@@ -171,6 +176,23 @@ impl<'a> Echo<'a> {
 /// Panics for triangular chirps (beat processing in this stack is only
 /// defined for the sawtooth localization chirps, §5.1).
 pub fn synthesize_beat(chirp: &Chirp, echoes: &[Echo<'_>], sample_rate_hz: f64) -> Vec<Complex> {
+    synthesize_beat_with_threads(chirp, echoes, sample_rate_hz, parallel::max_threads())
+}
+
+/// Samples per worker block in [`synthesize_beat_with_threads`]; a standard
+/// 900-sample localization chirp splits into four blocks.
+const BEAT_BLOCK: usize = 256;
+
+/// [`synthesize_beat`] with an explicit worker budget. Output samples are
+/// partitioned into [`BEAT_BLOCK`]-sized blocks; within each sample the
+/// echoes are summed in slice order, so the result is bit-identical for
+/// every `threads` value (`threads <= 1` runs inline on the caller).
+pub fn synthesize_beat_with_threads(
+    chirp: &Chirp,
+    echoes: &[Echo<'_>],
+    sample_rate_hz: f64,
+    threads: usize,
+) -> Vec<Complex> {
     assert!(
         chirp.shape == ChirpShape::Sawtooth,
         "beat synthesis requires a sawtooth chirp"
@@ -178,18 +200,27 @@ pub fn synthesize_beat(chirp: &Chirp, echoes: &[Echo<'_>], sample_rate_hz: f64) 
     assert!(sample_rate_hz > 0.0);
     let n = (chirp.duration_s * sample_rate_hz).round() as usize;
     let slope = chirp.slope();
+    // Per-echo constants, hoisted out of the sample loop.
+    let pre: Vec<(f64, f64)> = echoes
+        .iter()
+        .map(|echo| {
+            let tau = propagation::round_trip_delay_s(echo.distance_m);
+            let beat_hz = slope * tau;
+            let carrier_phase = 2.0 * PI * chirp.start_hz * tau + echo.extra_phase_rad;
+            (beat_hz, carrier_phase)
+        })
+        .collect();
     let mut out = vec![mmwave_sigproc::complex::ZERO; n];
-    for echo in echoes {
-        let tau = propagation::round_trip_delay_s(echo.distance_m);
-        let beat_hz = slope * tau;
-        let carrier_phase = 2.0 * PI * chirp.start_hz * tau + echo.extra_phase_rad;
-        for (i, sample) in out.iter_mut().enumerate() {
-            let t = i as f64 / sample_rate_hz;
+    parallel::for_each_chunk(&mut out, BEAT_BLOCK, threads, |start, block| {
+        for (i, sample) in block.iter_mut().enumerate() {
+            let t = (start + i) as f64 / sample_rate_hz;
             let f_inst = chirp.instantaneous_freq(t);
-            let a = (echo.amplitude)(t, f_inst);
-            *sample += a * Complex::cis(2.0 * PI * beat_hz * t + carrier_phase);
+            for (echo, &(beat_hz, carrier_phase)) in echoes.iter().zip(&pre) {
+                let a = (echo.amplitude)(t, f_inst);
+                *sample += a * Complex::cis(2.0 * PI * beat_hz * t + carrier_phase);
+            }
         }
-    }
+    });
     out
 }
 
@@ -289,6 +320,22 @@ impl MirrorReflection {
 mod tests {
     use super::*;
     use mmwave_sigproc::fft::{fft, fft_frequencies};
+
+    #[test]
+    fn beat_synthesis_bit_exact_across_thread_counts() {
+        let chirp = Chirp::sawtooth(26.5e9, 3e9, 18e-6);
+        let echoes = vec![
+            Echo::constant(3.0, 1e-4),
+            Echo::constant(5.5, 2e-5),
+            Echo::constant(9.1, 7e-6),
+        ];
+        let serial = synthesize_beat_with_threads(&chirp, &echoes, 50e6, 1);
+        assert_eq!(serial.len(), 900);
+        for threads in [2usize, 4, 7] {
+            let par = synthesize_beat_with_threads(&chirp, &echoes, 50e6, threads);
+            assert!(par == serial, "threads={threads} diverges from serial synthesis");
+        }
+    }
 
     #[test]
     fn vec2_distance_and_bearing() {
@@ -398,7 +445,7 @@ mod tests {
             distance_m: 3.0,
             extra_phase_rad: 0.0,
             amplitude: Box::new(|t, _| {
-                if (t * 200e3) as u64 % 2 == 0 {
+                if ((t * 200e3) as u64).is_multiple_of(2) {
                     Complex::real(1.0)
                 } else {
                     Complex::real(0.0)

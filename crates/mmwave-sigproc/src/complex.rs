@@ -161,6 +161,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w is defined as z·w⁻¹
     fn div(self, rhs: Self) -> Self {
         self * rhs.inv()
     }

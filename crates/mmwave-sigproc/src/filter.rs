@@ -405,7 +405,7 @@ mod tests {
     fn biquad_response_matches_time_domain() {
         let fs = 1e6;
         let freq = 75e3;
-        let mut bq = Biquad::low_pass(50e3, fs, 0.7071);
+        let mut bq = Biquad::low_pass(50e3, fs, std::f64::consts::FRAC_1_SQRT_2);
         let theory = bq.response_at(freq, fs).norm();
         let y = bq.process(&tone(freq, fs, 20000));
         let measured = rms(&y[10000..]) * std::f64::consts::SQRT_2;

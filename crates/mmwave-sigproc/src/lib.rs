@@ -10,6 +10,7 @@
 //! * [`filter`] — FIR design, biquad IIR, first-order RC dynamics,
 //! * [`waveform`] — FMCW chirps (sawtooth/triangular), tones, OAQFM symbols,
 //! * [`detect`] — peak finding, correlation, slicers,
+//! * [`parallel`] — frame-level worker pools with a bit-exact serial fallback,
 //! * [`resample`] — anti-aliased decimation and fractional delays,
 //! * [`spectrum`] — periodogram/Welch PSD and spectrograms,
 //! * [`stats`] — percentiles, CDFs, BER counting, Q-function,
@@ -27,6 +28,7 @@ pub mod complex;
 pub mod detect;
 pub mod fft;
 pub mod filter;
+pub mod parallel;
 pub mod random;
 pub mod resample;
 pub mod spectrum;

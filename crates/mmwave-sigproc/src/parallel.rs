@@ -1,0 +1,229 @@
+//! Frame-level parallelism for the DSP pipeline.
+//!
+//! The FMCW pipeline's hot loops are embarrassingly parallel at frame
+//! granularity — per-chirp range FFTs, per-column Doppler FFTs, per-block
+//! beat synthesis — and every frame computation is deterministic, so a
+//! parallel run produces bit-identical output to the serial one as long as
+//! work is partitioned into disjoint output slices and each slice is
+//! processed by exactly the serial code. This module provides that
+//! partitioning on top of `crossbeam::scope` with no `unsafe`:
+//! [`for_each_chunk`] hands disjoint `&mut` sub-slices (obtained via
+//! `chunks_mut`) to scoped worker threads.
+//!
+//! Thread count policy: [`max_threads`] honors the `MILBACK_THREADS`
+//! environment variable when set (≥1), else uses
+//! [`std::thread::available_parallelism`]. Callers pass an explicit count to
+//! the `*_with_threads` pipeline entry points for reproducible testing;
+//! `threads <= 1` (or a single chunk) short-circuits to a plain serial loop
+//! on the calling thread — the bit-exact fallback.
+
+use std::num::NonZeroUsize;
+
+/// Worker-thread budget for the DSP pipeline.
+///
+/// `MILBACK_THREADS` (parsed as a positive integer) overrides the detected
+/// core count; unparsable or zero values are ignored. Always at least 1.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("MILBACK_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `f(start, chunk)` over every `chunk_len`-sized chunk of `data`
+/// (`start` is the chunk's element offset into `data`), fanning the chunks
+/// out over at most `threads` scoped worker threads.
+///
+/// Chunks are assigned to workers in contiguous runs, each worker walking
+/// its run in order; with `threads <= 1` or a single chunk the loop runs
+/// inline on the caller. Because chunks are disjoint and `f` is applied
+/// per-chunk either way, the result is bit-identical for every thread
+/// count.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`, or propagates a panic from `f`.
+pub fn for_each_chunk<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if threads <= 1 || n_chunks <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i * chunk_len, chunk);
+        }
+        return;
+    }
+    let workers = threads.min(n_chunks);
+    // Deal contiguous runs of ceil/floor(n_chunks / workers) chunks so every
+    // worker's slice is one `split_at_mut` cut — no unsafe, no locks.
+    let f = &f;
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut start = 0usize;
+        let mut remaining_chunks = n_chunks;
+        for w in 0..workers {
+            let runs = remaining_chunks.div_ceil(workers - w);
+            remaining_chunks -= runs;
+            let take = (runs * chunk_len).min(rest.len());
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let offset = start;
+            start += take;
+            s.spawn(move |_| {
+                for (i, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+                    f(offset + i * chunk_len, chunk);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Like [`for_each_chunk`], but gives `f` mutable worker-local state built
+/// by `init` — one state per worker thread (one total in the serial path).
+///
+/// This is the allocation-amortizing variant: `init` typically allocates an
+/// FFT scratch buffer, which each worker then reuses across all of its
+/// chunks. `f` must not let the incoming state contents influence its output
+/// (scratch only), otherwise results would depend on the chunk→worker
+/// assignment; under that contract the result is bit-identical for every
+/// thread count.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`, or propagates a panic from `init`/`f`.
+pub fn for_each_chunk_with<T, S, I, F>(data: &mut [T], chunk_len: usize, threads: usize, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    if threads <= 1 || n_chunks <= 1 {
+        let mut state = init();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(&mut state, i * chunk_len, chunk);
+        }
+        return;
+    }
+    let workers = threads.min(n_chunks);
+    let (f, init) = (&f, &init);
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut start = 0usize;
+        let mut remaining_chunks = n_chunks;
+        for w in 0..workers {
+            let runs = remaining_chunks.div_ceil(workers - w);
+            remaining_chunks -= runs;
+            let take = (runs * chunk_len).min(rest.len());
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let offset = start;
+            start += take;
+            s.spawn(move |_| {
+                let mut state = init();
+                for (i, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+                    f(&mut state, offset + i * chunk_len, chunk);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn chunks_cover_everything_once() {
+        for threads in [1usize, 2, 3, 8] {
+            for len in [0usize, 1, 7, 16, 33] {
+                let mut data = vec![0u64; len];
+                for_each_chunk(&mut data, 4, threads, |start, chunk| {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v += (start + i) as u64 + 1;
+                    }
+                });
+                let expect: Vec<u64> = (0..len as u64).map(|i| i + 1).collect();
+                assert_eq!(data, expect, "threads={threads} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_are_chunk_aligned() {
+        let mut data = vec![0usize; 25];
+        for_each_chunk(&mut data, 10, 4, |start, chunk| {
+            assert_eq!(start % 10, 0);
+            for v in chunk.iter_mut() {
+                *v = start;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[10], 10);
+        assert_eq!(data[24], 20);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let src: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin()).collect();
+        let work = |start: usize, chunk: &mut [f64]| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = ((start + i) as f64 * 0.11).cos() * v.sin();
+            }
+        };
+        let mut serial = src.clone();
+        for_each_chunk(&mut serial, 32, 1, work);
+        for threads in [2usize, 4, 7] {
+            let mut par = src.clone();
+            for_each_chunk(&mut par, 32, threads, work);
+            assert!(serial.iter().zip(&par).all(|(a, b)| a == b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_rejected() {
+        let mut data = [0u8; 4];
+        for_each_chunk(&mut data, 0, 2, |_, _| {});
+    }
+
+    #[test]
+    fn stateful_variant_matches_stateless() {
+        let src: Vec<f64> = (0..513).map(|i| (i as f64 * 0.7).cos()).collect();
+        let mut plain = src.clone();
+        for_each_chunk(&mut plain, 17, 1, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v += (start + i) as f64;
+            }
+        });
+        for threads in [1usize, 3, 6] {
+            let mut with_state = src.clone();
+            for_each_chunk_with(
+                &mut with_state,
+                17,
+                threads,
+                || vec![0.0f64; 4], // scratch whose contents must not matter
+                |scratch, start, chunk| {
+                    scratch[0] = start as f64; // dirty the scratch
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v += (start + i) as f64;
+                    }
+                },
+            );
+            assert!(plain.iter().zip(&with_state).all(|(a, b)| a == b), "threads={threads}");
+        }
+    }
+}

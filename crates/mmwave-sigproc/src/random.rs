@@ -6,20 +6,114 @@
 //! that pin figure shapes.
 
 use crate::complex::Complex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+/// Randomness backend behind the optional `rand` Cargo feature: with the
+/// feature on, bits come from the external `rand` crate's `StdRng`; by
+/// default they come from the in-tree xoshiro256++ generator below. The
+/// in-tree generator implements the exact algorithm (SplitMix64 seeding,
+/// xoshiro256++ output, 53-bit `[0, 1)` floats) the workspace's `rand`
+/// stand-in uses, so every pinned seed yields the same stream either way
+/// when building against the shim.
+#[cfg(feature = "rand")]
+mod backend {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[derive(Debug, Clone)]
+    pub(super) struct Backend(StdRng);
+
+    impl Backend {
+        pub(super) fn from_seed(seed: u64) -> Self {
+            Self(StdRng::seed_from_u64(seed))
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub(super) fn uniform_unit(&mut self) -> f64 {
+            self.0.gen::<f64>()
+        }
+
+        pub(super) fn bit(&mut self) -> bool {
+            self.0.gen::<bool>()
+        }
+
+        pub(super) fn byte(&mut self) -> u8 {
+            self.0.gen::<u8>()
+        }
+    }
+}
+
+#[cfg(not(feature = "rand"))]
+mod backend {
+    /// xoshiro256++ seeded via SplitMix64 (the xoshiro reference recipe).
+    #[derive(Debug, Clone)]
+    pub(super) struct Backend {
+        s: [u64; 4],
+    }
+
+    impl Backend {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        pub(super) fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+                Self::splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in `[0, 1)`: 53 mantissa bits.
+        pub(super) fn uniform_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        pub(super) fn bit(&mut self) -> bool {
+            self.next_u64() >> 63 == 1
+        }
+
+        pub(super) fn byte(&mut self) -> u8 {
+            (self.next_u64() >> 56) as u8
+        }
+    }
+}
+
+use backend::Backend;
 
 /// A seeded source of Gaussian samples (Marsaglia polar method).
 #[derive(Debug, Clone)]
 pub struct GaussianSource {
-    rng: StdRng,
+    rng: Backend,
     cached: Option<f64>,
 }
 
 impl GaussianSource {
     /// Creates a source from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), cached: None }
+        Self { rng: Backend::from_seed(seed), cached: None }
     }
 
     /// Draws one standard-normal sample.
@@ -28,8 +122,8 @@ impl GaussianSource {
             return v;
         }
         loop {
-            let u: f64 = self.rng.gen_range(-1.0..1.0);
-            let v: f64 = self.rng.gen_range(-1.0..1.0);
+            let u = -1.0 + self.rng.uniform_unit() * 2.0;
+            let v = -1.0 + self.rng.uniform_unit() * 2.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
                 let k = (-2.0 * s.ln() / s).sqrt();
@@ -78,17 +172,21 @@ impl GaussianSource {
 
     /// Draws `n` uniformly random bits.
     pub fn bits(&mut self, n: usize) -> Vec<bool> {
-        (0..n).map(|_| self.rng.gen::<bool>()).collect()
+        (0..n).map(|_| self.rng.bit()).collect()
     }
 
     /// Draws `n` random bytes.
     pub fn bytes(&mut self, n: usize) -> Vec<u8> {
-        (0..n).map(|_| self.rng.gen::<u8>()).collect()
+        (0..n).map(|_| self.rng.byte()).collect()
     }
 
     /// Draws a uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        self.rng.gen_range(lo..hi)
+        assert!(lo < hi, "empty range");
+        lo + self.rng.uniform_unit() * (hi - lo)
     }
 }
 

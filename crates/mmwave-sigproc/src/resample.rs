@@ -145,8 +145,8 @@ mod tests {
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let y = fractional_delay(&x, 2.5);
         // y[i] = x[i - 2.5] = i - 2.5 on the interior.
-        for i in 5..99 {
-            assert!((y[i] - (i as f64 - 2.5)).abs() < 1e-12);
+        for (i, &v) in y.iter().enumerate().take(99).skip(5) {
+            assert!((v - (i as f64 - 2.5)).abs() < 1e-12);
         }
     }
 

@@ -4,8 +4,8 @@
 //! Used for analysis tooling (inspecting beat spectra, verifying noise
 //! floors against the budget) and by the AP's diagnostics.
 
-use crate::complex::Complex;
-use crate::fft::{fft, fft_frequencies};
+use crate::complex::{Complex, ZERO};
+use crate::fft::{fft, fft_frequencies, Direction, FftPlanner};
 use crate::window::Window;
 
 /// One-shot periodogram of a complex signal: `(frequencies, PSD)` with the
@@ -39,14 +39,24 @@ pub fn welch_psd(
     window: Window,
 ) -> (Vec<f64>, Vec<f64>) {
     assert!(segment_len > 0 && segment_len <= x.len(), "bad segment length");
+    assert!(sample_rate > 0.0);
     let hop = (segment_len / 2).max(1);
+    // Plan, window energy, and segment/scratch buffers are hoisted out of
+    // the segment loop — the loop body performs no heap allocation.
+    let plan = FftPlanner::plan(segment_len);
+    let mut buf = vec![ZERO; segment_len];
+    let mut scratch = vec![0.0f64; plan.scratch_len()];
+    let w_energy: f64 = (0..segment_len).map(|i| window.value(i, segment_len).powi(2)).sum();
+    let scale = 1.0 / (sample_rate * w_energy);
     let mut acc = vec![0.0f64; segment_len];
     let mut count = 0usize;
     let mut start = 0usize;
     while start + segment_len <= x.len() {
-        let (_, psd) = periodogram(&x[start..start + segment_len], sample_rate, window);
-        for (a, p) in acc.iter_mut().zip(&psd) {
-            *a += p;
+        buf.copy_from_slice(&x[start..start + segment_len]);
+        window.apply_complex(&mut buf);
+        plan.process_with_scratch(&mut buf, &mut scratch, Direction::Forward);
+        for (a, z) in acc.iter_mut().zip(&buf) {
+            *a += z.norm_sqr() * scale;
         }
         count += 1;
         start += hop;
@@ -75,13 +85,17 @@ pub fn spectrogram(
 ) -> Vec<Vec<f64>> {
     assert!(frame_len > 0 && frame_len <= x.len(), "bad frame length");
     assert!(hop > 0, "hop must be positive");
+    // One plan and one frame/scratch buffer pair reused across all frames.
+    let plan = FftPlanner::plan(frame_len);
+    let mut buf = vec![ZERO; frame_len];
+    let mut scratch = vec![0.0f64; plan.scratch_len()];
     let mut frames = Vec::new();
     let mut start = 0usize;
     while start + frame_len <= x.len() {
-        let mut buf = x[start..start + frame_len].to_vec();
+        buf.copy_from_slice(&x[start..start + frame_len]);
         window.apply_complex(&mut buf);
-        let spec = fft(&buf);
-        frames.push(spec.iter().map(|z| z.norm()).collect());
+        plan.process_with_scratch(&mut buf, &mut scratch, Direction::Forward);
+        frames.push(buf.iter().map(|z| z.norm()).collect());
         start += hop;
     }
     frames

@@ -245,7 +245,7 @@ pub fn bytes_to_symbols(data: &[u8]) -> Vec<OaqfmSymbol> {
 /// # Panics
 /// Panics if the symbol count is not a multiple of four.
 pub fn symbols_to_bytes(symbols: &[OaqfmSymbol]) -> Vec<u8> {
-    assert!(symbols.len() % 4 == 0, "need 4 symbols per byte");
+    assert!(symbols.len().is_multiple_of(4), "need 4 symbols per byte");
     symbols
         .chunks_exact(4)
         .map(|c| {
@@ -260,7 +260,7 @@ pub fn symbols_to_bytes(symbols: &[OaqfmSymbol]) -> Vec<u8> {
 pub fn ook_envelope(levels: &[f64], samples_per_symbol: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(levels.len() * samples_per_symbol);
     for &l in levels {
-        out.extend(std::iter::repeat(l).take(samples_per_symbol));
+        out.extend(std::iter::repeat_n(l, samples_per_symbol));
     }
     out
 }

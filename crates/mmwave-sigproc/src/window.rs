@@ -6,7 +6,9 @@
 //! suite, so all the common windows live here behind one enum.
 
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::f64::consts::PI;
+use std::rc::Rc;
 
 /// Supported window functions.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -69,18 +71,52 @@ impl Window {
 
     /// Applies the window to a real signal in place.
     pub fn apply(self, x: &mut [f64]) {
-        let n = x.len();
-        for (i, v) in x.iter_mut().enumerate() {
-            *v *= self.value(i, n);
+        if matches!(self, Window::Rectangular) || x.is_empty() {
+            return; // all-ones taper: multiplying by 1.0 is the identity
+        }
+        let w = self.cached_coefficients(x.len());
+        for (v, &wi) in x.iter_mut().zip(w.iter()) {
+            *v *= wi;
         }
     }
 
     /// Applies the window to a complex signal in place.
     pub fn apply_complex(self, x: &mut [crate::complex::Complex]) {
-        let n = x.len();
-        for (i, v) in x.iter_mut().enumerate() {
-            *v = v.scale(self.value(i, n));
+        if matches!(self, Window::Rectangular) || x.is_empty() {
+            return;
         }
+        let w = self.cached_coefficients(x.len());
+        for (v, &wi) in x.iter_mut().zip(w.iter()) {
+            *v = v.scale(wi);
+        }
+    }
+
+    /// [`coefficients`](Self::coefficients) through a small thread-local
+    /// memo, so hot loops that window the same length over and over
+    /// (per-chirp range FFTs, Welch segments) evaluate the trig once. The
+    /// cached values are exactly the [`value`](Self::value) outputs, so
+    /// results are bit-identical to the uncached path.
+    fn cached_coefficients(self, n: usize) -> Rc<Vec<f64>> {
+        const CACHE_CAP: usize = 8;
+        type CacheEntry = (Window, usize, Rc<Vec<f64>>);
+        thread_local! {
+            static COEFS: RefCell<Vec<CacheEntry>> = const { RefCell::new(Vec::new()) };
+        }
+        COEFS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(pos) = cache.iter().position(|(w, len, _)| *w == self && *len == n) {
+                let hit = cache.remove(pos);
+                let coefs = Rc::clone(&hit.2);
+                cache.push(hit); // most-recently-used at the back
+                return coefs;
+            }
+            let coefs = Rc::new(self.coefficients(n));
+            if cache.len() == CACHE_CAP {
+                cache.remove(0);
+            }
+            cache.push((self, n, Rc::clone(&coefs)));
+            coefs
+        })
     }
 }
 

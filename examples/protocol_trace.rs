@@ -76,8 +76,8 @@ fn main() {
 fn bursts(n: usize, width: usize, gap: usize) -> Vec<f64> {
     let mut t = Vec::new();
     for _ in 0..n {
-        t.extend(std::iter::repeat(1.0).take(width));
-        t.extend(std::iter::repeat(0.0).take(gap));
+        t.extend(std::iter::repeat_n(1.0, width));
+        t.extend(std::iter::repeat_n(0.0, gap));
     }
     t
 }

@@ -30,7 +30,7 @@ fn main() {
     let mut scene = Scene::indoor(3.0, 0.0);
     scene.nodes.clear();
     for &(r, az, orient) in &placements {
-        scene = scene.with_node_at(r, (az as f64).to_radians(), (orient as f64).to_radians());
+        scene = scene.with_node_at(r, az.to_radians(), orient.to_radians());
     }
     let network = Network::new(config.clone(), scene.clone()).unwrap();
 

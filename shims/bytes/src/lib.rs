@@ -1,0 +1,224 @@
+//! In-tree stand-in for the `bytes` crate.
+//!
+//! `Bytes` is a cursor over an owned `Vec<u8>` (consuming reads advance the
+//! cursor; `Deref` exposes the *remaining* bytes, matching upstream
+//! semantics), and `BytesMut` is a growable builder. Upstream's zero-copy
+//! reference counting is not reproduced — `split_to` copies — which is
+//! irrelevant at the few-hundred-byte frame sizes the MilBack protocol
+//! layer handles.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Consuming big-endian reads over a byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian `u16`, advancing the cursor.
+    fn get_u16(&mut self) -> u16;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+/// Appending big-endian writes (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl Bytes {
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// `true` if no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off and returns the first `n` unread bytes, advancing `self`
+    /// past them.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the remaining length.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.data[self.start..self.start + n].to_vec();
+        self.start += n;
+        Bytes::from(head)
+    }
+
+    /// Copies the unread bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, start: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self { data: data.to_vec(), start: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.start += 1;
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes([self[0], self[1]]);
+        self.start += 2;
+        v
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+}
+
+/// A growable byte builder.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u8(0xAB);
+        b.put_u16(0x1234);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 6);
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(&r[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn deref_tracks_cursor() {
+        let mut r = Bytes::from(vec![9, 8, 7]);
+        assert_eq!(&r[..r.len() - 1], &[9, 8]);
+        r.get_u8();
+        assert_eq!(&r[..], &[8, 7]);
+        assert_eq!(r.to_vec(), vec![8, 7]);
+    }
+
+    #[test]
+    fn split_to_advances() {
+        let mut r = Bytes::from(vec![1, 2, 3, 4, 5]);
+        r.get_u8();
+        let head = r.split_to(2);
+        assert_eq!(&head[..], &[2, 3]);
+        assert_eq!(&r[..], &[4, 5]);
+        assert_eq!(r.get_u8(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_rejects_overrun() {
+        Bytes::from(vec![1]).split_to(2);
+    }
+}

@@ -1,0 +1,116 @@
+//! In-tree stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` / `crossbeam::thread::scope` with the
+//! upstream signature (`FnOnce(&Scope) -> R`, spawn closures receiving
+//! `&Scope` so they can spawn nested work), implemented over
+//! `std::thread::scope`. One behavioral difference: if a spawned thread
+//! panics and its handle is never joined, std re-raises the panic when the
+//! scope exits instead of returning `Err` from `scope` — the DSP worker
+//! pools in this workspace always join, so the difference is unobservable
+//! here.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads (subset of `crossbeam::thread`).
+
+    use std::thread as std_thread;
+
+    /// Result type of [`scope`]: `Err` carries a panic payload.
+    pub type ScopeResult<R> = std_thread::Result<R>;
+
+    /// A scope handle that can spawn borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> std_thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        crate::scope(|s| {
+            let (a, b) = out.split_at_mut(2);
+            let h1 = s.spawn(|_| {
+                a[0] = data[0] * 10;
+                a[1] = data[1] * 10;
+            });
+            let h2 = s.spawn(|_| {
+                b[0] = data[2] * 10;
+                b[1] = data[3] * 10;
+            });
+            h1.join().unwrap();
+            h2.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let r = crate::scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap()
+            });
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        crate::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! The workspace builds in hermetic environments with no registry access, so
+//! this shim supplies the subset of serde the codebase actually touches: the
+//! `Serialize`/`Deserialize` trait names and the matching derive macros. The
+//! repo only *annotates* types for future wire formats — nothing serializes
+//! through serde yet — so the traits are empty markers and the derives are
+//! no-ops. Swapping in real serde is a one-line change in the workspace
+//! `Cargo.toml` and requires no source edits.
+
+#![forbid(unsafe_code)]
+
+/// Marker counterpart of `serde::Serialize`.
+///
+/// The no-op derive does not implement this trait; nothing in the workspace
+/// takes a `T: Serialize` bound, the name only needs to resolve in imports.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

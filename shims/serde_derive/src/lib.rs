@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the in-tree serde shim.
+//!
+//! A derive macro's output is *appended* to the annotated item, so an empty
+//! token stream is a legal (and here, intentional) expansion: the item
+//! compiles unchanged and no trait impl is generated. The `serde` helper
+//! attribute is accepted so `#[serde(...)]` field attributes would not break
+//! compilation if introduced later.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -124,10 +124,10 @@ fn localization_error_envelope() {
 #[test]
 fn orientation_estimators_agree() {
     let mut rng = GaussianSource::new(0x0A6);
-    for &deg in &[-15.0, -5.0, 10.0] {
+    for &deg in &[-15.0f64, -5.0, 10.0] {
         let pipeline = LocalizationPipeline::new(
             SystemConfig::milback_default(),
-            Scene::indoor(2.0, (deg as f64).to_radians()),
+            Scene::indoor(2.0, deg.to_radians()),
         )
         .unwrap();
         let ap_est = pipeline.orient_at_ap(&mut rng).unwrap();
