@@ -1,15 +1,20 @@
 //! Ablation studies over the design choices DESIGN.md calls out: each
 //! isolates one knob of the system and quantifies what it buys.
 //!
+//! The Monte-Carlo ablations (A1, A3, A6) run through the trial-parallel
+//! runner with deterministic per-trial RNG streams; A2/A4/A5 are
+//! deterministic component sweeps with no randomness to schedule.
+//!
 //! Run with: `cargo run --release -p milback-bench --bin ablations`
 
-use milback_bench::{Report, Series};
+use milback_bench::experiments::ablation_impairments;
+use milback_bench::runner::{run_fallible, RunnerConfig};
+use milback_bench::{reduced_mode, Report, Series};
 use milback_core::localization::Impairments;
 use milback_core::{LinkSimulator, LocalizationPipeline, Scene, SystemConfig};
 use mmwave_rf::antenna::fsa::{FsaDesign, FsaPort, FrequencyScanningAntenna};
 use mmwave_rf::antenna::Antenna;
 use mmwave_rf::components::{EnvelopeDetector, SpdtSwitch};
-use mmwave_sigproc::random::GaussianSource;
 use mmwave_sigproc::window::Window;
 
 fn main() {
@@ -19,6 +24,10 @@ fn main() {
     ablate_detector_speed();
     ablate_switch_speed();
     ablate_impairments();
+}
+
+fn trials_per_point(full: usize) -> usize {
+    if reduced_mode() { (full / 3).max(2) } else { full }
 }
 
 /// How many chirps does background subtraction need? The protocol uses 5
@@ -32,33 +41,39 @@ fn ablate_subtraction_chirps() {
     );
     let mut err_series = Series::new("mean range error (cm)");
     let mut conf_series = Series::new("peak-to-floor (dB)");
-    let mut rng = GaussianSource::new(0xAB1);
-    for &n in &[2usize, 3, 5, 9] {
-        let pipeline = LocalizationPipeline::new(
-            SystemConfig::milback_default(),
-            Scene::indoor(6.0, 12f64.to_radians()),
-        )
-        .unwrap();
-        let mut errs = Vec::new();
-        let mut confs = Vec::new();
-        for _ in 0..10 {
-            let (rx1, _) = pipeline.capture(
-                n,
-                milback_core::localization::ToggleSelection { a: true, b: true },
-                &mut rng,
-            );
-            if let Ok(det) = pipeline.processor.detect_node(&rx1) {
-                errs.push((det.range_m - 6.0).abs() * 100.0);
-                confs.push(det.peak_to_floor_db);
-            }
-        }
-        err_series.push(n as f64, mmwave_sigproc::stats::mean(&errs));
-        conf_series.push(n as f64, mmwave_sigproc::stats::mean(&confs));
+    let chirp_counts = [2usize, 3, 5, 9];
+    let trials = trials_per_point(10);
+    let cfg = RunnerConfig::from_env();
+    let pipeline = LocalizationPipeline::new(
+        SystemConfig::milback_default(),
+        Scene::indoor(6.0, 12f64.to_radians()),
+    )
+    .unwrap()
+    .with_beat_threads(1);
+    let batch = run_fallible(chirp_counts.len() * trials, 0xAB1, &cfg, |i, rng| {
+        let n = chirp_counts[i / trials];
+        let (rx1, _) = pipeline.capture(
+            n,
+            milback_core::localization::ToggleSelection { a: true, b: true },
+            rng,
+        );
+        pipeline
+            .processor
+            .detect_node(&rx1)
+            .map(|det| ((det.range_m - 6.0).abs() * 100.0, det.peak_to_floor_db))
+            .map_err(|e| e.to_string())
+    });
+    for (k, chunk) in batch.results.chunks(trials).enumerate() {
+        let errs: Vec<f64> = chunk.iter().filter_map(|r| r.as_ref().ok().map(|v| v.0)).collect();
+        let confs: Vec<f64> = chunk.iter().filter_map(|r| r.as_ref().ok().map(|v| v.1)).collect();
+        err_series.push(chirp_counts[k] as f64, mmwave_sigproc::stats::mean(&errs));
+        conf_series.push(chirp_counts[k] as f64, mmwave_sigproc::stats::mean(&confs));
     }
     report.add_series(err_series);
     report.add_series(conf_series);
     report.note("5 chirps (the paper's choice) already saturates detection confidence");
-    report.emit();
+    report.note(format!("{}; {} worker threads", batch.summary(), cfg.threads));
+    report.emit_respecting_reduced();
     println!();
 }
 
@@ -94,7 +109,7 @@ fn ablate_fsa_elements() {
     report.add_series(bw_series);
     report.add_series(snr_series);
     report.note("doubling the array adds ~3 dB of gain → ~6 dB of two-way uplink SNR, at the cost of halving the beamwidth (tighter orientation tolerance)");
-    report.emit();
+    report.emit_respecting_reduced();
     println!();
 }
 
@@ -114,23 +129,35 @@ fn ablate_window_choice() {
         Window::Hamming,
         Window::Blackman,
     ];
-    let mut rng = GaussianSource::new(0xAB3);
-    for (i, &w) in windows.iter().enumerate() {
-        let mut pipeline = LocalizationPipeline::new(
-            SystemConfig::milback_default(),
-            Scene::indoor(4.0, 12f64.to_radians()),
-        )
-        .unwrap();
-        pipeline.processor.window = w;
-        let errs: Vec<f64> = (0..12)
-            .filter_map(|_| pipeline.localize(&mut rng).ok())
+    let trials = trials_per_point(12);
+    let cfg = RunnerConfig::from_env();
+    let pipelines: Vec<LocalizationPipeline> = windows
+        .iter()
+        .map(|&w| {
+            let mut p = LocalizationPipeline::new(
+                SystemConfig::milback_default(),
+                Scene::indoor(4.0, 12f64.to_radians()),
+            )
+            .unwrap()
+            .with_beat_threads(1);
+            p.processor.window = w;
+            p
+        })
+        .collect();
+    let batch = run_fallible(windows.len() * trials, 0xAB3, &cfg, |i, rng| {
+        pipelines[i / trials]
+            .localize(rng)
             .map(|f| (f.range_m - 4.0).abs() * 100.0)
-            .collect();
-        series.push(i as f64, mmwave_sigproc::stats::mean(&errs));
+            .map_err(|e| e.to_string())
+    });
+    for (k, chunk) in batch.results.chunks(trials).enumerate() {
+        let errs: Vec<f64> = chunk.iter().filter_map(|r| r.as_ref().ok().copied()).collect();
+        series.push(k as f64, mmwave_sigproc::stats::mean(&errs));
     }
     report.add_series(series);
     report.note("Hann (the default) balances clutter-sidelobe rejection against main-lobe width");
-    report.emit();
+    report.note(format!("{}; {} worker threads", batch.summary(), cfg.threads));
+    report.emit_respecting_reduced();
     println!();
 }
 
@@ -151,7 +178,7 @@ fn ablate_detector_speed() {
     }
     report.add_series(series);
     report.note("the paper's 36 Mbps sits at the ADL6010's ~12 ns class; §9.4: \"one can increase the data-rate further by using faster envelope detector\"");
-    report.emit();
+    report.emit_respecting_reduced();
     println!();
 }
 
@@ -174,7 +201,7 @@ fn ablate_switch_speed() {
     report.add_series(rate_series);
     report.add_series(power_series);
     report.note("faster switches buy rate linearly but spend linearly more dynamic power — the 0.8 nJ/bit figure is rate-independent");
-    report.emit();
+    report.emit_respecting_reduced();
     println!();
 }
 
@@ -206,21 +233,21 @@ fn ablate_impairments() {
         }),
         (3.0, Impairments::milback_default()),
     ];
-    let mut rng = GaussianSource::new(0xAB6);
-    for (id, imp) in cases {
-        let pipeline = LocalizationPipeline::new(
-            SystemConfig::milback_default(),
-            Scene::indoor(8.0, 12f64.to_radians()),
-        )
-        .unwrap()
-        .with_impairments(imp);
-        let errs: Vec<f64> = (0..10)
-            .filter_map(|_| pipeline.localize(&mut rng).ok())
-            .map(|f| (f.range_m - 8.0).abs() * 100.0)
-            .collect();
-        series.push(id, mmwave_sigproc::stats::mean(&errs));
+    let trials = trials_per_point(10);
+    let cfg = RunnerConfig::from_env();
+    let results = ablation_impairments(&cases, 8.0, trials, 0xAB6, &cfg);
+    let mut failed = 0;
+    for r in &results {
+        series.push(r.case_id, mmwave_sigproc::stats::mean(&r.abs_errors_cm));
+        failed += r.failed;
     }
     report.add_series(series);
     report.note("the unresolved ground bounce dominates long-range error; flicker/stitch are second-order; placement error adds a ~1 cm floor everywhere");
-    report.emit();
+    report.note(format!(
+        "{} ok / {failed} failed ({} trials); {} worker threads",
+        cases.len() * trials - failed,
+        cases.len() * trials,
+        cfg.threads
+    ));
+    report.emit_respecting_reduced();
 }

@@ -2,9 +2,14 @@
 //! reproduction. Equivalent to invoking each `fig*`/`table*`/`power*`
 //! binary yourself; see DESIGN.md's experiment index.
 //!
+//! Each child inherits the environment, so `MILBACK_THREADS` (worker
+//! budget) and `MILBACK_REDUCED` (shrunken grids, no CSV overwrite) apply
+//! to every experiment; per-binary wall times are printed at the end.
+//!
 //! Run with: `cargo run --release -p milback-bench --bin all_experiments`
 
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
     let binaries = [
@@ -25,12 +30,16 @@ fn main() {
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("target dir");
     let mut failures = Vec::new();
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    let total = Instant::now();
     for bin in binaries {
         println!("\n================ {bin} ================\n");
         let path = dir.join(bin);
+        let t = Instant::now();
         let status = Command::new(&path).status();
+        let secs = t.elapsed().as_secs_f64();
         match status {
-            Ok(s) if s.success() => {}
+            Ok(s) if s.success() => timings.push((bin, secs)),
             Ok(s) => {
                 eprintln!("{bin} exited with {s}");
                 failures.push(bin);
@@ -43,6 +52,11 @@ fn main() {
             }
         }
     }
+    println!("\nwall time per experiment:");
+    for (bin, secs) in &timings {
+        println!("  {bin:<26} {secs:>7.2} s");
+    }
+    println!("  {:<26} {:>7.2} s", "total", total.elapsed().as_secs_f64());
     if failures.is_empty() {
         println!("\nall {} experiments completed; CSVs in results/", binaries.len());
     } else {

@@ -1,22 +1,36 @@
-//! Machine-readable DSP performance baseline (`results/BENCH_dsp.json`).
+//! Machine-readable performance baselines (`results/BENCH_dsp.json` and
+//! `results/BENCH_experiments.json`).
 //!
-//! Times the planned FFT layer (cached one-shot vs the seed's
+//! The DSP half times the planned FFT layer (cached one-shot vs the seed's
 //! plan-per-call path, plus the allocation-free in-place path), a full
 //! range–Doppler frame serial vs parallel, beat synthesis, and one reduced
-//! Figure-15 uplink run. Every contender pair is sampled round-robin (one
-//! short burst each, alternating, min over many rounds) so background load
-//! on a shared machine hits both sides equally instead of biasing
-//! whichever ran second.
+//! Figure-15 uplink run (through the trial-parallel runner). Every
+//! contender pair is sampled round-robin (one short burst each,
+//! alternating, min over many rounds) so background load on a shared
+//! machine hits both sides equally instead of biasing whichever ran
+//! second.
 //!
-//! The JSON is a regression baseline, not a marketing number: core count,
-//! thread count, and both sides of every ratio are recorded as measured.
+//! The experiments half times each migrated experiment core end-to-end at
+//! reduced scale — serial (`threads = 1`) vs parallel
+//! (`RunnerConfig::from_env()`) — asserting the two schedules return
+//! bit-identical results, and microbenches the hoisted/memoized
+//! [`FsaGainEval`] gain evaluator against the direct per-call path on a
+//! dense angle grid.
+//!
+//! The JSON files are regression baselines, not marketing numbers: core
+//! count, thread count, and both sides of every ratio are recorded as
+//! measured.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::time::Instant;
 
+use milback_bench::experiments::{self, OrientSide};
 use milback_bench::results_dir;
-use milback_core::{LinkSimulator, Scene, SystemConfig};
+use milback_bench::runner::RunnerConfig;
+use milback_core::localization::Impairments;
+use milback_core::SystemConfig;
+use mmwave_rf::antenna::fsa::{FsaDesign, FsaGainEval, FsaPort};
 use mmwave_rf::channel::{synthesize_beat_with_threads, Echo};
 use mmwave_sigproc::complex::Complex;
 use mmwave_sigproc::fft::{fft, Direction, FftPlan, FftPlanner};
@@ -147,6 +161,188 @@ fn json_f(v: f64) -> String {
     }
 }
 
+/// One migrated experiment core timed serial vs parallel at reduced scale.
+struct ExpRow {
+    name: &'static str,
+    trials: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    bit_exact: bool,
+}
+
+impl ExpRow {
+    fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms
+    }
+}
+
+/// Runs an experiment core once per schedule to check bit-exactness, then
+/// `rounds` more times per schedule (round-robin) taking the minimum.
+fn bench_experiment<T: PartialEq>(
+    name: &'static str,
+    trials: usize,
+    rounds: usize,
+    run: impl Fn(&RunnerConfig) -> T,
+) -> ExpRow {
+    let serial_cfg = RunnerConfig::serial();
+    let parallel_cfg = RunnerConfig::from_env();
+    let bit_exact = run(&serial_cfg) == run(&parallel_cfg);
+    let mut serial_ns = f64::INFINITY;
+    let mut parallel_ns = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        std::hint::black_box(run(&serial_cfg));
+        serial_ns = serial_ns.min(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        std::hint::black_box(run(&parallel_cfg));
+        parallel_ns = parallel_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    let row = ExpRow {
+        name,
+        trials,
+        serial_ms: serial_ns / 1e6,
+        parallel_ms: parallel_ns / 1e6,
+        bit_exact,
+    };
+    println!(
+        "  {:<22} {:>3} trials  serial {:>8.1} ms  parallel {:>8.1} ms  ({:.2}x)  bit-exact {}",
+        row.name, row.trials, row.serial_ms, row.parallel_ms, row.speedup(), row.bit_exact
+    );
+    row
+}
+
+/// Times the reduced experiment suite serial vs parallel through the
+/// runner, asserting bitwise-identical results per core.
+fn bench_experiments() -> Vec<ExpRow> {
+    println!("experiment cores, reduced scale (serial vs parallel, min over rounds):");
+    let rounds = 2;
+    let mut rows = Vec::new();
+    rows.push(bench_experiment("fig12a_ranging", 12, rounds, |cfg| {
+        experiments::fig12a_ranging(&[2.0, 5.0, 8.0], 4, 0xF12A, cfg)
+    }));
+    rows.push(bench_experiment("fig12b_angle_cdf", 6, rounds, |cfg| {
+        experiments::fig12b_angle_errors(&[(-10.0, 2.0), (8.0, 4.0)], 3, 0xF12B, cfg)
+    }));
+    rows.push(bench_experiment("fig13a_orient_node", 12, rounds, |cfg| {
+        experiments::fig13_orientation(&[-15.0, 0.0, 15.0], 4, 0xF13A, cfg, OrientSide::Node)
+    }));
+    rows.push(bench_experiment("fig13b_orient_ap", 12, rounds, |cfg| {
+        experiments::fig13_orientation(&[-12.0, 0.0, 12.0], 4, 0xF13B, cfg, OrientSide::Ap)
+    }));
+    rows.push(bench_experiment("fig14_downlink_spots", 3, rounds, |cfg| {
+        experiments::fig14_spot_checks(&[2.0, 6.0, 10.0], 64, 0xF14, cfg)
+    }));
+    rows.push(bench_experiment("fig15_uplink_spots", 2, rounds, |cfg| {
+        experiments::fig15_spot_checks(&[(10e6, 8.0), (40e6, 6.0)], 10_000, 0xF15, cfg)
+    }));
+    rows.push(bench_experiment("ablation_impairments", 8, rounds, |cfg| {
+        experiments::ablation_impairments(
+            &[(0.0, Impairments::none()), (3.0, Impairments::milback_default())],
+            8.0,
+            4,
+            0xAB6,
+            cfg,
+        )
+    }));
+    rows.push(bench_experiment("ext_coded_uplink", 2, rounds, |cfg| {
+        experiments::extension_coded_uplink(&[6.0, 10.0], 2048, 0xEC2, cfg)
+    }));
+    rows.push(bench_experiment("ext_tracking_fixes", 8, rounds, |cfg| {
+        experiments::extension_tracking_fixes(8, 0.1, 0xEC3, cfg, &SystemConfig::milback_default())
+    }));
+    rows
+}
+
+/// The FSA gain-evaluator microbench: direct per-call `FsaDesign::gain_dbi`
+/// vs the hoisted `FsaFreqEval` loop vs the warm memoized `FsaGainEval`
+/// path, on a dense (port, frequency, angle) grid — bit-exact by assertion.
+struct FsaBench {
+    points: usize,
+    unhoisted_ns: f64,
+    hoisted_ns: f64,
+    memoized_ns: f64,
+    bit_exact: bool,
+}
+
+fn bench_fsa_gain_eval() -> FsaBench {
+    let design = FsaDesign::milback_default();
+    let eval = FsaGainEval::new(&design);
+    let freqs: Vec<f64> = (0..7).map(|i| 26.5e9 + 0.5e9 * i as f64).collect();
+    let angles: Vec<f64> = (0..181).map(|i| (-45.0 + 0.5 * i as f64).to_radians()).collect();
+    let ports = [FsaPort::A, FsaPort::B];
+    let points = ports.len() * freqs.len() * angles.len();
+
+    // Bit-exactness across all three paths (also warms the memo caches).
+    let mut bit_exact = true;
+    for &port in &ports {
+        for &f in &freqs {
+            let fe = eval.at_freq(port, f);
+            for &ang in &angles {
+                let direct = design.gain_dbi(port, f, ang);
+                bit_exact &= direct.to_bits() == fe.gain_dbi(ang).to_bits();
+                bit_exact &= direct.to_bits() == eval.gain_dbi(port, f, ang).to_bits();
+            }
+        }
+    }
+    assert!(bit_exact, "FsaGainEval diverged from FsaDesign::gain_dbi");
+
+    let mut unhoisted = || {
+        let mut acc = 0.0;
+        for &port in &ports {
+            for &f in &freqs {
+                for &ang in &angles {
+                    acc += design.gain_dbi(port, f, ang);
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    };
+    let mut hoisted = || {
+        let mut acc = 0.0;
+        for &port in &ports {
+            for &f in &freqs {
+                let fe = eval.at_freq(port, f);
+                for &ang in &angles {
+                    acc += fe.gain_dbi(ang);
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    };
+    let mut memoized = || {
+        let mut acc = 0.0;
+        for &port in &ports {
+            for &f in &freqs {
+                for &ang in &angles {
+                    acc += eval.gain_dbi(port, f, ang);
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    };
+    let times = race(40, 4, &mut [&mut unhoisted, &mut hoisted, &mut memoized]);
+    println!(
+        "FSA gain sweep ({points} points): per-call {:.0} ns/pt, hoisted {:.0} ns/pt ({:.2}x), warm memo {:.0} ns/pt ({:.2}x), bit-exact {bit_exact}",
+        times[0] / points as f64,
+        times[1] / points as f64,
+        times[0] / times[1],
+        times[2] / points as f64,
+        times[0] / times[2],
+    );
+    FsaBench {
+        points,
+        unhoisted_ns: times[0],
+        hoisted_ns: times[1],
+        memoized_ns: times[2],
+        bit_exact,
+    }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = parallel::max_threads();
@@ -235,21 +431,27 @@ fn main() {
         beat[0] / beat[1],
     );
 
-    // --- Reduced Figure-15 uplink run --------------------------------
-    let mut config = SystemConfig::milback_default();
-    config.uplink_symbol_rate_hz = 10e6 / 2.0;
-    let sim = LinkSimulator::new(config, Scene::single_node(8.0, 12f64.to_radians())).unwrap();
-    let mut rng = GaussianSource::new(0xF15);
-    let payload: Vec<u8> = rng.bytes(20_000);
+    // --- Reduced Figure-15 uplink run (through the runner) -----------
     let t = Instant::now();
-    let out = sim.uplink(&payload, &mut rng).unwrap();
+    let spots =
+        experiments::fig15_spot_checks(&[(10e6, 8.0)], 20_000, 0xF15, &RunnerConfig::serial());
     let uplink_ms = t.elapsed().as_nanos() as f64 / 1e6;
+    let spot = spots.results[0].as_ref().expect("reduced fig15 uplink succeeds");
     println!(
-        "fig15 uplink (reduced, 20 kB at 8 m, 10 Mbps): {:.1} ms, SNR {:.1} dB, BER {:.1e}",
-        uplink_ms, out.snr_db, out.ber,
+        "fig15 uplink (reduced, 20 kB at 8 m, 10 Mbps, via runner): {:.1} ms, SNR {:.1} dB, BER {:.1e}",
+        uplink_ms, spot.snr_db, spot.ber,
     );
 
-    // --- JSON baseline ------------------------------------------------
+    // --- Experiment cores + FSA evaluator ----------------------------
+    let exp_rows = bench_experiments();
+    let fsa = bench_fsa_gain_eval();
+    let speedups: Vec<f64> = exp_rows.iter().map(|r| r.speedup()).collect();
+    let best_speedup = speedups.iter().copied().fold(0.0, f64::max);
+    let median_speedup = median(speedups);
+    let all_bit_exact = exp_rows.iter().all(|r| r.bit_exact) && fsa.bit_exact;
+    assert!(all_bit_exact, "a parallel schedule or evaluator diverged");
+
+    // --- BENCH_dsp.json -----------------------------------------------
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"schema\": \"milback-bench-dsp-v1\",\n");
@@ -290,7 +492,7 @@ fn main() {
     let _ = writeln!(
         j,
         "  \"uplink_fig15_reduced\": {{ \"distance_m\": 8.0, \"bit_rate_mbps\": 10, \"payload_bytes\": 20000, \"wall_ms\": {:.1}, \"snr_db\": {:.2}, \"ber\": {:.3e} }},",
-        uplink_ms, out.snr_db, out.ber,
+        uplink_ms, spot.snr_db, spot.ber,
     );
     let _ = writeln!(
         j,
@@ -303,5 +505,53 @@ fn main() {
     let _ = fs::create_dir_all(&dir);
     let path = dir.join("BENCH_dsp.json");
     fs::write(&path, &j).expect("write BENCH_dsp.json");
+    println!("wrote {}", path.display());
+
+    // --- BENCH_experiments.json ---------------------------------------
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"milback-bench-experiments-v1\",\n");
+    let _ = writeln!(
+        j,
+        "  \"host\": {{ \"cores\": {cores}, \"threads_used\": {threads}, \"timer\": \"min over rounds, serial/parallel round-robin\" }},"
+    );
+    j.push_str("  \"experiments\": [\n");
+    for (i, r) in exp_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{ \"name\": \"{}\", \"trials\": {}, \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"speedup\": {:.2}, \"bit_exact\": {} }}{}",
+            r.name,
+            r.trials,
+            r.serial_ms,
+            r.parallel_ms,
+            r.speedup(),
+            r.bit_exact,
+            if i + 1 == exp_rows.len() { "" } else { "," },
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"fsa_gain_eval\": {{ \"points\": {}, \"unhoisted_ns_per_point\": {}, \"hoisted_ns_per_point\": {}, \"memoized_ns_per_point\": {}, \"hoisted_speedup\": {:.2}, \"memoized_speedup\": {:.2}, \"bit_exact\": {} }},",
+        fsa.points,
+        json_f(fsa.unhoisted_ns / fsa.points as f64),
+        json_f(fsa.hoisted_ns / fsa.points as f64),
+        json_f(fsa.memoized_ns / fsa.points as f64),
+        fsa.unhoisted_ns / fsa.hoisted_ns,
+        fsa.unhoisted_ns / fsa.memoized_ns,
+        fsa.bit_exact,
+    );
+    let _ = writeln!(
+        j,
+        "  \"acceptance\": {{ \"runner_target_speedup\": 1.8, \"runner_target_needs_cores\": 4, \"cores\": {cores}, \"threads\": {threads}, \"runner_best_speedup\": {:.2}, \"runner_median_speedup\": {:.2}, \"fsa_target_speedup\": 2.0, \"fsa_hoisted_speedup\": {:.2}, \"fsa_memoized_speedup\": {:.2}, \"all_bit_exact\": {all_bit_exact} }}",
+        best_speedup,
+        median_speedup,
+        fsa.unhoisted_ns / fsa.hoisted_ns,
+        fsa.unhoisted_ns / fsa.memoized_ns,
+    );
+    j.push_str("}\n");
+
+    let path = dir.join("BENCH_experiments.json");
+    fs::write(&path, &j).expect("write BENCH_experiments.json");
     println!("wrote {}", path.display());
 }

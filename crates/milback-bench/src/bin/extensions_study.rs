@@ -6,15 +6,19 @@
 //! * **Tracking**: Kalman-filtered fixes vs raw localization for a moving
 //!   node.
 //!
+//! The stochastic studies (E2, E3) run through the trial-parallel runner:
+//! every distance/step is an independent trial with its own deterministic
+//! RNG stream. E3's Kalman fold stays serial in this binary — only the
+//! per-step localization fixes are produced in parallel.
+//!
 //! Run with: `cargo run --release -p milback-bench --bin extensions_study`
 
-use milback_bench::{linspace, Report, Series};
-use milback_core::coding::{bits_to_bytes, bytes_to_bits, PayloadCodec};
+use milback_bench::experiments::{extension_coded_uplink, extension_tracking_fixes};
+use milback_bench::runner::RunnerConfig;
+use milback_bench::{linspace, reduced_mode, Report, Series};
 use milback_core::dense::DenseOaqfm;
 use milback_core::tracking::Tracker;
-use milback_core::{LinkSimulator, LocalizationPipeline, Scene, SystemConfig};
-use mmwave_rf::channel::{ApFrontend, NodePose, Vec2};
-use mmwave_sigproc::random::GaussianSource;
+use milback_core::{LinkSimulator, Scene, SystemConfig};
 
 fn main() {
     dense_oaqfm_vs_distance();
@@ -37,7 +41,8 @@ fn dense_oaqfm_vs_distance() {
     let mut rate_series = Series::new("adaptive rate (Mbps)");
     let mut level_series = Series::new("levels per tone");
     let mut plain_series = Series::new("plain OAQFM (Mbps)");
-    for d in linspace(0.5, 12.0, 24) {
+    let grid = if reduced_mode() { linspace(0.5, 12.0, 6) } else { linspace(0.5, 12.0, 24) };
+    for d in grid {
         let sim = LinkSimulator::new(
             SystemConfig::milback_default(),
             Scene::single_node(d, 12f64.to_radians()),
@@ -77,7 +82,7 @@ fn dense_oaqfm_vs_distance() {
         report.note("the SINR ceiling kept the link at plain OAQFM everywhere in this sweep");
     }
     report.note("§9.4: \"another option is to define denser OAQFM modulation schemes … considering different amplitudes for each tone\"");
-    report.emit();
+    report.emit_respecting_reduced();
 }
 
 /// Coded uplink: residual byte errors with and without FEC across range.
@@ -90,44 +95,26 @@ fn coded_uplink_vs_distance() {
     );
     let mut raw_series = Series::new("uncoded log10 BER");
     let mut coded_series = Series::new("coded log10 BER (effective 22.9 Mbps)");
-    let codec = PayloadCodec::new(7);
-    let mut rng = GaussianSource::new(0xEC2);
-    for d in [6.0, 7.0, 8.0, 9.0, 10.0] {
-        let sim = LinkSimulator::new(
-            SystemConfig::milback_default(),
-            Scene::single_node(d, 12f64.to_radians()),
-        )
-        .unwrap();
-        // Raw channel BER from a long transfer.
-        let payload: Vec<u8> = rng.bytes(8192);
-        let out = sim.uplink(&payload, &mut rng).unwrap();
-        raw_series.push(d, out.ber.max(1e-9).log10());
-        // Coded: encode, ship the coded bits, decode, count residual errors.
-        let coded_bits = codec.encode(&payload);
-        let coded_bytes = bits_to_bytes(
-            &coded_bits[..coded_bits.len() - coded_bits.len() % 8],
-        );
-        let coded_out = sim.uplink(&coded_bytes, &mut rng).unwrap();
-        let mut rx_bits = bytes_to_bits(&coded_out.decoded);
-        rx_bits.resize(coded_bits.len(), false);
-        let (decoded, _) = codec.decode(&rx_bits);
-        let n = decoded.len().min(payload.len());
-        let errors: u32 = decoded[..n]
-            .iter()
-            .zip(&payload[..n])
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
-        let residual = errors as f64 / (n * 8) as f64;
-        coded_series.push(d, residual.max(1e-9).log10());
+    let reduced = reduced_mode();
+    let distances: &[f64] =
+        if reduced { &[6.0, 10.0] } else { &[6.0, 7.0, 8.0, 9.0, 10.0] };
+    let payload_bytes = if reduced { 2048 } else { 8192 };
+    let cfg = RunnerConfig::from_env();
+    let batch = extension_coded_uplink(distances, payload_bytes, 0xEC2, &cfg);
+    for p in batch.oks() {
+        raw_series.push(p.distance_m, p.raw_log10_ber);
+        coded_series.push(p.distance_m, p.coded_log10_ber);
     }
     report.add_series(raw_series);
     report.add_series(coded_series);
     report.note("FEC buys ~1.5–3 orders of magnitude of residual BER at the range edge for a 4/7 rate cost");
-    report.emit();
+    report.note(format!("{}; {} worker threads", batch.summary(), cfg.threads));
+    report.emit_respecting_reduced();
 }
 
 /// Tracking: RMS error of raw fixes vs Kalman-filtered track for a node
-/// walking across the cell.
+/// walking across the cell. The fixes come from the runner (one
+/// deterministic stream per step); the Kalman fold over them is serial.
 fn tracking_vs_raw() {
     let mut report = Report::new(
         "Extension E3",
@@ -136,37 +123,24 @@ fn tracking_vs_raw() {
         "position error (cm)",
     );
     let config = SystemConfig::milback_default();
-    let mut rng = GaussianSource::new(0xEC3);
     let mut tracker = Tracker::new().with_noise(1.0, 0.03);
     let mut raw_series = Series::new("raw fix error (cm)");
     let mut track_series = Series::new("tracked error (cm)");
     let dt = 0.1;
+    let steps = if reduced_mode() { 10 } else { 30 };
+    let cfg = RunnerConfig::from_env();
+    let batch = extension_tracking_fixes(steps, dt, 0xEC3, &cfg, &config);
     let mut raw_sq = 0.0;
     let mut trk_sq = 0.0;
-    let steps = 30;
-    for i in 0..steps {
-        let t = i as f64 * dt;
-        // Walk from (3, -0.75) toward (3, +0.75).
-        let truth = Vec2::new(3.0, -0.75 + 0.5 * t);
-        let az = truth.y.atan2(truth.x);
-        let mut scene = Scene::indoor(3.0, 0.0);
-        scene.nodes =
-            vec![NodePose { position: truth, facing_rad: std::f64::consts::PI + az }];
-        scene.ap = ApFrontend { boresight_rad: az, ..ApFrontend::milback_default() };
-        let pipeline = LocalizationPipeline::new(config.clone(), scene).unwrap();
-        let Ok(fix) = pipeline.localize(&mut rng) else { continue };
-        // The fix's angle is relative to the steered boresight.
-        let abs_angle = fix.angle_rad + az;
-        let fix_abs = milback_core::localization::LocationFix {
-            position: Vec2::from_polar(fix.range_m, abs_angle),
-            angle_rad: abs_angle,
-            ..fix
-        };
-        let s = tracker.update(&fix_abs, if i == 0 { 0.0 } else { dt });
-        let raw_err = fix_abs.position.distance_to(truth);
-        let trk_err = s.position.distance_to(truth);
-        raw_series.push(t, raw_err * 100.0);
-        track_series.push(t, trk_err * 100.0);
+    let mut first = true;
+    for (i, r) in batch.results.iter().enumerate() {
+        let Ok(step) = r else { continue };
+        let s = tracker.update(&step.fix, if first { 0.0 } else { dt });
+        first = false;
+        let raw_err = step.fix.position.distance_to(step.truth);
+        let trk_err = s.position.distance_to(step.truth);
+        raw_series.push(step.t_s, raw_err * 100.0);
+        track_series.push(step.t_s, trk_err * 100.0);
         if i >= 5 {
             raw_sq += raw_err * raw_err;
             trk_sq += trk_err * trk_err;
@@ -179,5 +153,6 @@ fn tracking_vs_raw() {
         (raw_sq / (steps - 5) as f64).sqrt() * 100.0,
         (trk_sq / (steps - 5) as f64).sqrt() * 100.0
     ));
-    report.emit();
+    report.note(format!("{}; {} worker threads", batch.summary(), cfg.threads));
+    report.emit_respecting_reduced();
 }

@@ -2,38 +2,57 @@
 //!
 //! Gain vs azimuth for seven sample frequencies (26.5–29.5 GHz in 0.5 GHz
 //! steps) on both ports — the HFSS plot of the paper, regenerated from the
-//! series-fed array-factor model.
+//! series-fed array-factor model. Each (port, frequency) curve is one
+//! trial of the trial-parallel runner (the sweep is deterministic, so the
+//! per-trial RNG goes unused), computed through the hoisted
+//! [`FsaGainEval`] evaluator — bit-exact with the direct per-call path.
 //!
 //! Paper anchors: every beam peaks above 10 dBi; beam direction sweeps
 //! ≈60° across the band; the two ports' frequency→angle maps are mirrored.
 
-use milback_bench::{linspace, Report, Series};
-use mmwave_rf::antenna::fsa::{FsaDesign, FsaPort};
+use milback_bench::runner::{run_trials, RunnerConfig};
+use milback_bench::{linspace, reduced_mode, Report, Series};
+use mmwave_rf::antenna::fsa::{FsaDesign, FsaGainEval, FsaPort};
 
 fn main() {
+    let reduced = reduced_mode();
     let fsa = FsaDesign::milback_default();
-    let angles = linspace(-45.0, 45.0, 91);
+    let eval = FsaGainEval::new(&fsa);
+    let angles = if reduced { linspace(-45.0, 45.0, 31) } else { linspace(-45.0, 45.0, 91) };
     let freqs: Vec<f64> = (0..7).map(|i| 26.5e9 + 0.5e9 * i as f64).collect();
+    let cfg = RunnerConfig::from_env();
 
-    for port in [FsaPort::A, FsaPort::B] {
+    // One runner trial per (port, frequency) curve.
+    let grid: Vec<(FsaPort, f64)> = [FsaPort::A, FsaPort::B]
+        .iter()
+        .flat_map(|&p| freqs.iter().map(move |&f| (p, f)))
+        .collect();
+    let curves: Vec<Series> = run_trials(grid.len(), 0xF10, &cfg, |i, _rng| {
+        let (port, f) = grid[i];
+        let fe = eval.at_freq(port, f);
+        let mut s = Series::new(format!("{:.1} GHz", f / 1e9));
+        for &deg in &angles {
+            s.push(deg, fe.gain_dbi(deg.to_radians()));
+        }
+        s
+    });
+
+    for (pi, port) in [FsaPort::A, FsaPort::B].into_iter().enumerate() {
         let mut report = Report::new(
             format!("Figure 10 port {port:?}"),
             format!("FSA beam pattern, port {port:?} (gain vs azimuth per frequency)"),
             "azimuth (deg)",
             "gain (dBi)",
         );
-        for &f in &freqs {
-            let mut s = Series::new(format!("{:.1} GHz", f / 1e9));
-            for &deg in &angles {
-                s.push(deg, fsa.gain_dbi(port, f, deg.to_radians()));
-            }
-            report.add_series(s);
+        for s in &curves[pi * freqs.len()..(pi + 1) * freqs.len()] {
+            report.add_series(s.clone());
         }
         // Summary anchors.
         let mut peaks = Vec::new();
         for &f in &freqs {
-            let beam = fsa.beam_angle_rad(port, f).unwrap();
-            peaks.push((f, beam.to_degrees(), fsa.gain_dbi(port, f, beam)));
+            let fe = eval.at_freq(port, f);
+            let beam = fe.beam_angle_rad().unwrap();
+            peaks.push((f, beam.to_degrees(), fe.gain_dbi(beam)));
         }
         let coverage = (peaks.last().unwrap().1 - peaks[0].1).abs();
         let min_peak = peaks.iter().map(|p| p.2).fold(f64::MAX, f64::min);
@@ -43,7 +62,7 @@ fn main() {
         for (f, deg, g) in &peaks {
             report.note(format!("{:.1} GHz → {deg:+.1}° at {g:.1} dBi", f / 1e9));
         }
-        report.emit();
+        report.emit_respecting_reduced();
         println!();
     }
 

@@ -5,11 +5,17 @@
 //! back-to-back at 1 µs per symbol. We print the envelope-detector output
 //! voltage at both FSA ports over time — the waveform the paper's scope
 //! shot shows: each port responds only to its own tone.
+//!
+//! The per-symbol port powers run as runner trials through the memoized
+//! [`FsaGainEval`] port-coupling path; the detector-noise stream is trial
+//! stream 0 of root seed 0xF11 (identical to the historical
+//! `GaussianSource::new(0xF11)` stream, since trial 0's seed is the root).
 
+use milback_bench::runner::{run_trials, trial_rng, RunnerConfig};
 use milback_bench::{Report, Series};
 use milback_core::{LinkSimulator, Scene, SystemConfig};
-use milback_node::node::port_powers_for_tones;
-use mmwave_sigproc::random::GaussianSource;
+use milback_node::node::port_powers_for_tones_eval;
+use mmwave_rf::antenna::fsa::FsaGainEval;
 use mmwave_sigproc::waveform::OaqfmSymbol;
 
 fn main() {
@@ -35,9 +41,10 @@ fn main() {
     let symbols: Vec<OaqfmSymbol> = (0..4).map(OaqfmSymbol::from_bits).collect();
     let trace_rate = 200e6;
     let sps = (trace_rate / config.downlink_symbol_rate_hz) as usize;
-    let mut pa = Vec::new();
-    let mut pb = Vec::new();
-    for s in &symbols {
+    let eval = FsaGainEval::for_dual(&config.node.fsa);
+    let cfg = RunnerConfig::from_env();
+    let powers: Vec<(f64, f64)> = run_trials(symbols.len(), 0xF11, &cfg, |i, _rng| {
+        let s = &symbols[i];
         let mut tones = Vec::new();
         if s.tone_a {
             tones.push((f_a, incident(&sim, f_a)));
@@ -45,11 +52,16 @@ fn main() {
         if s.tone_b {
             tones.push((f_b, incident(&sim, f_b)));
         }
-        let p = port_powers_for_tones(&config.node.fsa, gt.incidence_rad, &tones);
-        pa.extend(std::iter::repeat_n(p.a_w, sps));
-        pb.extend(std::iter::repeat_n(p.b_w, sps));
+        let p = port_powers_for_tones_eval(&eval, gt.incidence_rad, &tones);
+        (p.a_w, p.b_w)
+    });
+    let mut pa = Vec::new();
+    let mut pb = Vec::new();
+    for &(a_w, b_w) in &powers {
+        pa.extend(std::iter::repeat_n(a_w, sps));
+        pb.extend(std::iter::repeat_n(b_w, sps));
     }
-    let mut rng = GaussianSource::new(0xF11);
+    let mut rng = trial_rng(0xF11, 0);
     let (va, vb) = config.node.detector_traces(&pa, &pb, trace_rate, &mut rng);
 
     // Report decimated traces (100 points per symbol period).
@@ -89,7 +101,7 @@ fn main() {
         "off-level (symbol 00): A {:.3} mV, B {:.3} mV — tones separate cleanly at the two ports as in the paper's scope capture",
         quiet.0, quiet.1
     ));
-    report.emit();
+    report.emit_respecting_reduced();
 }
 
 fn incident(sim: &LinkSimulator, f: f64) -> f64 {

@@ -5,43 +5,36 @@
 //! we report the mean and 90th-percentile absolute range error against the
 //! laser-measured ground truth.
 //!
+//! Trials run through the deterministic trial-parallel runner: each trial
+//! has its own RNG stream derived from `(0xF12A, trial index)`, so the
+//! numbers are identical at any thread count (`MILBACK_THREADS` to pin).
+//!
 //! Paper anchors: mean error < 5 cm at 5 m and < 12 cm at 8 m, growing
 //! with distance as echo SNR decays.
 
-use milback_bench::{linspace, Report, Series};
-use milback_core::{LocalizationPipeline, Scene, SystemConfig};
-use mmwave_sigproc::random::GaussianSource;
+use milback_bench::experiments::fig12a_ranging;
+use milback_bench::runner::RunnerConfig;
+use milback_bench::{linspace, reduced_mode, Report, Series};
 use mmwave_sigproc::stats::ErrorSummary;
 
 fn main() {
-    let distances = linspace(1.0, 8.0, 8);
-    let trials = 20;
-    let orientation = 12f64.to_radians();
+    let reduced = reduced_mode();
+    let distances = if reduced { linspace(2.0, 8.0, 3) } else { linspace(1.0, 8.0, 8) };
+    let trials = if reduced { 4 } else { 20 };
+    let cfg = RunnerConfig::from_env();
+
+    let results = fig12a_ranging(&distances, trials, 0xF12A, &cfg);
 
     let mut mean_series = Series::new("mean error (cm)");
     let mut p90_series = Series::new("90th pct (cm)");
-    let mut rng = GaussianSource::new(0xF12A);
-
-    for &d in &distances {
-        let pipeline = LocalizationPipeline::new(
-            SystemConfig::milback_default(),
-            Scene::indoor(d, orientation),
-        )
-        .expect("valid configuration");
-        let mut errors = Vec::with_capacity(trials);
-        for _ in 0..trials {
-            // The experimenter measures ground truth with a laser meter;
-            // the estimate is compared against that measurement.
-            let measured_gt = pipeline.measured_ground_truth_range(&mut rng);
-            match pipeline.localize(&mut rng) {
-                Ok(fix) => errors.push((fix.range_m - measured_gt).abs()),
-                Err(e) => eprintln!("  trial failed at {d} m: {e}"),
-            }
-        }
-        let summary = ErrorSummary::from_abs_errors(&errors);
-        mean_series.push(d, summary.mean * 100.0);
-        p90_series.push(d, summary.p90 * 100.0);
+    let mut failed = 0;
+    for r in &results {
+        let summary = ErrorSummary::from_abs_errors(&r.abs_errors_m);
+        mean_series.push(r.distance_m, summary.mean * 100.0);
+        p90_series.push(r.distance_m, summary.p90 * 100.0);
+        failed += r.failed;
     }
+    let total = distances.len() * trials;
 
     let mut report = Report::new(
         "Figure 12a",
@@ -64,5 +57,10 @@ fn main() {
         "paper: mean < 5 cm at 5 m → measured {m5:.1} cm; mean < 12 cm at 8 m → measured {m8:.1} cm"
     ));
     report.note("error grows with distance as the modulated echo SNR decays (same trend as the paper)");
-    report.emit();
+    report.note(format!(
+        "{} ok / {failed} failed ({total} trials); {} worker threads, deterministic per-trial streams",
+        total - failed,
+        cfg.threads
+    ));
+    report.emit_respecting_reduced();
 }

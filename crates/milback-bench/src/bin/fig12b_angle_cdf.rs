@@ -4,37 +4,34 @@
 //! the full five-chirp localization and compares the estimated angle with
 //! the protractor ground truth. The paper reports median 1.1° and 90th
 //! percentile 2.5°.
+//!
+//! Historically this binary threaded ONE shared RNG through the nested
+//! placement loops, so adding or reordering a placement silently reshuffled
+//! every later trial's noise. Trials now run through the deterministic
+//! trial-parallel runner: trial `i`'s stream depends only on `(0xF12B, i)`,
+//! making each placement's statistics independent of the rest of the grid
+//! and of the thread count.
 
-use milback_bench::{Report, Series};
-use milback_core::{LocalizationPipeline, Scene, SystemConfig};
-use mmwave_sigproc::random::GaussianSource;
+use milback_bench::experiments::fig12b_angle_errors;
+use milback_bench::runner::RunnerConfig;
+use milback_bench::{reduced_mode, Report, Series};
 use mmwave_sigproc::stats::{empirical_cdf, median, percentile};
 
 fn main() {
-    let mut rng = GaussianSource::new(0xF12B);
-    let mut errors_deg: Vec<f64> = Vec::new();
-
+    let reduced = reduced_mode();
     // Sweep azimuths and distances like the paper's placements.
-    for &az_deg in &[-20.0f64, -10.0, 0.0, 8.0, 15.0] {
-        for &dist in &[2.0, 4.0, 6.0] {
-            let scene = Scene {
-                ap: mmwave_rf::channel::ApFrontend::milback_default(),
-                nodes: vec![],
-                clutter: Scene::indoor(dist, 0.0).clutter,
-            }
-            .with_node_at(dist, az_deg.to_radians(), 12f64.to_radians());
-            let pipeline =
-                LocalizationPipeline::new(SystemConfig::milback_default(), scene).unwrap();
-            for _ in 0..8 {
-                match pipeline.localize(&mut rng) {
-                    Ok(fix) => {
-                        errors_deg.push((fix.angle_rad.to_degrees() - az_deg).abs());
-                    }
-                    Err(e) => eprintln!("  trial failed at az {az_deg}°, {dist} m: {e}"),
-                }
-            }
-        }
-    }
+    let azimuths: &[f64] = if reduced { &[-10.0, 8.0] } else { &[-20.0, -10.0, 0.0, 8.0, 15.0] };
+    let dists: &[f64] = if reduced { &[2.0, 4.0] } else { &[2.0, 4.0, 6.0] };
+    let trials = if reduced { 3 } else { 8 };
+    let placements: Vec<(f64, f64)> = azimuths
+        .iter()
+        .flat_map(|&az| dists.iter().map(move |&d| (az, d)))
+        .collect();
+    let cfg = RunnerConfig::from_env();
+
+    let results = fig12b_angle_errors(&placements, trials, 0xF12B, &cfg);
+    let errors_deg: Vec<f64> = results.iter().flat_map(|r| r.errors_deg.iter().copied()).collect();
+    let failed: usize = results.iter().map(|r| r.failed).sum();
 
     let cdf = empirical_cdf(&errors_deg);
     let mut report = Report::new(
@@ -54,5 +51,11 @@ fn main() {
         "median {med:.2}° (paper: 1.1°), 90th percentile {p90:.2}° (paper: 2.5°), {} trials",
         errors_deg.len()
     ));
-    report.emit();
+    report.note(format!(
+        "{} ok / {failed} failed ({} trials); {} worker threads, deterministic per-trial streams",
+        errors_deg.len(),
+        placements.len() * trials,
+        cfg.threads
+    ));
+    report.emit_respecting_reduced();
 }

@@ -3,45 +3,40 @@
 //! The node sits 2 m from the AP; the AP transmits Field-1 triangular
 //! chirps while both node ports absorb; the MCU samples both detectors at
 //! 1 MS/s, measures the peak separation per port and averages the two
-//! estimates. 25 trials per orientation.
+//! estimates. 25 trials per orientation, each with its own deterministic
+//! RNG stream via the trial-parallel runner (root seed 0xF13A).
 //!
 //! Paper anchor: mean error < 3° at every orientation.
 
-use milback_bench::{Report, Series};
-use milback_core::{LocalizationPipeline, Scene, SystemConfig};
-use mmwave_sigproc::random::GaussianSource;
+use milback_bench::experiments::{fig13_orientation, OrientSide};
+use milback_bench::runner::RunnerConfig;
+use milback_bench::{reduced_mode, Report, Series};
 use mmwave_sigproc::stats::ErrorSummary;
 
 fn main() {
-    let orientations: Vec<f64> = vec![-20.0, -15.0, -10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0];
-    let trials = 25;
-    let mut rng = GaussianSource::new(0xF13A);
+    let reduced = reduced_mode();
+    let orientations: Vec<f64> = if reduced {
+        vec![-15.0, 0.0, 15.0]
+    } else {
+        vec![-20.0, -15.0, -10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0]
+    };
+    let trials = if reduced { 5 } else { 25 };
+    let cfg = RunnerConfig::from_env();
+
+    let results = fig13_orientation(&orientations, trials, 0xF13A, &cfg, OrientSide::Node);
 
     let mut mean_series = Series::new("mean error (deg)");
     let mut std_series = Series::new("std dev (deg)");
     let mut worst = 0.0f64;
-
-    for &deg in &orientations {
-        // `orientation_rad` rotates the board; the sensed incidence is its
-        // negative — sweep the board and compare in incidence space.
-        let pipeline = LocalizationPipeline::new(
-            SystemConfig::milback_default(),
-            Scene::indoor(2.0, (-deg).to_radians()),
-        )
-        .unwrap();
-        let truth = pipeline.scene.ground_truth(0).incidence_rad.to_degrees();
-        let mut errors = Vec::with_capacity(trials);
-        for _ in 0..trials {
-            match pipeline.orient_at_node(&mut rng) {
-                Ok(est) => errors.push((est.to_degrees() - truth).abs()),
-                Err(e) => eprintln!("  trial failed at {deg}°: {e}"),
-            }
-        }
-        let s = ErrorSummary::from_abs_errors(&errors);
-        mean_series.push(deg, s.mean);
-        std_series.push(deg, s.std_dev);
+    let mut failed = 0;
+    for r in &results {
+        let s = ErrorSummary::from_abs_errors(&r.abs_errors_deg);
+        mean_series.push(r.orientation_deg, s.mean);
+        std_series.push(r.orientation_deg, s.std_dev);
         worst = worst.max(s.mean);
+        failed += r.failed;
     }
+    let total = orientations.len() * trials;
 
     let mut report = Report::new(
         "Figure 13a",
@@ -54,5 +49,10 @@ fn main() {
     report.note(format!(
         "worst mean error {worst:.2}° (paper: always < 3°, comparable to smartphone IMUs [25])"
     ));
-    report.emit();
+    report.note(format!(
+        "{} ok / {failed} failed ({total} trials); {} worker threads, deterministic per-trial streams",
+        total - failed,
+        cfg.threads
+    ));
+    report.emit_respecting_reduced();
 }

@@ -2,15 +2,18 @@
 //!
 //! SNR of the node's backscatter at the AP vs distance, for 10 Mbps
 //! (Fig 15a) and 40 Mbps (Fig 15b), with the BER each SNR implies and
-//! Monte-Carlo verification at selected distances.
+//! Monte-Carlo verification at selected distances. The Monte-Carlo cases
+//! run through the trial-parallel runner (root seed 0xF15, one
+//! deterministic stream per case); failed transfers are reported.
 //!
 //! Paper anchors: very low BER at 8 m for 10 Mbps (≈2e-4 annotation) and
 //! at 6 m for 40 Mbps (≈8e-4); 40 Mbps costs 6 dB of SNR (4× bandwidth);
 //! uplink SNR falls at 12 dB per distance doubling (two-way path loss).
 
-use milback_bench::{linspace, Report, Series};
+use milback_bench::experiments::fig15_spot_checks;
+use milback_bench::runner::RunnerConfig;
+use milback_bench::{linspace, reduced_mode, Report, Series};
 use milback_core::{LinkSimulator, Scene, SystemConfig};
-use mmwave_sigproc::random::GaussianSource;
 
 fn run_rate(label: &str, bit_rate: f64, distances: &[f64]) -> (Series, Series) {
     let mut snr = Series::new(format!("SNR {label} (dB)"));
@@ -28,28 +31,16 @@ fn run_rate(label: &str, bit_rate: f64, distances: &[f64]) -> (Series, Series) {
 }
 
 fn main() {
-    let distances = linspace(0.5, 10.0, 20);
+    let reduced = reduced_mode();
+    let distances = if reduced { linspace(0.5, 10.0, 6) } else { linspace(0.5, 10.0, 20) };
     let (snr10, ber10) = run_rate("10 Mbps", 10e6, &distances);
     let (snr40, ber40) = run_rate("40 Mbps", 40e6, &distances);
 
     // Monte-Carlo verification with real payloads.
-    let mut rng = GaussianSource::new(0xF15);
-    let mut notes = Vec::new();
-    for (rate, d) in [(10e6, 8.0), (40e6, 6.0), (40e6, 8.0)] {
-        let mut config = SystemConfig::milback_default();
-        config.uplink_symbol_rate_hz = rate / 2.0;
-        let sim =
-            LinkSimulator::new(config, Scene::single_node(d, 12f64.to_radians())).unwrap();
-        let payload: Vec<u8> = rng.bytes(50_000);
-        let out = sim.uplink(&payload, &mut rng).unwrap();
-        notes.push(format!(
-            "{} Mbps at {d} m: measured SNR {:.1} dB, measured BER {:.1e} (analytic {:.1e})",
-            rate / 1e6,
-            out.snr_db,
-            out.ber,
-            LinkSimulator::uplink_ber_from_snr(out.analytic_snr_db)
-        ));
-    }
+    let cfg = RunnerConfig::from_env();
+    let cases = [(10e6, 8.0), (40e6, 6.0), (40e6, 8.0)];
+    let payload_bytes = if reduced { 5_000 } else { 50_000 };
+    let spots = fig15_spot_checks(&cases, payload_bytes, 0xF15, &cfg);
 
     let at = |s: &Series, x: f64| {
         s.points
@@ -84,8 +75,23 @@ fn main() {
         "rate penalty 10→40 Mbps: {gap:.1} dB (theory: 6.0 dB — 4× noise bandwidth, §9.5)"
     ));
     report.note("uplink SNR falls ~12 dB per distance doubling (signal attenuates through the channel twice, §9.5)");
-    for n in notes {
-        report.note(n);
+    for s in spots.oks() {
+        report.note(format!(
+            "{} Mbps at {} m: measured SNR {:.1} dB, measured BER {:.1e} (analytic {:.1e})",
+            s.bit_rate_bps / 1e6,
+            s.distance_m,
+            s.snr_db,
+            s.ber,
+            LinkSimulator::uplink_ber_from_snr(s.analytic_snr_db)
+        ));
     }
-    report.emit();
+    for (i, e) in spots.failures() {
+        report.note(format!("spot check case {i} FAILED: {e}"));
+    }
+    report.note(format!(
+        "spot checks: {}; {} worker threads, deterministic per-trial streams",
+        spots.summary(),
+        cfg.threads
+    ));
+    report.emit_respecting_reduced();
 }

@@ -1,0 +1,441 @@
+//! Parameterized experiment cores shared by the figure binaries and the
+//! benchmark harness.
+//!
+//! Each core is a pure function of its grid, trial count, and root seed:
+//! it flattens `points × trials` into one batch of independent Monte-Carlo
+//! trials, runs them through [`crate::runner::run_trials`] (so trial `i`
+//! always consumes the same RNG stream regardless of thread count or grid
+//! shape), and regroups the per-trial outcomes by grid point. The figure
+//! binaries call these at full scale to regenerate the CSV anchors;
+//! `bench_smoke` calls them at reduced scale, serial vs parallel, to time
+//! the runner and assert the two schedules agree bit-for-bit.
+//!
+//! Every simulator/pipeline built here uses `with_beat_threads(1)`: the
+//! runner already parallelizes across trials, so the inner beat-synthesis
+//! parallelism would only oversubscribe the machine.
+
+use crate::runner::{run_fallible, RunnerConfig, TrialBatch};
+use milback_core::coding::{bits_to_bytes, bytes_to_bits, PayloadCodec};
+use milback_core::localization::{Impairments, LocationFix};
+use milback_core::{LinkSimulator, LocalizationPipeline, Scene, SystemConfig};
+use mmwave_rf::channel::{ApFrontend, NodePose, Vec2};
+
+/// The node orientation used by the ranging/link figures (the paper's
+/// 12° placement).
+fn node_orientation_rad() -> f64 {
+    12f64.to_radians()
+}
+
+/// Splits a flattened `points × trials` result vector back into per-point
+/// `(successes, failed_count)` groups, preserving trial order.
+fn group_by_point<T: Clone, E>(trials: usize, results: &[Result<T, E>]) -> Vec<(Vec<T>, usize)> {
+    results
+        .chunks(trials)
+        .map(|chunk| {
+            let oks: Vec<T> = chunk.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
+            let failed = chunk.len() - oks.len();
+            (oks, failed)
+        })
+        .collect()
+}
+
+/// Per-distance ranging outcomes (Figure 12a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceErrors {
+    /// AP–node distance, meters.
+    pub distance_m: f64,
+    /// Absolute range errors of the successful trials, meters.
+    pub abs_errors_m: Vec<f64>,
+    /// Number of trials whose localization failed.
+    pub failed: usize,
+}
+
+/// Figure 12a core: five-chirp ranging at each distance in the cluttered
+/// indoor scene, `trials` independent trials per distance, errors against
+/// the laser-measured (noisy) ground truth.
+pub fn fig12a_ranging(
+    distances: &[f64],
+    trials: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> Vec<DistanceErrors> {
+    let pipelines: Vec<LocalizationPipeline> = distances
+        .iter()
+        .map(|&d| {
+            LocalizationPipeline::new(
+                SystemConfig::milback_default(),
+                Scene::indoor(d, node_orientation_rad()),
+            )
+            .expect("valid configuration")
+            .with_beat_threads(1)
+        })
+        .collect();
+    let batch = run_fallible(distances.len() * trials, root_seed, cfg, |i, rng| {
+        let pipeline = &pipelines[i / trials];
+        // The experimenter measures ground truth with a laser meter; the
+        // estimate is compared against that measurement.
+        let measured_gt = pipeline.measured_ground_truth_range(rng);
+        pipeline
+            .localize(rng)
+            .map(|fix| (fix.range_m - measured_gt).abs())
+            .map_err(|e| e.to_string())
+    });
+    distances
+        .iter()
+        .zip(group_by_point(trials, &batch.results))
+        .map(|(&d, (abs_errors_m, failed))| DistanceErrors { distance_m: d, abs_errors_m, failed })
+        .collect()
+}
+
+/// Per-placement angle-error outcomes (Figure 12b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementErrors {
+    /// True azimuth, degrees.
+    pub azimuth_deg: f64,
+    /// AP–node distance, meters.
+    pub distance_m: f64,
+    /// Absolute angle errors of the successful trials, degrees.
+    pub errors_deg: Vec<f64>,
+    /// Number of trials whose localization failed.
+    pub failed: usize,
+}
+
+/// Figure 12b core: full localization at each `(azimuth°, distance)`
+/// placement, comparing the estimated angle with the protractor truth.
+pub fn fig12b_angle_errors(
+    placements: &[(f64, f64)],
+    trials: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> Vec<PlacementErrors> {
+    let pipelines: Vec<LocalizationPipeline> = placements
+        .iter()
+        .map(|&(az_deg, dist)| {
+            let scene = Scene {
+                ap: ApFrontend::milback_default(),
+                nodes: vec![],
+                clutter: Scene::indoor(dist, 0.0).clutter,
+            }
+            .with_node_at(dist, az_deg.to_radians(), node_orientation_rad());
+            LocalizationPipeline::new(SystemConfig::milback_default(), scene)
+                .expect("valid configuration")
+                .with_beat_threads(1)
+        })
+        .collect();
+    let batch = run_fallible(placements.len() * trials, root_seed, cfg, |i, rng| {
+        let (az_deg, _) = placements[i / trials];
+        pipelines[i / trials]
+            .localize(rng)
+            .map(|fix| (fix.angle_rad.to_degrees() - az_deg).abs())
+            .map_err(|e| e.to_string())
+    });
+    placements
+        .iter()
+        .zip(group_by_point(trials, &batch.results))
+        .map(|(&(az_deg, dist), (errors_deg, failed))| PlacementErrors {
+            azimuth_deg: az_deg,
+            distance_m: dist,
+            errors_deg,
+            failed,
+        })
+        .collect()
+}
+
+/// Which side estimates orientation in the Figure 13 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrientSide {
+    /// Node-side estimation from the two detector traces (Fig 13a).
+    Node,
+    /// AP-side estimation from the modulated backscatter sweep (Fig 13b).
+    Ap,
+}
+
+/// Per-orientation estimation outcomes (Figures 13a/13b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrientationErrors {
+    /// Board orientation, degrees.
+    pub orientation_deg: f64,
+    /// Absolute orientation errors of the successful trials, degrees.
+    pub abs_errors_deg: Vec<f64>,
+    /// Number of trials whose estimation failed.
+    pub failed: usize,
+}
+
+/// Figure 13 core: orientation estimation at 2 m for each board
+/// orientation, on the chosen side.
+pub fn fig13_orientation(
+    orientations_deg: &[f64],
+    trials: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+    side: OrientSide,
+) -> Vec<OrientationErrors> {
+    // `orientation_rad` rotates the board; the sensed incidence is its
+    // negative — sweep the board and compare in incidence space.
+    let pipelines: Vec<LocalizationPipeline> = orientations_deg
+        .iter()
+        .map(|&deg| {
+            LocalizationPipeline::new(
+                SystemConfig::milback_default(),
+                Scene::indoor(2.0, (-deg).to_radians()),
+            )
+            .expect("valid configuration")
+            .with_beat_threads(1)
+        })
+        .collect();
+    let truths_deg: Vec<f64> = pipelines
+        .iter()
+        .map(|p| p.scene.ground_truth(0).incidence_rad.to_degrees())
+        .collect();
+    let batch = run_fallible(orientations_deg.len() * trials, root_seed, cfg, |i, rng| {
+        let k = i / trials;
+        let est = match side {
+            OrientSide::Node => pipelines[k].orient_at_node(rng),
+            OrientSide::Ap => pipelines[k].orient_at_ap(rng),
+        };
+        est.map(|e| (e.to_degrees() - truths_deg[k]).abs()).map_err(|e| e.to_string())
+    });
+    orientations_deg
+        .iter()
+        .zip(group_by_point(trials, &batch.results))
+        .map(|(&deg, (abs_errors_deg, failed))| OrientationErrors {
+            orientation_deg: deg,
+            abs_errors_deg,
+            failed,
+        })
+        .collect()
+}
+
+/// One waveform-level downlink transfer (Figure 14 spot check).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpotDownlink {
+    /// AP–node distance, meters.
+    pub distance_m: f64,
+    /// Measured bit error rate of the delivered payload.
+    pub ber: f64,
+    /// Analytic SINR of the link, dB.
+    pub sinr_db: f64,
+}
+
+/// Figure 14 core: deliver an actual payload at each distance (one trial
+/// per distance, each with its own RNG stream for payload and noise).
+pub fn fig14_spot_checks(
+    distances: &[f64],
+    payload_bytes: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> TrialBatch<SpotDownlink, String> {
+    run_fallible(distances.len(), root_seed, cfg, |i, rng| {
+        let d = distances[i];
+        let sim = LinkSimulator::new(
+            SystemConfig::milback_default(),
+            Scene::single_node(d, node_orientation_rad()),
+        )
+        .map_err(|e| e.to_string())?;
+        let payload: Vec<u8> = rng.bytes(payload_bytes);
+        let out = sim.downlink(&payload, rng).map_err(|e| e.to_string())?;
+        Ok(SpotDownlink { distance_m: d, ber: out.ber, sinr_db: out.sinr_db() })
+    })
+}
+
+/// One waveform-level uplink transfer (Figure 15 spot check).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpotUplink {
+    /// Uplink bit rate, bits/s.
+    pub bit_rate_bps: f64,
+    /// AP–node distance, meters.
+    pub distance_m: f64,
+    /// Measured SNR at the AP, dB.
+    pub snr_db: f64,
+    /// Measured bit error rate.
+    pub ber: f64,
+    /// The analytic SNR the link budget predicts, dB.
+    pub analytic_snr_db: f64,
+}
+
+/// Figure 15 core: ship a payload over the backscatter uplink for each
+/// `(bit rate, distance)` case.
+pub fn fig15_spot_checks(
+    cases: &[(f64, f64)],
+    payload_bytes: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> TrialBatch<SpotUplink, String> {
+    run_fallible(cases.len(), root_seed, cfg, |i, rng| {
+        let (rate, d) = cases[i];
+        let mut config = SystemConfig::milback_default();
+        config.uplink_symbol_rate_hz = rate / 2.0;
+        let sim = LinkSimulator::new(config, Scene::single_node(d, node_orientation_rad()))
+            .map_err(|e| e.to_string())?;
+        let payload: Vec<u8> = rng.bytes(payload_bytes);
+        let out = sim.uplink(&payload, rng).map_err(|e| e.to_string())?;
+        Ok(SpotUplink {
+            bit_rate_bps: rate,
+            distance_m: d,
+            snr_db: out.snr_db,
+            ber: out.ber,
+            analytic_snr_db: out.analytic_snr_db,
+        })
+    })
+}
+
+/// Per-impairment-case ranging outcomes (Ablation A6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseErrors {
+    /// Case id (the x coordinate of the ablation plot).
+    pub case_id: f64,
+    /// Absolute range errors of the successful trials, centimeters.
+    pub abs_errors_cm: Vec<f64>,
+    /// Number of trials whose localization failed.
+    pub failed: usize,
+}
+
+/// Ablation A6 core: ranging at `distance_m` under each impairment case.
+pub fn ablation_impairments(
+    cases: &[(f64, Impairments)],
+    distance_m: f64,
+    trials: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> Vec<CaseErrors> {
+    let pipelines: Vec<LocalizationPipeline> = cases
+        .iter()
+        .map(|&(_, imp)| {
+            LocalizationPipeline::new(
+                SystemConfig::milback_default(),
+                Scene::indoor(distance_m, node_orientation_rad()),
+            )
+            .expect("valid configuration")
+            .with_impairments(imp)
+            .with_beat_threads(1)
+        })
+        .collect();
+    let batch = run_fallible(cases.len() * trials, root_seed, cfg, |i, rng| {
+        pipelines[i / trials]
+            .localize(rng)
+            .map(|fix| (fix.range_m - distance_m).abs() * 100.0)
+            .map_err(|e| e.to_string())
+    });
+    cases
+        .iter()
+        .zip(group_by_point(trials, &batch.results))
+        .map(|(&(case_id, _), (abs_errors_cm, failed))| CaseErrors {
+            case_id,
+            abs_errors_cm,
+            failed,
+        })
+        .collect()
+}
+
+/// One coded-vs-raw uplink comparison point (Extension E2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodedUplinkPoint {
+    /// AP–node distance, meters.
+    pub distance_m: f64,
+    /// log10 of the uncoded channel BER (floored at 1e-9).
+    pub raw_log10_ber: f64,
+    /// log10 of the residual BER after Hamming(7,4)+interleaving.
+    pub coded_log10_ber: f64,
+}
+
+/// Extension E2 core: residual byte errors with and without FEC at each
+/// distance (40 Mbps uplink).
+pub fn extension_coded_uplink(
+    distances: &[f64],
+    payload_bytes: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> TrialBatch<CodedUplinkPoint, String> {
+    run_fallible(distances.len(), root_seed, cfg, |i, rng| {
+        let d = distances[i];
+        let codec = PayloadCodec::new(7);
+        let sim = LinkSimulator::new(
+            SystemConfig::milback_default(),
+            Scene::single_node(d, node_orientation_rad()),
+        )
+        .map_err(|e| e.to_string())?;
+        // Raw channel BER from a long transfer.
+        let payload: Vec<u8> = rng.bytes(payload_bytes);
+        let out = sim.uplink(&payload, rng).map_err(|e| e.to_string())?;
+        let raw_log10_ber = out.ber.max(1e-9).log10();
+        // Coded: encode, ship the coded bits, decode, count residual errors.
+        let coded_bits = codec.encode(&payload);
+        let coded_bytes = bits_to_bytes(&coded_bits[..coded_bits.len() - coded_bits.len() % 8]);
+        let coded_out = sim.uplink(&coded_bytes, rng).map_err(|e| e.to_string())?;
+        let mut rx_bits = bytes_to_bits(&coded_out.decoded);
+        rx_bits.resize(coded_bits.len(), false);
+        let (decoded, _) = codec.decode(&rx_bits);
+        let n = decoded.len().min(payload.len());
+        let errors: u32 =
+            decoded[..n].iter().zip(&payload[..n]).map(|(a, b)| (a ^ b).count_ones()).sum();
+        let residual = errors as f64 / (n * 8) as f64;
+        Ok(CodedUplinkPoint { distance_m: d, raw_log10_ber, coded_log10_ber: residual.max(1e-9).log10() })
+    })
+}
+
+/// One step of the tracking extension: the truth and the (absolute-frame)
+/// localization fix at that step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepFix {
+    /// Time of the step, seconds.
+    pub t_s: f64,
+    /// True node position, AP coordinates.
+    pub truth: Vec2,
+    /// The localization fix, rotated into the absolute frame.
+    pub fix: LocationFix,
+}
+
+/// Extension E3 core: per-step localization fixes for a node walking from
+/// (3, −0.75) toward (3, +0.75) at 0.5 m/s while the AP steers its
+/// boresight at the node. Each step is an independent trial; the caller
+/// folds the fixes through the (inherently serial) Kalman tracker.
+pub fn extension_tracking_fixes(
+    steps: usize,
+    dt_s: f64,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+    config: &SystemConfig,
+) -> TrialBatch<StepFix, String> {
+    run_fallible(steps, root_seed, cfg, |i, rng| {
+        let t = i as f64 * dt_s;
+        let truth = Vec2::new(3.0, -0.75 + 0.5 * t);
+        let az = truth.y.atan2(truth.x);
+        let mut scene = Scene::indoor(3.0, 0.0);
+        scene.nodes = vec![NodePose { position: truth, facing_rad: std::f64::consts::PI + az }];
+        scene.ap = ApFrontend { boresight_rad: az, ..ApFrontend::milback_default() };
+        let pipeline = LocalizationPipeline::new(config.clone(), scene)
+            .map_err(|e| e.to_string())?
+            .with_beat_threads(1);
+        let fix = pipeline.localize(rng).map_err(|e| e.to_string())?;
+        // The fix's angle is relative to the steered boresight.
+        let abs_angle = fix.angle_rad + az;
+        let fix_abs = LocationFix {
+            position: Vec2::from_polar(fix.range_m, abs_angle),
+            angle_rad: abs_angle,
+            ..fix
+        };
+        Ok(StepFix { t_s: t, truth, fix: fix_abs })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_by_point_splits_and_counts() {
+        let results: Vec<Result<u32, ()>> =
+            vec![Ok(1), Err(()), Ok(3), Ok(4), Ok(5), Err(())];
+        let groups = group_by_point(3, &results);
+        assert_eq!(groups, vec![(vec![1, 3], 1), (vec![4, 5], 1)]);
+    }
+
+    #[test]
+    fn spot_checks_are_thread_count_invariant() {
+        let cases = [(10e6, 2.0)];
+        let serial = fig15_spot_checks(&cases, 400, 0xF15, &RunnerConfig::serial());
+        let parallel = fig15_spot_checks(&cases, 400, 0xF15, &RunnerConfig::with_threads(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.ok_count(), 1);
+    }
+}

@@ -9,9 +9,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
+pub mod runner;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// True when `MILBACK_REDUCED` is set (to anything but `0`): experiment
+/// binaries shrink their grids/trial counts and print without overwriting
+/// the full-scale CSV anchors under `results/` — the mode `scripts/ci.sh`
+/// uses to exercise a figure binary quickly.
+pub fn reduced_mode() -> bool {
+    std::env::var("MILBACK_REDUCED").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+}
 
 /// A labelled series of (x, y) points — one curve of a figure.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +166,17 @@ impl Report {
                 self.id.to_lowercase().replace([' ', '/'], "_")
             ));
             let _ = fs::write(file, self.to_csv());
+        }
+    }
+
+    /// [`Report::emit`] that skips the CSV write in [`reduced_mode`], so
+    /// quick CI runs never overwrite the full-scale anchors under
+    /// `results/`.
+    pub fn emit_respecting_reduced(&self) {
+        if reduced_mode() {
+            print!("{}", self.render());
+        } else {
+            self.emit();
         }
     }
 }

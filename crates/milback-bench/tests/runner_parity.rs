@@ -1,0 +1,89 @@
+//! Determinism guarantee of the trial-parallel runner: results are
+//! bit-for-bit identical at every thread count (what `MILBACK_THREADS`
+//! resolves to at run time) and identical to an explicit serial loop.
+
+use milback_bench::experiments::{self, OrientSide};
+use milback_bench::runner::{run_fallible, run_trials, trial_rng, RunnerConfig};
+use mmwave_sigproc::random::GaussianSource;
+
+/// Bit-level equality for Gaussian sums: any reordering or stream reuse
+/// across trials would flip low-order mantissa bits.
+#[test]
+fn gaussian_trials_bit_identical_across_thread_counts() {
+    let trial = |i: usize, rng: &mut GaussianSource| -> Vec<u64> {
+        (0..40 + i % 7).map(|_| rng.standard().to_bits()).collect()
+    };
+    let reference: Vec<Vec<u64>> = (0..31)
+        .map(|i| {
+            let mut rng = trial_rng(0xDEAD_BEEF, i);
+            trial(i, &mut rng)
+        })
+        .collect();
+    for threads in [1, 2, 4, 8] {
+        let got = run_trials(31, 0xDEAD_BEEF, &RunnerConfig::with_threads(threads), trial);
+        assert_eq!(got, reference, "runner output changed at {threads} threads");
+    }
+}
+
+/// The same guarantee through a full experiment core: a five-chirp
+/// localization per trial, with capture noise, impairment draws, and the
+/// FSA gain-evaluator caches all in play.
+#[test]
+fn localization_experiment_bit_identical_across_thread_counts() {
+    let placements = [(8.0, 2.0)];
+    let reference = experiments::fig12b_angle_errors(
+        &placements,
+        2,
+        0xF12B,
+        &RunnerConfig::with_threads(1),
+    );
+    assert_eq!(reference.iter().map(|r| r.errors_deg.len()).sum::<usize>() + reference[0].failed, 2);
+    for threads in [2, 4, 8] {
+        let got = experiments::fig12b_angle_errors(
+            &placements,
+            2,
+            0xF12B,
+            &RunnerConfig::with_threads(threads),
+        );
+        assert_eq!(got, reference, "experiment output changed at {threads} threads");
+    }
+}
+
+/// Orientation estimation side-by-side: both sides of Figure 13 stay
+/// schedule-invariant.
+#[test]
+fn orientation_experiment_bit_identical_across_thread_counts() {
+    for side in [OrientSide::Node, OrientSide::Ap] {
+        let reference =
+            experiments::fig13_orientation(&[5.0], 2, 0xF13A, &RunnerConfig::serial(), side);
+        for threads in [2, 8] {
+            let got = experiments::fig13_orientation(
+                &[5.0],
+                2,
+                0xF13A,
+                &RunnerConfig::with_threads(threads),
+                side,
+            );
+            assert_eq!(got, reference, "{side:?} output changed at {threads} threads");
+        }
+    }
+}
+
+/// Fallible batches preserve per-trial error placement under parallelism.
+#[test]
+fn fallible_batch_error_slots_are_schedule_invariant() {
+    let trial = |i: usize, rng: &mut GaussianSource| -> Result<u64, String> {
+        let x = rng.standard();
+        if i % 5 == 3 {
+            Err(format!("trial {i} rejected ({x:.3})"))
+        } else {
+            Ok(x.to_bits())
+        }
+    };
+    let reference = run_fallible(26, 0x5EED, &RunnerConfig::serial(), trial);
+    for threads in [2, 4, 8] {
+        let got = run_fallible(26, 0x5EED, &RunnerConfig::with_threads(threads), trial);
+        assert_eq!(got, reference);
+    }
+    assert_eq!(reference.failed_count(), 5);
+}

@@ -22,9 +22,9 @@ use milback_ap::query::QueryPlanner;
 use milback_ap::uplink_rx::{measure_channel_snr_db, symbol_ber, UplinkReceiver};
 use milback_ap::waveform::CarrierSet;
 use milback_node::downlink::{OaqfmDemodulator, SinrReport};
-use milback_node::node::port_powers_for_tones;
+use milback_node::node::port_powers_for_tones_eval;
 use milback_node::uplink::UplinkModulator;
-use mmwave_rf::antenna::fsa::FsaPort;
+use mmwave_rf::antenna::fsa::{FsaGainEval, FsaPort};
 use mmwave_rf::channel::received_power_w;
 use mmwave_sigproc::random::GaussianSource;
 use mmwave_sigproc::stats::q_function;
@@ -83,6 +83,12 @@ pub struct LinkSimulator {
     /// that ran orientation sensing sets this to its own estimate so the
     /// payload uses what the AP actually measured.
     pub orientation_hint: Option<f64>,
+    /// Memoized FSA gain evaluator for the node's dual-port antenna. The
+    /// downlink keys the *same* one or two carriers every symbol, so after
+    /// the first symbol every coupling query is a cache hit (bit-exact with
+    /// the direct path). Rebuilt by [`LinkSimulator::new`]; refresh it if
+    /// `config.node.fsa` is mutated afterwards.
+    pub gain_eval: FsaGainEval,
 }
 
 impl LinkSimulator {
@@ -92,7 +98,14 @@ impl LinkSimulator {
         if scene.nodes.is_empty() {
             return Err(MilbackError::Config("scene has no nodes".into()));
         }
-        Ok(Self { config, scene, planner: QueryPlanner::milback_default(), orientation_hint: None })
+        let gain_eval = FsaGainEval::for_dual(&config.node.fsa);
+        Ok(Self {
+            config,
+            scene,
+            planner: QueryPlanner::milback_default(),
+            orientation_hint: None,
+            gain_eval,
+        })
     }
 
     /// Per-tone incident power at the node's location (before FSA gain):
@@ -169,7 +182,7 @@ impl LinkSimulator {
             if s.tone_b {
                 tones.push((f_b, p_b_in));
             }
-            let p = port_powers_for_tones(&self.config.node.fsa, psi, &tones);
+            let p = port_powers_for_tones_eval(&self.gain_eval, psi, &tones);
             pa.extend(std::iter::repeat_n(p.a_w, sps));
             pb.extend(std::iter::repeat_n(p.b_w, sps));
         }
@@ -213,7 +226,7 @@ impl LinkSimulator {
         let mut pb = Vec::with_capacity(bits.len() * sps);
         for &bit in &bits {
             let p = if bit {
-                port_powers_for_tones(&self.config.node.fsa, psi, &[(f, p_in)])
+                port_powers_for_tones_eval(&self.gain_eval, psi, &[(f, p_in)])
             } else {
                 milback_node::node::PortPowers::default()
             };
@@ -241,7 +254,7 @@ impl LinkSimulator {
         // Single carrier: there is no cross-tone interference — both ports
         // carry the *same* keyed tone, so the report is noise-limited.
         let node = &self.config.node;
-        let (ca, cb) = node.fsa.port_coupling_linear(f, psi);
+        let (ca, cb) = self.gain_eval.port_coupling_linear(f, psi);
         let report_for = |coupling: f64, det: &mmwave_rf::components::EnvelopeDetector, eff: f64| {
             let v_sig = det.detect_v(p_in * coupling * eff);
             let sigma = det.output_noise_v(self.config.downlink_symbol_rate_hz);
@@ -269,10 +282,8 @@ impl LinkSimulator {
         let p_a_in = self.incident_power_w(f_a);
         let p_b_in = self.incident_power_w(f_b);
         // Power each tone couples into each port.
-        let (a_from_a, b_from_a) =
-            node.fsa.port_coupling_linear(f_a, psi);
-        let (a_from_b, b_from_b) =
-            node.fsa.port_coupling_linear(f_b, psi);
+        let (a_from_a, b_from_a) = self.gain_eval.port_coupling_linear(f_a, psi);
+        let (a_from_b, b_from_b) = self.gain_eval.port_coupling_linear(f_b, psi);
         let eff_a = node.absorption_efficiency(FsaPort::A);
         let eff_b = node.absorption_efficiency(FsaPort::B);
         // Detector voltages: signal = own tone, interference = other tone.
@@ -326,7 +337,7 @@ impl LinkSimulator {
         let horn = mmwave_rf::antenna::Horn::miwave_20dbi();
         let g_tx = db_to_lin(horn.gain_dbi(freq_hz, gt.azimuth_rad));
         let g_rx = g_tx;
-        let g_port = node.fsa.gain_linear(port, freq_hz, gt.incidence_rad);
+        let g_port = self.gain_eval.gain_linear(port, freq_hz, gt.incidence_rad);
         let delta_gamma = node.modulation_depth(port);
         let tx_w = dbm_to_watts(self.config.ap.tx.port_power_dbm());
         let amp = mmwave_rf::channel::backscatter_amplitude_sqrt_w(

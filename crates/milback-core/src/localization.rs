@@ -37,18 +37,20 @@ use crate::scene::Scene;
 use milback_ap::aoa::AoaEstimator;
 use milback_ap::fmcw::FmcwProcessor;
 use milback_ap::orientation::ApOrientationEstimator;
-use milback_node::node::port_powers_for_tones;
+use milback_node::node::port_powers_for_tones_eval;
 use milback_node::orientation::OrientationEstimator;
-use mmwave_rf::antenna::fsa::FsaPort;
+use mmwave_rf::antenna::fsa::{FsaGainEval, FsaPort};
 use mmwave_rf::antenna::Antenna;
 use mmwave_rf::channel::{
-    backscatter_amplitude_sqrt_w, clutter_amplitude_sqrt_w, received_power_w, synthesize_beat,
-    Echo, Vec2,
+    backscatter_amplitude_sqrt_w, clutter_amplitude_sqrt_w, received_power_w,
+    synthesize_beat_with_threads, Echo, Vec2,
 };
 use mmwave_sigproc::complex::Complex;
+use mmwave_sigproc::parallel;
 use mmwave_sigproc::random::GaussianSource;
 use mmwave_sigproc::units::{db_to_lin, dbm_to_watts, noise_power_watts};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Systematic-impairment knobs (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -166,6 +168,16 @@ pub struct LocalizationPipeline {
     pub processor: FmcwProcessor,
     /// The AoA estimator.
     pub aoa: AoaEstimator,
+    /// Memoized FSA gain evaluator for the node's dual-port antenna,
+    /// shared across captures and trials (bit-exact with the direct path).
+    /// Rebuilt by [`LocalizationPipeline::new`]; if `config.node.fsa` is
+    /// mutated afterwards the evaluator must be refreshed too.
+    pub gain_eval: FsaGainEval,
+    /// Worker budget for beat-signal synthesis inside [`Self::capture`].
+    /// Defaults to [`parallel::max_threads`]; trial-parallel experiment
+    /// runners set this to 1 so trials are the only scaling axis (results
+    /// are bit-identical either way).
+    pub beat_threads: usize,
 }
 
 impl LocalizationPipeline {
@@ -178,18 +190,28 @@ impl LocalizationPipeline {
         let processor =
             FmcwProcessor::new(config.fmcw.field2_chirp(), config.ap.rx1.digitizer_rate_hz);
         let aoa = AoaEstimator::milback_default();
+        let gain_eval = FsaGainEval::for_dual(&config.node.fsa);
         Ok(Self {
             config,
             scene,
             impairments: Impairments::milback_default(),
             processor,
             aoa,
+            gain_eval,
+            beat_threads: parallel::max_threads(),
         })
     }
 
     /// Replaces the impairment model (for ablations).
     pub fn with_impairments(mut self, imp: Impairments) -> Self {
         self.impairments = imp;
+        self
+    }
+
+    /// Sets the worker budget for beat synthesis (see
+    /// [`LocalizationPipeline::beat_threads`]).
+    pub fn with_beat_threads(mut self, threads: usize) -> Self {
+        self.beat_threads = threads.max(1);
         self
     }
 
@@ -254,6 +276,25 @@ impl LocalizationPipeline {
         // upper sub-band for the whole capture (it cancels in background
         // subtraction but distorts the node echo's spectrum slightly).
         let stitch = Complex::cis(rng.sample(self.impairments.stitch_phase_rad));
+        // Per-sample port gains over the beat grid, hoisted out of the echo
+        // closures: every node-path echo queries the same
+        // `(port, f_inst, psi)` triple at each sample of each chirp, so
+        // evaluate each once and let the closures index by sample. The beat
+        // synthesizer passes `t = sample_index / fs`, so `(t·fs).round()`
+        // recovers the index and the lookup is bit-exact with the inline
+        // gain calls it replaces.
+        let n_samples = (chirp.duration_s * fs).round() as usize;
+        let (ga_t, gb_t): (Arc<[f64]>, Arc<[f64]>) = {
+            let mut ga = Vec::with_capacity(n_samples);
+            let mut gb = Vec::with_capacity(n_samples);
+            for i in 0..n_samples {
+                let t = i as f64 / fs;
+                let f = chirp.instantaneous_freq(t);
+                ga.push(self.gain_eval.gain_linear(FsaPort::A, f, psi));
+                gb.push(self.gain_eval.gain_linear(FsaPort::B, f, psi));
+            }
+            (ga.into(), gb.into())
+        };
         let mut rx1 = Vec::with_capacity(n_chirps);
         let mut rx2 = Vec::with_capacity(n_chirps);
         for k in 0..n_chirps {
@@ -322,12 +363,14 @@ impl LocalizationPipeline {
                     chirp.center_hz(),
                     gt.range_m,
                 ) * impl_amp;
+                let (ta, tb) = (Arc::clone(&ga_t), Arc::clone(&gb_t));
                 echoes.push(Echo {
                     distance_m: gt.range_m,
                     extra_phase_rad: extra_phase,
-                    amplitude: Box::new(move |_, f| {
-                        let g_a = fsa.gain_linear(FsaPort::A, f, psi);
-                        let g_b = fsa.gain_linear(FsaPort::B, f, psi);
+                    amplitude: Box::new(move |t, f| {
+                        let i = (t * fs).round() as usize;
+                        let g_a = ta[i];
+                        let g_b = tb[i];
                         let ripple = 1.0
                             + 2.0
                                 * mp_amp
@@ -349,25 +392,25 @@ impl LocalizationPipeline {
                 // the excess shrinks below the 5 cm resolution cell and
                 // the bounce pulls the interpolated peak (Fig 12a).
                 if bounce_rel > 0.0 {
+                    let (ta, tb) = (Arc::clone(&ga_t), Arc::clone(&gb_t));
                     echoes.push(Echo {
                         distance_m: gt.range_m + bounce_excess,
                         extra_phase_rad: extra_phase,
-                        amplitude: Box::new(move |_, f| {
-                            let g_a = fsa.gain_linear(FsaPort::A, f, psi);
-                            let g_b = fsa.gain_linear(FsaPort::B, f, psi);
-                            let a = const_amp * bounce_rel * (g_a * ga + g_b * gb);
+                        amplitude: Box::new(move |t, _| {
+                            let i = (t * fs).round() as usize;
+                            let a = const_amp * bounce_rel * (ta[i] * ga + tb[i] * gb);
                             bounce_phase.scale(a)
                         }),
                     });
                     // Double bounce (floor on both legs): ρ², 2× excess.
                     let rel2 = bounce_rel * bounce_rel;
+                    let (ta, tb) = (Arc::clone(&ga_t), Arc::clone(&gb_t));
                     echoes.push(Echo {
                         distance_m: gt.range_m + 2.0 * bounce_excess,
                         extra_phase_rad: extra_phase,
-                        amplitude: Box::new(move |_, f| {
-                            let g_a = fsa.gain_linear(FsaPort::A, f, psi);
-                            let g_b = fsa.gain_linear(FsaPort::B, f, psi);
-                            let a = const_amp * rel2 * (g_a * ga + g_b * gb);
+                        amplitude: Box::new(move |t, _| {
+                            let i = (t * fs).round() as usize;
+                            let a = const_amp * rel2 * (ta[i] * ga + tb[i] * gb);
                             bounce2_phase.scale(a)
                         }),
                     });
@@ -377,8 +420,8 @@ impl LocalizationPipeline {
 
             let echoes1 = mk_echoes(0.0, false);
             let echoes2 = mk_echoes(aoa_phase, true);
-            let mut b1 = synthesize_beat(&chirp, &echoes1, fs);
-            let mut b2 = synthesize_beat(&chirp, &echoes2, fs);
+            let mut b1 = synthesize_beat_with_threads(&chirp, &echoes1, fs, self.beat_threads);
+            let mut b2 = synthesize_beat_with_threads(&chirp, &echoes2, fs, self.beat_threads);
             rng.add_complex_noise(&mut b1, noise_w);
             rng.add_complex_noise(&mut b2, noise_w);
             rx1.push(b1);
@@ -443,7 +486,7 @@ impl LocalizationPipeline {
             let f = chirp.instantaneous_freq(t);
             let g_ap = db_to_lin(horn.gain_dbi(f, gt.azimuth_rad));
             let incident = received_power_w(tx_w, g_ap, 1.0, f, gt.range_m);
-            let p = port_powers_for_tones(&node.fsa, psi, &[(f, incident)]);
+            let p = port_powers_for_tones_eval(&self.gain_eval, psi, &[(f, incident)]);
             let k = 2.0 * std::f64::consts::PI * f * mp_delta
                 / mmwave_sigproc::units::SPEED_OF_LIGHT;
             let ripple_a = 1.0 + 2.0 * mp_amp * (k + phi_a).cos();

@@ -6,7 +6,7 @@
 //! each port's switch position and (b) reading the two detector voltages.
 
 use crate::mode::PortMode;
-use mmwave_rf::antenna::fsa::{DualPortFsa, FsaPort};
+use mmwave_rf::antenna::fsa::{DualPortFsa, FsaGainEval, FsaPort};
 use mmwave_rf::components::{Adc, EnvelopeDetector, SpdtSwitch};
 use mmwave_sigproc::random::GaussianSource;
 use serde::{Deserialize, Serialize};
@@ -173,6 +173,25 @@ pub fn port_powers_for_tones(
     p
 }
 
+/// [`port_powers_for_tones`] through a memoizing [`FsaGainEval`] (built with
+/// [`FsaGainEval::for_dual`]); bit-exact with the direct path, but repeated
+/// `(freq, incidence)` queries — per-symbol downlink coupling, dense
+/// orientation traces re-run across trials — hit the cache instead of
+/// re-evaluating the array factor.
+pub fn port_powers_for_tones_eval(
+    eval: &FsaGainEval,
+    incidence_rad: f64,
+    tones: &[(f64, f64)],
+) -> PortPowers {
+    let mut p = PortPowers::default();
+    for &(f, pw) in tones {
+        let (ca, cb) = eval.port_coupling_linear(f, incidence_rad);
+        p.a_w += pw * ca;
+        p.b_w += pw * cb;
+    }
+    p
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +292,20 @@ mod tests {
         // Both tones: both ports fed.
         let p3 = port_powers_for_tones(&n.fsa, psi, &[(fa, 1e-9), (fb, 1e-9)]);
         assert!(p3.a_w > 0.5 * p.a_w && p3.b_w > 0.5 * p2.b_w);
+    }
+
+    #[test]
+    fn port_powers_eval_matches_direct_bit_exactly() {
+        let n = node();
+        let eval = FsaGainEval::for_dual(&n.fsa);
+        let psi = 9f64.to_radians();
+        let (fa, fb) = n.fsa.oaqfm_carriers(psi).unwrap();
+        let tones = [(fa, 3e-9), (fb, 1e-9), (28.1e9, 2e-10)];
+        let direct = port_powers_for_tones(&n.fsa, psi, &tones);
+        // Twice: cold (compute) and warm (memo hit) must both match.
+        for _ in 0..2 {
+            assert_eq!(port_powers_for_tones_eval(&eval, psi, &tones), direct);
+        }
     }
 
     #[test]

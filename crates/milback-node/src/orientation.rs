@@ -9,7 +9,7 @@
 //! *time separation* needs no frequency-selective hardware at all: an
 //! envelope detector and a slow MCU ADC suffice.
 
-use mmwave_rf::antenna::fsa::{FsaDesign, FsaPort};
+use mmwave_rf::antenna::fsa::{FsaDesign, FsaGainEval, FsaPort};
 use mmwave_sigproc::detect::two_strongest_peaks;
 use mmwave_sigproc::waveform::{Chirp, ChirpShape};
 use serde::{Deserialize, Serialize};
@@ -201,14 +201,19 @@ impl OrientationEstimator {
         fsa: &FsaDesign,
         peak_power_w: f64,
     ) -> Vec<f64> {
+        // Hoisted per-(port, freq) evaluation: each sample queries the gain
+        // at two angles of the *same* frequency (trace point + beam-peak
+        // normalization), so the shared FsaFreqEval halves the per-sample
+        // constant setup while staying bit-exact with the direct calls.
+        let eval = FsaGainEval::new(fsa);
         let n = (self.chirp.duration_s * self.sample_rate_hz).round() as usize;
         (0..n)
             .map(|i| {
                 let t = i as f64 / self.sample_rate_hz;
                 let f = self.chirp.instantaneous_freq(t);
-                peak_power_w * fsa.gain_linear(port, f, incidence_rad)
-                    / fsa.gain_linear(port, f, fsa.beam_angle_rad(port, f).unwrap_or(0.0))
-                        .max(1e-12)
+                let fe = eval.at_freq(port, f);
+                peak_power_w * fe.gain_linear(incidence_rad)
+                    / fe.gain_linear(fe.beam_angle_rad().unwrap_or(0.0)).max(1e-12)
             })
             .collect()
     }

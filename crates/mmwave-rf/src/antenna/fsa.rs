@@ -27,7 +27,9 @@ use super::Antenna;
 use mmwave_sigproc::complex::Complex;
 use mmwave_sigproc::units::SPEED_OF_LIGHT;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::{Arc, RwLock};
 
 /// Which feed port of a dual-port FSA is in use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -175,23 +177,8 @@ impl FsaDesign {
     /// Normalized array-factor magnitude (0..=1) for a wave at `freq_hz`
     /// arriving from / departing to `angle_rad`, as seen from `port`.
     pub fn array_factor(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
-        let k0 = 2.0 * PI * freq_hz / SPEED_OF_LIGHT;
-        let phi_line = 2.0 * PI * freq_hz * self.electrical_length_m / SPEED_OF_LIGHT;
-        // Per-element phase step seen from this port. Feeding from the far
-        // end (port B) reverses the geometric progression.
-        let psi = match port {
-            FsaPort::A => k0 * self.spacing_m * angle_rad.sin() - phi_line,
-            FsaPort::B => -k0 * self.spacing_m * angle_rad.sin() - phi_line,
-        };
-        let eta = self.travel_amplitude;
-        let mut af = Complex::new(0.0, 0.0);
-        let mut amp = 1.0;
-        for n in 0..self.elements {
-            af += Complex::cis(psi * n as f64).scale(amp);
-            amp *= eta;
-        }
-        let max: f64 = (0..self.elements).map(|n| eta.powi(n as i32)).sum();
-        af.norm() / max
+        let af_norm = AfCore::af_norm(self.travel_amplitude, self.elements);
+        AfCore::new(self, port, freq_hz, af_norm).array_factor(angle_rad)
     }
 
     /// Power gain in dBi of the given port toward `angle_rad` at `freq_hz`.
@@ -200,17 +187,14 @@ impl FsaDesign {
     /// the calibrated broadside peak gain. Evaluated at the beam angle of a
     /// given frequency this reproduces the Fig 10 pattern family.
     pub fn gain_dbi(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
-        if angle_rad.abs() >= PI / 2.0 {
-            return -40.0; // behind the ground plane
-        }
-        let af = self.array_factor(port, freq_hz, angle_rad).max(1e-6);
-        let elem = angle_rad.cos().powf(self.element_exponent).max(1e-6);
-        self.peak_gain_dbi + 20.0 * af.log10() + 10.0 * elem.log10()
+        let af_norm = AfCore::af_norm(self.travel_amplitude, self.elements);
+        AfCore::new(self, port, freq_hz, af_norm).gain_dbi(angle_rad)
     }
 
     /// Linear power gain of the given port.
     pub fn gain_linear(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
-        10f64.powf(self.gain_dbi(port, freq_hz, angle_rad) / 10.0)
+        let af_norm = AfCore::af_norm(self.travel_amplitude, self.elements);
+        AfCore::new(self, port, freq_hz, af_norm).gain_linear(angle_rad)
     }
 
     /// Scan coverage in radians across the operating band for one port.
@@ -300,6 +284,285 @@ impl DualPortFsa {
         let fa = self.design.frequency_for_angle(FsaPort::A, angle_rad)?;
         let fb = self.design.frequency_for_angle(FsaPort::B, angle_rad)?;
         Some((fa, fb))
+    }
+}
+
+/// The per-`(port, frequency)` parameter set of the FSA gain formulas and
+/// the **single shared implementation** of the formulas themselves.
+///
+/// Both the unhoisted entry points ([`FsaDesign::array_factor`] /
+/// [`FsaDesign::gain_dbi`] / [`FsaDesign::gain_linear`]) and the hoisted
+/// evaluator ([`FsaFreqEval`]) funnel through these `#[inline(never)]`
+/// methods, so the two paths execute the *same compiled code*. Keeping two
+/// textually identical float pipelines instead lets the optimizer schedule
+/// each copy differently — observed as 1-ULP drift between the paths at
+/// `opt-level=3` — which would break the bit-exactness contract the
+/// evaluator advertises (and the dense-grid tests assert).
+#[derive(Debug, Clone, Copy)]
+struct AfCore {
+    /// `±k₀·d` with the port sign folded in: `ψ(θ) = psi_slope·sinθ − phi_line`.
+    psi_slope: f64,
+    /// Feed-line phase `2πfL/c` at this frequency.
+    phi_line: f64,
+    /// Per-element traveling-wave amplitude ratio `η`.
+    eta: f64,
+    elements: usize,
+    /// Array-factor normalization `Σ ηⁿ`.
+    af_norm: f64,
+    peak_gain_dbi: f64,
+    element_exponent: f64,
+}
+
+impl AfCore {
+    fn new(design: &FsaDesign, port: FsaPort, freq_hz: f64, af_norm: f64) -> Self {
+        let k0 = 2.0 * PI * freq_hz / SPEED_OF_LIGHT;
+        let phi_line = 2.0 * PI * freq_hz * design.electrical_length_m / SPEED_OF_LIGHT;
+        // IEEE-754: `(-k0)·d == -(k0·d)` exactly, so folding the port sign
+        // into the slope is bit-exact for port B too.
+        let psi_slope = match port {
+            FsaPort::A => k0 * design.spacing_m,
+            FsaPort::B => -k0 * design.spacing_m,
+        };
+        Self {
+            psi_slope,
+            phi_line,
+            eta: design.travel_amplitude,
+            elements: design.elements,
+            af_norm,
+            peak_gain_dbi: design.peak_gain_dbi,
+            element_exponent: design.element_exponent,
+        }
+    }
+
+    /// `Σ ηⁿ` — out of line for the same single-compilation reason.
+    #[inline(never)]
+    fn af_norm(eta: f64, elements: usize) -> f64 {
+        (0..elements).map(|n| eta.powi(n as i32)).sum()
+    }
+
+    #[inline(never)]
+    fn array_factor(&self, angle_rad: f64) -> f64 {
+        let psi = self.psi_slope * angle_rad.sin() - self.phi_line;
+        let mut af = Complex::new(0.0, 0.0);
+        let mut amp = 1.0;
+        for n in 0..self.elements {
+            af += Complex::cis(psi * n as f64).scale(amp);
+            amp *= self.eta;
+        }
+        af.norm() / self.af_norm
+    }
+
+    #[inline(never)]
+    fn gain_dbi(&self, angle_rad: f64) -> f64 {
+        if angle_rad.abs() >= PI / 2.0 {
+            return -40.0; // behind the ground plane
+        }
+        let af = self.array_factor(angle_rad).max(1e-6);
+        let elem = angle_rad.cos().powf(self.element_exponent).max(1e-6);
+        self.peak_gain_dbi + 20.0 * af.log10() + 10.0 * elem.log10()
+    }
+
+    #[inline(never)]
+    fn gain_linear(&self, angle_rad: f64) -> f64 {
+        10f64.powf(self.gain_dbi(angle_rad) / 10.0)
+    }
+}
+
+/// Per-`(port, frequency)` constants of the FSA gain evaluation, hoisted out
+/// of the angle loop.
+///
+/// For a fixed `(port, freq)` the array factor is a function of `sin θ`
+/// alone: `ψ(θ) = psi_slope·sin θ − phi_line` with `psi_slope = ±k₀·d` and
+/// `phi_line = 2πfL/c`. Angle-grid sweeps (orientation traces, localization
+/// echo synthesis, Fig 10 patterns) query thousands of angles per frequency,
+/// so this struct precomputes the wavenumber product, the line phase, the
+/// array-factor normalization `Σ ηⁿ` and the beam direction once per
+/// `(port, freq)`.
+///
+/// Every query runs through the same compiled [`AfCore`] routines as the
+/// unhoisted [`FsaDesign`] path, so results are **bit-exact** with it by
+/// construction (asserted by tests over a dense grid).
+#[derive(Debug, Clone)]
+pub struct FsaFreqEval {
+    port: FsaPort,
+    core: AfCore,
+    /// Cached `sin θ` of this port's beam at this frequency.
+    beam_sin: f64,
+    /// Cached beam direction (`None` when the beam condition has no real
+    /// solution at this frequency).
+    beam_angle: Option<f64>,
+}
+
+impl FsaFreqEval {
+    fn new(design: &FsaDesign, port: FsaPort, freq_hz: f64, af_norm: f64) -> Self {
+        Self {
+            port,
+            core: AfCore::new(design, port, freq_hz, af_norm),
+            beam_sin: design.beam_sin(freq_hz),
+            beam_angle: design.beam_angle_rad(port, freq_hz),
+        }
+    }
+
+    /// The port this evaluation is bound to.
+    pub fn port(&self) -> FsaPort {
+        self.port
+    }
+
+    /// Cached `sin θ` of the beam condition at this frequency (may exceed ±1
+    /// out of band).
+    pub fn beam_sin(&self) -> f64 {
+        self.beam_sin
+    }
+
+    /// Cached beam direction, bit-exact with [`FsaDesign::beam_angle_rad`].
+    pub fn beam_angle_rad(&self) -> Option<f64> {
+        self.beam_angle
+    }
+
+    /// Normalized array-factor magnitude, bit-exact with
+    /// [`FsaDesign::array_factor`] at this `(port, freq)`.
+    pub fn array_factor(&self, angle_rad: f64) -> f64 {
+        self.core.array_factor(angle_rad)
+    }
+
+    /// Power gain in dBi, bit-exact with [`FsaDesign::gain_dbi`].
+    pub fn gain_dbi(&self, angle_rad: f64) -> f64 {
+        self.core.gain_dbi(angle_rad)
+    }
+
+    /// Linear power gain, bit-exact with [`FsaDesign::gain_linear`].
+    pub fn gain_linear(&self, angle_rad: f64) -> f64 {
+        self.core.gain_linear(angle_rad)
+    }
+}
+
+/// Memo key: `(port == B, freq bits, angle bits)`.
+type GainKey = (bool, u64, u64);
+
+/// A memoizing FSA gain evaluator, bit-exact with the direct
+/// [`FsaDesign`] / [`DualPortFsa`] query paths.
+///
+/// Two cache levels:
+/// 1. [`FsaGainEval::at_freq`] hands out a shared [`FsaFreqEval`] with all
+///    per-`(port, freq)` constants hoisted — for callers that sweep angles
+///    at a fixed frequency.
+/// 2. [`FsaGainEval::gain_dbi`] / [`FsaGainEval::gain_linear`] /
+///    [`FsaGainEval::port_coupling_linear`] additionally memoize full values
+///    keyed by `(port, freq bits, angle bits)` — the simulation hot paths
+///    (localization echoes, per-symbol downlink coupling, orientation
+///    traces) re-query identical triples tens to thousands of times.
+///
+/// Caches are interior-mutable behind [`RwLock`]s, so a shared evaluator is
+/// usable from the threaded beat-synthesis and trial-runner workers.
+/// Cloning yields an evaluator for the same design with cold caches.
+pub struct FsaGainEval {
+    design: FsaDesign,
+    /// `10^(isolation/10)` when built from a [`DualPortFsa`]; `None` for a
+    /// bare design (then [`FsaGainEval::port_coupling_linear`] panics).
+    leak: Option<f64>,
+    af_norm: f64,
+    freq: RwLock<HashMap<(bool, u64), Arc<FsaFreqEval>>>,
+    dbi: RwLock<HashMap<GainKey, f64>>,
+    lin: RwLock<HashMap<GainKey, f64>>,
+}
+
+impl FsaGainEval {
+    /// Builds an evaluator for a bare design (no port-coupling support).
+    pub fn new(design: &FsaDesign) -> Self {
+        Self::build(design, None)
+    }
+
+    /// Builds an evaluator for a dual-port FSA, hoisting the feed-leakage
+    /// factor so [`FsaGainEval::port_coupling_linear`] matches
+    /// [`DualPortFsa::port_coupling_linear`] bit-exactly.
+    pub fn for_dual(fsa: &DualPortFsa) -> Self {
+        Self::build(&fsa.design, Some(10f64.powf(fsa.port_isolation_db / 10.0)))
+    }
+
+    fn build(design: &FsaDesign, leak: Option<f64>) -> Self {
+        // Hoisted once per evaluator; the unhoisted path recomputes this per
+        // call through the same `AfCore::af_norm` symbol, so the bits match.
+        let af_norm = AfCore::af_norm(design.travel_amplitude, design.elements);
+        Self {
+            design: *design,
+            leak,
+            af_norm,
+            freq: RwLock::new(HashMap::new()),
+            dbi: RwLock::new(HashMap::new()),
+            lin: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The design this evaluator answers for.
+    pub fn design(&self) -> &FsaDesign {
+        &self.design
+    }
+
+    /// The hoisted per-`(port, freq)` evaluation, cached across calls.
+    pub fn at_freq(&self, port: FsaPort, freq_hz: f64) -> Arc<FsaFreqEval> {
+        let key = (port == FsaPort::B, freq_hz.to_bits());
+        if let Some(fe) = self.freq.read().expect("fsa freq cache poisoned").get(&key) {
+            return Arc::clone(fe);
+        }
+        let fe = Arc::new(FsaFreqEval::new(&self.design, port, freq_hz, self.af_norm));
+        let mut cache = self.freq.write().expect("fsa freq cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(fe))
+    }
+
+    fn memo(cache: &RwLock<HashMap<GainKey, f64>>, key: GainKey, compute: impl FnOnce() -> f64) -> f64 {
+        if let Some(&v) = cache.read().expect("fsa gain cache poisoned").get(&key) {
+            return v;
+        }
+        // Racing computations produce the same bits, so last-write-wins
+        // insertion keeps the cache deterministic.
+        let v = compute();
+        cache.write().expect("fsa gain cache poisoned").insert(key, v);
+        v
+    }
+
+    /// Memoized [`FsaDesign::gain_dbi`] (bit-exact).
+    pub fn gain_dbi(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
+        let key = (port == FsaPort::B, freq_hz.to_bits(), angle_rad.to_bits());
+        Self::memo(&self.dbi, key, || self.at_freq(port, freq_hz).gain_dbi(angle_rad))
+    }
+
+    /// Memoized [`FsaDesign::gain_linear`] (bit-exact).
+    pub fn gain_linear(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
+        let key = (port == FsaPort::B, freq_hz.to_bits(), angle_rad.to_bits());
+        Self::memo(&self.lin, key, || self.at_freq(port, freq_hz).gain_linear(angle_rad))
+    }
+
+    /// Memoized [`DualPortFsa::port_coupling_linear`] (bit-exact).
+    ///
+    /// # Panics
+    /// Panics when the evaluator was built with [`FsaGainEval::new`] from a
+    /// bare design instead of [`FsaGainEval::for_dual`].
+    pub fn port_coupling_linear(&self, freq_hz: f64, angle_rad: f64) -> (f64, f64) {
+        let leak = self
+            .leak
+            .expect("port_coupling_linear requires an evaluator built with FsaGainEval::for_dual");
+        let ga = self.gain_linear(FsaPort::A, freq_hz, angle_rad);
+        let gb = self.gain_linear(FsaPort::B, freq_hz, angle_rad);
+        (ga + gb * leak, gb + ga * leak)
+    }
+}
+
+impl Clone for FsaGainEval {
+    /// Clones the design and leak factor; caches start cold (they are a
+    /// transparent performance detail, not state).
+    fn clone(&self) -> Self {
+        Self::build(&self.design, self.leak)
+    }
+}
+
+impl std::fmt::Debug for FsaGainEval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsaGainEval")
+            .field("design", &self.design)
+            .field("leak", &self.leak)
+            .field("cached_freqs", &self.freq.read().map(|m| m.len()).unwrap_or(0))
+            .field("cached_gains", &self.lin.read().map(|m| m.len()).unwrap_or(0))
+            .finish()
     }
 }
 
@@ -501,5 +764,107 @@ mod tests {
         let d5 = FsaDesign::for_band(26.5e9, 29.5e9, 0.5, 5, 8);
         let d8 = FsaDesign::for_band(26.5e9, 29.5e9, 0.5, 8, 8);
         assert!(d8.electrical_length_m > d5.electrical_length_m);
+    }
+
+    /// Dense grid shared by the evaluator bit-exactness tests: both ports,
+    /// in-band and out-of-band frequencies, angles spanning past ±90°.
+    fn dense_grid() -> (Vec<FsaPort>, Vec<f64>, Vec<f64>) {
+        let ports = vec![FsaPort::A, FsaPort::B];
+        let freqs: Vec<f64> = (0..=16).map(|i| 26.0e9 + 0.25e9 * i as f64).collect();
+        let angles: Vec<f64> =
+            (-70..=70).map(|i| (i as f64 * 1.5f64).to_radians()).collect();
+        (ports, freqs, angles)
+    }
+
+    #[test]
+    fn gain_eval_matches_design_bit_exactly_on_dense_grid() {
+        let d = fsa();
+        let eval = FsaGainEval::new(&d);
+        let (ports, freqs, angles) = dense_grid();
+        for &port in &ports {
+            for &f in &freqs {
+                let fe = eval.at_freq(port, f);
+                for &a in &angles {
+                    // `assert_eq!` on f64: bit-exactness is the contract.
+                    assert_eq!(fe.array_factor(a), d.array_factor(port, f, a), "af {port:?} {f} {a}");
+                    assert_eq!(fe.gain_dbi(a), d.gain_dbi(port, f, a), "dbi {port:?} {f} {a}");
+                    assert_eq!(fe.gain_linear(a), d.gain_linear(port, f, a), "lin {port:?} {f} {a}");
+                    assert_eq!(eval.gain_dbi(port, f, a), d.gain_dbi(port, f, a));
+                    assert_eq!(eval.gain_linear(port, f, a), d.gain_linear(port, f, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gain_eval_caches_beam_data_bit_exactly() {
+        let d = fsa();
+        let eval = FsaGainEval::new(&d);
+        let (ports, freqs, _) = dense_grid();
+        for &port in &ports {
+            for &f in &freqs {
+                let fe = eval.at_freq(port, f);
+                assert_eq!(fe.beam_angle_rad(), d.beam_angle_rad(port, f));
+                if let Some(a) = fe.beam_angle_rad() {
+                    assert_eq!(fe.gain_dbi(a), d.gain_dbi(port, f, a));
+                }
+            }
+        }
+        // Out-of-band: beam condition has no solution, cached as None.
+        assert_eq!(eval.at_freq(FsaPort::A, 20e9).beam_angle_rad(), None);
+    }
+
+    #[test]
+    fn gain_eval_memo_hits_return_identical_bits() {
+        let d = fsa();
+        let eval = FsaGainEval::new(&d);
+        let (f, a) = (27.8e9, 0.21);
+        let cold = eval.gain_linear(FsaPort::B, f, a);
+        for _ in 0..3 {
+            assert_eq!(eval.gain_linear(FsaPort::B, f, a), cold);
+        }
+        assert_eq!(cold, d.gain_linear(FsaPort::B, f, a));
+        // The at_freq cache hands back the same shared evaluation.
+        let fe1 = eval.at_freq(FsaPort::B, f);
+        let fe2 = eval.at_freq(FsaPort::B, f);
+        assert!(Arc::ptr_eq(&fe1, &fe2));
+    }
+
+    #[test]
+    fn dual_port_eval_matches_port_coupling_bit_exactly() {
+        let dp = DualPortFsa::milback_default();
+        let eval = FsaGainEval::for_dual(&dp);
+        let (_, freqs, angles) = dense_grid();
+        for &f in &freqs {
+            for &a in &angles {
+                assert_eq!(eval.port_coupling_linear(f, a), dp.port_coupling_linear(f, a));
+            }
+        }
+    }
+
+    #[test]
+    fn gain_eval_ground_plane_floor_matches() {
+        let d = fsa();
+        let eval = FsaGainEval::new(&d);
+        assert_eq!(eval.gain_dbi(FsaPort::A, 28e9, 2.0), -40.0);
+        assert_eq!(eval.at_freq(FsaPort::A, 28e9).gain_dbi(-2.0), -40.0);
+    }
+
+    #[test]
+    fn gain_eval_clone_is_equivalent_with_cold_caches() {
+        let dp = DualPortFsa::milback_default();
+        let eval = FsaGainEval::for_dual(&dp);
+        let _ = eval.gain_linear(FsaPort::A, 28e9, 0.1); // warm the original
+        let clone = eval.clone();
+        assert_eq!(
+            clone.port_coupling_linear(28e9, 0.1),
+            eval.port_coupling_linear(28e9, 0.1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "for_dual")]
+    fn bare_eval_rejects_port_coupling() {
+        FsaGainEval::new(&fsa()).port_coupling_linear(28e9, 0.0);
     }
 }

@@ -5,29 +5,34 @@
 #   1. release build of every target
 #   2. the complete test suite (tier-1 umbrella + all crate suites)
 #   3. clippy across all targets with warnings promoted to errors
-#   4. the DSP micro-benchmark, which emits results/BENCH_dsp.json
-#   5. structural validation of the benchmark JSON
+#   4. the benchmark harness, which emits results/BENCH_dsp.json and
+#      results/BENCH_experiments.json
+#   5. structural validation of both benchmark JSONs
+#   6. one migrated figure binary end-to-end in reduced mode (shrunken
+#      grids, CSV anchors untouched)
 #
 # Usage: scripts/ci.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/5] cargo build --release --workspace --all-targets"
+echo "==> [1/6] cargo build --release --workspace --all-targets"
 cargo build --release --workspace --all-targets
 
-echo "==> [2/5] cargo test --release --workspace"
+echo "==> [2/6] cargo test --release --workspace"
 cargo test --release --workspace -q
 
-echo "==> [3/5] cargo clippy --release --workspace --all-targets -- -D warnings"
+echo "==> [3/6] cargo clippy --release --workspace --all-targets -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
-echo "==> [4/5] bench_smoke (writes results/BENCH_dsp.json)"
+echo "==> [4/6] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
 cargo run --release -p milback-bench --bin bench_smoke
 
-echo "==> [5/5] validating results/BENCH_dsp.json"
+echo "==> [5/6] validating benchmark JSONs"
 JSON=results/BENCH_dsp.json
+EXP_JSON=results/BENCH_experiments.json
 [ -s "$JSON" ] || { echo "FAIL: $JSON missing or empty" >&2; exit 1; }
+[ -s "$EXP_JSON" ] || { echo "FAIL: $EXP_JSON missing or empty" >&2; exit 1; }
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$JSON" <<'PY'
 import json, sys
@@ -44,12 +49,45 @@ print(f"OK: {sys.argv[1]} is well-formed "
       f"({len(doc['fft'])} FFT rows, "
       f"fft4096 speedup {doc['acceptance']['fft4096_cached_vs_plan_per_call']:.2f}x)")
 PY
+    python3 - "$EXP_JSON" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "milback-bench-experiments-v1", doc.get("schema")
+for key in ("host", "experiments", "fsa_gain_eval", "acceptance"):
+    assert key in doc, f"missing top-level key: {key}"
+assert doc["experiments"], "experiments section is empty"
+for row in doc["experiments"]:
+    assert row["serial_ms"] > 0 and row["parallel_ms"] > 0, row
+    assert row["bit_exact"] is True, f"schedule divergence in {row['name']}"
+fsa = doc["fsa_gain_eval"]
+assert fsa["bit_exact"] is True, "FSA evaluator diverged from the direct path"
+acc = doc["acceptance"]
+for key in ("runner_target_speedup", "runner_target_needs_cores", "cores",
+            "runner_best_speedup", "runner_median_speedup",
+            "fsa_target_speedup", "fsa_hoisted_speedup", "all_bit_exact"):
+    assert key in acc, f"missing acceptance key: {key}"
+assert acc["all_bit_exact"] is True
+print(f"OK: {sys.argv[1]} is well-formed "
+      f"({len(doc['experiments'])} experiment rows, "
+      f"runner best {acc['runner_best_speedup']:.2f}x on {acc['cores']} core(s), "
+      f"fsa hoisted {acc['fsa_hoisted_speedup']:.2f}x)")
+PY
 else
-    # Minimal fallback: the file must at least carry the schema marker and
-    # the acceptance block.
+    # Minimal fallback: the files must at least carry the schema markers
+    # and the acceptance/bit-exactness blocks.
     grep -q '"schema": "milback-bench-dsp-v1"' "$JSON"
     grep -q '"acceptance"' "$JSON"
-    echo "OK: $JSON carries schema marker (python3 unavailable, shallow check)"
+    grep -q '"schema": "milback-bench-experiments-v1"' "$EXP_JSON"
+    grep -q '"acceptance"' "$EXP_JSON"
+    grep -q '"all_bit_exact": true' "$EXP_JSON"
+    echo "OK: benchmark JSONs carry schema markers (python3 unavailable, shallow check)"
 fi
+
+echo "==> [6/6] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
+CSV=results/figure_12a.csv
+before=$(sha256sum "$CSV" 2>/dev/null || echo absent)
+MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin fig12a_ranging
+after=$(sha256sum "$CSV" 2>/dev/null || echo absent)
+[ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CSV" >&2; exit 1; }
 
 echo "==> ci.sh: all gates passed"
