@@ -28,13 +28,23 @@ impl std::fmt::Display for AoaError {
         match self {
             AoaError::Fmcw(e) => write!(f, "FMCW stage failed: {e}"),
             AoaError::PhaseOutOfRange { phase_rad } => {
-                write!(f, "phase difference {phase_rad:.3} rad has no angle solution")
+                write!(
+                    f,
+                    "phase difference {phase_rad:.3} rad has no angle solution"
+                )
             }
         }
     }
 }
 
-impl std::error::Error for AoaError {}
+impl std::error::Error for AoaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AoaError::Fmcw(e) => Some(e),
+            AoaError::PhaseOutOfRange { .. } => None,
+        }
+    }
+}
 
 impl From<FmcwError> for AoaError {
     fn from(e: FmcwError) -> Self {
@@ -96,7 +106,11 @@ impl AoaEstimator {
         let phase = acc.arg();
         let angle = angle_from_phase_rad(self.carrier_hz, self.baseline_m, phase)
             .ok_or(AoaError::PhaseOutOfRange { phase_rad: phase })?;
-        Ok(AoaEstimate { angle_rad: angle, phase_rad: wrap_angle(phase), range_m: det.range_m })
+        Ok(AoaEstimate {
+            angle_rad: angle,
+            phase_rad: wrap_angle(phase),
+            range_m: det.range_m,
+        })
     }
 
     /// The phase difference this geometry predicts for a ground-truth

@@ -111,7 +111,10 @@ impl CaCfar {
         let all = self.detect(power);
         let mut kept: Vec<CfarDetection> = Vec::new();
         for d in all {
-            if kept.iter().all(|k| k.cell.abs_diff(d.cell) >= min_separation) {
+            if kept
+                .iter()
+                .all(|k| k.cell.abs_diff(d.cell) >= min_separation)
+            {
                 kept.push(d);
             }
         }
@@ -156,7 +159,10 @@ mod tests {
         let cfar = CaCfar::milback_default();
         let hits = cfar.detect_separated(&p, 8);
         let cells: Vec<usize> = hits.iter().take(3).map(|h| h.cell).collect();
-        assert!(cells.contains(&100) && cells.contains(&400) && cells.contains(&700), "{cells:?}");
+        assert!(
+            cells.contains(&100) && cells.contains(&400) && cells.contains(&700),
+            "{cells:?}"
+        );
         // Strongest first.
         assert_eq!(hits[0].cell, 400);
     }

@@ -82,7 +82,9 @@ impl DopplerProcessor {
     /// no taper needed (tapering is for *unknown* Doppler, not for this
     /// synchronized modulation).
     pub fn milback_default() -> Self {
-        Self { doppler_window: Window::Rectangular }
+        Self {
+            doppler_window: Window::Rectangular,
+        }
     }
 
     /// Builds the range–Doppler map from per-chirp beat captures.
@@ -122,8 +124,9 @@ impl DopplerProcessor {
         // values) are hoisted out of the column loop; each worker carries one
         // scratch buffer across all of its columns, and columns are laid out
         // contiguously (column-major) so the per-column FFT is in-place.
-        let win: Vec<f64> =
-            (0..n_chirps).map(|k| self.doppler_window.value(k, n_chirps)).collect();
+        let win: Vec<f64> = (0..n_chirps)
+            .map(|k| self.doppler_window.value(k, n_chirps))
+            .collect();
         let plan = FftPlanner::plan(n_chirps);
         let mut cols = vec![ZERO; n_range * n_chirps];
         parallel::for_each_chunk_with(
@@ -145,7 +148,11 @@ impl DopplerProcessor {
                 map[d][r] = z.norm_sqr();
             }
         }
-        Ok(RangeDopplerMap { map, n_chirps, n_range })
+        Ok(RangeDopplerMap {
+            map,
+            n_chirps,
+            n_range,
+        })
     }
 
     /// Detects a per-chirp-toggling node: peak of the alternation row,
@@ -283,7 +290,10 @@ mod tests {
         );
         let mut ragged = capture(&proc, 3, 3.0, &[], 7);
         ragged[1].pop();
-        assert_eq!(dp.range_doppler(&proc, &ragged).unwrap_err(), FmcwError::LengthMismatch);
+        assert_eq!(
+            dp.range_doppler(&proc, &ragged).unwrap_err(),
+            FmcwError::LengthMismatch
+        );
     }
 
     #[test]
@@ -293,8 +303,13 @@ mod tests {
         let beats = capture(&proc, 8, 4.5, &[(2.2, 3e-4)], 9);
         let serial = dp.range_doppler_with_threads(&proc, &beats, 1).unwrap();
         for threads in [2usize, 4, 8] {
-            let par = dp.range_doppler_with_threads(&proc, &beats, threads).unwrap();
-            assert!(par == serial, "threads={threads} diverges from the serial map");
+            let par = dp
+                .range_doppler_with_threads(&proc, &beats, threads)
+                .unwrap();
+            assert!(
+                par == serial,
+                "threads={threads} diverges from the serial map"
+            );
         }
     }
 

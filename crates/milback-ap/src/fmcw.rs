@@ -82,7 +82,10 @@ impl FmcwProcessor {
     /// # Panics
     /// Panics unless the chirp is sawtooth and parameters are positive.
     pub fn new(chirp: Chirp, sample_rate_hz: f64) -> Self {
-        assert!(chirp.shape == ChirpShape::Sawtooth, "localization uses sawtooth chirps");
+        assert!(
+            chirp.shape == ChirpShape::Sawtooth,
+            "localization uses sawtooth chirps"
+        );
         assert!(sample_rate_hz > 0.0);
         Self {
             chirp,
@@ -116,7 +119,9 @@ impl FmcwProcessor {
 
     /// Range represented by each FFT bin (first half of the spectrum).
     pub fn range_axis_m(&self) -> Vec<f64> {
-        (0..self.fft_len() / 2).map(|k| self.bin_to_range_m(k as f64)).collect()
+        (0..self.fft_len() / 2)
+            .map(|k| self.bin_to_range_m(k as f64))
+            .collect()
     }
 
     /// Windowed, zero-padded range spectrum of one chirp's beat signal.
@@ -129,7 +134,7 @@ impl FmcwProcessor {
         out
     }
 
-    /// Allocation-free core of [`range_spectrum`]: windows `beat`, zero-pads
+    /// Allocation-free core of [`Self::range_spectrum`]: windows `beat`, zero-pads
     /// it into `out`, and runs the planned range FFT in place, using
     /// caller-owned `scratch`. Hot loops (per-chirp fan-out, benches) call
     /// this with reused buffers so the steady state performs no heap
@@ -183,16 +188,13 @@ impl FmcwProcessor {
     pub fn background_subtract(&self, spectra: &[Vec<Complex>]) -> Vec<Vec<Complex>> {
         assert!(spectra.len() >= 2, "need at least two spectra");
         let n = spectra[0].len();
-        assert!(spectra.iter().all(|s| s.len() == n), "spectrum lengths differ");
+        assert!(
+            spectra.iter().all(|s| s.len() == n),
+            "spectrum lengths differ"
+        );
         spectra
             .windows(2)
-            .map(|pair| {
-                pair[0]
-                    .iter()
-                    .zip(&pair[1])
-                    .map(|(&a, &b)| a - b)
-                    .collect()
-            })
+            .map(|pair| pair[0].iter().zip(&pair[1]).map(|(&a, &b)| a - b).collect())
             .collect()
     }
 
@@ -294,10 +296,8 @@ mod tests {
         (0..n)
             .map(|k| {
                 let refl = k % 2 == 0;
-                let mut echoes: Vec<Echo<'_>> = clutter
-                    .iter()
-                    .map(|&(d, a)| Echo::constant(d, a))
-                    .collect();
+                let mut echoes: Vec<Echo<'_>> =
+                    clutter.iter().map(|&(d, a)| Echo::constant(d, a)).collect();
                 let amp = if refl { node_amp } else { node_amp * 0.18 };
                 echoes.push(Echo::constant(node_range, amp));
                 let mut beat = synthesize_beat(&p.chirp, &echoes, p.sample_rate_hz);
@@ -333,7 +333,10 @@ mod tests {
             b
         };
         let beats = vec![clutter_beat.clone(), clutter_beat.clone(), clutter_beat];
-        assert_eq!(p.detect_node(&beats).unwrap_err(), FmcwError::NoEchoDetected);
+        assert_eq!(
+            p.detect_node(&beats).unwrap_err(),
+            FmcwError::NoEchoDetected
+        );
     }
 
     #[test]
@@ -356,7 +359,10 @@ mod tests {
         let p = proc();
         // Node echo buried under overwhelming noise → clean error.
         let beats = capture(&p, 5.0, 1e-9, &[], 5, 1e-6, 3);
-        assert_eq!(p.detect_node(&beats).unwrap_err(), FmcwError::NoEchoDetected);
+        assert_eq!(
+            p.detect_node(&beats).unwrap_err(),
+            FmcwError::NoEchoDetected
+        );
     }
 
     #[test]
@@ -374,7 +380,10 @@ mod tests {
         let p = proc();
         let mut beats = capture(&p, 3.0, 1e-5, &[], 3, 0.0, 5);
         beats[1].pop();
-        assert_eq!(p.detect_node(&beats).unwrap_err(), FmcwError::LengthMismatch);
+        assert_eq!(
+            p.detect_node(&beats).unwrap_err(),
+            FmcwError::LengthMismatch
+        );
     }
 
     #[test]
@@ -459,12 +468,17 @@ mod tests {
         let p = proc();
         let mut beats = capture(&p, 3.0, 1e-5, &[], 3, 0.0, 11);
         beats[2].pop();
-        assert_eq!(p.range_spectra_flat(&beats, 2).unwrap_err(), FmcwError::LengthMismatch);
+        assert_eq!(
+            p.range_spectra_flat(&beats, 2).unwrap_err(),
+            FmcwError::LengthMismatch
+        );
     }
 
     #[test]
     fn error_display() {
-        assert!(FmcwError::NotEnoughChirps { got: 1 }.to_string().contains("≥2"));
+        assert!(FmcwError::NotEnoughChirps { got: 1 }
+            .to_string()
+            .contains("≥2"));
         assert!(FmcwError::LengthMismatch.to_string().contains("length"));
         assert!(FmcwError::NoEchoDetected.to_string().contains("floor"));
     }

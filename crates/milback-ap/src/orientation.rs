@@ -33,14 +33,24 @@ impl std::fmt::Display for ApOrientationError {
         match self {
             ApOrientationError::Fmcw(e) => write!(f, "FMCW stage failed: {e}"),
             ApOrientationError::OutOfScanRange { freq_hz } => {
-                write!(f, "peak reflection at {freq_hz:.3e} Hz is outside the FSA scan range")
+                write!(
+                    f,
+                    "peak reflection at {freq_hz:.3e} Hz is outside the FSA scan range"
+                )
             }
             ApOrientationError::EmptyResidual => write!(f, "no residual signal after subtraction"),
         }
     }
 }
 
-impl std::error::Error for ApOrientationError {}
+impl std::error::Error for ApOrientationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApOrientationError::Fmcw(e) => Some(e),
+            ApOrientationError::OutOfScanRange { .. } | ApOrientationError::EmptyResidual => None,
+        }
+    }
+}
 
 impl From<FmcwError> for ApOrientationError {
     fn from(e: FmcwError) -> Self {
@@ -74,7 +84,10 @@ impl ApOrientationEstimator {
     /// hundred kHz, while staying well inside the ~3 µs width the ~10° beam
     /// envelope occupies within the sweep.
     pub fn milback_default() -> Self {
-        Self { toggled_port: FsaPort::A, smooth_samples: 75 }
+        Self {
+            toggled_port: FsaPort::A,
+            smooth_samples: 75,
+        }
     }
 
     /// Estimates orientation from consecutive chirp captures (the node
@@ -116,7 +129,11 @@ impl ApOrientationEstimator {
         let orientation = fsa
             .beam_angle_rad(self.toggled_port, freq)
             .ok_or(ApOrientationError::OutOfScanRange { freq_hz: freq })?;
-        Ok(ApOrientationEstimate { orientation_rad: orientation, peak_freq_hz: freq, peak_time_s: t })
+        Ok(ApOrientationEstimate {
+            orientation_rad: orientation,
+            peak_freq_hz: freq,
+            peak_time_s: t,
+        })
     }
 
     /// Averages estimates over several independent chirp groups.
@@ -245,7 +262,10 @@ mod tests {
         let fsa = FsaDesign::milback_default();
         let est = ApOrientationEstimator::milback_default();
         let err = est.estimate(&proc, &[], &fsa).unwrap_err();
-        assert!(matches!(err, ApOrientationError::Fmcw(FmcwError::NotEnoughChirps { .. })));
+        assert!(matches!(
+            err,
+            ApOrientationError::Fmcw(FmcwError::NotEnoughChirps { .. })
+        ));
     }
 
     #[test]
@@ -279,14 +299,19 @@ mod tests {
                 b
             })
             .collect();
-        let est = ApOrientationEstimator { toggled_port: FsaPort::B, smooth_samples: 15 };
+        let est = ApOrientationEstimator {
+            toggled_port: FsaPort::B,
+            smooth_samples: 15,
+        };
         let got = est.estimate(&proc, &beats, &fsa).unwrap();
         assert!((got.orientation_rad - psi).abs().to_degrees() < 1.5);
     }
 
     #[test]
     fn error_display() {
-        assert!(ApOrientationError::EmptyResidual.to_string().contains("residual"));
+        assert!(ApOrientationError::EmptyResidual
+            .to_string()
+            .contains("residual"));
         assert!(ApOrientationError::OutOfScanRange { freq_hz: 1e9 }
             .to_string()
             .contains("scan"));

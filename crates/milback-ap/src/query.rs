@@ -48,15 +48,14 @@ impl QueryPlanner {
     /// Defaults: fall back to OOK within ±1.5° of normal (≈ the carrier
     /// separation dropping below 150 MHz for the default FSA).
     pub fn milback_default() -> Self {
-        Self { ook_fallback_rad: 1.5f64.to_radians(), min_tone_separation_hz: 150e6 }
+        Self {
+            ook_fallback_rad: 1.5f64.to_radians(),
+            min_tone_separation_hz: 150e6,
+        }
     }
 
     /// Plans the carrier set for a node at estimated `orientation_rad`.
-    pub fn plan(
-        &self,
-        fsa: &DualPortFsa,
-        orientation_rad: f64,
-    ) -> Result<CarrierSet, QueryError> {
+    pub fn plan(&self, fsa: &DualPortFsa, orientation_rad: f64) -> Result<CarrierSet, QueryError> {
         if orientation_rad.abs() < self.ook_fallback_rad {
             // Normal incidence: both beams share the normal frequency.
             return Ok(CarrierSet::SingleToneOok {
@@ -72,6 +71,27 @@ impl QueryPlanner {
             });
         }
         Ok(CarrierSet::TwoTone { f_a, f_b })
+    }
+
+    /// Plans carriers and rolls the result into one report — the payload
+    /// an event-driven AP posts when its `PlanCarriers` event fires, so
+    /// downstream actors (TX scheduling, diagnostics) get the plan and its
+    /// expected cost in a single message.
+    pub fn plan_report(
+        &self,
+        fsa: &DualPortFsa,
+        estimated_orientation_rad: f64,
+        true_orientation_rad: f64,
+    ) -> Result<PlanReport, QueryError> {
+        let plan = self.plan(fsa, estimated_orientation_rad)?;
+        let (gain_a_dbi, gain_b_dbi) = self.plan_gain_dbi(fsa, &plan, true_orientation_rad);
+        Ok(PlanReport {
+            plan,
+            estimated_orientation_rad,
+            gain_a_dbi,
+            gain_b_dbi,
+            ook_fallback: matches!(plan, CarrierSet::SingleToneOok { .. }),
+        })
     }
 
     /// Verifies a plan against the true orientation: the per-port gain the
@@ -97,12 +117,30 @@ impl QueryPlanner {
     }
 }
 
+/// The outcome of one carrier-planning step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanReport {
+    /// The selected carrier set.
+    pub plan: CarrierSet,
+    /// The orientation estimate the plan was built from, radians.
+    pub estimated_orientation_rad: f64,
+    /// Port-A gain the plan achieves at the true orientation, dBi.
+    pub gain_a_dbi: f64,
+    /// Port-B gain the plan achieves at the true orientation, dBi.
+    pub gain_b_dbi: f64,
+    /// Whether the planner fell back to single-carrier OOK.
+    pub ook_fallback: bool,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn setup() -> (QueryPlanner, DualPortFsa) {
-        (QueryPlanner::milback_default(), DualPortFsa::milback_default())
+        (
+            QueryPlanner::milback_default(),
+            DualPortFsa::milback_default(),
+        )
     }
 
     #[test]
@@ -168,6 +206,22 @@ mod tests {
         let (ia, ib) = p.plan_gain_dbi(&fsa, &ideal, true_psi);
         assert!(ia - ga < 3.5, "port A loses {:.1} dB", ia - ga);
         assert!(ib - gb < 3.5, "port B loses {:.1} dB", ib - gb);
+    }
+
+    #[test]
+    fn plan_report_bundles_plan_and_cost() {
+        let (p, fsa) = setup();
+        let psi = 15f64.to_radians();
+        let r = p.plan_report(&fsa, psi, psi).unwrap();
+        assert!(!r.ook_fallback);
+        assert_eq!(r.estimated_orientation_rad, psi);
+        let (ga, gb) = p.plan_gain_dbi(&fsa, &r.plan, psi);
+        assert_eq!((r.gain_a_dbi, r.gain_b_dbi), (ga, gb));
+
+        let near = p.plan_report(&fsa, 0.0, 0.0).unwrap();
+        assert!(near.ook_fallback);
+
+        assert!(p.plan_report(&fsa, 45f64.to_radians(), 0.0).is_err());
     }
 
     #[test]

@@ -78,6 +78,20 @@ impl RxChain {
     pub fn noise_floor_dbm(&self, bandwidth_hz: f64) -> f64 {
         self.chain.noise_floor_dbm(bandwidth_hz)
     }
+
+    /// Wall-clock duration of an `n_samples` capture at the digitizer
+    /// rate, seconds — the airtime an event-driven AP must reserve on the
+    /// timeline before its processing event fires.
+    ///
+    /// # Panics
+    /// Panics for a non-positive digitizer rate.
+    pub fn capture_s(&self, n_samples: usize) -> f64 {
+        assert!(
+            self.digitizer_rate_hz > 0.0,
+            "digitizer rate must be positive"
+        );
+        n_samples as f64 / self.digitizer_rate_hz
+    }
 }
 
 /// The complete AP radio front-end: one TX chain and two RX chains.
@@ -109,7 +123,11 @@ mod tests {
     #[test]
     fn tx_port_power_is_27_dbm() {
         let tx = TxChain::milback_default();
-        assert!((tx.port_power_dbm() - 27.0).abs() < 0.3, "got {:.2}", tx.port_power_dbm());
+        assert!(
+            (tx.port_power_dbm() - 27.0).abs() < 0.3,
+            "got {:.2}",
+            tx.port_power_dbm()
+        );
     }
 
     #[test]
@@ -130,6 +148,14 @@ mod tests {
     fn both_rx_chains_identical_by_default() {
         let ap = ApRadio::milback_default();
         assert_eq!(ap.rx1, ap.rx2);
+    }
+
+    #[test]
+    fn capture_duration_follows_digitizer_rate() {
+        let rx = RxChain::milback_default();
+        // 900 samples at 50 MS/s = 18 µs — one Field-2 chirp.
+        assert!((rx.capture_s(900) - 18e-6).abs() < 1e-15);
+        assert_eq!(rx.capture_s(0), 0.0);
     }
 
     #[test]

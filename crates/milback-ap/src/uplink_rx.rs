@@ -75,7 +75,10 @@ impl UplinkReceiver {
         trace_b: &[f64],
     ) -> Result<Vec<OaqfmSymbol>, UplinkRxError> {
         if trace_a.len() != trace_b.len() {
-            return Err(UplinkRxError::LengthMismatch { a: trace_a.len(), b: trace_b.len() });
+            return Err(UplinkRxError::LengthMismatch {
+                a: trace_a.len(),
+                b: trace_b.len(),
+            });
         }
         if trace_a.len() < self.samples_per_symbol {
             return Err(UplinkRxError::TraceTooShort);
@@ -87,7 +90,10 @@ impl UplinkReceiver {
         Ok(sa
             .iter()
             .zip(&sb)
-            .map(|(&va, &vb)| OaqfmSymbol { tone_a: va > ta, tone_b: vb > tb })
+            .map(|(&va, &vb)| OaqfmSymbol {
+                tone_a: va > ta,
+                tone_b: vb > tb,
+            })
             .collect())
     }
 
@@ -100,7 +106,10 @@ impl UplinkReceiver {
         threshold_b: f64,
     ) -> Result<Vec<OaqfmSymbol>, UplinkRxError> {
         if trace_a.len() != trace_b.len() {
-            return Err(UplinkRxError::LengthMismatch { a: trace_a.len(), b: trace_b.len() });
+            return Err(UplinkRxError::LengthMismatch {
+                a: trace_a.len(),
+                b: trace_b.len(),
+            });
         }
         if trace_a.len() < self.samples_per_symbol {
             return Err(UplinkRxError::TraceTooShort);
@@ -110,7 +119,10 @@ impl UplinkReceiver {
         Ok(sa
             .iter()
             .zip(&sb)
-            .map(|(&va, &vb)| OaqfmSymbol { tone_a: va > threshold_a, tone_b: vb > threshold_b })
+            .map(|(&va, &vb)| OaqfmSymbol {
+                tone_a: va > threshold_a,
+                tone_b: vb > threshold_b,
+            })
             .collect())
     }
 }
@@ -133,7 +145,11 @@ pub struct UplinkQuality {
 /// # Panics
 /// Panics if the lengths differ or either population is empty.
 pub fn measure_channel_snr_db(symbol_stats: &[f64], tx_bits: &[bool]) -> f64 {
-    assert_eq!(symbol_stats.len(), tx_bits.len(), "stats/bits length mismatch");
+    assert_eq!(
+        symbol_stats.len(),
+        tx_bits.len(),
+        "stats/bits length mismatch"
+    );
     let on: Vec<f64> = symbol_stats
         .iter()
         .zip(tx_bits)
@@ -146,10 +162,21 @@ pub fn measure_channel_snr_db(symbol_stats: &[f64], tx_bits: &[bool]) -> f64 {
         .filter(|(_, &b)| !b)
         .map(|(&v, _)| v)
         .collect();
-    assert!(!on.is_empty() && !off.is_empty(), "need both symbol populations");
+    assert!(
+        !on.is_empty() && !off.is_empty(),
+        "need both symbol populations"
+    );
     let swing = (mean(&on) - mean(&off)) / 2.0;
-    let var_on = if on.len() > 1 { mmwave_sigproc::stats::variance(&on) } else { 0.0 };
-    let var_off = if off.len() > 1 { mmwave_sigproc::stats::variance(&off) } else { 0.0 };
+    let var_on = if on.len() > 1 {
+        mmwave_sigproc::stats::variance(&on)
+    } else {
+        0.0
+    };
+    let var_off = if off.len() > 1 {
+        mmwave_sigproc::stats::variance(&off)
+    } else {
+        0.0
+    };
     let noise = ((var_on + var_off) / 2.0).max(1e-300);
     10.0 * (swing * swing / noise).log10()
 }
@@ -168,8 +195,14 @@ mod tests {
     use mmwave_sigproc::waveform::{bytes_to_symbols, ook_envelope, symbols_to_bytes};
 
     fn traces_for(symbols: &[OaqfmSymbol], sps: usize, hi: f64, lo: f64) -> (Vec<f64>, Vec<f64>) {
-        let la: Vec<f64> = symbols.iter().map(|s| if s.tone_a { hi } else { lo }).collect();
-        let lb: Vec<f64> = symbols.iter().map(|s| if s.tone_b { hi } else { lo }).collect();
+        let la: Vec<f64> = symbols
+            .iter()
+            .map(|s| if s.tone_a { hi } else { lo })
+            .collect();
+        let lb: Vec<f64> = symbols
+            .iter()
+            .map(|s| if s.tone_b { hi } else { lo })
+            .collect();
         (ook_envelope(&la, sps), ook_envelope(&lb, sps))
     }
 
@@ -260,7 +293,10 @@ mod tests {
     #[test]
     fn short_trace_rejected() {
         let rx = UplinkReceiver::new(100);
-        assert_eq!(rx.decide(&[0.0; 10], &[0.0; 10]).unwrap_err(), UplinkRxError::TraceTooShort);
+        assert_eq!(
+            rx.decide(&[0.0; 10], &[0.0; 10]).unwrap_err(),
+            UplinkRxError::TraceTooShort
+        );
     }
 
     #[test]
@@ -282,6 +318,8 @@ mod tests {
     fn error_display() {
         assert!(UplinkRxError::NoContrast.to_string().contains("contrast"));
         assert!(UplinkRxError::TraceTooShort.to_string().contains("shorter"));
-        assert!(UplinkRxError::LengthMismatch { a: 1, b: 2 }.to_string().contains("differ"));
+        assert!(UplinkRxError::LengthMismatch { a: 1, b: 2 }
+            .to_string()
+            .contains("differ"));
     }
 }

@@ -163,7 +163,10 @@ impl CarrierSet {
 
     /// Both tones on — the continuous query signal for uplink (§6.3).
     pub fn query_tones(&self) -> Vec<Tone> {
-        self.tones_for_symbol(OaqfmSymbol { tone_a: true, tone_b: true })
+        self.tones_for_symbol(OaqfmSymbol {
+            tone_a: true,
+            tone_b: true,
+        })
     }
 }
 
@@ -237,14 +240,23 @@ mod tests {
     fn link_direction_chirp_counts() {
         assert_eq!(LinkDirection::Uplink.field1_chirp_count(), 3);
         assert_eq!(LinkDirection::Downlink.field1_chirp_count(), 2);
-        assert_eq!(LinkDirection::from_chirp_count(3), Some(LinkDirection::Uplink));
-        assert_eq!(LinkDirection::from_chirp_count(2), Some(LinkDirection::Downlink));
+        assert_eq!(
+            LinkDirection::from_chirp_count(3),
+            Some(LinkDirection::Uplink)
+        );
+        assert_eq!(
+            LinkDirection::from_chirp_count(2),
+            Some(LinkDirection::Downlink)
+        );
         assert_eq!(LinkDirection::from_chirp_count(5), None);
     }
 
     #[test]
     fn two_tone_symbol_mapping() {
-        let c = CarrierSet::TwoTone { f_a: 28.5e9, f_b: 27.5e9 };
+        let c = CarrierSet::TwoTone {
+            f_a: 28.5e9,
+            f_b: 27.5e9,
+        };
         assert_eq!(c.bits_per_symbol(), 2);
         let t11 = c.tones_for_symbol(OaqfmSymbol::from_bits(0b11));
         assert_eq!(t11.len(), 2);
@@ -266,13 +278,19 @@ mod tests {
 
     #[test]
     fn query_is_both_tones() {
-        let c = CarrierSet::TwoTone { f_a: 28.5e9, f_b: 27.5e9 };
+        let c = CarrierSet::TwoTone {
+            f_a: 28.5e9,
+            f_b: 27.5e9,
+        };
         assert_eq!(c.query_tones().len(), 2);
     }
 
     #[test]
     fn downlink_keying_timing() {
-        let c = CarrierSet::TwoTone { f_a: 28.5e9, f_b: 27.5e9 };
+        let c = CarrierSet::TwoTone {
+            f_a: 28.5e9,
+            f_b: 27.5e9,
+        };
         let k = DownlinkKeying::for_bytes(c, &[0xAB, 0xCD], 1e6);
         assert_eq!(k.symbols.len(), 8);
         assert!((k.duration_s() - 8e-6).abs() < 1e-12);

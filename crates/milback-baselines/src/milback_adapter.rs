@@ -23,7 +23,9 @@ pub struct MilBackSystem {
 impl MilBackSystem {
     /// The paper's configuration.
     pub fn published() -> Self {
-        Self { config: SystemConfig::milback_default() }
+        Self {
+            config: SystemConfig::milback_default(),
+        }
     }
 
     fn simulator(&self, distance_m: f64) -> Option<LinkSimulator> {
@@ -46,10 +48,13 @@ impl BackscatterSystem for MilBackSystem {
         if config.validate().is_err() {
             return None;
         }
-        LinkSimulator::new(config, Scene::single_node(distance_m, PROBE_ORIENTATION_RAD))
-            .ok()?
-            .uplink_analytic_snr_db()
-            .ok()
+        LinkSimulator::new(
+            config,
+            Scene::single_node(distance_m, PROBE_ORIENTATION_RAD),
+        )
+        .ok()?
+        .uplink_analytic_snr_db()
+        .ok()
     }
 
     fn downlink_sinr_db(&self, distance_m: f64) -> Option<f64> {
@@ -114,7 +119,9 @@ mod tests {
 
     #[test]
     fn milback_energy_beats_mmtag() {
-        let milback = MilBackSystem::published().uplink_energy_per_bit_j().unwrap();
+        let milback = MilBackSystem::published()
+            .uplink_energy_per_bit_j()
+            .unwrap();
         let mmtag = MmTag::published().uplink_energy_per_bit_j().unwrap();
         assert!(mmtag / milback > 2.9, "ratio {}", mmtag / milback);
     }

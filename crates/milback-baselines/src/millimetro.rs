@@ -74,10 +74,8 @@ impl Millimetro {
             self.chirp.center_hz(),
             distance_m,
         ) * impl_amp;
-        let noise_w = mmwave_sigproc::units::noise_power_watts(
-            fs / 2.0,
-            self.radar_chain.noise_figure_db(),
-        );
+        let noise_w =
+            mmwave_sigproc::units::noise_power_watts(fs / 2.0, self.radar_chain.noise_figure_db());
         let beats: Vec<Vec<mmwave_sigproc::Complex>> = (0..5)
             .map(|k| {
                 let on = k % 2 == 0;
@@ -85,7 +83,10 @@ impl Millimetro {
                     .iter()
                     .map(|&(d, a)| Echo::constant(d, a * impl_amp))
                     .collect();
-                echoes.push(Echo::constant(distance_m, if on { tag_amp } else { tag_amp * 0.1 }));
+                echoes.push(Echo::constant(
+                    distance_m,
+                    if on { tag_amp } else { tag_amp * 0.1 },
+                ));
                 let mut b = synthesize_beat(&self.chirp, &echoes, fs);
                 rng.add_complex_noise(&mut b, noise_w);
                 b

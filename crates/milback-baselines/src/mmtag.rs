@@ -181,7 +181,10 @@ mod tests {
         let t = MmTag::published();
         let s0 = t.snr_db(4.0, 10e6, 0.0);
         let s30 = t.snr_db(4.0, 10e6, 30f64.to_radians());
-        assert!((s0 - s30).abs() < 1.5, "Van Atta should be flat: {s0} vs {s30}");
+        assert!(
+            (s0 - s30).abs() < 1.5,
+            "Van Atta should be flat: {s0} vs {s30}"
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ impl OmniScatter {
             distance_m,
         );
         let signal_dbm = watts_to_dbm(amp * amp);
-        self.radar_chain.snr_db(signal_dbm, self.max_symbol_rate_hz()) + self.coding_gain_db
+        self.radar_chain
+            .snr_db(signal_dbm, self.max_symbol_rate_hz())
+            + self.coding_gain_db
     }
 }
 

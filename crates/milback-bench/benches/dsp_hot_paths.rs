@@ -17,9 +17,7 @@ fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     for &n in &[256usize, 1024, 4096] {
         let plan = FftPlan::new(n);
-        let buf: Vec<Complex> = (0..n)
-            .map(|i| Complex::cis(i as f64 * 0.37))
-            .collect();
+        let buf: Vec<Complex> = (0..n).map(|i| Complex::cis(i as f64 * 0.37)).collect();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
             b.iter(|| {
@@ -50,8 +48,7 @@ fn bench_beat_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("beat_synthesis");
     group.bench_function("clutter_only_5_echoes", |b| {
         b.iter(|| {
-            let echoes: Vec<Echo<'_>> =
-                (1..=5).map(|i| Echo::constant(i as f64, 1e-5)).collect();
+            let echoes: Vec<Echo<'_>> = (1..=5).map(|i| Echo::constant(i as f64, 1e-5)).collect();
             synthesize_beat(&chirp, &echoes, 50e6)
         })
     });
@@ -84,8 +81,12 @@ fn bench_fmcw_pipeline(c: &mut Criterion) {
         })
         .collect();
     let mut group = c.benchmark_group("fmcw");
-    group.bench_function("range_spectrum", |b| b.iter(|| proc.range_spectrum(&beats[0])));
-    group.bench_function("detect_node_5_chirps", |b| b.iter(|| proc.detect_node(&beats)));
+    group.bench_function("range_spectrum", |b| {
+        b.iter(|| proc.range_spectrum(&beats[0]))
+    });
+    group.bench_function("detect_node_5_chirps", |b| {
+        b.iter(|| proc.detect_node(&beats))
+    });
     group.finish();
 }
 
@@ -93,8 +94,14 @@ fn bench_oaqfm_demod(c: &mut Criterion) {
     let payload: Vec<u8> = (0..256).map(|i| (i * 37 % 256) as u8).collect();
     let syms = bytes_to_symbols(&payload);
     let sps = 11;
-    let la: Vec<f64> = syms.iter().map(|s| if s.tone_a { 0.01 } else { 0.0 }).collect();
-    let lb: Vec<f64> = syms.iter().map(|s| if s.tone_b { 0.01 } else { 0.0 }).collect();
+    let la: Vec<f64> = syms
+        .iter()
+        .map(|s| if s.tone_a { 0.01 } else { 0.0 })
+        .collect();
+    let lb: Vec<f64> = syms
+        .iter()
+        .map(|s| if s.tone_b { 0.01 } else { 0.0 })
+        .collect();
     let ta = ook_envelope(&la, sps);
     let tb = ook_envelope(&lb, sps);
     let demod = OaqfmDemodulator::new(sps);
@@ -116,7 +123,9 @@ fn bench_components(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("components");
     group.throughput(Throughput::Elements(power.len() as u64));
-    group.bench_function("detector_trace_4096", |b| b.iter(|| det.trace(&power, 5e-9)));
+    group.bench_function("detector_trace_4096", |b| {
+        b.iter(|| det.trace(&power, 5e-9))
+    });
     let fsa = FsaDesign::milback_default();
     group.bench_function("fsa_gain_eval", |b| {
         b.iter(|| {

@@ -12,7 +12,7 @@ use milback_bench::runner::{run_fallible, RunnerConfig};
 use milback_bench::{reduced_mode, Report, Series};
 use milback_core::localization::Impairments;
 use milback_core::{LinkSimulator, LocalizationPipeline, Scene, SystemConfig};
-use mmwave_rf::antenna::fsa::{FsaDesign, FsaPort, FrequencyScanningAntenna};
+use mmwave_rf::antenna::fsa::{FrequencyScanningAntenna, FsaDesign, FsaPort};
 use mmwave_rf::antenna::Antenna;
 use mmwave_rf::components::{EnvelopeDetector, SpdtSwitch};
 use mmwave_sigproc::window::Window;
@@ -27,7 +27,11 @@ fn main() {
 }
 
 fn trials_per_point(full: usize) -> usize {
-    if reduced_mode() { (full / 3).max(2) } else { full }
+    if reduced_mode() {
+        (full / 3).max(2)
+    } else {
+        full
+    }
 }
 
 /// How many chirps does background subtraction need? The protocol uses 5
@@ -64,15 +68,25 @@ fn ablate_subtraction_chirps() {
             .map_err(|e| e.to_string())
     });
     for (k, chunk) in batch.results.chunks(trials).enumerate() {
-        let errs: Vec<f64> = chunk.iter().filter_map(|r| r.as_ref().ok().map(|v| v.0)).collect();
-        let confs: Vec<f64> = chunk.iter().filter_map(|r| r.as_ref().ok().map(|v| v.1)).collect();
+        let errs: Vec<f64> = chunk
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|v| v.0))
+            .collect();
+        let confs: Vec<f64> = chunk
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|v| v.1))
+            .collect();
         err_series.push(chirp_counts[k] as f64, mmwave_sigproc::stats::mean(&errs));
         conf_series.push(chirp_counts[k] as f64, mmwave_sigproc::stats::mean(&confs));
     }
     report.add_series(err_series);
     report.add_series(conf_series);
     report.note("5 chirps (the paper's choice) already saturates detection confidence");
-    report.note(format!("{}; {} worker threads", batch.summary(), cfg.threads));
+    report.note(format!(
+        "{}; {} worker threads",
+        batch.summary(),
+        cfg.threads
+    ));
     report.emit_respecting_reduced();
     println!();
 }
@@ -94,15 +108,17 @@ fn ablate_fsa_elements() {
         // Gain grows with aperture: +3 dB per doubling over the 8-element
         // calibration baseline.
         design.peak_gain_dbi = 13.0 + 10.0 * (n as f64 / 8.0).log10();
-        let view = FrequencyScanningAntenna { design, port: FsaPort::A };
+        let view = FrequencyScanningAntenna {
+            design,
+            port: FsaPort::A,
+        };
         gain_series.push(n as f64, view.peak_gain_dbi(28e9));
         bw_series.push(n as f64, view.beamwidth_rad(28e9).to_degrees());
 
         let mut config = SystemConfig::milback_default();
         config.node.fsa.design = design;
         config.uplink_symbol_rate_hz = 5e6;
-        let sim =
-            LinkSimulator::new(config, Scene::single_node(8.0, 12f64.to_radians())).unwrap();
+        let sim = LinkSimulator::new(config, Scene::single_node(8.0, 12f64.to_radians())).unwrap();
         snr_series.push(n as f64, sim.uplink_analytic_snr_db().unwrap());
     }
     report.add_series(gain_series);
@@ -151,12 +167,19 @@ fn ablate_window_choice() {
             .map_err(|e| e.to_string())
     });
     for (k, chunk) in batch.results.chunks(trials).enumerate() {
-        let errs: Vec<f64> = chunk.iter().filter_map(|r| r.as_ref().ok().copied()).collect();
+        let errs: Vec<f64> = chunk
+            .iter()
+            .filter_map(|r| r.as_ref().ok().copied())
+            .collect();
         series.push(k as f64, mmwave_sigproc::stats::mean(&errs));
     }
     report.add_series(series);
     report.note("Hann (the default) balances clutter-sidelobe rejection against main-lobe width");
-    report.note(format!("{}; {} worker threads", batch.summary(), cfg.threads));
+    report.note(format!(
+        "{}; {} worker threads",
+        batch.summary(),
+        cfg.threads
+    ));
     report.emit_respecting_reduced();
     println!();
 }

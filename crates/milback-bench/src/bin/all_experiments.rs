@@ -58,7 +58,10 @@ fn main() {
     }
     println!("  {:<26} {:>7.2} s", "total", total.elapsed().as_secs_f64());
     if failures.is_empty() {
-        println!("\nall {} experiments completed; CSVs in results/", binaries.len());
+        println!(
+            "\nall {} experiments completed; CSVs in results/",
+            binaries.len()
+        );
     } else {
         eprintln!("\nfailed: {failures:?}");
         std::process::exit(1);

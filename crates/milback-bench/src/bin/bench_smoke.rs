@@ -124,7 +124,10 @@ fn bench_fft_size(n: usize, rounds: usize, iters: usize) -> FftRow {
         let a = fft(&x);
         let b = seed_fft(&x);
         let err: f64 = a.iter().zip(&b).map(|(p, q)| (*p - *q).norm()).sum();
-        assert!(err < 1e-6 * n as f64, "seed transcription disagrees at n={n}: {err}");
+        assert!(
+            err < 1e-6 * n as f64,
+            "seed transcription disagrees at n={n}: {err}"
+        );
     }
 
     let mut cached = || {
@@ -141,8 +144,11 @@ fn bench_fft_size(n: usize, rounds: usize, iters: usize) -> FftRow {
     let mut inplace = || {
         plan.process_with_scratch(&mut buf, &mut scratch, Direction::Forward);
     };
-    let per_call: &mut dyn FnMut() =
-        if pow2 { &mut per_call_pow2 } else { &mut per_call_bluestein };
+    let per_call: &mut dyn FnMut() = if pow2 {
+        &mut per_call_pow2
+    } else {
+        &mut per_call_bluestein
+    };
     let times = race(rounds, iters, &mut [&mut cached, per_call, &mut inplace]);
     FftRow {
         n,
@@ -206,7 +212,12 @@ fn bench_experiment<T: PartialEq>(
     };
     println!(
         "  {:<22} {:>3} trials  serial {:>8.1} ms  parallel {:>8.1} ms  ({:.2}x)  bit-exact {}",
-        row.name, row.trials, row.serial_ms, row.parallel_ms, row.speedup(), row.bit_exact
+        row.name,
+        row.trials,
+        row.serial_ms,
+        row.parallel_ms,
+        row.speedup(),
+        row.bit_exact
     );
     row
 }
@@ -237,7 +248,10 @@ fn bench_experiments() -> Vec<ExpRow> {
     }));
     rows.push(bench_experiment("ablation_impairments", 8, rounds, |cfg| {
         experiments::ablation_impairments(
-            &[(0.0, Impairments::none()), (3.0, Impairments::milback_default())],
+            &[
+                (0.0, Impairments::none()),
+                (3.0, Impairments::milback_default()),
+            ],
             8.0,
             4,
             0xAB6,
@@ -268,7 +282,9 @@ fn bench_fsa_gain_eval() -> FsaBench {
     let design = FsaDesign::milback_default();
     let eval = FsaGainEval::new(&design);
     let freqs: Vec<f64> = (0..7).map(|i| 26.5e9 + 0.5e9 * i as f64).collect();
-    let angles: Vec<f64> = (0..181).map(|i| (-45.0 + 0.5 * i as f64).to_radians()).collect();
+    let angles: Vec<f64> = (0..181)
+        .map(|i| (-45.0 + 0.5 * i as f64).to_radians())
+        .collect();
     let ports = [FsaPort::A, FsaPort::B];
     let points = ports.len() * freqs.len() * angles.len();
 
@@ -344,14 +360,20 @@ fn median(mut v: Vec<f64>) -> f64 {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let threads = parallel::max_threads();
 
     // --- Planned-FFT microbenches ------------------------------------
     println!("FFT microbenches (min over round-robin rounds):");
     let mut fft_rows = Vec::new();
-    for &(n, rounds, iters) in &[(256usize, 60, 40), (1024, 60, 20), (4096, 60, 10), (900, 60, 10)]
-    {
+    for &(n, rounds, iters) in &[
+        (256usize, 60, 40),
+        (1024, 60, 20),
+        (4096, 60, 10),
+        (900, 60, 10),
+    ] {
         let row = bench_fft_size(n, rounds, iters);
         println!(
             "  n={:<5} {:<9} cached {:>9.1} ns  plan-per-call {:>9.1} ns  ({:.2}x)  in-place {:>9.1} ns",
@@ -382,14 +404,19 @@ fn main() {
         })
         .collect();
     let serial_map = dp.range_doppler_with_threads(&proc, &beats, 1).unwrap();
-    let parallel_map = dp.range_doppler_with_threads(&proc, &beats, threads).unwrap();
+    let parallel_map = dp
+        .range_doppler_with_threads(&proc, &beats, threads)
+        .unwrap();
     let rd_bit_exact = serial_map == parallel_map;
     assert!(rd_bit_exact, "parallel range-Doppler diverged from serial");
     let mut rd_serial = || {
         std::hint::black_box(dp.range_doppler_with_threads(&proc, &beats, 1).unwrap());
     };
     let mut rd_parallel = || {
-        std::hint::black_box(dp.range_doppler_with_threads(&proc, &beats, threads).unwrap());
+        std::hint::black_box(
+            dp.range_doppler_with_threads(&proc, &beats, threads)
+                .unwrap(),
+        );
     };
     let rd = race(20, 2, &mut [&mut rd_serial, &mut rd_parallel]);
     let rd_speedup = rd[0] / rd[1];
@@ -436,7 +463,9 @@ fn main() {
     let spots =
         experiments::fig15_spot_checks(&[(10e6, 8.0)], 20_000, 0xF15, &RunnerConfig::serial());
     let uplink_ms = t.elapsed().as_nanos() as f64 / 1e6;
-    let spot = spots.results[0].as_ref().expect("reduced fig15 uplink succeeds");
+    let spot = spots.results[0]
+        .as_ref()
+        .expect("reduced fig15 uplink succeeds");
     println!(
         "fig15 uplink (reduced, 20 kB at 8 m, 10 Mbps, via runner): {:.1} ms, SNR {:.1} dB, BER {:.1e}",
         uplink_ms, spot.snr_db, spot.ber,

@@ -41,7 +41,11 @@ fn dense_oaqfm_vs_distance() {
     let mut rate_series = Series::new("adaptive rate (Mbps)");
     let mut level_series = Series::new("levels per tone");
     let mut plain_series = Series::new("plain OAQFM (Mbps)");
-    let grid = if reduced_mode() { linspace(0.5, 12.0, 6) } else { linspace(0.5, 12.0, 24) };
+    let grid = if reduced_mode() {
+        linspace(0.5, 12.0, 6)
+    } else {
+        linspace(0.5, 12.0, 24)
+    };
     for d in grid {
         let sim = LinkSimulator::new(
             SystemConfig::milback_default(),
@@ -71,10 +75,7 @@ fn dense_oaqfm_vs_distance() {
     report.add_series(rate_series);
     report.add_series(level_series);
     report.add_series(plain_series);
-    if let (Some(&lo), Some(&hi)) = (
-        dense_region.first(),
-        dense_region.last(),
-    ) {
+    if let (Some(&lo), Some(&hi)) = (dense_region.first(), dense_region.last()) {
         report.note(format!(
             "dense constellations run from {lo:.1} m to {hi:.1} m (peak {max_rate:.0} Mbps); beyond that the link falls back to plain OAQFM's 36 Mbps"
         ));
@@ -96,8 +97,11 @@ fn coded_uplink_vs_distance() {
     let mut raw_series = Series::new("uncoded log10 BER");
     let mut coded_series = Series::new("coded log10 BER (effective 22.9 Mbps)");
     let reduced = reduced_mode();
-    let distances: &[f64] =
-        if reduced { &[6.0, 10.0] } else { &[6.0, 7.0, 8.0, 9.0, 10.0] };
+    let distances: &[f64] = if reduced {
+        &[6.0, 10.0]
+    } else {
+        &[6.0, 7.0, 8.0, 9.0, 10.0]
+    };
     let payload_bytes = if reduced { 2048 } else { 8192 };
     let cfg = RunnerConfig::from_env();
     let batch = extension_coded_uplink(distances, payload_bytes, 0xEC2, &cfg);
@@ -107,8 +111,14 @@ fn coded_uplink_vs_distance() {
     }
     report.add_series(raw_series);
     report.add_series(coded_series);
-    report.note("FEC buys ~1.5–3 orders of magnitude of residual BER at the range edge for a 4/7 rate cost");
-    report.note(format!("{}; {} worker threads", batch.summary(), cfg.threads));
+    report.note(
+        "FEC buys ~1.5–3 orders of magnitude of residual BER at the range edge for a 4/7 rate cost",
+    );
+    report.note(format!(
+        "{}; {} worker threads",
+        batch.summary(),
+        cfg.threads
+    ));
     report.emit_respecting_reduced();
 }
 
@@ -153,6 +163,10 @@ fn tracking_vs_raw() {
         (raw_sq / (steps - 5) as f64).sqrt() * 100.0,
         (trk_sq / (steps - 5) as f64).sqrt() * 100.0
     ));
-    report.note(format!("{}; {} worker threads", batch.summary(), cfg.threads));
+    report.note(format!(
+        "{}; {} worker threads",
+        batch.summary(),
+        cfg.threads
+    ));
     report.emit_respecting_reduced();
 }

@@ -18,7 +18,11 @@ fn main() {
     let reduced = reduced_mode();
     let fsa = FsaDesign::milback_default();
     let eval = FsaGainEval::new(&fsa);
-    let angles = if reduced { linspace(-45.0, 45.0, 31) } else { linspace(-45.0, 45.0, 91) };
+    let angles = if reduced {
+        linspace(-45.0, 45.0, 31)
+    } else {
+        linspace(-45.0, 45.0, 91)
+    };
     let freqs: Vec<f64> = (0..7).map(|i| 26.5e9 + 0.5e9 * i as f64).collect();
     let cfg = RunnerConfig::from_env();
 

@@ -19,7 +19,11 @@ use mmwave_sigproc::stats::ErrorSummary;
 
 fn main() {
     let reduced = reduced_mode();
-    let distances = if reduced { linspace(2.0, 8.0, 3) } else { linspace(1.0, 8.0, 8) };
+    let distances = if reduced {
+        linspace(2.0, 8.0, 3)
+    } else {
+        linspace(1.0, 8.0, 8)
+    };
     let trials = if reduced { 4 } else { 20 };
     let cfg = RunnerConfig::from_env();
 
@@ -56,7 +60,9 @@ fn main() {
     report.note(format!(
         "paper: mean < 5 cm at 5 m → measured {m5:.1} cm; mean < 12 cm at 8 m → measured {m8:.1} cm"
     ));
-    report.note("error grows with distance as the modulated echo SNR decays (same trend as the paper)");
+    report.note(
+        "error grows with distance as the modulated echo SNR decays (same trend as the paper)",
+    );
     report.note(format!(
         "{} ok / {failed} failed ({total} trials); {} worker threads, deterministic per-trial streams",
         total - failed,

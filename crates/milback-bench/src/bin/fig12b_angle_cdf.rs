@@ -20,8 +20,16 @@ use mmwave_sigproc::stats::{empirical_cdf, median, percentile};
 fn main() {
     let reduced = reduced_mode();
     // Sweep azimuths and distances like the paper's placements.
-    let azimuths: &[f64] = if reduced { &[-10.0, 8.0] } else { &[-20.0, -10.0, 0.0, 8.0, 15.0] };
-    let dists: &[f64] = if reduced { &[2.0, 4.0] } else { &[2.0, 4.0, 6.0] };
+    let azimuths: &[f64] = if reduced {
+        &[-10.0, 8.0]
+    } else {
+        &[-20.0, -10.0, 0.0, 8.0, 15.0]
+    };
+    let dists: &[f64] = if reduced {
+        &[2.0, 4.0]
+    } else {
+        &[2.0, 4.0, 6.0]
+    };
     let trials = if reduced { 3 } else { 8 };
     let placements: Vec<(f64, f64)> = azimuths
         .iter()
@@ -30,7 +38,10 @@ fn main() {
     let cfg = RunnerConfig::from_env();
 
     let results = fig12b_angle_errors(&placements, trials, 0xF12B, &cfg);
-    let errors_deg: Vec<f64> = results.iter().flat_map(|r| r.errors_deg.iter().copied()).collect();
+    let errors_deg: Vec<f64> = results
+        .iter()
+        .flat_map(|r| r.errors_deg.iter().copied())
+        .collect();
     let failed: usize = results.iter().map(|r| r.failed).sum();
 
     let cdf = empirical_cdf(&errors_deg);

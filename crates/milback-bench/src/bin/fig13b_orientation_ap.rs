@@ -19,7 +19,9 @@ fn main() {
     let orientations: Vec<f64> = if reduced {
         vec![-12.0, -4.0, 0.0, 12.0]
     } else {
-        vec![-24.0, -18.0, -12.0, -8.0, -6.0, -4.0, -2.0, 0.0, 4.0, 8.0, 12.0, 18.0, 24.0]
+        vec![
+            -24.0, -18.0, -12.0, -8.0, -6.0, -4.0, -2.0, 0.0, 4.0, 8.0, 12.0, 18.0, 24.0,
+        ]
     };
     let trials = if reduced { 5 } else { 25 };
     let cfg = RunnerConfig::from_env();

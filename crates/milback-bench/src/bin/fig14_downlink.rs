@@ -17,7 +17,11 @@ use milback_core::{LinkSimulator, Scene, SystemConfig};
 
 fn main() {
     let reduced = reduced_mode();
-    let distances = if reduced { linspace(0.5, 12.0, 6) } else { linspace(0.5, 12.0, 24) };
+    let distances = if reduced {
+        linspace(0.5, 12.0, 6)
+    } else {
+        linspace(0.5, 12.0, 24)
+    };
     let orientation = 12f64.to_radians();
 
     let mut sinr_series = Series::new("SINR (dB)");
@@ -41,7 +45,12 @@ fn main() {
         let snr = ra.snr_db().min(rb.snr_db());
         sinr_series.push(d, sinr);
         snr_series.push(d, snr);
-        ber_series.push(d, LinkSimulator::downlink_ber_from_sinr(sinr).max(1e-300).log10());
+        ber_series.push(
+            d,
+            LinkSimulator::downlink_ber_from_sinr(sinr)
+                .max(1e-300)
+                .log10(),
+        );
     }
 
     // Monte-Carlo spot checks: deliver an actual payload at 2, 6 and 10 m.

@@ -21,8 +21,7 @@ fn run_rate(label: &str, bit_rate: f64, distances: &[f64]) -> (Series, Series) {
     for &d in distances {
         let mut config = SystemConfig::milback_default();
         config.uplink_symbol_rate_hz = bit_rate / 2.0;
-        let sim =
-            LinkSimulator::new(config, Scene::single_node(d, 12f64.to_radians())).unwrap();
+        let sim = LinkSimulator::new(config, Scene::single_node(d, 12f64.to_radians())).unwrap();
         let s = sim.uplink_analytic_snr_db().unwrap();
         snr.push(d, s);
         ber.push(d, LinkSimulator::uplink_ber_from_snr(s).max(1e-300).log10());
@@ -32,7 +31,11 @@ fn run_rate(label: &str, bit_rate: f64, distances: &[f64]) -> (Series, Series) {
 
 fn main() {
     let reduced = reduced_mode();
-    let distances = if reduced { linspace(0.5, 10.0, 6) } else { linspace(0.5, 10.0, 20) };
+    let distances = if reduced {
+        linspace(0.5, 10.0, 6)
+    } else {
+        linspace(0.5, 10.0, 20)
+    };
     let (snr10, ber10) = run_rate("10 Mbps", 10e6, &distances);
     let (snr40, ber40) = run_rate("40 Mbps", 40e6, &distances);
 

@@ -11,15 +11,24 @@ use milback_node::power::{NodeActivity, NodePowerModel};
 fn main() {
     let model = NodePowerModel::milback_default();
     println!("==== §9.6 — Node power consumption ====");
-    println!("{:<42} {:>10} {:>12}", "activity", "power (mW)", "paper (mW)");
+    println!(
+        "{:<42} {:>10} {:>12}",
+        "activity", "power (mW)", "paper (mW)"
+    );
     let rows: [(&str, NodeActivity, f64); 4] = [
         (
             "localization (10 kHz toggling)",
-            NodeActivity::Localization { toggle_rate_hz: 10e3 },
+            NodeActivity::Localization {
+                toggle_rate_hz: 10e3,
+            },
             18.0,
         ),
         ("downlink reception", NodeActivity::Downlink, 18.0),
-        ("uplink (switch drivers at full slew)", NodeActivity::Uplink, 32.0),
+        (
+            "uplink (switch drivers at full slew)",
+            NodeActivity::Uplink,
+            32.0,
+        ),
         ("idle (detectors biased)", NodeActivity::Idle, f64::NAN),
     ];
     for (name, activity, paper) in rows {
@@ -36,7 +45,10 @@ fn main() {
     let ul = model.energy_per_bit_j(NodeActivity::Uplink, 40e6) * 1e9;
     println!("  downlink @36 Mbps: {dl:.2} nJ/bit (paper: 0.5)");
     println!("  uplink   @40 Mbps: {ul:.2} nJ/bit (paper: 0.8)");
-    println!("  mmTag    (uplink-only baseline): 2.40 nJ/bit — {:.1}× worse", 2.4 / ul);
+    println!(
+        "  mmTag    (uplink-only baseline): 2.40 nJ/bit — {:.1}× worse",
+        2.4 / ul
+    );
 
     let with_mcu = NodePowerModel::milback_default().with_mcu(5.76e-3);
     println!(

@@ -17,7 +17,8 @@
 use crate::runner::{run_fallible, RunnerConfig, TrialBatch};
 use milback_core::coding::{bits_to_bytes, bytes_to_bits, PayloadCodec};
 use milback_core::localization::{Impairments, LocationFix};
-use milback_core::{LinkSimulator, LocalizationPipeline, Scene, SystemConfig};
+use milback_core::protocol::SlotPlan;
+use milback_core::{LinkSimulator, LocalizationPipeline, Network, Packet, Scene, SystemConfig};
 use mmwave_rf::channel::{ApFrontend, NodePose, Vec2};
 
 /// The node orientation used by the ranging/link figures (the paper's
@@ -32,7 +33,10 @@ fn group_by_point<T: Clone, E>(trials: usize, results: &[Result<T, E>]) -> Vec<(
     results
         .chunks(trials)
         .map(|chunk| {
-            let oks: Vec<T> = chunk.iter().filter_map(|r| r.as_ref().ok().cloned()).collect();
+            let oks: Vec<T> = chunk
+                .iter()
+                .filter_map(|r| r.as_ref().ok().cloned())
+                .collect();
             let failed = chunk.len() - oks.len();
             (oks, failed)
         })
@@ -83,7 +87,11 @@ pub fn fig12a_ranging(
     distances
         .iter()
         .zip(group_by_point(trials, &batch.results))
-        .map(|(&d, (abs_errors_m, failed))| DistanceErrors { distance_m: d, abs_errors_m, failed })
+        .map(|(&d, (abs_errors_m, failed))| DistanceErrors {
+            distance_m: d,
+            abs_errors_m,
+            failed,
+        })
         .collect()
 }
 
@@ -193,7 +201,8 @@ pub fn fig13_orientation(
             OrientSide::Node => pipelines[k].orient_at_node(rng),
             OrientSide::Ap => pipelines[k].orient_at_ap(rng),
         };
-        est.map(|e| (e.to_degrees() - truths_deg[k]).abs()).map_err(|e| e.to_string())
+        est.map(|e| (e.to_degrees() - truths_deg[k]).abs())
+            .map_err(|e| e.to_string())
     });
     orientations_deg
         .iter()
@@ -234,7 +243,11 @@ pub fn fig14_spot_checks(
         .map_err(|e| e.to_string())?;
         let payload: Vec<u8> = rng.bytes(payload_bytes);
         let out = sim.downlink(&payload, rng).map_err(|e| e.to_string())?;
-        Ok(SpotDownlink { distance_m: d, ber: out.ber, sinr_db: out.sinr_db() })
+        Ok(SpotDownlink {
+            distance_m: d,
+            ber: out.ber,
+            sinr_db: out.sinr_db(),
+        })
     })
 }
 
@@ -366,10 +379,17 @@ pub fn extension_coded_uplink(
         rx_bits.resize(coded_bits.len(), false);
         let (decoded, _) = codec.decode(&rx_bits);
         let n = decoded.len().min(payload.len());
-        let errors: u32 =
-            decoded[..n].iter().zip(&payload[..n]).map(|(a, b)| (a ^ b).count_ones()).sum();
+        let errors: u32 = decoded[..n]
+            .iter()
+            .zip(&payload[..n])
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
         let residual = errors as f64 / (n * 8) as f64;
-        Ok(CodedUplinkPoint { distance_m: d, raw_log10_ber, coded_log10_ber: residual.max(1e-9).log10() })
+        Ok(CodedUplinkPoint {
+            distance_m: d,
+            raw_log10_ber,
+            coded_log10_ber: residual.max(1e-9).log10(),
+        })
     })
 }
 
@@ -401,8 +421,14 @@ pub fn extension_tracking_fixes(
         let truth = Vec2::new(3.0, -0.75 + 0.5 * t);
         let az = truth.y.atan2(truth.x);
         let mut scene = Scene::indoor(3.0, 0.0);
-        scene.nodes = vec![NodePose { position: truth, facing_rad: std::f64::consts::PI + az }];
-        scene.ap = ApFrontend { boresight_rad: az, ..ApFrontend::milback_default() };
+        scene.nodes = vec![NodePose {
+            position: truth,
+            facing_rad: std::f64::consts::PI + az,
+        }];
+        scene.ap = ApFrontend {
+            boresight_rad: az,
+            ..ApFrontend::milback_default()
+        };
         let pipeline = LocalizationPipeline::new(config.clone(), scene)
             .map_err(|e| e.to_string())?
             .with_beat_threads(1);
@@ -414,7 +440,86 @@ pub fn extension_tracking_fixes(
             angle_rad: abs_angle,
             ..fix
         };
-        Ok(StepFix { t_s: t, truth, fix: fix_abs })
+        Ok(StepFix {
+            t_s: t,
+            truth,
+            fix: fix_abs,
+        })
+    })
+}
+
+/// One node-count point of the network-scaling extension.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetScalePoint {
+    /// Number of nodes sharing the cell.
+    pub nodes: usize,
+    /// Mean per-node goodput over the campaign, bits/second.
+    pub per_node_goodput_bps: f64,
+    /// Mean slot collisions per node over the campaign.
+    pub collisions_per_node: f64,
+    /// Total node energy divided by total delivered packets, joules.
+    pub energy_per_packet_j: f64,
+    /// Delivered packets over attempted packets, network-wide.
+    pub delivery_rate: f64,
+}
+
+/// Network-scaling extension core: a slotted-ALOHA campaign (on the
+/// discrete-event engine's [`Network::run_slotted`]) for each node count,
+/// with the nodes spread over a ±60° sector at 4 m so growing density both
+/// fills slots *and* erodes SDM separability. Each node count is one
+/// independent trial with its own deterministic RNG stream, so the sweep
+/// is bit-identical at any thread count.
+pub fn extension_net_scale(
+    node_counts: &[usize],
+    frames: usize,
+    payload_bytes: usize,
+    slots: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> TrialBatch<NetScalePoint, String> {
+    run_fallible(node_counts.len(), root_seed, cfg, |i, rng| {
+        let n = node_counts[i];
+        let config = SystemConfig::milback_default();
+        let payload = vec![0x42u8; payload_bytes];
+        let packet = Packet::uplink(payload.clone());
+        let plan = SlotPlan::for_packet(
+            slots,
+            &packet,
+            &config.fmcw,
+            config.uplink_symbol_rate_hz,
+            10e-6,
+        )
+        .map_err(|e| e.to_string())?;
+        // N nodes across a ±60° sector: evenly spaced, so density directly
+        // controls the neighbour separation SDM has to work with.
+        let sector = 120f64.to_radians();
+        let mut scene = Scene::single_node(4.0, node_orientation_rad());
+        scene.nodes.clear();
+        for k in 0..n {
+            let az = if n == 1 {
+                0.0
+            } else {
+                -sector / 2.0 + sector * k as f64 / (n - 1) as f64
+            };
+            scene = scene.with_node_at(4.0, az, node_orientation_rad());
+        }
+        let net = Network::new(config, scene).map_err(|e| e.to_string())?;
+        let slot_seed = root_seed.wrapping_add(n as u64);
+        let r = net
+            .run_slotted(frames, &payload, &plan, slot_seed, 20.0, rng)
+            .map_err(|e| e.to_string())?;
+        let goodput = (0..n).map(|idx| r.goodput_bps(idx)).sum::<f64>() / n as f64;
+        let collisions: usize = r.nodes.iter().map(|nd| nd.collisions).sum();
+        let delivered: usize = r.nodes.iter().map(|nd| nd.delivered).sum();
+        let attempts: usize = r.nodes.iter().map(|nd| nd.attempts).sum();
+        let energy: f64 = r.nodes.iter().map(|nd| nd.energy_j).sum();
+        Ok(NetScalePoint {
+            nodes: n,
+            per_node_goodput_bps: goodput,
+            collisions_per_node: collisions as f64 / n as f64,
+            energy_per_packet_j: energy / delivered.max(1) as f64,
+            delivery_rate: delivered as f64 / attempts.max(1) as f64,
+        })
     })
 }
 
@@ -424,8 +529,7 @@ mod tests {
 
     #[test]
     fn group_by_point_splits_and_counts() {
-        let results: Vec<Result<u32, ()>> =
-            vec![Ok(1), Err(()), Ok(3), Ok(4), Ok(5), Err(())];
+        let results: Vec<Result<u32, ()>> = vec![Ok(1), Err(()), Ok(3), Ok(4), Ok(5), Err(())];
         let groups = group_by_point(3, &results);
         assert_eq!(groups, vec![(vec![1, 3], 1), (vec![4, 5], 1)]);
     }

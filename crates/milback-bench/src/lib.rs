@@ -21,7 +21,9 @@ use std::path::{Path, PathBuf};
 /// the full-scale CSV anchors under `results/` — the mode `scripts/ci.sh`
 /// uses to exercise a figure binary quickly.
 pub fn reduced_mode() -> bool {
-    std::env::var("MILBACK_REDUCED").map(|v| v != "0" && !v.is_empty()).unwrap_or(false)
+    std::env::var("MILBACK_REDUCED")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
 }
 
 /// A labelled series of (x, y) points — one curve of a figure.
@@ -36,7 +38,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), points: Vec::new() }
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.

@@ -36,7 +36,9 @@ impl RunnerConfig {
     /// Respects `MILBACK_THREADS` (via [`parallel::max_threads`]), else the
     /// machine's available parallelism.
     pub fn from_env() -> Self {
-        Self { threads: parallel::max_threads() }
+        Self {
+            threads: parallel::max_threads(),
+        }
     }
 
     /// Single-threaded (the timing baseline).
@@ -46,7 +48,9 @@ impl RunnerConfig {
 
     /// An explicit worker budget (clamped to ≥ 1).
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        Self {
+            threads: threads.max(1),
+        }
     }
 }
 
@@ -144,7 +148,9 @@ where
     E: Send,
     F: Fn(usize, &mut GaussianSource) -> Result<T, E> + Sync,
 {
-    TrialBatch { results: run_trials(n_trials, root_seed, cfg, trial) }
+    TrialBatch {
+        results: run_trials(n_trials, root_seed, cfg, trial),
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +164,10 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 64, "seed collision");
-        assert_eq!(seeds, (0..64).map(|i| trial_seed(0xF00D, i)).collect::<Vec<_>>());
+        assert_eq!(
+            seeds,
+            (0..64).map(|i| trial_seed(0xF00D, i)).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -187,13 +196,23 @@ mod tests {
     #[test]
     fn fallible_batch_counts_and_iterates() {
         let batch = run_fallible(10, 1, &RunnerConfig::serial(), |i, _| {
-            if i % 3 == 0 { Err(format!("trial {i}")) } else { Ok(i) }
+            if i % 3 == 0 {
+                Err(format!("trial {i}"))
+            } else {
+                Ok(i)
+            }
         });
         assert_eq!(batch.ok_count(), 6);
         assert_eq!(batch.failed_count(), 4);
         assert_eq!(batch.summary(), "6 ok / 4 failed (10 trials)");
-        assert_eq!(batch.oks().copied().collect::<Vec<_>>(), vec![1, 2, 4, 5, 7, 8]);
-        assert_eq!(batch.failures().map(|(i, _)| i).collect::<Vec<_>>(), vec![0, 3, 6, 9]);
+        assert_eq!(
+            batch.oks().copied().collect::<Vec<_>>(),
+            vec![1, 2, 4, 5, 7, 8]
+        );
+        assert_eq!(
+            batch.failures().map(|(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 3, 6, 9]
+        );
     }
 
     #[test]

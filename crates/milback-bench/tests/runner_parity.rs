@@ -31,13 +31,12 @@ fn gaussian_trials_bit_identical_across_thread_counts() {
 #[test]
 fn localization_experiment_bit_identical_across_thread_counts() {
     let placements = [(8.0, 2.0)];
-    let reference = experiments::fig12b_angle_errors(
-        &placements,
-        2,
-        0xF12B,
-        &RunnerConfig::with_threads(1),
+    let reference =
+        experiments::fig12b_angle_errors(&placements, 2, 0xF12B, &RunnerConfig::with_threads(1));
+    assert_eq!(
+        reference.iter().map(|r| r.errors_deg.len()).sum::<usize>() + reference[0].failed,
+        2
     );
-    assert_eq!(reference.iter().map(|r| r.errors_deg.len()).sum::<usize>() + reference[0].failed, 2);
     for threads in [2, 4, 8] {
         let got = experiments::fig12b_angle_errors(
             &placements,
@@ -45,7 +44,10 @@ fn localization_experiment_bit_identical_across_thread_counts() {
             0xF12B,
             &RunnerConfig::with_threads(threads),
         );
-        assert_eq!(got, reference, "experiment output changed at {threads} threads");
+        assert_eq!(
+            got, reference,
+            "experiment output changed at {threads} threads"
+        );
     }
 }
 
@@ -64,7 +66,10 @@ fn orientation_experiment_bit_identical_across_thread_counts() {
                 &RunnerConfig::with_threads(threads),
                 side,
             );
-            assert_eq!(got, reference, "{side:?} output changed at {threads} threads");
+            assert_eq!(
+                got, reference,
+                "{side:?} output changed at {threads} threads"
+            );
         }
     }
 }

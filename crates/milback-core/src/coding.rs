@@ -47,7 +47,10 @@ pub fn bytes_to_bits(data: &[u8]) -> Vec<bool> {
 /// # Panics
 /// Panics if `bits.len() % 8 != 0`.
 pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
-    assert!(bits.len().is_multiple_of(8), "bit count must be a byte multiple");
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count must be a byte multiple"
+    );
     bits.chunks_exact(8)
         .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
         .collect()
@@ -77,7 +80,10 @@ impl BlockInterleaver {
     /// # Panics
     /// Panics if `bits.len() % rows != 0`.
     pub fn interleave(&self, bits: &[bool]) -> Vec<bool> {
-        assert!(bits.len().is_multiple_of(self.rows), "length must divide into rows");
+        assert!(
+            bits.len().is_multiple_of(self.rows),
+            "length must divide into rows"
+        );
         let cols = bits.len() / self.rows;
         let mut out = Vec::with_capacity(bits.len());
         for c in 0..cols {
@@ -93,13 +99,15 @@ impl BlockInterleaver {
     /// # Panics
     /// Panics if `bits.len() % rows != 0`.
     pub fn deinterleave(&self, bits: &[bool]) -> Vec<bool> {
-        assert!(bits.len().is_multiple_of(self.rows), "length must divide into rows");
+        assert!(
+            bits.len().is_multiple_of(self.rows),
+            "length must divide into rows"
+        );
         let cols = bits.len() / self.rows;
         let mut out = vec![false; bits.len()];
-        let mut it = bits.iter();
         for c in 0..cols {
             for r in 0..self.rows {
-                out[r * cols + c] = *it.next().unwrap();
+                out[r * cols + c] = bits[c * self.rows + r];
             }
         }
         out
@@ -116,7 +124,9 @@ pub struct PayloadCodec {
 impl PayloadCodec {
     /// A codec with burst tolerance of `rows` bits.
     pub fn new(interleave_rows: usize) -> Self {
-        Self { interleave_rows: interleave_rows.max(1) }
+        Self {
+            interleave_rows: interleave_rows.max(1),
+        }
     }
 
     /// Coding rate (4/7).
@@ -130,7 +140,9 @@ impl PayloadCodec {
         let bits = bytes_to_bits(payload);
         let mut coded = Vec::with_capacity(bits.len() * 7 / 4);
         for nibble in bits.chunks_exact(4) {
-            coded.extend(hamming74_encode_nibble([nibble[0], nibble[1], nibble[2], nibble[3]]));
+            coded.extend(hamming74_encode_nibble([
+                nibble[0], nibble[1], nibble[2], nibble[3],
+            ]));
         }
         // Pad to a multiple of the interleaver rows.
         while coded.len() % self.interleave_rows != 0 {
@@ -142,8 +154,7 @@ impl PayloadCodec {
     /// Decodes a coded bit stream back to bytes, correcting errors.
     /// Returns `(payload, corrections_applied)`.
     pub fn decode(&self, coded: &[bool]) -> (Vec<u8>, usize) {
-        let deinterleaved =
-            BlockInterleaver::new(self.interleave_rows).deinterleave(coded);
+        let deinterleaved = BlockInterleaver::new(self.interleave_rows).deinterleave(coded);
         let mut bits = Vec::with_capacity(deinterleaved.len() * 4 / 7);
         let mut corrections = 0;
         for cw in deinterleaved.chunks_exact(7) {
@@ -270,7 +281,15 @@ mod tests {
         let coded = codec.encode(&payload);
         let p_flip = 0.01;
         let flips = |bits: &[bool], rng: &mut GaussianSource| -> Vec<bool> {
-            bits.iter().map(|&b| if rng.uniform(0.0, 1.0) < p_flip { !b } else { b }).collect()
+            bits.iter()
+                .map(|&b| {
+                    if rng.uniform(0.0, 1.0) < p_flip {
+                        !b
+                    } else {
+                        b
+                    }
+                })
+                .collect()
         };
         // Coded path.
         let rx_coded = flips(&coded, &mut rng);
@@ -283,8 +302,7 @@ mod tests {
         // Uncoded path over the same channel.
         let raw_bits = bytes_to_bits(&payload);
         let rx_raw = flips(&raw_bits, &mut rng);
-        let raw_errors: usize =
-            raw_bits.iter().zip(&rx_raw).filter(|(a, b)| a != b).count();
+        let raw_errors: usize = raw_bits.iter().zip(&rx_raw).filter(|(a, b)| a != b).count();
         assert!(
             coded_errors * 4 < raw_errors.max(1),
             "coded {coded_errors} vs raw {raw_errors}"

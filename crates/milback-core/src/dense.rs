@@ -27,7 +27,10 @@ impl DenseOaqfm {
     /// # Panics
     /// Panics unless `levels` is a power of two ≥ 2.
     pub fn new(levels: u32) -> Self {
-        assert!(levels >= 2 && levels.is_power_of_two(), "levels must be a power of two ≥ 2");
+        assert!(
+            levels >= 2 && levels.is_power_of_two(),
+            "levels must be a power of two ≥ 2"
+        );
         Self { levels }
     }
 
@@ -221,7 +224,9 @@ mod tests {
         use mmwave_sigproc::random::GaussianSource;
         let d = DenseOaqfm::new(4);
         let mut rng = GaussianSource::new(3);
-        let tx: Vec<u32> = (0..3000).map(|_| (rng.uniform(0.0, 4.0) as u32).min(3)).collect();
+        let tx: Vec<u32> = (0..3000)
+            .map(|_| (rng.uniform(0.0, 4.0) as u32).min(3))
+            .collect();
         let sinr_db = d.required_sinr_db(1e-3) + 1.0;
         let sigma = 0.5 / db_to_lin(sinr_db).sqrt();
         let stats: Vec<f64> = tx

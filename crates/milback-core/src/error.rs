@@ -1,11 +1,13 @@
 //! Unified error type for the MilBack network core.
 
+use crate::protocol::FrameError;
 use milback_ap::aoa::AoaError;
 use milback_ap::fmcw::FmcwError;
 use milback_ap::orientation::ApOrientationError;
 use milback_ap::query::QueryError;
 use milback_ap::uplink_rx::UplinkRxError;
 use milback_node::downlink::DemodError;
+use milback_node::firmware::TransitionError;
 use milback_node::orientation::OrientationError;
 use milback_node::uplink::UplinkError;
 
@@ -28,6 +30,12 @@ pub enum MilbackError {
     UplinkTx(UplinkError),
     /// Uplink reception failed.
     UplinkRx(UplinkRxError),
+    /// A wire frame failed to parse.
+    Frame(FrameError),
+    /// The node firmware rejected an event as illegal in its state.
+    Transition(TransitionError),
+    /// The discrete-event engine detected a scheduling violation.
+    Engine(String),
     /// Protocol-level violation.
     Protocol(String),
     /// A configuration value is invalid.
@@ -45,13 +53,35 @@ impl std::fmt::Display for MilbackError {
             MilbackError::Demod(e) => write!(f, "downlink demodulation: {e}"),
             MilbackError::UplinkTx(e) => write!(f, "uplink modulation: {e}"),
             MilbackError::UplinkRx(e) => write!(f, "uplink reception: {e}"),
+            MilbackError::Frame(e) => write!(f, "wire frame: {e}"),
+            MilbackError::Transition(e) => write!(f, "firmware: {e}"),
+            MilbackError::Engine(s) => write!(f, "engine: {s}"),
             MilbackError::Protocol(s) => write!(f, "protocol: {s}"),
             MilbackError::Config(s) => write!(f, "config: {s}"),
         }
     }
 }
 
-impl std::error::Error for MilbackError {}
+impl std::error::Error for MilbackError {
+    /// Exposes the wrapped AP/node error so callers can walk the chain
+    /// (`anyhow`-style inspection, `{:#}`-style reporting) instead of
+    /// string-matching the `Display` output.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MilbackError::Fmcw(e) => Some(e),
+            MilbackError::Aoa(e) => Some(e),
+            MilbackError::ApOrientation(e) => Some(e),
+            MilbackError::NodeOrientation(e) => Some(e),
+            MilbackError::Query(e) => Some(e),
+            MilbackError::Demod(e) => Some(e),
+            MilbackError::UplinkTx(e) => Some(e),
+            MilbackError::UplinkRx(e) => Some(e),
+            MilbackError::Frame(e) => Some(e),
+            MilbackError::Transition(e) => Some(e),
+            MilbackError::Engine(_) | MilbackError::Protocol(_) | MilbackError::Config(_) => None,
+        }
+    }
+}
 
 macro_rules! from_error {
     ($variant:ident, $ty:ty) => {
@@ -71,6 +101,8 @@ from_error!(Query, QueryError);
 from_error!(Demod, DemodError);
 from_error!(UplinkTx, UplinkError);
 from_error!(UplinkRx, UplinkRxError);
+from_error!(Frame, FrameError);
+from_error!(Transition, TransitionError);
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, MilbackError>;
@@ -78,6 +110,7 @@ pub type Result<T> = std::result::Result<T, MilbackError>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error as _;
 
     #[test]
     fn conversions_and_display() {
@@ -87,7 +120,11 @@ mod tests {
         assert!(e.to_string().contains("downlink"));
         let e = MilbackError::Protocol("bad chirp count".into());
         assert!(e.to_string().contains("bad chirp count"));
-        let e: MilbackError = UplinkError::RateTooHigh { requested_hz: 1.0, max_hz: 0.5 }.into();
+        let e: MilbackError = UplinkError::RateTooHigh {
+            requested_hz: 1.0,
+            max_hz: 0.5,
+        }
+        .into();
         assert!(e.to_string().contains("uplink modulation"));
     }
 
@@ -95,5 +132,42 @@ mod tests {
     fn nested_aoa_error_displays() {
         let e: MilbackError = AoaError::Fmcw(FmcwError::NoEchoDetected).into();
         assert!(e.to_string().contains("AoA"));
+    }
+
+    #[test]
+    fn source_exposes_wrapped_error() {
+        let e: MilbackError = FmcwError::NoEchoDetected.into();
+        let src = e.source().expect("wrapped errors carry a source");
+        assert_eq!(src.to_string(), FmcwError::NoEchoDetected.to_string());
+
+        let e: MilbackError = FrameError::BadMagic { got: 0x00 }.into();
+        assert!(e.source().unwrap().to_string().contains("magic"));
+
+        let e: MilbackError = TransitionError {
+            state_name: "Idle",
+            event: milback_node::firmware::Event::PayloadComplete,
+        }
+        .into();
+        assert!(e.source().unwrap().to_string().contains("illegal"));
+    }
+
+    #[test]
+    fn string_variants_have_no_source() {
+        assert!(MilbackError::Protocol("x".into()).source().is_none());
+        assert!(MilbackError::Config("x".into()).source().is_none());
+        assert!(MilbackError::Engine("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn source_chain_is_walkable() {
+        // Two levels: MilbackError → AoaError → FmcwError.
+        let e: MilbackError = AoaError::Fmcw(FmcwError::NoEchoDetected).into();
+        let mut depth = 0;
+        let mut cur: &dyn std::error::Error = &e;
+        while let Some(next) = cur.source() {
+            depth += 1;
+            cur = next;
+        }
+        assert!(depth >= 2, "chain depth {depth}");
     }
 }

@@ -15,6 +15,7 @@
 pub mod coding;
 pub mod config;
 pub mod dense;
+pub mod engine;
 pub mod error;
 pub mod link;
 pub mod localization;
@@ -25,8 +26,9 @@ pub mod session;
 pub mod tracking;
 
 pub use config::SystemConfig;
+pub use engine::{Actor, ActorId, Engine, Outbox, TimePs};
 pub use error::{MilbackError, Result};
-pub use link::{DownlinkOutcome, LinkSimulator, UplinkOutcome};
+pub use link::{DownlinkOutcome, LinkSimulator, TransferOutcome, UplinkOutcome};
 pub use localization::{Impairments, LocalizationPipeline, LocationFix};
 pub use network::Network;
 pub use protocol::Packet;

@@ -148,7 +148,13 @@ impl LinkSimulator {
             };
             let psi = self.scene.ground_truth(0).incidence_rad;
             let (sinr_a, sinr_b) = self.downlink_sinr_breakdown(f_a, f_b, psi);
-            return Ok(DownlinkOutcome { decoded: Vec::new(), ber: 0.0, sinr_a, sinr_b, carriers });
+            return Ok(DownlinkOutcome {
+                decoded: Vec::new(),
+                ber: 0.0,
+                sinr_a,
+                sinr_b,
+                carriers,
+            });
         }
         match carriers {
             CarrierSet::TwoTone { f_a, f_b } => self.downlink_oaqfm(payload, f_a, f_b, rng),
@@ -186,10 +192,10 @@ impl LinkSimulator {
             pa.extend(std::iter::repeat_n(p.a_w, sps));
             pb.extend(std::iter::repeat_n(p.b_w, sps));
         }
-        let (va, vb) =
-            self.config
-                .node
-                .detector_traces(&pa, &pb, self.config.trace_rate_hz, rng);
+        let (va, vb) = self
+            .config
+            .node
+            .detector_traces(&pa, &pb, self.config.trace_rate_hz, rng);
         let demod = OaqfmDemodulator::new(sps);
         let decided = demod.demodulate_auto(&va, &vb)?;
         let ber = milback_ap::uplink_rx::symbol_ber(&symbols, &decided);
@@ -233,18 +239,18 @@ impl LinkSimulator {
             pa.extend(std::iter::repeat_n(p.a_w, sps));
             pb.extend(std::iter::repeat_n(p.b_w, sps));
         }
-        let (va, vb) =
-            self.config
-                .node
-                .detector_traces(&pa, &pb, self.config.trace_rate_hz, rng);
+        let (va, vb) = self
+            .config
+            .node
+            .detector_traces(&pa, &pb, self.config.trace_rate_hz, rng);
         // Use whichever port carries more energy (at normal incidence both
         // see the tone; any asymmetry comes from component spread).
         let demod = OaqfmDemodulator::new(sps);
         let ea: f64 = va.iter().map(|v| v * v).sum();
         let eb: f64 = vb.iter().map(|v| v * v).sum();
         let trace = if ea >= eb { &va } else { &vb };
-        let threshold = milback_node::downlink::calibrate_threshold(trace)
-            .map_err(MilbackError::Demod)?;
+        let threshold =
+            milback_node::downlink::calibrate_threshold(trace).map_err(MilbackError::Demod)?;
         let decided_bits = demod.demodulate_ook(trace, threshold)?;
         let ber = mmwave_sigproc::stats::bit_error_rate(&bits, &decided_bits);
         let decoded: Vec<u8> = decided_bits
@@ -255,15 +261,16 @@ impl LinkSimulator {
         // carry the *same* keyed tone, so the report is noise-limited.
         let node = &self.config.node;
         let (ca, cb) = self.gain_eval.port_coupling_linear(f, psi);
-        let report_for = |coupling: f64, det: &mmwave_rf::components::EnvelopeDetector, eff: f64| {
-            let v_sig = det.detect_v(p_in * coupling * eff);
-            let sigma = det.output_noise_v(self.config.downlink_symbol_rate_hz);
-            SinrReport {
-                signal_power: (v_sig / 2.0) * (v_sig / 2.0),
-                interference_power: 0.0,
-                noise_power: sigma * sigma,
-            }
-        };
+        let report_for =
+            |coupling: f64, det: &mmwave_rf::components::EnvelopeDetector, eff: f64| {
+                let v_sig = det.detect_v(p_in * coupling * eff);
+                let sigma = det.output_noise_v(self.config.downlink_symbol_rate_hz);
+                SinrReport {
+                    signal_power: (v_sig / 2.0) * (v_sig / 2.0),
+                    interference_power: 0.0,
+                    noise_power: sigma * sigma,
+                }
+            };
         let sinr_a = report_for(ca, &node.detector_a, node.absorption_efficiency(FsaPort::A));
         let sinr_b = report_for(cb, &node.detector_b, node.absorption_efficiency(FsaPort::B));
         Ok(DownlinkOutcome {
@@ -277,7 +284,12 @@ impl LinkSimulator {
 
     /// Analytic per-port SINR breakdown at the MCU input for carriers
     /// `(f_a, f_b)` at incidence `psi` — the quantity Fig 14 sweeps.
-    pub fn downlink_sinr_breakdown(&self, f_a: f64, f_b: f64, psi: f64) -> (SinrReport, SinrReport) {
+    pub fn downlink_sinr_breakdown(
+        &self,
+        f_a: f64,
+        f_b: f64,
+        psi: f64,
+    ) -> (SinrReport, SinrReport) {
         let node = &self.config.node;
         let p_a_in = self.incident_power_w(f_a);
         let p_b_in = self.incident_power_w(f_b);
@@ -292,8 +304,12 @@ impl LinkSimulator {
         let v_sig_b = node.detector_b.detect_v(p_b_in * b_from_b * eff_b);
         let v_int_b = node.detector_b.detect_v(p_a_in * b_from_a * eff_b);
         // Decision bandwidth = symbol rate.
-        let sigma_a = node.detector_a.output_noise_v(self.config.downlink_symbol_rate_hz);
-        let sigma_b = node.detector_b.output_noise_v(self.config.downlink_symbol_rate_hz);
+        let sigma_a = node
+            .detector_a
+            .output_noise_v(self.config.downlink_symbol_rate_hz);
+        let sigma_b = node
+            .detector_b
+            .output_noise_v(self.config.downlink_symbol_rate_hz);
         let report = |v_sig: f64, v_int: f64, sigma: f64| SinrReport {
             signal_power: (v_sig / 2.0) * (v_sig / 2.0),
             interference_power: (v_int / 2.0) * (v_int / 2.0),
@@ -377,9 +393,11 @@ impl LinkSimulator {
             CarrierSet::TwoTone { f_a, f_b } => (f_a, f_b),
             CarrierSet::SingleToneOok { f } => (f, f),
         };
-        let modulator =
-            UplinkModulator::new(self.config.uplink_symbol_rate_hz, &self.config.node.switch_a)
-                .map_err(MilbackError::UplinkTx)?;
+        let modulator = UplinkModulator::new(
+            self.config.uplink_symbol_rate_hz,
+            &self.config.node.switch_a,
+        )
+        .map_err(MilbackError::UplinkTx)?;
         let symbols = bytes_to_symbols(payload);
         let schedule = modulator.schedule_for_symbols(&symbols);
         let node = &self.config.node;
@@ -435,15 +453,22 @@ impl LinkSimulator {
         let carriers = self.plan_carriers(None)?;
         if payload.is_empty() {
             let snr = self.uplink_analytic_snr_db()?;
-            return Ok(UplinkOutcome { decoded: Vec::new(), ber: 0.0, snr_db: snr, analytic_snr_db: snr });
+            return Ok(UplinkOutcome {
+                decoded: Vec::new(),
+                ber: 0.0,
+                snr_db: snr,
+                analytic_snr_db: snr,
+            });
         }
         let (f_a, f_b) = match carriers {
             CarrierSet::TwoTone { f_a, f_b } => (f_a, f_b),
             CarrierSet::SingleToneOok { f } => (f, f),
         };
-        let modulator =
-            UplinkModulator::new(self.config.uplink_symbol_rate_hz, &self.config.node.switch_a)
-                .map_err(MilbackError::UplinkTx)?;
+        let modulator = UplinkModulator::new(
+            self.config.uplink_symbol_rate_hz,
+            &self.config.node.switch_a,
+        )
+        .map_err(MilbackError::UplinkTx)?;
         let symbols = bytes_to_symbols(payload);
         let schedule = modulator.schedule_for_symbols(&symbols);
         // Per-channel symbol statistics: level per state + AWGN anchored to
@@ -474,7 +499,9 @@ impl LinkSimulator {
         let stats_a = mk_channel(FsaPort::A, snr_a, rng);
         let stats_b = mk_channel(FsaPort::B, snr_b, rng);
         let receiver = UplinkReceiver::new(1);
-        let decided = receiver.decide(&stats_a, &stats_b).map_err(MilbackError::UplinkRx)?;
+        let decided = receiver
+            .decide(&stats_a, &stats_b)
+            .map_err(MilbackError::UplinkRx)?;
         let ber = symbol_ber(&symbols, &decided);
         // Measured SNR from the symbol populations. A channel whose payload
         // happens to contain only one level cannot be measured; fall back
@@ -506,6 +533,58 @@ impl LinkSimulator {
     /// half-swing (threshold-midpoint slicing of one OOK channel).
     pub fn uplink_ber_from_snr(snr_db: f64) -> f64 {
         q_function(db_to_lin(snr_db).sqrt())
+    }
+
+    /// The unified propagation service: dispatches a transfer by
+    /// [`milback_ap::waveform::LinkDirection`] so engine actors can hand the medium a direction
+    /// and a payload without caring which physical path runs underneath.
+    pub fn transfer(
+        &self,
+        direction: milback_ap::waveform::LinkDirection,
+        payload: &[u8],
+        rng: &mut GaussianSource,
+    ) -> Result<TransferOutcome> {
+        use milback_ap::waveform::LinkDirection;
+        Ok(match direction {
+            LinkDirection::Downlink => TransferOutcome::Downlink(self.downlink(payload, rng)?),
+            LinkDirection::Uplink => TransferOutcome::Uplink(self.uplink(payload, rng)?),
+        })
+    }
+}
+
+/// The outcome of a direction-dispatched [`LinkSimulator::transfer`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TransferOutcome {
+    /// A downlink ran.
+    Downlink(DownlinkOutcome),
+    /// An uplink ran.
+    Uplink(UplinkOutcome),
+}
+
+impl TransferOutcome {
+    /// The decoded bytes, whichever side received them.
+    pub fn decoded(&self) -> &[u8] {
+        match self {
+            TransferOutcome::Downlink(o) => &o.decoded,
+            TransferOutcome::Uplink(o) => &o.decoded,
+        }
+    }
+
+    /// The measured bit error rate of the transfer.
+    pub fn ber(&self) -> f64 {
+        match self {
+            TransferOutcome::Downlink(o) => o.ber,
+            TransferOutcome::Uplink(o) => o.ber,
+        }
+    }
+
+    /// The link-quality figure of merit: worst-port SINR for a downlink,
+    /// mean channel SNR for an uplink, dB.
+    pub fn quality_db(&self) -> f64 {
+        match self {
+            TransferOutcome::Downlink(o) => o.sinr_db(),
+            TransferOutcome::Uplink(o) => o.snr_db,
+        }
     }
 }
 
@@ -571,7 +650,11 @@ mod tests {
             let (a, b) = s2.downlink_sinr_breakdown(fa, fb, gt.incidence_rad);
             a.sinr_db().min(b.sinr_db())
         };
-        assert!(near - mid < 4.0, "gain from 2→0.5 m is {:.1} dB", near - mid);
+        assert!(
+            near - mid < 4.0,
+            "gain from 2→0.5 m is {:.1} dB",
+            near - mid
+        );
     }
 
     #[test]
@@ -601,8 +684,12 @@ mod tests {
         let mut rng = GaussianSource::new(22);
         let ook = sim(4.0, 0.0).downlink(&[0x3C; 16], &mut rng).unwrap();
         let oaqfm = sim(4.0, 12.0).downlink(&[0x3C; 16], &mut rng).unwrap();
-        assert!(ook.sinr_db() > oaqfm.sinr_db(),
-            "OOK {:.1} dB vs OAQFM {:.1} dB", ook.sinr_db(), oaqfm.sinr_db());
+        assert!(
+            ook.sinr_db() > oaqfm.sinr_db(),
+            "OOK {:.1} dB vs OAQFM {:.1} dB",
+            ook.sinr_db(),
+            oaqfm.sinr_db()
+        );
         assert_eq!(ook.ber, 0.0);
     }
 
@@ -626,8 +713,7 @@ mod tests {
         assert!((snr - 11.0).abs() < 2.0, "10 Mbps @ 8 m: {snr:.1} dB");
 
         let cfg40 = SystemConfig::milback_default(); // 20 Msym/s = 40 Mbps
-        let s40 =
-            LinkSimulator::new(cfg40, Scene::single_node(6.0, 12f64.to_radians())).unwrap();
+        let s40 = LinkSimulator::new(cfg40, Scene::single_node(6.0, 12f64.to_radians())).unwrap();
         let snr40 = s40.uplink_analytic_snr_db().unwrap();
         assert!((snr40 - 10.0).abs() < 2.0, "40 Mbps @ 6 m: {snr40:.1} dB");
     }
@@ -637,7 +723,10 @@ mod tests {
         let s4 = sim(4.0, 12.0);
         let s8 = sim(8.0, 12.0);
         let d = s4.uplink_analytic_snr_db().unwrap() - s8.uplink_analytic_snr_db().unwrap();
-        assert!((d - 12.04).abs() < 0.1, "two-way slope {d:.2} dB per doubling");
+        assert!(
+            (d - 12.04).abs() < 0.1,
+            "two-way slope {d:.2} dB per doubling"
+        );
     }
 
     #[test]
@@ -708,7 +797,12 @@ mod tests {
         let wav = s.uplink_waveform(&payload, 4, &mut rng).unwrap();
         assert!(sym.ber > 0.0 && wav.ber > 0.0);
         let ratio = wav.ber / sym.ber;
-        assert!((0.3..3.0).contains(&ratio), "sym {:.2e} vs wav {:.2e}", sym.ber, wav.ber);
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "sym {:.2e} vs wav {:.2e}",
+            sym.ber,
+            wav.ber
+        );
     }
 
     #[test]
@@ -736,5 +830,32 @@ mod tests {
         // Different seed → same decode at this SNR, possibly different
         // measured-SNR estimate.
         assert_eq!(run(9).decoded, run(10).decoded);
+    }
+
+    #[test]
+    fn transfer_dispatches_by_direction() {
+        use milback_ap::waveform::LinkDirection;
+        let s = sim(2.0, 12.0);
+        let payload = vec![0xA5; 8];
+        // Each dispatched path reproduces its dedicated method bit-for-bit
+        // (same rng seed → same draws).
+        let mut rng = GaussianSource::new(11);
+        let via_transfer = s
+            .transfer(LinkDirection::Downlink, &payload, &mut rng)
+            .unwrap();
+        let mut rng = GaussianSource::new(11);
+        let direct = s.downlink(&payload, &mut rng).unwrap();
+        assert_eq!(via_transfer, TransferOutcome::Downlink(direct));
+        assert_eq!(via_transfer.decoded(), &payload[..]);
+        assert!(via_transfer.quality_db() > 0.0);
+
+        let mut rng = GaussianSource::new(12);
+        let up = s
+            .transfer(LinkDirection::Uplink, &payload, &mut rng)
+            .unwrap();
+        let mut rng = GaussianSource::new(12);
+        let direct = s.uplink(&payload, &mut rng).unwrap();
+        assert_eq!(up, TransferOutcome::Uplink(direct));
+        assert!(up.ber() < 0.5);
     }
 }

@@ -233,8 +233,10 @@ impl LocalizationPipeline {
         let horn = mmwave_rf::antenna::Horn::miwave_20dbi();
         let g_ap = db_to_lin(horn.gain_dbi(chirp.center_hz(), gt.azimuth_rad));
         // Per-port reflection amplitudes in each state.
-        let gamma_r = node.reflection_amplitude(FsaPort::A, milback_node::mode::PortMode::Reflective);
-        let gamma_a = node.reflection_amplitude(FsaPort::A, milback_node::mode::PortMode::Absorptive);
+        let gamma_r =
+            node.reflection_amplitude(FsaPort::A, milback_node::mode::PortMode::Reflective);
+        let gamma_a =
+            node.reflection_amplitude(FsaPort::A, milback_node::mode::PortMode::Absorptive);
         // AoA phase for the second antenna, with the per-trial inter-chain
         // phase mismatch folded in.
         let aoa_phase = self.aoa.expected_phase_rad(gt.azimuth_rad)
@@ -246,7 +248,9 @@ impl LocalizationPipeline {
         // is a full cycle at 28 GHz).
         let bounce_h =
             self.impairments.bounce_height_m + rng.sample(self.impairments.bounce_height_jitter_m);
-        let bounce_excess = self.impairments.bounce_excess_one_way_m(gt.range_m, bounce_h);
+        let bounce_excess = self
+            .impairments
+            .bounce_excess_one_way_m(gt.range_m, bounce_h);
         // The bounced leg leaves/enters the AP horn at the grazing
         // elevation angle, paying the horn's off-axis rolloff once — which
         // is what suppresses the bounce at short range (steep geometry) and
@@ -254,14 +258,12 @@ impl LocalizationPipeline {
         let bounce_rel = {
             let grazing = (2.0 * self.impairments.bounce_height_m / gt.range_m).atan();
             let horn_for_elevation = mmwave_rf::antenna::Horn::miwave_20dbi();
-            let off_axis_db = horn_for_elevation.gain_dbi(28e9, grazing)
-                - horn_for_elevation.gain_dbi(28e9, 0.0);
-            self.impairments.bounce_relative_amplitude(gt.range_m)
-                * db_to_lin(off_axis_db).sqrt()
+            let off_axis_db =
+                horn_for_elevation.gain_dbi(28e9, grazing) - horn_for_elevation.gain_dbi(28e9, 0.0);
+            self.impairments.bounce_relative_amplitude(gt.range_m) * db_to_lin(off_axis_db).sqrt()
         };
         let bounce_phase = Complex::cis(rng.uniform(-std::f64::consts::PI, std::f64::consts::PI));
-        let bounce2_phase =
-            Complex::cis(rng.uniform(-std::f64::consts::PI, std::f64::consts::PI));
+        let bounce2_phase = Complex::cis(rng.uniform(-std::f64::consts::PI, std::f64::consts::PI));
         // Lateral multipath (desk/shelf scatter) also rides on the
         // backscatter path, rippling the node echo across the sweep — the
         // baseline AP-side orientation error away from normal incidence.
@@ -302,8 +304,16 @@ impl LocalizationPipeline {
             // A port either toggles chirp-to-chirp or parks *absorptive*
             // (§5.2a: "we put one port of the node's FSA in absorptive mode
             // and switch the other port").
-            let ga_state = if !toggles.a || !reflective { gamma_a } else { gamma_r };
-            let gb_state = if !toggles.b || !reflective { gamma_a } else { gamma_r };
+            let ga_state = if !toggles.a || !reflective {
+                gamma_a
+            } else {
+                gamma_r
+            };
+            let gb_state = if !toggles.b || !reflective {
+                gamma_a
+            } else {
+                gamma_r
+            };
             let flicker: Vec<f64> = self
                 .scene
                 .clutter
@@ -318,8 +328,12 @@ impl LocalizationPipeline {
                 chirp.center_hz(),
                 gt.range_m,
             ) * impl_amp;
-            let mirror_state =
-                1.0 + if reflective { self.config.mirror.switching_leakage } else { 0.0 };
+            let mirror_state = 1.0
+                + if reflective {
+                    self.config.mirror.switching_leakage
+                } else {
+                    0.0
+                };
 
             // `is_rx2` selects the second antenna: every echo then carries
             // its own geometry-correct inter-antenna phase.
@@ -333,8 +347,11 @@ impl LocalizationPipeline {
                     let amp = clutter_amplitude_sqrt_w(tx_w, g, g, c.rcs_m2, chirp.center_hz(), d)
                         * impl_amp
                         * fl;
-                    let clutter_phase =
-                        if is_rx2 { self.aoa.expected_phase_rad(az) } else { 0.0 };
+                    let clutter_phase = if is_rx2 {
+                        self.aoa.expected_phase_rad(az)
+                    } else {
+                        0.0
+                    };
                     echoes.push(Echo {
                         distance_m: d,
                         extra_phase_rad: clutter_phase,
@@ -487,8 +504,8 @@ impl LocalizationPipeline {
             let g_ap = db_to_lin(horn.gain_dbi(f, gt.azimuth_rad));
             let incident = received_power_w(tx_w, g_ap, 1.0, f, gt.range_m);
             let p = port_powers_for_tones_eval(&self.gain_eval, psi, &[(f, incident)]);
-            let k = 2.0 * std::f64::consts::PI * f * mp_delta
-                / mmwave_sigproc::units::SPEED_OF_LIGHT;
+            let k =
+                2.0 * std::f64::consts::PI * f * mp_delta / mmwave_sigproc::units::SPEED_OF_LIGHT;
             let ripple_a = 1.0 + 2.0 * mp_amp * (k + phi_a).cos();
             let ripple_b = 1.0 + 2.0 * mp_amp * (k + phi_b).cos();
             pa.push(p.a_w * ripple_a.max(0.0));
@@ -526,7 +543,11 @@ mod tests {
         let mut rng = GaussianSource::new(1);
         let fix = p.localize(&mut rng).unwrap();
         assert!((fix.range_m - 4.0).abs() < 0.10, "range {:.3}", fix.range_m);
-        assert!(fix.angle_rad.abs().to_degrees() < 2.0, "angle {:.2}°", fix.angle_rad.to_degrees());
+        assert!(
+            fix.angle_rad.abs().to_degrees() < 2.0,
+            "angle {:.2}°",
+            fix.angle_rad.to_degrees()
+        );
         assert!(fix.confidence_db > 10.0);
     }
 
@@ -552,7 +573,10 @@ mod tests {
         }
         let mc = mmwave_sigproc::stats::mean(&errs_clean);
         let md = mmwave_sigproc::stats::mean(&errs_dirty);
-        assert!(md >= mc, "impairments should not reduce error ({mc} vs {md})");
+        assert!(
+            md >= mc,
+            "impairments should not reduce error ({mc} vs {md})"
+        );
         assert!(md < 0.3, "impaired error {md:.3} m too large");
     }
 
@@ -653,7 +677,9 @@ mod tests {
     fn ground_truth_measurement_has_placement_noise() {
         let p = pipeline(3.0, 0.0);
         let mut rng = GaussianSource::new(80);
-        let meas: Vec<f64> = (0..50).map(|_| p.measured_ground_truth_range(&mut rng)).collect();
+        let meas: Vec<f64> = (0..50)
+            .map(|_| p.measured_ground_truth_range(&mut rng))
+            .collect();
         let sd = mmwave_sigproc::stats::std_dev(&meas);
         assert!(sd > 0.005 && sd < 0.03, "placement sd {sd:.4}");
     }

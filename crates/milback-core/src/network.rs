@@ -4,9 +4,12 @@
 //! inter-node interference.
 
 use crate::config::SystemConfig;
+use crate::engine::{ps_to_secs, Actor, ActorId, Engine, Outbox, TimePs};
 use crate::error::{MilbackError, Result};
 use crate::link::{LinkSimulator, UplinkOutcome};
+use crate::protocol::{Packet, SlotPlan};
 use crate::scene::Scene;
+use milback_node::power::{NodeActivity, NodePowerModel};
 use mmwave_rf::antenna::Antenna;
 use mmwave_sigproc::random::GaussianSource;
 use mmwave_sigproc::units::db_to_lin;
@@ -38,7 +41,9 @@ impl Network {
     pub fn new(config: SystemConfig, scene: Scene) -> Result<Self> {
         config.validate()?;
         if scene.nodes.is_empty() {
-            return Err(MilbackError::Config("network needs at least one node".into()));
+            return Err(MilbackError::Config(
+                "network needs at least one node".into(),
+            ));
         }
         Ok(Self { config, scene })
     }
@@ -51,14 +56,13 @@ impl Network {
     /// A single-node view of the scene for node `idx` (that node becomes
     /// the primary; clutter is shared; other nodes' structures are ignored
     /// except through [`sdm_margin_db`](Self::sdm_margin_db)).
-    fn view_for(&self, idx: usize) -> Scene {
-        let mut scene = self.scene.clone();
-        scene.nodes.swap(0, idx);
-        scene.nodes.truncate(1);
-        // The AP mechanically steers its horns at the node being served
-        // (§8); the beam-steering is what makes SDM possible at all.
-        scene.ap.boresight_rad = scene.ap.position.bearing_to(scene.nodes[0].position);
-        scene
+    fn view_for(&self, idx: usize) -> Result<Scene> {
+        self.scene.view_for_node(idx).ok_or_else(|| {
+            MilbackError::Engine(format!(
+                "no node {idx} in a {}-node scene",
+                self.node_count()
+            ))
+        })
     }
 
     /// Signal-to-interference margin (dB) for serving `idx` while `other`
@@ -85,8 +89,39 @@ impl Network {
         self.sdm_margin_db(idx, other) >= margin_db
     }
 
-    /// Runs an uplink round serving every node (each in its own beam/slot),
-    /// reporting outcome plus the worst concurrent-interference margin.
+    /// Serves node `idx` one uplink beam/slot: runs the link, then degrades
+    /// the effective SNR by the worst concurrent-beam leakage.
+    fn serve_uplink(
+        &self,
+        idx: usize,
+        payload: &[u8],
+        rng: &mut GaussianSource,
+    ) -> Result<NodeReport> {
+        let sim = LinkSimulator::new(self.config.clone(), self.view_for(idx)?)?;
+        let mut outcome = sim.uplink(payload, rng)?;
+        // Degrade the effective SNR by concurrent-beam interference if
+        // another node's beam leaks over this one.
+        let margin = (0..self.node_count())
+            .filter(|&o| o != idx)
+            .map(|o| self.sdm_margin_db(idx, o))
+            .fold(f64::INFINITY, f64::min);
+        if margin.is_finite() {
+            let sig = db_to_lin(outcome.snr_db);
+            let interference = db_to_lin(outcome.snr_db - margin);
+            outcome.snr_db = 10.0 * (sig / (1.0 + interference)).log10();
+        }
+        Ok(NodeReport {
+            node_idx: idx,
+            outcome,
+            sdm_margin_db: if margin.is_finite() { margin } else { f64::MAX },
+        })
+    }
+
+    /// Runs an uplink round serving every node (each in its own beam/slot)
+    /// on the discrete-event engine: one `ServeNode` event per node, all at
+    /// the same instant (the beams are concurrent), dispatched in posting
+    /// order so a fixed seed reproduces
+    /// [`uplink_round_direct`](Self::uplink_round_direct) bit-for-bit.
     pub fn uplink_round(
         &self,
         payloads: &[Vec<u8>],
@@ -99,28 +134,346 @@ impl Network {
                 self.node_count()
             )));
         }
-        let mut reports = Vec::with_capacity(self.node_count());
-        for (idx, payload) in payloads.iter().enumerate() {
-            let sim = LinkSimulator::new(self.config.clone(), self.view_for(idx))?;
-            let mut outcome = sim.uplink(payload, rng)?;
-            // Degrade the effective SNR by concurrent-beam interference if
-            // another node's beam leaks over this one.
-            let margin = (0..self.node_count())
-                .filter(|&o| o != idx)
-                .map(|o| self.sdm_margin_db(idx, o))
-                .fold(f64::INFINITY, f64::min);
-            if margin.is_finite() {
-                let sig = db_to_lin(outcome.snr_db);
-                let interference = db_to_lin(outcome.snr_db - margin);
-                outcome.snr_db = 10.0 * (sig / (1.0 + interference)).log10();
-            }
-            reports.push(NodeReport {
-                node_idx: idx,
-                outcome,
-                sdm_margin_db: if margin.is_finite() { margin } else { f64::MAX },
-            });
+        let n = self.node_count();
+        let medium = RoundMedium {
+            net: self,
+            rng,
+            payloads,
+            reports: vec![None; n],
+        };
+        let mut engine = Engine::new(medium);
+        for idx in 0..n {
+            let id = engine.add_actor(Box::new(BeamActor { idx }));
+            engine.post(0, id, RoundEvent::ServeNode);
         }
-        Ok(reports)
+        engine.run()?;
+        let m = engine.into_medium();
+        m.reports
+            .into_iter()
+            .enumerate()
+            .map(|(idx, r)| {
+                r.ok_or_else(|| MilbackError::Engine(format!("node {idx} was never served")))
+            })
+            .collect()
+    }
+
+    /// The pre-engine synchronous round, retained verbatim as the parity
+    /// reference for [`uplink_round`](Self::uplink_round).
+    pub fn uplink_round_direct(
+        &self,
+        payloads: &[Vec<u8>],
+        rng: &mut GaussianSource,
+    ) -> Result<Vec<NodeReport>> {
+        if payloads.len() != self.node_count() {
+            return Err(MilbackError::Config(format!(
+                "{} payloads for {} nodes",
+                payloads.len(),
+                self.node_count()
+            )));
+        }
+        (0..self.node_count())
+            .map(|idx| self.serve_uplink(idx, &payloads[idx], rng))
+            .collect()
+    }
+
+    /// Runs a slotted-ALOHA campaign on the engine: `frames` frames of the
+    /// given [`SlotPlan`], every node transmitting `payload` once per frame
+    /// in its hashed slot and sleeping otherwise (per-node duty cycling).
+    ///
+    /// When several nodes hash into the same slot, the AP attempts SDM: if
+    /// every pair in the slot is separable by at least `sdm_threshold_db`
+    /// of beam isolation, all are served concurrently (with
+    /// cross-beam-degraded SNR); otherwise the slot is a collision and
+    /// every packet in it is lost. Either way the transmitters spend uplink
+    /// energy for the packet airtime — a lost slot still drains the ledger,
+    /// which is exactly the cost ALOHA retries carry at scale.
+    pub fn run_slotted(
+        &self,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        slot_seed: u64,
+        sdm_threshold_db: f64,
+        rng: &mut GaussianSource,
+    ) -> Result<SlottedRunReport> {
+        let packet = Packet::uplink(payload.to_vec());
+        let airtime_s = packet.duration_s(&self.config.fmcw, self.config.uplink_symbol_rate_hz);
+        if packet.duration_ps(&self.config.fmcw, self.config.uplink_symbol_rate_hz) > plan.slot_ps {
+            return Err(MilbackError::Config(format!(
+                "a {airtime_s:.3e} s packet does not fit the plan's {:.3e} s slots",
+                ps_to_secs(plan.slot_ps)
+            )));
+        }
+        let n = self.node_count();
+        let medium = SlotMedium {
+            net: self,
+            rng,
+            payload,
+            airtime_s,
+            power: NodePowerModel::milback_default(),
+            attempts: vec![0; n],
+            delivered: vec![0; n],
+            collisions: vec![0; n],
+            energy_j: vec![0.0; n],
+            snr_sum_db: vec![0.0; n],
+        };
+        let mut engine = Engine::new(medium);
+        let coordinator = engine.add_actor(Box::new(SlotCoordinator {
+            me: ActorId(0),
+            plan: *plan,
+            frames,
+            slot_seed,
+            sdm_threshold_db,
+        }));
+        if frames > 0 {
+            engine.post(0, coordinator, SlotEvent::FrameStart { frame: 0 });
+        }
+        engine.run()?;
+        let mut m = engine.into_medium();
+        // Duty cycling: outside its own transmissions every node idles.
+        let total_s = frames as f64 * ps_to_secs(plan.frame_ps());
+        for idx in 0..n {
+            let active_s = m.attempts[idx] as f64 * airtime_s;
+            m.energy_j[idx] += m.power.energy_j(NodeActivity::Idle, total_s - active_s);
+        }
+        let nodes = (0..n)
+            .map(|idx| SlottedNodeReport {
+                node_idx: idx,
+                attempts: m.attempts[idx],
+                delivered: m.delivered[idx],
+                collisions: m.collisions[idx],
+                energy_j: m.energy_j[idx],
+                mean_snr_db: if m.delivered[idx] > 0 {
+                    m.snr_sum_db[idx] / m.delivered[idx] as f64
+                } else {
+                    f64::NAN
+                },
+            })
+            .collect();
+        Ok(SlottedRunReport {
+            frames,
+            frame_s: ps_to_secs(plan.frame_ps()),
+            payload_bytes: payload.len(),
+            nodes,
+        })
+    }
+}
+
+/// Events of one SDM uplink round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RoundEvent {
+    /// Serve this actor's node with its own beam.
+    ServeNode,
+}
+
+/// Shared medium of an uplink round.
+struct RoundMedium<'a> {
+    net: &'a Network,
+    rng: &'a mut GaussianSource,
+    payloads: &'a [Vec<u8>],
+    reports: Vec<Option<NodeReport>>,
+}
+
+/// One beam, pointed at one node.
+struct BeamActor {
+    idx: usize,
+}
+
+impl<'a> Actor<RoundMedium<'a>, RoundEvent> for BeamActor {
+    fn on_event(
+        &mut self,
+        _now_ps: TimePs,
+        event: &RoundEvent,
+        m: &mut RoundMedium<'a>,
+        _out: &mut Outbox<RoundEvent>,
+    ) -> Result<()> {
+        let RoundEvent::ServeNode = event;
+        let report = m.net.serve_uplink(self.idx, &m.payloads[self.idx], m.rng)?;
+        m.reports[self.idx] = Some(report);
+        Ok(())
+    }
+}
+
+/// One node's statistics over a slotted multi-node run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlottedNodeReport {
+    /// Node index in the scene.
+    pub node_idx: usize,
+    /// Packets transmitted (one per frame).
+    pub attempts: usize,
+    /// Packets delivered intact at the AP.
+    pub delivered: usize,
+    /// Packets lost to unseparable slot collisions.
+    pub collisions: usize,
+    /// Total node energy over the run (transmit + idle), joules.
+    pub energy_j: f64,
+    /// Mean effective SNR of the delivered packets, dB (NaN if none).
+    pub mean_snr_db: f64,
+}
+
+/// The outcome of [`Network::run_slotted`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlottedRunReport {
+    /// Frames simulated.
+    pub frames: usize,
+    /// Frame duration, seconds.
+    pub frame_s: f64,
+    /// Payload size per packet, bytes.
+    pub payload_bytes: usize,
+    /// Per-node statistics.
+    pub nodes: Vec<SlottedNodeReport>,
+}
+
+impl SlottedRunReport {
+    /// Elapsed campaign time, seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.frames as f64 * self.frame_s
+    }
+
+    /// A node's goodput over the campaign, bits/second.
+    pub fn goodput_bps(&self, node_idx: usize) -> f64 {
+        let elapsed = self.elapsed_s();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.nodes[node_idx].delivered as f64 * self.payload_bytes as f64 * 8.0 / elapsed
+    }
+
+    /// A node's energy per delivered packet, joules (infinite if nothing
+    /// got through).
+    pub fn energy_per_packet_j(&self, node_idx: usize) -> f64 {
+        let n = &self.nodes[node_idx];
+        if n.delivered == 0 {
+            f64::INFINITY
+        } else {
+            n.energy_j / n.delivered as f64
+        }
+    }
+}
+
+/// Events of a slotted campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotEvent {
+    /// A frame boundary: hash every node to its slot and schedule the
+    /// occupied slots.
+    FrameStart {
+        /// Frame number.
+        frame: usize,
+    },
+    /// An occupied slot's airtime begins.
+    SlotFire {
+        /// Frame number.
+        frame: usize,
+        /// Slot within the frame.
+        slot: usize,
+    },
+}
+
+/// Shared medium of a slotted campaign.
+struct SlotMedium<'a> {
+    net: &'a Network,
+    rng: &'a mut GaussianSource,
+    payload: &'a [u8],
+    airtime_s: f64,
+    power: NodePowerModel,
+    attempts: Vec<usize>,
+    delivered: Vec<usize>,
+    collisions: Vec<usize>,
+    energy_j: Vec<f64>,
+    snr_sum_db: Vec<f64>,
+}
+
+/// The AP-side MAC coordinator: frames, slot hashing, SDM arbitration.
+struct SlotCoordinator {
+    me: ActorId,
+    plan: SlotPlan,
+    frames: usize,
+    slot_seed: u64,
+    sdm_threshold_db: f64,
+}
+
+impl SlotCoordinator {
+    /// The nodes that hash into `slot` on `frame`, in index order.
+    fn group(&self, n_nodes: usize, frame: usize, slot: usize) -> Vec<usize> {
+        (0..n_nodes)
+            .filter(|&node| self.plan.slot_for(node, frame, self.slot_seed) == slot)
+            .collect()
+    }
+}
+
+impl<'a> Actor<SlotMedium<'a>, SlotEvent> for SlotCoordinator {
+    fn on_event(
+        &mut self,
+        now_ps: TimePs,
+        event: &SlotEvent,
+        m: &mut SlotMedium<'a>,
+        out: &mut Outbox<SlotEvent>,
+    ) -> Result<()> {
+        let n = m.net.node_count();
+        match *event {
+            SlotEvent::FrameStart { frame } => {
+                let mut occupied: Vec<usize> = (0..n)
+                    .map(|node| self.plan.slot_for(node, frame, self.slot_seed))
+                    .collect();
+                occupied.sort_unstable();
+                occupied.dedup();
+                for slot in occupied {
+                    out.post_at(
+                        now_ps + slot as TimePs * self.plan.slot_ps,
+                        self.me,
+                        SlotEvent::SlotFire { frame, slot },
+                    );
+                }
+                if frame + 1 < self.frames {
+                    out.post_at(
+                        now_ps + self.plan.frame_ps(),
+                        self.me,
+                        SlotEvent::FrameStart { frame: frame + 1 },
+                    );
+                }
+            }
+            SlotEvent::SlotFire { frame, slot } => {
+                let group = self.group(n, frame, slot);
+                for &node in &group {
+                    m.attempts[node] += 1;
+                    m.energy_j[node] += m.power.energy_j(NodeActivity::Uplink, m.airtime_s);
+                }
+                // SDM arbitration: the slot survives concurrency only if
+                // every pair of co-slotted beams is separable.
+                let separable = group.iter().enumerate().all(|(i, &a)| {
+                    group[i + 1..]
+                        .iter()
+                        .all(|&b| m.net.sdm_separable(a, b, self.sdm_threshold_db))
+                });
+                if group.len() > 1 && !separable {
+                    for &node in &group {
+                        m.collisions[node] += 1;
+                    }
+                    return Ok(());
+                }
+                for &node in &group {
+                    let sim = LinkSimulator::new(m.net.config.clone(), m.net.view_for(node)?)?;
+                    let mut outcome = sim.uplink(m.payload, m.rng)?;
+                    if group.len() > 1 {
+                        let margin = group
+                            .iter()
+                            .filter(|&&o| o != node)
+                            .map(|&o| m.net.sdm_margin_db(node, o))
+                            .fold(f64::INFINITY, f64::min);
+                        if margin.is_finite() {
+                            let sig = db_to_lin(outcome.snr_db);
+                            let interference = db_to_lin(outcome.snr_db - margin);
+                            outcome.snr_db = 10.0 * (sig / (1.0 + interference)).log10();
+                        }
+                    }
+                    if outcome.decoded == m.payload {
+                        m.delivered[node] += 1;
+                        m.snr_sum_db[node] += outcome.snr_db;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -138,7 +491,9 @@ pub struct DopplerSignature {
 impl DopplerSignature {
     /// The signature assigned to node index `idx`.
     pub fn for_node(idx: usize) -> Self {
-        Self { period_chirps: 2 * (idx + 1) }
+        Self {
+            period_chirps: 2 * (idx + 1),
+        }
     }
 
     /// The node's state (reflective?) on chirp `k`.
@@ -196,14 +551,15 @@ pub fn localize_all_doppler(
     let chirp = proc.chirp;
     let horn = mmwave_rf::antenna::Horn::miwave_20dbi();
     let tx_w = dbm_to_watts(config.ap.tx.port_power_dbm());
-    let impl_amp =
-        db_to_lin(-config.ap.rx1.chain.implementation_loss_db).sqrt();
-    let gamma_r = config
-        .node
-        .reflection_amplitude(mmwave_rf::antenna::fsa::FsaPort::A, milback_node::mode::PortMode::Reflective);
-    let gamma_a = config
-        .node
-        .reflection_amplitude(mmwave_rf::antenna::fsa::FsaPort::A, milback_node::mode::PortMode::Absorptive);
+    let impl_amp = db_to_lin(-config.ap.rx1.chain.implementation_loss_db).sqrt();
+    let gamma_r = config.node.reflection_amplitude(
+        mmwave_rf::antenna::fsa::FsaPort::A,
+        milback_node::mode::PortMode::Reflective,
+    );
+    let gamma_a = config.node.reflection_amplitude(
+        mmwave_rf::antenna::fsa::FsaPort::A,
+        milback_node::mode::PortMode::Absorptive,
+    );
     let noise_w = noise_power_watts(
         proc.sample_rate_hz / 2.0,
         config.ap.rx1.chain.noise_figure_db(),
@@ -230,7 +586,11 @@ pub fn localize_all_doppler(
                         gt.incidence_rad,
                     );
                     let sig = DopplerSignature::for_node(idx);
-                    let gamma = if sig.reflective_on(k) { gamma_r } else { gamma_a };
+                    let gamma = if sig.reflective_on(k) {
+                        gamma_r
+                    } else {
+                        gamma_a
+                    };
                     let amp = backscatter_amplitude_sqrt_w(
                         tx_w,
                         g,
@@ -249,7 +609,9 @@ pub fn localize_all_doppler(
         })
         .collect();
     let dp = DopplerProcessor::milback_default();
-    let rd = dp.range_doppler(&proc, &beats).map_err(MilbackError::Fmcw)?;
+    let rd = dp
+        .range_doppler(&proc, &beats)
+        .map_err(MilbackError::Fmcw)?;
     let mut fixes = Vec::with_capacity(n_nodes);
     for idx in 0..n_nodes {
         let row = DopplerSignature::for_node(idx).doppler_row(n_chirps);
@@ -276,7 +638,11 @@ mod tests {
     #[test]
     fn well_separated_nodes_are_sdm_separable() {
         let n = two_node_network(40.0);
-        assert!(n.sdm_separable(0, 1, 20.0), "margin {:.1}", n.sdm_margin_db(0, 1));
+        assert!(
+            n.sdm_separable(0, 1, 20.0),
+            "margin {:.1}",
+            n.sdm_margin_db(0, 1)
+        );
     }
 
     #[test]
@@ -309,14 +675,137 @@ mod tests {
         let mut rng1 = GaussianSource::new(6);
         let mut rng2 = GaussianSource::new(6);
         let payloads = vec![vec![1u8; 64], vec![2u8; 64]];
-        let far = two_node_network(40.0).uplink_round(&payloads, &mut rng1).unwrap();
-        let near = two_node_network(4.0).uplink_round(&payloads, &mut rng2).unwrap();
+        let far = two_node_network(40.0)
+            .uplink_round(&payloads, &mut rng1)
+            .unwrap();
+        let near = two_node_network(4.0)
+            .uplink_round(&payloads, &mut rng2)
+            .unwrap();
         assert!(
             near[0].outcome.snr_db < far[0].outcome.snr_db,
             "near {:.1} dB !< far {:.1} dB",
             near[0].outcome.snr_db,
             far[0].outcome.snr_db
         );
+    }
+
+    #[test]
+    fn engine_round_matches_direct_bit_for_bit() {
+        for sep_deg in [4.0, 40.0] {
+            let n = two_node_network(sep_deg);
+            let payloads = vec![vec![0xAA; 32], vec![0x55; 32]];
+            let mut rng_e = GaussianSource::new(0xD15C);
+            let mut rng_d = GaussianSource::new(0xD15C);
+            let engine = n.uplink_round(&payloads, &mut rng_e).unwrap();
+            let direct = n.uplink_round_direct(&payloads, &mut rng_d).unwrap();
+            assert_eq!(engine, direct, "round reports diverged at {sep_deg}°");
+            for (e, d) in engine.iter().zip(&direct) {
+                assert_eq!(e.outcome.snr_db.to_bits(), d.outcome.snr_db.to_bits());
+            }
+            // The shared stream advanced identically.
+            assert_eq!(rng_e.sample(1.0).to_bits(), rng_d.sample(1.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn slotted_run_delivers_separable_nodes() {
+        use crate::protocol::SlotPlan;
+        let n = two_node_network(40.0);
+        let packet = Packet::uplink(vec![0x42; 16]);
+        let plan = SlotPlan::for_packet(
+            4,
+            &packet,
+            &n.config.fmcw,
+            n.config.uplink_symbol_rate_hz,
+            10e-6,
+        )
+        .unwrap();
+        let mut rng = GaussianSource::new(0x510);
+        let r = n
+            .run_slotted(6, &[0x42; 16], &plan, 0xFEED, 20.0, &mut rng)
+            .unwrap();
+        assert_eq!(r.frames, 6);
+        assert_eq!(r.nodes.len(), 2);
+        for node in &r.nodes {
+            assert_eq!(node.attempts, 6, "one attempt per frame");
+            assert_eq!(node.attempts, node.delivered + node.collisions);
+            assert!(node.delivered > 0, "node {} never delivered", node.node_idx);
+            assert!(node.energy_j > 0.0);
+        }
+        // Goodput and energy-per-packet roll-ups are finite and positive.
+        assert!(r.goodput_bps(0) > 0.0);
+        assert!(r.energy_per_packet_j(0).is_finite());
+        assert!(r.elapsed_s() > 0.0);
+    }
+
+    #[test]
+    fn slotted_run_is_deterministic() {
+        use crate::protocol::SlotPlan;
+        let run = || {
+            let n = two_node_network(35.0);
+            let packet = Packet::uplink(vec![7u8; 8]);
+            let plan = SlotPlan::for_packet(
+                2,
+                &packet,
+                &n.config.fmcw,
+                n.config.uplink_symbol_rate_hz,
+                5e-6,
+            )
+            .unwrap();
+            let mut rng = GaussianSource::new(0xABCD);
+            n.run_slotted(4, &[7u8; 8], &plan, 1, 20.0, &mut rng)
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn close_nodes_collide_in_shared_slots() {
+        use crate::protocol::SlotPlan;
+        // Nodes 5° apart are not SDM-separable at 20 dB: every shared slot
+        // must be a collision, every private slot a delivery.
+        let n = two_node_network(5.0);
+        let packet = Packet::uplink(vec![0x42; 16]);
+        let plan = SlotPlan::for_packet(
+            2,
+            &packet,
+            &n.config.fmcw,
+            n.config.uplink_symbol_rate_hz,
+            5e-6,
+        )
+        .unwrap();
+        let mut rng = GaussianSource::new(0xC0);
+        let r = n
+            .run_slotted(12, &[0x42; 16], &plan, 3, 20.0, &mut rng)
+            .unwrap();
+        let shared: usize = (0..12)
+            .filter(|&f| plan.slot_for(0, f, 3) == plan.slot_for(1, f, 3))
+            .count();
+        assert!(shared > 0, "seed should produce at least one shared slot");
+        for node in &r.nodes {
+            assert_eq!(node.collisions, shared);
+            assert_eq!(node.delivered, 12 - shared);
+        }
+    }
+
+    #[test]
+    fn slotted_rejects_oversized_packets() {
+        use crate::protocol::SlotPlan;
+        let n = two_node_network(30.0);
+        let small = Packet::uplink(vec![0u8; 2]);
+        let plan = SlotPlan::for_packet(
+            2,
+            &small,
+            &n.config.fmcw,
+            n.config.uplink_symbol_rate_hz,
+            0.0,
+        )
+        .unwrap();
+        let mut rng = GaussianSource::new(1);
+        // A much larger payload does not fit the 2-byte slots.
+        assert!(n
+            .run_slotted(1, &[0u8; 4096], &plan, 0, 20.0, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -360,7 +849,10 @@ mod tests {
     fn signature_toggle_pattern() {
         let s = DopplerSignature::for_node(1); // period 4
         let pattern: Vec<bool> = (0..8).map(|k| s.reflective_on(k)).collect();
-        assert_eq!(pattern, vec![true, true, false, false, true, true, false, false]);
+        assert_eq!(
+            pattern,
+            vec![true, true, false, false, true, true, false, false]
+        );
         assert!(s.resolved_by(8));
         assert!(!s.resolved_by(6));
     }

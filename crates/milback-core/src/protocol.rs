@@ -9,6 +9,7 @@
 //! This module owns packet framing, timing and (de)serialization, plus the
 //! node-side chirp-count detector that decodes the Field-1 mode signal.
 
+use crate::engine::{secs_to_ps, TimePs};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use milback_ap::waveform::{FmcwConfig, LinkDirection};
 use serde::{Deserialize, Serialize};
@@ -32,12 +33,18 @@ pub struct Packet {
 impl Packet {
     /// Creates a downlink packet.
     pub fn downlink(payload: impl Into<Vec<u8>>) -> Self {
-        Self { direction: LinkDirection::Downlink, payload: payload.into() }
+        Self {
+            direction: LinkDirection::Downlink,
+            payload: payload.into(),
+        }
     }
 
     /// Creates an uplink packet (payload supplied by the node).
     pub fn uplink(payload: impl Into<Vec<u8>>) -> Self {
-        Self { direction: LinkDirection::Uplink, payload: payload.into() }
+        Self {
+            direction: LinkDirection::Uplink,
+            payload: payload.into(),
+        }
     }
 
     /// Airtime of the preamble, seconds.
@@ -65,6 +72,23 @@ impl Packet {
     /// Protocol efficiency: payload airtime over total airtime.
     pub fn efficiency(&self, fmcw: &FmcwConfig, symbol_rate_hz: f64) -> f64 {
         self.payload_duration_s(symbol_rate_hz) / self.duration_s(fmcw, symbol_rate_hz)
+    }
+
+    /// [`preamble_duration_s`](Self::preamble_duration_s) on the engine
+    /// clock, picoseconds.
+    pub fn preamble_duration_ps(&self, fmcw: &FmcwConfig) -> TimePs {
+        secs_to_ps(self.preamble_duration_s(fmcw))
+    }
+
+    /// [`payload_duration_s`](Self::payload_duration_s) on the engine
+    /// clock, picoseconds.
+    pub fn payload_duration_ps(&self, symbol_rate_hz: f64) -> TimePs {
+        secs_to_ps(self.payload_duration_s(symbol_rate_hz))
+    }
+
+    /// [`duration_s`](Self::duration_s) on the engine clock, picoseconds.
+    pub fn duration_ps(&self, fmcw: &FmcwConfig, symbol_rate_hz: f64) -> TimePs {
+        secs_to_ps(self.duration_s(fmcw, symbol_rate_hz))
     }
 
     /// Serializes to a length-prefixed wire frame:
@@ -100,12 +124,18 @@ impl Packet {
         };
         let len = data.get_u16() as usize;
         if data.len() != len + 1 {
-            return Err(FrameError::LengthMismatch { declared: len, actual: data.len() - 1 });
+            return Err(FrameError::LengthMismatch {
+                declared: len,
+                actual: data.len() - 1,
+            });
         }
         let payload = data.split_to(len).to_vec();
         let sum = data.get_u8();
         if sum != expected_sum {
-            return Err(FrameError::BadChecksum { expected: expected_sum, got: sum });
+            return Err(FrameError::BadChecksum {
+                expected: expected_sum,
+                got: sum,
+            });
         }
         Ok(Self { direction, payload })
     }
@@ -114,6 +144,86 @@ impl Packet {
 /// XOR checksum over a byte slice.
 fn checksum(data: &[u8]) -> u8 {
     data.iter().fold(0u8, |a, &b| a ^ b)
+}
+
+/// Upper bound on slots per frame: a u16 slot index on the wire plus a
+/// sanity ceiling — a frame longer than this is a configuration mistake,
+/// not a schedule.
+pub const MAX_SLOTS_PER_FRAME: usize = 4096;
+
+/// The multi-node airtime plan: frames of equal slots, each slot wide
+/// enough for one complete packet plus a guard interval. All arithmetic
+/// is on the engine clock (integer picoseconds) so a slot boundary
+/// computed anywhere in the stack is the *same* tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotPlan {
+    /// Slots per frame.
+    pub slots_per_frame: usize,
+    /// One slot's width, picoseconds (packet airtime + guard).
+    pub slot_ps: TimePs,
+}
+
+impl SlotPlan {
+    /// Builds a plan of `slots_per_frame` slots sized for `packet` at
+    /// `symbol_rate_hz`, with `guard_s` of turnaround per slot.
+    pub fn for_packet(
+        slots_per_frame: usize,
+        packet: &Packet,
+        fmcw: &FmcwConfig,
+        symbol_rate_hz: f64,
+        guard_s: f64,
+    ) -> crate::error::Result<Self> {
+        use crate::error::MilbackError;
+        if slots_per_frame == 0 {
+            return Err(MilbackError::Config(
+                "a frame needs at least one slot".into(),
+            ));
+        }
+        if slots_per_frame > MAX_SLOTS_PER_FRAME {
+            return Err(MilbackError::Config(format!(
+                "{slots_per_frame} slots per frame exceeds the {MAX_SLOTS_PER_FRAME}-slot limit"
+            )));
+        }
+        if guard_s < 0.0 {
+            return Err(MilbackError::Config(
+                "guard interval cannot be negative".into(),
+            ));
+        }
+        let slot_ps = packet.duration_ps(fmcw, symbol_rate_hz) + secs_to_ps(guard_s);
+        if slot_ps == 0 {
+            return Err(MilbackError::Config("slot width must be positive".into()));
+        }
+        Ok(Self {
+            slots_per_frame,
+            slot_ps,
+        })
+    }
+
+    /// One frame's airtime, picoseconds.
+    pub fn frame_ps(&self) -> TimePs {
+        self.slot_ps * self.slots_per_frame as TimePs
+    }
+
+    /// Absolute start time of `(frame, slot)` on the engine clock.
+    pub fn slot_start_ps(&self, frame: usize, slot: usize) -> TimePs {
+        debug_assert!(slot < self.slots_per_frame);
+        frame as TimePs * self.frame_ps() + slot as TimePs * self.slot_ps
+    }
+
+    /// The slot node `node_idx` contends in during `frame` — a
+    /// SplitMix64-style hash of `(seed, node, frame)`, so the pattern is
+    /// deterministic, uniform, and varies per frame (slotted-ALOHA
+    /// rather than a fixed TDMA assignment; collisions are resolved by
+    /// retrying in the next frame).
+    pub fn slot_for(&self, node_idx: usize, frame: usize, seed: u64) -> usize {
+        let mut z = seed
+            ^ (node_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (frame as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.slots_per_frame as u64) as usize
+    }
 }
 
 /// Wire-frame parse errors.
@@ -181,7 +291,10 @@ pub struct Field1Detector {
 impl Field1Detector {
     /// Creates a detector.
     pub fn new(threshold: f64, min_gap_samples: usize) -> Self {
-        Self { threshold, min_gap_samples }
+        Self {
+            threshold,
+            min_gap_samples,
+        }
     }
 
     /// Counts activity bursts in a node detector trace.
@@ -283,10 +396,101 @@ mod tests {
     fn payload_timing_and_efficiency() {
         let fmcw = FmcwConfig::milback_default();
         let p = Packet::downlink(vec![0; 4500]); // 18000 symbols
-        // At 18 Msym/s: payload = 1 ms; preamble 635 µs → efficiency ≈ 0.61.
+                                                 // At 18 Msym/s: payload = 1 ms; preamble 635 µs → efficiency ≈ 0.61.
         let eff = p.efficiency(&fmcw, 18e6);
         assert!((eff - 0.61).abs() < 0.02, "efficiency {eff:.3}");
         assert!((p.payload_duration_s(18e6) - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_payload_is_pure_preamble() {
+        // A zero-byte packet is legal (a beacon: localization with no
+        // data); its airtime is exactly the preamble and its efficiency 0.
+        let fmcw = FmcwConfig::milback_default();
+        for p in [Packet::uplink(vec![]), Packet::downlink(vec![])] {
+            assert_eq!(p.payload_duration_s(20e6), 0.0);
+            assert_eq!(p.payload_duration_ps(20e6), 0);
+            assert_eq!(p.duration_s(&fmcw, 20e6), p.preamble_duration_s(&fmcw));
+            assert_eq!(p.duration_ps(&fmcw, 20e6), p.preamble_duration_ps(&fmcw));
+            assert_eq!(p.efficiency(&fmcw, 20e6), 0.0);
+            // And it still frames/unframes.
+            assert_eq!(Packet::from_bytes(p.to_bytes()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn airtime_is_monotone_in_payload_length() {
+        let fmcw = FmcwConfig::milback_default();
+        let mut last_ps = 0;
+        let mut last_eff = -1.0;
+        for len in [0usize, 1, 2, 16, 255, 256, 4096, u16::MAX as usize] {
+            let p = Packet::uplink(vec![0xA5; len]);
+            let ps = p.duration_ps(&fmcw, 20e6);
+            assert!(ps >= last_ps, "airtime shrank at {len} bytes");
+            if len > 0 {
+                assert!(ps > last_ps, "airtime flat at {len} bytes");
+            }
+            let eff = p.efficiency(&fmcw, 20e6);
+            assert!(eff > last_eff, "efficiency not increasing at {len} bytes");
+            assert!(eff < 1.0);
+            last_ps = ps;
+            last_eff = eff;
+        }
+    }
+
+    #[test]
+    fn slot_plan_accepts_max_slot_count_and_rejects_beyond() {
+        let fmcw = FmcwConfig::milback_default();
+        let p = Packet::uplink(vec![0; 32]);
+        let max = SlotPlan::for_packet(MAX_SLOTS_PER_FRAME, &p, &fmcw, 20e6, 5e-6).unwrap();
+        assert_eq!(max.slots_per_frame, MAX_SLOTS_PER_FRAME);
+        // Frame time stays coherent at the maximum width.
+        assert_eq!(max.frame_ps(), max.slot_ps * MAX_SLOTS_PER_FRAME as u64);
+        assert_eq!(
+            max.slot_start_ps(1, 0) - max.slot_start_ps(0, MAX_SLOTS_PER_FRAME - 1),
+            max.slot_ps,
+            "frame boundary must be exactly one slot after the last slot"
+        );
+        assert!(SlotPlan::for_packet(MAX_SLOTS_PER_FRAME + 1, &p, &fmcw, 20e6, 5e-6).is_err());
+        assert!(SlotPlan::for_packet(0, &p, &fmcw, 20e6, 5e-6).is_err());
+        assert!(SlotPlan::for_packet(4, &p, &fmcw, 20e6, -1e-6).is_err());
+    }
+
+    #[test]
+    fn slot_plan_timing_matches_packet_airtime() {
+        let fmcw = FmcwConfig::milback_default();
+        let p = Packet::uplink(vec![0; 100]);
+        let plan = SlotPlan::for_packet(8, &p, &fmcw, 20e6, 10e-6).unwrap();
+        assert_eq!(plan.slot_ps, p.duration_ps(&fmcw, 20e6) + 10_000_000);
+        assert_eq!(plan.slot_start_ps(0, 0), 0);
+        assert_eq!(plan.slot_start_ps(0, 3), 3 * plan.slot_ps);
+        assert_eq!(plan.slot_start_ps(2, 1), 2 * plan.frame_ps() + plan.slot_ps);
+    }
+
+    #[test]
+    fn slot_hash_is_deterministic_in_range_and_varies() {
+        let fmcw = FmcwConfig::milback_default();
+        let p = Packet::uplink(vec![0; 8]);
+        let plan = SlotPlan::for_packet(16, &p, &fmcw, 20e6, 0.0).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..64 {
+            for frame in 0..8 {
+                let s = plan.slot_for(node, frame, 0xFEED);
+                assert!(s < 16);
+                assert_eq!(s, plan.slot_for(node, frame, 0xFEED));
+                seen.insert(s);
+            }
+        }
+        assert!(
+            seen.len() > 8,
+            "hash should spread over most slots, hit {}",
+            seen.len()
+        );
+        // Different frames move a node between slots (ALOHA retry works).
+        let moves = (0..8)
+            .map(|f| plan.slot_for(7, f, 0xFEED))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(moves.len() > 1, "node must rehash across frames");
     }
 
     #[test]

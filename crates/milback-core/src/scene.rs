@@ -34,13 +34,25 @@ impl Scene {
         let mut s = Self::single_node(distance_m, orientation_rad);
         s.clutter = vec![
             // A desk edge near the AP.
-            Reflector { position: Vec2::new(1.6, 0.4), rcs_m2: 0.3 },
+            Reflector {
+                position: Vec2::new(1.6, 0.4),
+                rcs_m2: 0.3,
+            },
             // A metal shelf to the side.
-            Reflector { position: Vec2::new(3.5, -1.2), rcs_m2: 0.8 },
+            Reflector {
+                position: Vec2::new(3.5, -1.2),
+                rcs_m2: 0.8,
+            },
             // The back wall behind the node.
-            Reflector { position: Vec2::new(distance_m + 3.0, 0.0), rcs_m2: 2.0 },
+            Reflector {
+                position: Vec2::new(distance_m + 3.0, 0.0),
+                rcs_m2: 2.0,
+            },
             // A chair.
-            Reflector { position: Vec2::new(2.4, 1.1), rcs_m2: 0.15 },
+            Reflector {
+                position: Vec2::new(2.4, 1.1),
+                rcs_m2: 0.15,
+            },
         ];
         s
     }
@@ -50,7 +62,10 @@ impl Scene {
     pub fn with_node_at(mut self, distance_m: f64, azimuth_rad: f64, orientation_rad: f64) -> Self {
         let position = Vec2::from_polar(distance_m, azimuth_rad);
         let facing = std::f64::consts::PI + azimuth_rad + orientation_rad;
-        self.nodes.push(NodePose { position, facing_rad: facing });
+        self.nodes.push(NodePose {
+            position,
+            facing_rad: facing,
+        });
         self
     }
 
@@ -65,6 +80,28 @@ impl Scene {
             azimuth_rad: self.ap.azimuth_to(node.position),
             incidence_rad: node.incidence_from(self.ap.position),
         }
+    }
+
+    /// Fallible [`ground_truth`](Self::ground_truth): `None` for an
+    /// out-of-range index.
+    pub fn try_ground_truth(&self, idx: usize) -> Option<GroundTruth> {
+        (idx < self.nodes.len()).then(|| self.ground_truth(idx))
+    }
+
+    /// A single-node view of this scene serving node `idx`: that node
+    /// becomes the primary, clutter is shared, other nodes are dropped,
+    /// and the AP's horns are mechanically steered at the served node (§8
+    /// — the beam-steering is what makes SDM possible at all). `None` for
+    /// an out-of-range index.
+    pub fn view_for_node(&self, idx: usize) -> Option<Scene> {
+        if idx >= self.nodes.len() {
+            return None;
+        }
+        let mut scene = self.clone();
+        scene.nodes.swap(0, idx);
+        scene.nodes.truncate(1);
+        scene.ap.boresight_rad = scene.ap.position.bearing_to(scene.nodes[0].position);
+        Some(scene)
     }
 
     /// The primary (first) node's pose.
@@ -124,5 +161,27 @@ mod tests {
     #[should_panic(expected = "in front of the AP")]
     fn rejects_zero_distance() {
         Scene::single_node(0.0, 0.0);
+    }
+
+    #[test]
+    fn try_ground_truth_bounds_checks() {
+        let s = Scene::single_node(4.0, 0.1);
+        assert!(s.try_ground_truth(0).is_some());
+        assert!(s.try_ground_truth(1).is_none());
+    }
+
+    #[test]
+    fn view_for_node_steers_and_isolates() {
+        let s = Scene::indoor(3.0, 0.1).with_node_at(5.0, 0.3, 0.05);
+        let v = s.view_for_node(1).unwrap();
+        assert_eq!(v.nodes.len(), 1);
+        assert_eq!(v.nodes[0], s.nodes[1]);
+        assert_eq!(v.clutter.len(), s.clutter.len());
+        // Boresight points at the served node: its azimuth in the view is 0.
+        assert!(v.ground_truth(0).azimuth_rad.abs() < 1e-12);
+        // Range and incidence are preserved from the parent scene.
+        let gt = s.ground_truth(1);
+        assert!((v.ground_truth(0).range_m - gt.range_m).abs() < 1e-12);
+        assert!(s.view_for_node(2).is_none());
     }
 }

@@ -5,22 +5,31 @@
 //! and the node's energy ledger accounted.
 //!
 //! This is the "network runtime" layer the lower modules compose into: one
-//! call runs everything the paper's Fig 8 timeline describes.
+//! call runs everything the paper's Fig 8 timeline describes. The timeline
+//! itself lives on the discrete-event engine ([`crate::engine`]): the node
+//! firmware and the AP are actors, every protocol boundary (burst, gap,
+//! Field-2 capture, carrier planning, payload airtime) is a timed event,
+//! and all randomness flows through the one per-trial stream in the shared
+//! medium. [`Session::run_packet_direct`] retains the original synchronous
+//! call tree as the parity reference — the engine path must reproduce its
+//! reports bit-for-bit.
 
 use crate::config::SystemConfig;
+use crate::engine::{secs_to_ps, Actor, ActorId, Engine, Outbox, TimePs};
 use crate::error::{MilbackError, Result};
 use crate::link::LinkSimulator;
 use crate::localization::{LocalizationPipeline, LocationFix};
 use crate::protocol::Packet;
 use crate::scene::Scene;
 use milback_ap::waveform::LinkDirection;
-use milback_node::firmware::{Direction, Event, Firmware};
+use milback_node::firmware::{Direction, Event as FwEvent, Firmware, State as FwState};
+use milback_node::mode::{PortMode, ToggleSchedule};
 use milback_node::power::NodePowerModel;
 use mmwave_sigproc::random::GaussianSource;
 use serde::{Deserialize, Serialize};
 
 /// Everything one packet session produced.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionReport {
     /// The AP's localization fix from Field 2.
     pub fix: LocationFix,
@@ -38,6 +47,190 @@ pub struct SessionReport {
     pub airtime_s: f64,
     /// Node energy spent on this packet, joules.
     pub node_energy_j: f64,
+}
+
+/// Events on the single-link session timeline (§7 / Fig 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SessionEvent {
+    /// One Field-1 triangular burst reaches the node.
+    Field1Burst,
+    /// Field 1 ended: the node reads its detectors and decodes direction.
+    Field1Gap,
+    /// The Field-2 sawtooth train starts (the node begins toggling).
+    Field2Start,
+    /// One reflective/absorptive mode switch during Field 2.
+    ToggleMode,
+    /// Field-2 capture done: the AP localizes and estimates orientation.
+    Field2Process,
+    /// The AP plans payload carriers from its orientation estimate.
+    PlanCarriers,
+    /// Payload airtime begins at the node.
+    PayloadStart,
+    /// The payload propagates through the link.
+    PayloadTransfer,
+    /// Payload airtime ends; the node closes its state machine.
+    PayloadEnd,
+}
+
+/// The shared medium of one session run: the channel simulators, the
+/// per-trial RNG stream (per the runner's stream contract), and the slots
+/// results are deposited into as events fire.
+struct SessionMedium<'a> {
+    pipeline: LocalizationPipeline,
+    sim: LinkSimulator,
+    rng: &'a mut GaussianSource,
+    packet: &'a Packet,
+    field1_chirp_s: f64,
+    chirp_interval_s: f64,
+    downlink_symbol_rate_hz: f64,
+    uplink_symbol_rate_hz: f64,
+    toggle: ToggleSchedule,
+    // Results, filled in timeline order.
+    orientation_at_node: Option<f64>,
+    decoded_direction: Option<LinkDirection>,
+    fix: Option<LocationFix>,
+    orientation_at_ap: Option<f64>,
+    delivered: Option<(Vec<u8>, f64)>,
+    node_energy_j: f64,
+    mode_switches: usize,
+}
+
+impl SessionMedium<'_> {
+    fn symbol_rate_hz(&self) -> Result<f64> {
+        match self.decoded_direction {
+            Some(LinkDirection::Downlink) => Ok(self.downlink_symbol_rate_hz),
+            Some(LinkDirection::Uplink) => Ok(self.uplink_symbol_rate_hz),
+            None => Err(MilbackError::Protocol(
+                "payload scheduled before the node decoded a direction".into(),
+            )),
+        }
+    }
+
+    fn payload_s(&self) -> Result<f64> {
+        Ok(self.packet.payload.len() as f64 * 4.0 / self.symbol_rate_hz()?)
+    }
+}
+
+/// The node side: owns the firmware state machine and its energy ledger.
+struct NodeActor {
+    me: ActorId,
+    firmware: Firmware,
+}
+
+impl<'a> Actor<SessionMedium<'a>, SessionEvent> for NodeActor {
+    fn on_event(
+        &mut self,
+        _now_ps: TimePs,
+        event: &SessionEvent,
+        m: &mut SessionMedium<'a>,
+        out: &mut Outbox<SessionEvent>,
+    ) -> Result<()> {
+        match event {
+            SessionEvent::Field1Burst => {
+                self.firmware.step(FwEvent::BurstStart, m.field1_chirp_s)?;
+            }
+            SessionEvent::Field1Gap => {
+                m.orientation_at_node = Some(m.pipeline.orient_at_node(m.rng)?);
+                self.firmware.handle(FwEvent::Field1GapTimeout)?;
+                m.decoded_direction = Some(match self.firmware.state() {
+                    FwState::Field1Done {
+                        direction: Direction::Uplink,
+                    } => LinkDirection::Uplink,
+                    FwState::Field1Done {
+                        direction: Direction::Downlink,
+                    } => LinkDirection::Downlink,
+                    other => {
+                        return Err(MilbackError::Protocol(format!(
+                            "node failed to decode direction (state {other:?})"
+                        )))
+                    }
+                });
+            }
+            SessionEvent::Field2Start => {
+                let field2_s = 5.0 * m.chirp_interval_s;
+                self.firmware.step(FwEvent::BurstStart, field2_s)?;
+                // Mode switching as scheduled events: one per half-period
+                // of the localization toggle across the Field-2 window.
+                for t in m.toggle.switch_times_s(0.0, field2_s) {
+                    out.post_after(t, self.me, SessionEvent::ToggleMode);
+                }
+            }
+            SessionEvent::ToggleMode => {
+                m.mode_switches += 1;
+            }
+            SessionEvent::PayloadStart => {
+                let payload_s = m.payload_s()?;
+                self.firmware.step(FwEvent::Field2Complete, payload_s)?;
+            }
+            SessionEvent::PayloadEnd => {
+                self.firmware.handle(FwEvent::PayloadComplete)?;
+                m.node_energy_j = self.firmware.energy_j();
+            }
+            _ => {
+                return Err(MilbackError::Engine(format!(
+                    "node actor received AP event {event:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The AP side: Field-2 processing, carrier planning, payload scheduling.
+struct ApActor {
+    me: ActorId,
+    node: ActorId,
+}
+
+impl<'a> Actor<SessionMedium<'a>, SessionEvent> for ApActor {
+    fn on_event(
+        &mut self,
+        _now_ps: TimePs,
+        event: &SessionEvent,
+        m: &mut SessionMedium<'a>,
+        out: &mut Outbox<SessionEvent>,
+    ) -> Result<()> {
+        match event {
+            SessionEvent::Field2Process => {
+                m.fix = Some(m.pipeline.localize(m.rng)?);
+                m.orientation_at_ap = Some(m.pipeline.orient_at_ap(m.rng)?);
+                out.post_now(self.me, SessionEvent::PlanCarriers);
+            }
+            SessionEvent::PlanCarriers => {
+                // Carriers planned from the AP's *estimate*, never ground
+                // truth — the closed loop the protocol actually runs.
+                m.sim.orientation_hint = m.orientation_at_ap;
+                let payload_s = m.payload_s()?;
+                out.post_now(self.node, SessionEvent::PayloadStart);
+                out.post_now(self.me, SessionEvent::PayloadTransfer);
+                out.post_after(payload_s, self.node, SessionEvent::PayloadEnd);
+            }
+            SessionEvent::PayloadTransfer => {
+                let delivered = match m.decoded_direction {
+                    Some(LinkDirection::Downlink) => {
+                        let o = m.sim.downlink(&m.packet.payload, m.rng)?;
+                        (o.decoded, o.ber)
+                    }
+                    Some(LinkDirection::Uplink) => {
+                        let o = m.sim.uplink(&m.packet.payload, m.rng)?;
+                        (o.decoded, o.ber)
+                    }
+                    None => {
+                        return Err(MilbackError::Protocol(
+                            "payload transfer before direction decode".into(),
+                        ))
+                    }
+                };
+                m.delivered = Some(delivered);
+            }
+            _ => {
+                return Err(MilbackError::Engine(format!(
+                    "AP actor received node event {event:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The session runner.
@@ -59,11 +252,97 @@ impl Session {
         Ok(Self { config, scene })
     }
 
-    /// Runs one complete packet. The AP plans carriers from its *own*
-    /// Field-2 orientation estimate (never ground truth); the node decodes
-    /// the direction from the Field-1 burst count and runs its firmware
-    /// state machine through the whole exchange.
-    pub fn run_packet(
+    /// Runs one complete packet on the discrete-event engine. The AP plans
+    /// carriers from its *own* Field-2 orientation estimate (never ground
+    /// truth); the node decodes the direction from the Field-1 burst count
+    /// and runs its firmware state machine through the whole exchange.
+    ///
+    /// Bit-identical to [`run_packet_direct`](Self::run_packet_direct) for
+    /// any seed — the parity suite enforces this.
+    pub fn run_packet(&self, packet: &Packet, rng: &mut GaussianSource) -> Result<SessionReport> {
+        let pipeline = LocalizationPipeline::new(self.config.clone(), self.scene.clone())?;
+        let sim = LinkSimulator::new(self.config.clone(), self.scene.clone())?;
+        let medium = SessionMedium {
+            pipeline,
+            sim,
+            rng,
+            packet,
+            field1_chirp_s: self.config.fmcw.field1_chirp_s,
+            chirp_interval_s: self.config.fmcw.chirp_interval_s,
+            downlink_symbol_rate_hz: self.config.downlink_symbol_rate_hz,
+            uplink_symbol_rate_hz: self.config.uplink_symbol_rate_hz,
+            toggle: ToggleSchedule {
+                rate_hz: self.config.localization_toggle_hz,
+                initial: PortMode::Reflective,
+            },
+            orientation_at_node: None,
+            decoded_direction: None,
+            fix: None,
+            orientation_at_ap: None,
+            delivered: None,
+            node_energy_j: 0.0,
+            mode_switches: 0,
+        };
+        let mut engine = Engine::new(medium);
+        let node = engine.add_actor(Box::new(NodeActor {
+            me: ActorId(0),
+            firmware: Firmware::new(NodePowerModel::milback_default()),
+        }));
+        let ap = engine.add_actor(Box::new(ApActor {
+            me: ActorId(1),
+            node,
+        }));
+        debug_assert_eq!((node, ap), (ActorId(0), ActorId(1)));
+
+        // Script the §7 preamble; the payload schedule is posted by the AP
+        // once it has planned carriers.
+        let chirp_ps = secs_to_ps(self.config.fmcw.field1_chirp_s);
+        let bursts = packet.direction.field1_chirp_count();
+        for k in 0..bursts {
+            engine.post(k as TimePs * chirp_ps, node, SessionEvent::Field1Burst);
+        }
+        engine.post(bursts as TimePs * chirp_ps, node, SessionEvent::Field1Gap);
+        let preamble_ps = packet.preamble_duration_ps(&self.config.fmcw);
+        let field2_ps = secs_to_ps(5.0 * self.config.fmcw.chirp_interval_s);
+        engine.post(preamble_ps - field2_ps, node, SessionEvent::Field2Start);
+        engine.post(preamble_ps, ap, SessionEvent::Field2Process);
+        let stats = engine.run()?;
+
+        let m = engine.into_medium();
+        let decoded_direction = m
+            .decoded_direction
+            .ok_or_else(|| MilbackError::Protocol("session ended before Field 1".into()))?;
+        let (delivered, ber) = m
+            .delivered
+            .ok_or_else(|| MilbackError::Protocol("session ended before the payload".into()))?;
+        let symbol_rate = match decoded_direction {
+            LinkDirection::Downlink => self.config.downlink_symbol_rate_hz,
+            LinkDirection::Uplink => self.config.uplink_symbol_rate_hz,
+        };
+        // Consistency guards: the node decoded what the AP signalled, and
+        // the engine clock closed exactly at the packet's airtime.
+        debug_assert_eq!(decoded_direction, packet.direction);
+        debug_assert_eq!(
+            stats.end_time_ps,
+            packet.duration_ps(&self.config.fmcw, symbol_rate)
+        );
+        Ok(SessionReport {
+            fix: m
+                .fix
+                .ok_or_else(|| MilbackError::Protocol("session ended before Field 2".into()))?,
+            orientation_at_ap: m.orientation_at_ap.unwrap_or(f64::NAN),
+            orientation_at_node: m.orientation_at_node.unwrap_or(f64::NAN),
+            decoded_direction,
+            delivered,
+            ber,
+            airtime_s: packet.duration_s(&self.config.fmcw, symbol_rate),
+            node_energy_j: m.node_energy_j,
+        })
+    }
+
+    /// The pre-engine synchronous implementation, retained verbatim as the
+    /// parity reference for [`run_packet`](Self::run_packet).
+    pub fn run_packet_direct(
         &self,
         packet: &Packet,
         rng: &mut GaussianSource,
@@ -73,28 +352,20 @@ impl Session {
 
         // ---- Field 1: node senses orientation; bursts signal direction.
         let direction = packet.direction;
-        let fw_dir = match direction {
-            LinkDirection::Uplink => Direction::Uplink,
-            LinkDirection::Downlink => Direction::Downlink,
-        };
         let bursts = direction.field1_chirp_count();
         for _ in 0..bursts {
-            firmware
-                .handle(Event::BurstStart)
-                .map_err(|e| MilbackError::Protocol(e.to_string()))?;
+            firmware.handle(FwEvent::BurstStart)?;
             firmware.tick(self.config.fmcw.field1_chirp_s);
         }
         let orientation_at_node = pipeline.orient_at_node(rng)?;
-        firmware
-            .handle(Event::Field1GapTimeout)
-            .map_err(|e| MilbackError::Protocol(e.to_string()))?;
+        firmware.handle(FwEvent::Field1GapTimeout)?;
         let decoded_direction = match firmware.state() {
-            milback_node::firmware::State::Field1Done { direction: Direction::Uplink } => {
-                LinkDirection::Uplink
-            }
-            milback_node::firmware::State::Field1Done { direction: Direction::Downlink } => {
-                LinkDirection::Downlink
-            }
+            FwState::Field1Done {
+                direction: Direction::Uplink,
+            } => LinkDirection::Uplink,
+            FwState::Field1Done {
+                direction: Direction::Downlink,
+            } => LinkDirection::Downlink,
             other => {
                 return Err(MilbackError::Protocol(format!(
                     "node failed to decode direction (state {other:?})"
@@ -103,15 +374,11 @@ impl Session {
         };
 
         // ---- Field 2: AP localizes and estimates orientation.
-        firmware
-            .handle(Event::BurstStart)
-            .map_err(|e| MilbackError::Protocol(e.to_string()))?;
+        firmware.handle(FwEvent::BurstStart)?;
         firmware.tick(5.0 * self.config.fmcw.chirp_interval_s);
         let fix = pipeline.localize(rng)?;
         let orientation_at_ap = pipeline.orient_at_ap(rng)?;
-        firmware
-            .handle(Event::Field2Complete)
-            .map_err(|e| MilbackError::Protocol(e.to_string()))?;
+        firmware.handle(FwEvent::Field2Complete)?;
 
         // ---- Payload: carriers planned from the AP's *estimate*, never
         // ground truth — the closed loop the protocol actually runs.
@@ -133,14 +400,9 @@ impl Session {
                 (out.decoded, out.ber)
             }
         };
-        firmware
-            .handle(Event::PayloadComplete)
-            .map_err(|e| MilbackError::Protocol(e.to_string()))?;
+        firmware.handle(FwEvent::PayloadComplete)?;
 
-        // Consistency guard: the node must have decoded the direction the
-        // AP intended, and the firmware direction mirrors the packet.
         debug_assert_eq!(decoded_direction, direction);
-        let _ = fw_dir;
 
         Ok(SessionReport {
             fix,
@@ -170,8 +432,11 @@ mod tests {
     use super::*;
 
     fn session(d: f64, orient_deg: f64) -> Session {
-        Session::new(SystemConfig::milback_default(), Scene::indoor(d, orient_deg.to_radians()))
-            .unwrap()
+        Session::new(
+            SystemConfig::milback_default(),
+            Scene::indoor(d, orient_deg.to_radians()),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -185,8 +450,18 @@ mod tests {
         assert_eq!(report.ber, 0.0);
         assert!((report.fix.range_m - 3.0).abs() < 0.1);
         let gt = s.scene.ground_truth(0);
-        assert!((report.orientation_at_ap - gt.incidence_rad).abs().to_degrees() < 4.0);
-        assert!((report.orientation_at_node - gt.incidence_rad).abs().to_degrees() < 4.0);
+        assert!(
+            (report.orientation_at_ap - gt.incidence_rad)
+                .abs()
+                .to_degrees()
+                < 4.0
+        );
+        assert!(
+            (report.orientation_at_node - gt.incidence_rad)
+                .abs()
+                .to_degrees()
+                < 4.0
+        );
         assert!(report.node_energy_j > 0.0);
         assert!(report.airtime_s > 635e-6);
     }
@@ -199,6 +474,42 @@ mod tests {
         let report = s.run_packet(&packet, &mut rng).unwrap();
         assert_eq!(report.decoded_direction, LinkDirection::Uplink);
         assert_eq!(report.delivered, b"node says hi");
+    }
+
+    #[test]
+    fn engine_and_direct_reports_are_bit_identical() {
+        let s = session(3.0, 12.0);
+        for (seed, packet) in [
+            (0xA11CE, Packet::downlink(b"parity downlink".to_vec())),
+            (0xB0B, Packet::uplink(b"parity uplink".to_vec())),
+            (7, Packet::downlink(vec![])),
+            (8, Packet::uplink(vec![0xFF; 128])),
+        ] {
+            let mut rng_e = GaussianSource::new(seed);
+            let mut rng_d = GaussianSource::new(seed);
+            let engine = s.run_packet(&packet, &mut rng_e).unwrap();
+            let direct = s.run_packet_direct(&packet, &mut rng_d).unwrap();
+            assert_eq!(engine, direct, "reports diverged for seed {seed:#x}");
+            assert_eq!(
+                engine.node_energy_j.to_bits(),
+                direct.node_energy_j.to_bits(),
+                "energy ledger diverged for seed {seed:#x}"
+            );
+            assert_eq!(engine.ber.to_bits(), direct.ber.to_bits());
+        }
+    }
+
+    #[test]
+    fn engine_and_direct_advance_rng_identically() {
+        // After a packet, both paths must leave the shared stream in the
+        // same state — duty cycles interleave packets on one stream.
+        let s = session(2.5, 8.0);
+        let packet = Packet::downlink(vec![1, 2, 3, 4]);
+        let mut rng_e = GaussianSource::new(99);
+        let mut rng_d = GaussianSource::new(99);
+        s.run_packet(&packet, &mut rng_e).unwrap();
+        s.run_packet_direct(&packet, &mut rng_d).unwrap();
+        assert_eq!(rng_e.sample(1.0).to_bits(), rng_d.sample(1.0).to_bits());
     }
 
     #[test]

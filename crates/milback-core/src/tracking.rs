@@ -6,6 +6,8 @@
 //! motion model smooths the centimeter-level measurement noise and rides
 //! through occasional dropped fixes.
 
+use crate::engine::{ps_to_secs, TimePs};
+use crate::error::{MilbackError, Result};
 use crate::localization::LocationFix;
 use mmwave_rf::channel::Vec2;
 use serde::{Deserialize, Serialize};
@@ -63,10 +65,17 @@ impl Tracker {
     /// for dropped fixes and for rendering between packets).
     pub fn predict(&mut self, dt: f64) {
         assert!(dt >= 0.0, "time cannot run backwards");
-        let Some(s) = self.state.as_mut() else { return };
+        let Some(mut s) = self.state else { return };
+        self.advance(&mut s, dt);
+        self.state = Some(s);
+    }
+
+    /// Motion-model step on an explicit state: position extrapolation plus
+    /// covariance propagation P = F P Fᵀ + Q.
+    fn advance(&mut self, s: &mut TrackState, dt: f64) {
+        assert!(dt >= 0.0, "time cannot run backwards");
         s.position.x += s.velocity.x * dt;
         s.position.y += s.velocity.y * dt;
-        // Covariance propagation: P = F P Fᵀ + Q.
         let [[ppp, ppv], [_, pvv]] = self.cov;
         let q = self.accel_sigma * self.accel_sigma;
         let q11 = q * dt.powi(4) / 4.0;
@@ -82,14 +91,16 @@ impl Tracker {
     pub fn update(&mut self, fix: &LocationFix, dt: f64) -> TrackState {
         match self.state {
             None => {
-                let s = TrackState { position: fix.position, velocity: Vec2::new(0.0, 0.0) };
+                let s = TrackState {
+                    position: fix.position,
+                    velocity: Vec2::new(0.0, 0.0),
+                };
                 self.state = Some(s);
                 self.cov = [[self.fix_sigma * self.fix_sigma, 0.0], [0.0, 4.0]];
                 s
             }
-            Some(_) => {
-                self.predict(dt);
-                let s = self.state.as_mut().unwrap();
+            Some(mut s) => {
+                self.advance(&mut s, dt);
                 let r = self.fix_sigma * self.fix_sigma;
                 let [[ppp, ppv], [_, pvv]] = self.cov;
                 let k_p = ppp / (ppp + r);
@@ -104,7 +115,8 @@ impl Tracker {
                 let n_pv = (1.0 - k_p) * ppv;
                 let n_vv = pvv - k_v * ppv;
                 self.cov = [[n_pp, n_pv], [n_pv, n_vv]];
-                *s
+                self.state = Some(s);
+                s
             }
         }
     }
@@ -118,6 +130,70 @@ impl Tracker {
 impl Default for Tracker {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// A [`Tracker`] driven by the engine clock.
+///
+/// Event handlers hold absolute [`TimePs`] stamps, not deltas; this wrapper
+/// derives each `dt` from consecutive stamps so a tracking actor can ingest
+/// fixes straight from its events. Because engine time never runs
+/// backwards, a reversed stamp is reported as an engine error instead of
+/// panicking mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedTracker {
+    tracker: Tracker,
+    last_ps: Option<TimePs>,
+}
+
+impl TimedTracker {
+    /// Wraps a tracker; the first ingested fix initializes it.
+    pub fn new(tracker: Tracker) -> Self {
+        Self {
+            tracker,
+            last_ps: None,
+        }
+    }
+
+    /// Ingests a fix taken at absolute engine time `at_ps`.
+    pub fn ingest(&mut self, at_ps: TimePs, fix: &LocationFix) -> Result<TrackState> {
+        let dt = match self.last_ps {
+            None => 0.0,
+            Some(last) if at_ps >= last => ps_to_secs(at_ps - last),
+            Some(last) => {
+                return Err(MilbackError::Engine(format!(
+                    "fix at {at_ps} ps precedes the previous fix at {last} ps"
+                )))
+            }
+        };
+        self.last_ps = Some(at_ps);
+        Ok(self.tracker.update(fix, dt))
+    }
+
+    /// Coasts the motion model to `at_ps` without a measurement (dropped
+    /// fix / rendering between packets).
+    pub fn coast_to(&mut self, at_ps: TimePs) -> Result<()> {
+        let Some(last) = self.last_ps else {
+            return Ok(());
+        };
+        if at_ps < last {
+            return Err(MilbackError::Engine(format!(
+                "cannot coast to {at_ps} ps before the last fix at {last} ps"
+            )));
+        }
+        self.tracker.predict(ps_to_secs(at_ps - last));
+        self.last_ps = Some(at_ps);
+        Ok(())
+    }
+
+    /// Engine time of the most recent ingest/coast, if any.
+    pub fn last_ps(&self) -> Option<TimePs> {
+        self.last_ps
+    }
+
+    /// The wrapped tracker (state, uncertainty).
+    pub fn tracker(&self) -> &Tracker {
+        &self.tracker
     }
 }
 
@@ -161,7 +237,11 @@ mod tests {
         }
         let s = t.state().unwrap();
         assert!((s.position.x - 4.0).abs() < 0.03);
-        assert!(s.velocity.x.abs() < 0.2, "residual velocity {}", s.velocity.x);
+        assert!(
+            s.velocity.x.abs() < 0.2,
+            "residual velocity {}",
+            s.velocity.x
+        );
     }
 
     #[test]
@@ -176,7 +256,11 @@ mod tests {
             t.update(&fix, if i == 0 { 0.0 } else { dt });
         }
         let s = t.state().unwrap();
-        assert!((s.velocity.y - v).abs() < 0.15, "velocity {:.2}", s.velocity.y);
+        assert!(
+            (s.velocity.y - v).abs() < 0.15,
+            "velocity {:.2}",
+            s.velocity.y
+        );
         assert!((s.position.y - v * 49.0 * dt).abs() < 0.05);
     }
 
@@ -219,7 +303,11 @@ mod tests {
         t.predict(5.0 * dt);
         let s = t.state().unwrap();
         let expected_x = 2.0 + v * (29.0 + 5.0) * dt;
-        assert!((s.position.x - expected_x).abs() < 0.15, "coasted to {:.2}", s.position.x);
+        assert!(
+            (s.position.x - expected_x).abs() < 0.15,
+            "coasted to {:.2}",
+            s.position.x
+        );
         // Uncertainty must have grown while coasting.
         assert!(t.position_sigma() > 0.01);
     }
@@ -237,5 +325,42 @@ mod tests {
         let mut t = Tracker::new();
         t.update(&fix_at(1.0, 0.0), 0.0);
         t.predict(-0.1);
+    }
+
+    #[test]
+    fn timed_tracker_matches_dt_driven_updates() {
+        use crate::engine::secs_to_ps;
+        let mut raw = Tracker::new();
+        let mut timed = TimedTracker::new(Tracker::new());
+        let dt = 0.1;
+        for i in 0..20 {
+            let fix = fix_at(3.0 + 0.5 * i as f64 * dt, 1.0);
+            let a = raw.update(&fix, if i == 0 { 0.0 } else { dt });
+            let b = timed.ingest(secs_to_ps(i as f64 * dt), &fix).unwrap();
+            assert_eq!(a.position, b.position, "step {i}");
+            assert_eq!(a.velocity, b.velocity, "step {i}");
+        }
+        assert_eq!(timed.last_ps(), Some(secs_to_ps(1.9)));
+    }
+
+    #[test]
+    fn timed_tracker_rejects_time_reversal() {
+        use crate::engine::secs_to_ps;
+        let mut t = TimedTracker::new(Tracker::new());
+        t.ingest(secs_to_ps(1.0), &fix_at(1.0, 0.0)).unwrap();
+        let err = t.ingest(secs_to_ps(0.5), &fix_at(1.0, 0.0)).unwrap_err();
+        assert!(matches!(err, crate::error::MilbackError::Engine(_)));
+        assert!(t.coast_to(secs_to_ps(0.5)).is_err());
+        // Coasting forward works and advances the clock.
+        t.coast_to(secs_to_ps(2.0)).unwrap();
+        assert_eq!(t.last_ps(), Some(secs_to_ps(2.0)));
+        assert!(t.tracker().state().is_some());
+    }
+
+    #[test]
+    fn coast_without_state_is_noop() {
+        let mut t = TimedTracker::new(Tracker::new());
+        t.coast_to(500).unwrap();
+        assert_eq!(t.last_ps(), None);
     }
 }

@@ -85,7 +85,10 @@ impl OaqfmDemodulator {
     /// Panics for zero samples per symbol or a guard outside `[0, 0.9]`.
     pub fn new(samples_per_symbol: usize) -> Self {
         assert!(samples_per_symbol > 0);
-        Self { samples_per_symbol, guard_fraction: 0.25 }
+        Self {
+            samples_per_symbol,
+            guard_fraction: 0.25,
+        }
     }
 
     /// Sets the settling guard fraction.
@@ -99,10 +102,7 @@ impl OaqfmDemodulator {
     fn symbol_energies(&self, trace: &[f64]) -> Vec<f64> {
         let n = self.samples_per_symbol;
         let guard = ((n as f64) * self.guard_fraction) as usize;
-        trace
-            .chunks_exact(n)
-            .map(|c| mean(&c[guard..]))
-            .collect()
+        trace.chunks_exact(n).map(|c| mean(&c[guard..])).collect()
     }
 
     /// Demodulates OAQFM symbols from the two detector traces.
@@ -116,7 +116,10 @@ impl OaqfmDemodulator {
         thresholds: Thresholds,
     ) -> Result<Vec<OaqfmSymbol>, DemodError> {
         if trace_a.len() != trace_b.len() {
-            return Err(DemodError::LengthMismatch { a: trace_a.len(), b: trace_b.len() });
+            return Err(DemodError::LengthMismatch {
+                a: trace_a.len(),
+                b: trace_b.len(),
+            });
         }
         if trace_a.len() < self.samples_per_symbol {
             return Err(DemodError::TraceTooShort);
@@ -126,7 +129,10 @@ impl OaqfmDemodulator {
         Ok(ea
             .iter()
             .zip(&eb)
-            .map(|(&va, &vb)| OaqfmSymbol { tone_a: va > thresholds.a, tone_b: vb > thresholds.b })
+            .map(|(&va, &vb)| OaqfmSymbol {
+                tone_a: va > thresholds.a,
+                tone_b: vb > thresholds.b,
+            })
             .collect())
     }
 
@@ -137,22 +143,24 @@ impl OaqfmDemodulator {
         trace_a: &[f64],
         trace_b: &[f64],
     ) -> Result<Vec<OaqfmSymbol>, DemodError> {
-        let thresholds =
-            Thresholds { a: calibrate_threshold(trace_a)?, b: calibrate_threshold(trace_b)? };
+        let thresholds = Thresholds {
+            a: calibrate_threshold(trace_a)?,
+            b: calibrate_threshold(trace_b)?,
+        };
         self.demodulate(trace_a, trace_b, thresholds)
     }
 
     /// Single-tone OOK fallback for normal incidence (§6.2): one bit per
     /// symbol from one detector trace.
-    pub fn demodulate_ook(
-        &self,
-        trace: &[f64],
-        threshold: f64,
-    ) -> Result<Vec<bool>, DemodError> {
+    pub fn demodulate_ook(&self, trace: &[f64], threshold: f64) -> Result<Vec<bool>, DemodError> {
         if trace.len() < self.samples_per_symbol {
             return Err(DemodError::TraceTooShort);
         }
-        Ok(self.symbol_energies(trace).iter().map(|&v| v > threshold).collect())
+        Ok(self
+            .symbol_energies(trace)
+            .iter()
+            .map(|&v| v > threshold)
+            .collect())
     }
 }
 
@@ -195,10 +203,14 @@ mod tests {
 
     /// Builds clean per-port traces for a symbol sequence.
     fn traces_for(symbols: &[OaqfmSymbol], sps: usize, v_on: f64) -> (Vec<f64>, Vec<f64>) {
-        let la: Vec<f64> =
-            symbols.iter().map(|s| if s.tone_a { v_on } else { 0.0 }).collect();
-        let lb: Vec<f64> =
-            symbols.iter().map(|s| if s.tone_b { v_on } else { 0.0 }).collect();
+        let la: Vec<f64> = symbols
+            .iter()
+            .map(|s| if s.tone_a { v_on } else { 0.0 })
+            .collect();
+        let lb: Vec<f64> = symbols
+            .iter()
+            .map(|s| if s.tone_b { v_on } else { 0.0 })
+            .collect();
         (ook_envelope(&la, sps), ook_envelope(&lb, sps))
     }
 
@@ -230,7 +242,14 @@ mod tests {
         let demod = OaqfmDemodulator::new(6);
         let auto = demod.demodulate_auto(&ta, &tb).unwrap();
         let manual = demod
-            .demodulate(&ta, &tb, Thresholds { a: 0.0075, b: 0.0075 })
+            .demodulate(
+                &ta,
+                &tb,
+                Thresholds {
+                    a: 0.0075,
+                    b: 0.0075,
+                },
+            )
             .unwrap();
         assert_eq!(auto, manual);
     }
@@ -249,7 +268,11 @@ mod tests {
         rng.add_real_noise(&mut tb, noise_power);
         let demod = OaqfmDemodulator::new(16).with_guard(0.0);
         let out = demod.demodulate_auto(&ta, &tb).unwrap();
-        assert_eq!(symbols_to_bytes(&out), payload, "errors at 20 dB symbol SNR");
+        assert_eq!(
+            symbols_to_bytes(&out),
+            payload,
+            "errors at 20 dB symbol SNR"
+        );
     }
 
     #[test]
@@ -296,12 +319,19 @@ mod tests {
 
     #[test]
     fn flat_trace_has_no_contrast() {
-        assert_eq!(calibrate_threshold(&[0.5; 64]).unwrap_err(), DemodError::NoContrast);
+        assert_eq!(
+            calibrate_threshold(&[0.5; 64]).unwrap_err(),
+            DemodError::NoContrast
+        );
     }
 
     #[test]
     fn sinr_report_math() {
-        let r = SinrReport { signal_power: 100.0, interference_power: 5.0, noise_power: 5.0 };
+        let r = SinrReport {
+            signal_power: 100.0,
+            interference_power: 5.0,
+            noise_power: 5.0,
+        };
         assert!((r.sinr_db() - 10.0).abs() < 1e-9);
         assert!((r.snr_db() - 13.0103).abs() < 1e-3);
         assert!(r.snr_db() > r.sinr_db());

@@ -75,7 +75,11 @@ pub struct TransitionError {
 
 impl std::fmt::Display for TransitionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "event {:?} is illegal in state {}", self.event, self.state_name)
+        write!(
+            f,
+            "event {:?} is illegal in state {}",
+            self.event, self.state_name
+        )
     }
 }
 
@@ -123,7 +127,9 @@ impl Firmware {
         match self.state {
             State::Idle | State::PacketDone => NodeActivity::Idle,
             State::SensingField1 { .. } | State::Field1Done { .. } => NodeActivity::Downlink,
-            State::Field2Toggling { .. } => NodeActivity::Localization { toggle_rate_hz: 10e3 },
+            State::Field2Toggling { .. } => NodeActivity::Localization {
+                toggle_rate_hz: 10e3,
+            },
             State::ReceivingPayload => NodeActivity::Downlink,
             State::TransmittingPayload => NodeActivity::Uplink,
         }
@@ -155,8 +161,12 @@ impl Firmware {
             (Idle, BurstStart) => SensingField1 { bursts: 1 },
             (SensingField1 { bursts }, BurstStart) => SensingField1 { bursts: bursts + 1 },
             (SensingField1 { bursts }, Field1GapTimeout) => match bursts {
-                3 => Field1Done { direction: Direction::Uplink },
-                2 => Field1Done { direction: Direction::Downlink },
+                3 => Field1Done {
+                    direction: Direction::Uplink,
+                },
+                2 => Field1Done {
+                    direction: Direction::Downlink,
+                },
                 _ => {
                     // Unknown burst count: abandon the packet.
                     Idle
@@ -179,10 +189,27 @@ impl Firmware {
             }
             (_, Reset) => Idle, // reset is always legal, from any state
             (_, ev) => {
-                return Err(TransitionError { state_name: self.state_name(), event: ev })
+                return Err(TransitionError {
+                    state_name: self.state_name(),
+                    event: ev,
+                })
             }
         };
         self.state = next;
+        Ok(next)
+    }
+
+    /// Engine-actor helper: drives `event`, then dwells `dwell_s` seconds
+    /// in the state the event produced.
+    ///
+    /// This is the natural shape for a timed actor — the event marks a
+    /// boundary on the protocol timeline and the dwell is the interval
+    /// until the next one — and it keeps the ledger's accumulation order
+    /// identical to the synchronous `handle`-then-`tick` sequence, which
+    /// the session parity suite depends on.
+    pub fn step(&mut self, event: Event, dwell_s: f64) -> Result<State, TransitionError> {
+        let next = self.handle(event)?;
+        self.tick(dwell_s);
         Ok(next)
     }
 
@@ -229,9 +256,19 @@ mod tests {
         f.handle(Event::BurstStart).unwrap();
         assert_eq!(f.state(), State::SensingField1 { bursts: 2 });
         f.handle(Event::Field1GapTimeout).unwrap();
-        assert_eq!(f.state(), State::Field1Done { direction: Direction::Downlink });
+        assert_eq!(
+            f.state(),
+            State::Field1Done {
+                direction: Direction::Downlink
+            }
+        );
         f.handle(Event::BurstStart).unwrap();
-        assert_eq!(f.state(), State::Field2Toggling { direction: Direction::Downlink });
+        assert_eq!(
+            f.state(),
+            State::Field2Toggling {
+                direction: Direction::Downlink
+            }
+        );
         f.handle(Event::Field2Complete).unwrap();
         assert_eq!(f.state(), State::ReceivingPayload);
         f.handle(Event::PayloadComplete).unwrap();
@@ -246,7 +283,12 @@ mod tests {
             f.handle(Event::BurstStart).unwrap();
         }
         f.handle(Event::Field1GapTimeout).unwrap();
-        assert_eq!(f.state(), State::Field1Done { direction: Direction::Uplink });
+        assert_eq!(
+            f.state(),
+            State::Field1Done {
+                direction: Direction::Uplink
+            }
+        );
         f.handle(Event::BurstStart).unwrap();
         f.handle(Event::Field2Complete).unwrap();
         assert_eq!(f.state(), State::TransmittingPayload);
@@ -292,6 +334,21 @@ mod tests {
         g.run_packet(Direction::Uplink, 1.0).unwrap();
         assert!((g.energy_j() - 32e-3).abs() < 1e-3, "{:.4} J", g.energy_j());
         assert!(g.energy_j() > f.energy_j());
+    }
+
+    #[test]
+    fn step_matches_handle_then_tick() {
+        let mut a = fw();
+        let mut b = fw();
+        a.handle(Event::BurstStart).unwrap();
+        a.tick(45e-6);
+        b.step(Event::BurstStart, 45e-6).unwrap();
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.energy_j().to_bits(), b.energy_j().to_bits());
+        // A zero dwell leaves the ledger bit-identical.
+        let before = b.energy_j().to_bits();
+        b.step(Event::BurstStart, 0.0).unwrap();
+        assert_eq!(b.energy_j().to_bits(), before);
     }
 
     #[test]

@@ -39,19 +39,34 @@ pub struct PortStates {
 impl PortStates {
     /// Both ports absorptive (downlink reception / node-side orientation).
     pub fn both_absorptive() -> Self {
-        Self { a: PortMode::Absorptive, b: PortMode::Absorptive }
+        Self {
+            a: PortMode::Absorptive,
+            b: PortMode::Absorptive,
+        }
     }
 
     /// Both ports reflective (strongest localization echo).
     pub fn both_reflective() -> Self {
-        Self { a: PortMode::Reflective, b: PortMode::Reflective }
+        Self {
+            a: PortMode::Reflective,
+            b: PortMode::Reflective,
+        }
     }
 
     /// The port states encoding an OAQFM uplink symbol: a present tone is
     /// *reflected* (§6.3 — reflect f_A to send the `1` in the A position).
     pub fn for_uplink_symbol(sym: mmwave_sigproc::OaqfmSymbol) -> Self {
-        let refl = |on: bool| if on { PortMode::Reflective } else { PortMode::Absorptive };
-        Self { a: refl(sym.tone_a), b: refl(sym.tone_b) }
+        let refl = |on: bool| {
+            if on {
+                PortMode::Reflective
+            } else {
+                PortMode::Absorptive
+            }
+        };
+        Self {
+            a: refl(sym.tone_a),
+            b: refl(sym.tone_b),
+        }
     }
 }
 
@@ -70,7 +85,10 @@ impl ToggleSchedule {
     /// The paper's localization schedule: 10 kHz toggling starting
     /// reflective.
     pub fn localization_default() -> Self {
-        Self { rate_hz: 10e3, initial: PortMode::Reflective }
+        Self {
+            rate_hz: 10e3,
+            initial: PortMode::Reflective,
+        }
     }
 
     /// State at time `t` seconds.
@@ -85,6 +103,32 @@ impl ToggleSchedule {
         } else {
             self.initial.toggled()
         }
+    }
+
+    /// The switch instants in `[from_s, until_s)`, seconds — each the start
+    /// of a new half-period. This is the schedule as *events*: an engine
+    /// actor posts one timed event per instant instead of sampling
+    /// `state_at` on its own clock.
+    ///
+    /// # Panics
+    /// Panics for a non-positive rate.
+    pub fn switch_times_s(&self, from_s: f64, until_s: f64) -> Vec<f64> {
+        assert!(self.rate_hz > 0.0, "toggle rate must be positive");
+        let half_period = 1.0 / self.rate_hz;
+        let mut k = (from_s / half_period).ceil() as i64;
+        if (k as f64) * half_period < from_s {
+            k += 1; // guard against ceil landing a tick early at representable boundaries
+        }
+        let mut times = Vec::new();
+        loop {
+            let t = (k as f64) * half_period;
+            if t >= until_s {
+                break;
+            }
+            times.push(t);
+            k += 1;
+        }
+        times
     }
 
     /// Whether the state differs between two instants — used by the AP's
@@ -119,7 +163,10 @@ mod tests {
 
     #[test]
     fn toggle_schedule_square_wave() {
-        let t = ToggleSchedule { rate_hz: 10e3, initial: PortMode::Reflective };
+        let t = ToggleSchedule {
+            rate_hz: 10e3,
+            initial: PortMode::Reflective,
+        };
         // Half period = 100 µs.
         assert_eq!(t.state_at(0.0), PortMode::Reflective);
         assert_eq!(t.state_at(50e-6), PortMode::Reflective);
@@ -134,6 +181,23 @@ mod tests {
         let t = ToggleSchedule::localization_default();
         assert!(t.differs_between(0.0, 100e-6));
         assert!(!t.differs_between(0.0, 18e-6));
+    }
+
+    #[test]
+    fn switch_times_enumerate_half_period_boundaries() {
+        let t = ToggleSchedule::localization_default(); // half period 100 µs
+        let times = t.switch_times_s(0.0, 450e-6);
+        assert_eq!(times.len(), 5); // 0, 100, 200, 300, 400 µs
+        assert!((times[0] - 0.0).abs() < 1e-15);
+        assert!((times[1] - 100e-6).abs() < 1e-12);
+        assert!((times[4] - 400e-6).abs() < 1e-12);
+        // The state flips across every listed instant.
+        for w in times.windows(2) {
+            assert!(t.differs_between(w[0] + 1e-9, w[1] + 1e-9));
+        }
+        // Empty and offset windows behave.
+        assert!(t.switch_times_s(10e-6, 90e-6).is_empty());
+        assert_eq!(t.switch_times_s(150e-6, 350e-6).len(), 2);
     }
 
     #[test]

@@ -103,7 +103,11 @@ impl NodeHardware {
         sample_rate_hz: f64,
         noise: &mut GaussianSource,
     ) -> (Vec<f64>, Vec<f64>) {
-        assert_eq!(power_a_w.len(), power_b_w.len(), "port traces differ in length");
+        assert_eq!(
+            power_a_w.len(),
+            power_b_w.len(),
+            "port traces differ in length"
+        );
         let dt = 1.0 / sample_rate_hz;
         let eff_a = self.absorption_efficiency(FsaPort::A);
         let eff_b = self.absorption_efficiency(FsaPort::B);
@@ -227,8 +231,7 @@ mod tests {
         let psi = 10f64.to_radians();
         let (fa, _) = n.fsa.oaqfm_carriers(psi).unwrap();
         let on_beam = n.backscatter_amplitude(FsaPort::A, PortMode::Reflective, fa, psi);
-        let off_beam =
-            n.backscatter_amplitude(FsaPort::A, PortMode::Reflective, fa, psi + 0.4);
+        let off_beam = n.backscatter_amplitude(FsaPort::A, PortMode::Reflective, fa, psi + 0.4);
         assert!(on_beam > 10.0 * off_beam);
     }
 

@@ -38,7 +38,10 @@ impl std::fmt::Display for OrientationError {
                 write!(f, "could not find two power peaks in the detector trace")
             }
             OrientationError::OutOfScanRange { implied_freq_hz } => {
-                write!(f, "implied beam frequency {implied_freq_hz:.3e} Hz outside scan range")
+                write!(
+                    f,
+                    "implied beam frequency {implied_freq_hz:.3e} Hz outside scan range"
+                )
             }
         }
     }
@@ -79,9 +82,16 @@ impl OrientationEstimator {
     /// # Panics
     /// Panics if the chirp is not triangular or the rate is non-positive.
     pub fn new(chirp: Chirp, sample_rate_hz: f64) -> Self {
-        assert!(chirp.shape == ChirpShape::Triangular, "requires a triangular chirp");
+        assert!(
+            chirp.shape == ChirpShape::Triangular,
+            "requires a triangular chirp"
+        );
         assert!(sample_rate_hz > 0.0);
-        Self { chirp, sample_rate_hz, min_peak_separation: 3 }
+        Self {
+            chirp,
+            sample_rate_hz,
+            min_peak_separation: 3,
+        }
     }
 
     /// The paper's configuration: 45 µs triangular chirp over 26.5–29.5 GHz
@@ -111,9 +121,11 @@ impl OrientationEstimator {
             .chirp
             .freq_from_peak_separation(dt)
             .ok_or(OrientationError::NotTriangular)?;
-        let incidence = fsa
-            .beam_angle_rad(port, beam_freq)
-            .ok_or(OrientationError::OutOfScanRange { implied_freq_hz: beam_freq })?;
+        let incidence =
+            fsa.beam_angle_rad(port, beam_freq)
+                .ok_or(OrientationError::OutOfScanRange {
+                    implied_freq_hz: beam_freq,
+                })?;
         Ok(PortEstimate {
             peak_up_s: p1.position / self.sample_rate_hz,
             peak_down_s: p2.position / self.sample_rate_hz,
@@ -145,11 +157,8 @@ impl OrientationEstimator {
         let total = (self.chirp.duration_s * self.sample_rate_hz).round();
         // Tolerance: 4 ADC samples of asymmetry.
         let tol = 4.0;
-        let peaks = mmwave_sigproc::detect::find_peaks(
-            trace,
-            f64::NEG_INFINITY,
-            self.min_peak_separation,
-        );
+        let peaks =
+            mmwave_sigproc::detect::find_peaks(trace, f64::NEG_INFINITY, self.min_peak_separation);
         let top = &peaks[..peaks.len().min(6)];
         let mut best: Option<(f64, usize, usize)> = None;
         for i in 0..top.len() {
@@ -164,7 +173,11 @@ impl OrientationEstimator {
         }
         if let Some((_, i, j)) = best {
             let (a, b) = (top[i], top[j]);
-            return Some(if a.position <= b.position { (a, b) } else { (b, a) });
+            return Some(if a.position <= b.position {
+                (a, b)
+            } else {
+                (b, a)
+            });
         }
         two_strongest_peaks(trace, self.min_peak_separation)
     }
@@ -213,7 +226,8 @@ impl OrientationEstimator {
                 let f = self.chirp.instantaneous_freq(t);
                 let fe = eval.at_freq(port, f);
                 peak_power_w * fe.gain_linear(incidence_rad)
-                    / fe.gain_linear(fe.beam_angle_rad().unwrap_or(0.0)).max(1e-12)
+                    / fe.gain_linear(fe.beam_angle_rad().unwrap_or(0.0))
+                        .max(1e-12)
             })
             .collect()
     }
@@ -225,7 +239,10 @@ mod tests {
     use mmwave_sigproc::random::GaussianSource;
 
     fn setup() -> (OrientationEstimator, FsaDesign) {
-        (OrientationEstimator::milback_default(), FsaDesign::milback_default())
+        (
+            OrientationEstimator::milback_default(),
+            FsaDesign::milback_default(),
+        )
     }
 
     /// Gain-shaped trace for a port at a given incidence (normalized).
@@ -267,7 +284,11 @@ mod tests {
         let ta = trace_for(&est, &fsa, FsaPort::A, psi);
         let tb = trace_for(&est, &fsa, FsaPort::B, psi);
         let got = est.estimate(&ta, &tb, &fsa).unwrap();
-        assert!((got - psi).abs().to_degrees() < 3.0, "got {:.2}°", got.to_degrees());
+        assert!(
+            (got - psi).abs().to_degrees() < 3.0,
+            "got {:.2}°",
+            got.to_degrees()
+        );
     }
 
     #[test]
@@ -351,7 +372,9 @@ mod tests {
         // min_peak_separation of a flat-noise trace: peaks exist, but the
         // implied geometry lands out of range or is nonsense. A strictly
         // flat trace has no interior local maxima at all.
-        let err = est.estimate(&vec![1.0; 45], &vec![1.0; 45], &fsa).unwrap_err();
+        let err = est
+            .estimate(&vec![1.0; 45], &vec![1.0; 45], &fsa)
+            .unwrap_err();
         assert_eq!(err, OrientationError::PeaksNotFound);
     }
 
@@ -376,10 +399,16 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(OrientationError::NotTriangular.to_string().contains("triangular"));
-        assert!(OrientationError::PeaksNotFound.to_string().contains("peaks"));
-        assert!(OrientationError::OutOfScanRange { implied_freq_hz: 1e9 }
+        assert!(OrientationError::NotTriangular
             .to_string()
-            .contains("scan range"));
+            .contains("triangular"));
+        assert!(OrientationError::PeaksNotFound
+            .to_string()
+            .contains("peaks"));
+        assert!(OrientationError::OutOfScanRange {
+            implied_freq_hz: 1e9
+        }
+        .to_string()
+        .contains("scan range"));
     }
 }

@@ -73,6 +73,15 @@ impl NodePowerModel {
         switches + detector_bias + self.mcu_power_w.unwrap_or(0.0)
     }
 
+    /// Energy spent holding an activity for `duration_s` seconds, joules.
+    ///
+    /// # Panics
+    /// Panics for a negative duration.
+    pub fn energy_j(&self, activity: NodeActivity, duration_s: f64) -> f64 {
+        assert!(duration_s >= 0.0, "duration must be non-negative");
+        self.power_w(activity) * duration_s
+    }
+
     /// Energy per bit (J/bit) at a given activity and bit rate.
     ///
     /// # Panics
@@ -94,9 +103,15 @@ mod tests {
     #[test]
     fn downlink_and_localization_power_is_18mw() {
         let m = model();
-        let loc = m.power_w(NodeActivity::Localization { toggle_rate_hz: 10e3 });
+        let loc = m.power_w(NodeActivity::Localization {
+            toggle_rate_hz: 10e3,
+        });
         let dl = m.power_w(NodeActivity::Downlink);
-        assert!((loc - 18e-3).abs() < 0.5e-3, "localization {:.2} mW", loc * 1e3);
+        assert!(
+            (loc - 18e-3).abs() < 0.5e-3,
+            "localization {:.2} mW",
+            loc * 1e3
+        );
         assert!((dl - 18e-3).abs() < 0.5e-3, "downlink {:.2} mW", dl * 1e3);
     }
 
@@ -145,5 +160,19 @@ mod tests {
     #[should_panic(expected = "bit rate must be positive")]
     fn energy_rejects_zero_rate() {
         model().energy_per_bit_j(NodeActivity::Uplink, 0.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = model();
+        let e = m.energy_j(NodeActivity::Uplink, 2.5);
+        assert_eq!(e, m.power_w(NodeActivity::Uplink) * 2.5);
+        assert_eq!(m.energy_j(NodeActivity::Idle, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be non-negative")]
+    fn energy_rejects_negative_duration() {
+        model().energy_j(NodeActivity::Idle, -1.0);
     }
 }

@@ -25,7 +25,10 @@ pub enum UplinkError {
 impl std::fmt::Display for UplinkError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            UplinkError::RateTooHigh { requested_hz, max_hz } => write!(
+            UplinkError::RateTooHigh {
+                requested_hz,
+                max_hz,
+            } => write!(
                 f,
                 "symbol rate {requested_hz:.3e} Hz exceeds switch limit {max_hz:.3e} Hz"
             ),
@@ -77,7 +80,11 @@ impl UplinkModulator {
 
     /// Maps symbols directly to port states.
     pub fn schedule_for_symbols(&self, symbols: &[OaqfmSymbol]) -> Vec<PortStates> {
-        symbols.iter().copied().map(PortStates::for_uplink_symbol).collect()
+        symbols
+            .iter()
+            .copied()
+            .map(PortStates::for_uplink_symbol)
+            .collect()
     }
 
     /// The port states active at time `t` seconds into a transmission of
@@ -87,7 +94,10 @@ impl UplinkModulator {
             return PortStates::both_absorptive();
         }
         let idx = (t * self.symbol_rate_hz) as usize;
-        schedule.get(idx).copied().unwrap_or_else(PortStates::both_absorptive)
+        schedule
+            .get(idx)
+            .copied()
+            .unwrap_or_else(PortStates::both_absorptive)
     }
 
     /// Counts the switch toggles a schedule produces on each port —
@@ -129,7 +139,10 @@ mod tests {
     fn excessive_rate_rejected() {
         let err = UplinkModulator::new(200e6, &switch()).unwrap_err();
         match err {
-            UplinkError::RateTooHigh { requested_hz, max_hz } => {
+            UplinkError::RateTooHigh {
+                requested_hz,
+                max_hz,
+            } => {
                 assert_eq!(requested_hz, 200e6);
                 assert_eq!(max_hz, 160e6);
             }
@@ -149,8 +162,20 @@ mod tests {
         // 0b10_01_11_00
         let sched = m.schedule_for_bytes(&[0x9C]);
         assert_eq!(sched.len(), 4);
-        assert_eq!(sched[0], PortStates { a: PortMode::Reflective, b: PortMode::Absorptive });
-        assert_eq!(sched[1], PortStates { a: PortMode::Absorptive, b: PortMode::Reflective });
+        assert_eq!(
+            sched[0],
+            PortStates {
+                a: PortMode::Reflective,
+                b: PortMode::Absorptive
+            }
+        );
+        assert_eq!(
+            sched[1],
+            PortStates {
+                a: PortMode::Absorptive,
+                b: PortMode::Reflective
+            }
+        );
         assert_eq!(sched[2], PortStates::both_reflective());
         assert_eq!(sched[3], PortStates::both_absorptive());
     }
@@ -179,7 +204,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = UplinkError::RateTooHigh { requested_hz: 2e8, max_hz: 1.6e8 };
+        let e = UplinkError::RateTooHigh {
+            requested_hz: 2e8,
+            max_hz: 1.6e8,
+        };
         assert!(e.to_string().contains("exceeds"));
     }
 }

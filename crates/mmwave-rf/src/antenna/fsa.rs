@@ -94,16 +94,22 @@ impl FsaDesign {
         harmonic: u32,
         elements: usize,
     ) -> Self {
-        assert!(band_end_hz > band_start_hz && band_start_hz > 0.0, "bad band");
-        assert!(scan_max_rad > 0.0 && scan_max_rad < PI / 2.0, "bad scan range");
+        assert!(
+            band_end_hz > band_start_hz && band_start_hz > 0.0,
+            "bad band"
+        );
+        assert!(
+            scan_max_rad > 0.0 && scan_max_rad < PI / 2.0,
+            "bad scan range"
+        );
         assert!(harmonic >= 1, "harmonic must be ≥ 1");
         assert!(elements >= 2, "need at least two elements");
         let m = harmonic as f64;
         let c = SPEED_OF_LIGHT;
         // sinθ(f) = (L − m·c/f)/d with endpoints ∓sin(scan_max):
-        let spacing_m =
-            m * c * (band_end_hz - band_start_hz) / (band_start_hz * band_end_hz)
-                / (2.0 * scan_max_rad.sin());
+        let spacing_m = m * c * (band_end_hz - band_start_hz)
+            / (band_start_hz * band_end_hz)
+            / (2.0 * scan_max_rad.sin());
         let electrical_length_m = m * c / band_start_hz - scan_max_rad.sin() * spacing_m;
         Self {
             elements,
@@ -199,8 +205,12 @@ impl FsaDesign {
 
     /// Scan coverage in radians across the operating band for one port.
     pub fn scan_coverage_rad(&self) -> f64 {
-        let a = self.beam_angle_rad(FsaPort::A, self.band_start_hz).unwrap_or(0.0);
-        let b = self.beam_angle_rad(FsaPort::A, self.band_end_hz).unwrap_or(0.0);
+        let a = self
+            .beam_angle_rad(FsaPort::A, self.band_start_hz)
+            .unwrap_or(0.0);
+        let b = self
+            .beam_angle_rad(FsaPort::A, self.band_end_hz)
+            .unwrap_or(0.0);
         (b - a).abs()
     }
 
@@ -247,7 +257,10 @@ impl DualPortFsa {
     /// is what caps the measured downlink SINR near 23 dB at short range
     /// (Fig 14).
     pub fn milback_default() -> Self {
-        Self { design: FsaDesign::milback_default(), port_isolation_db: -12.0 }
+        Self {
+            design: FsaDesign::milback_default(),
+            port_isolation_db: -12.0,
+        }
     }
 
     /// Gain of one port toward an angle (delegates to the design).
@@ -379,7 +392,7 @@ impl AfCore {
 /// array-factor normalization `Σ ηⁿ` and the beam direction once per
 /// `(port, freq)`.
 ///
-/// Every query runs through the same compiled [`AfCore`] routines as the
+/// Every query runs through the same compiled `AfCore` routines as the
 /// unhoisted [`FsaDesign`] path, so results are **bit-exact** with it by
 /// construction (asserted by tests over a dense grid).
 #[derive(Debug, Clone)]
@@ -509,27 +522,38 @@ impl FsaGainEval {
         Arc::clone(cache.entry(key).or_insert(fe))
     }
 
-    fn memo(cache: &RwLock<HashMap<GainKey, f64>>, key: GainKey, compute: impl FnOnce() -> f64) -> f64 {
+    fn memo(
+        cache: &RwLock<HashMap<GainKey, f64>>,
+        key: GainKey,
+        compute: impl FnOnce() -> f64,
+    ) -> f64 {
         if let Some(&v) = cache.read().expect("fsa gain cache poisoned").get(&key) {
             return v;
         }
         // Racing computations produce the same bits, so last-write-wins
         // insertion keeps the cache deterministic.
         let v = compute();
-        cache.write().expect("fsa gain cache poisoned").insert(key, v);
+        cache
+            .write()
+            .expect("fsa gain cache poisoned")
+            .insert(key, v);
         v
     }
 
     /// Memoized [`FsaDesign::gain_dbi`] (bit-exact).
     pub fn gain_dbi(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
         let key = (port == FsaPort::B, freq_hz.to_bits(), angle_rad.to_bits());
-        Self::memo(&self.dbi, key, || self.at_freq(port, freq_hz).gain_dbi(angle_rad))
+        Self::memo(&self.dbi, key, || {
+            self.at_freq(port, freq_hz).gain_dbi(angle_rad)
+        })
     }
 
     /// Memoized [`FsaDesign::gain_linear`] (bit-exact).
     pub fn gain_linear(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
         let key = (port == FsaPort::B, freq_hz.to_bits(), angle_rad.to_bits());
-        Self::memo(&self.lin, key, || self.at_freq(port, freq_hz).gain_linear(angle_rad))
+        Self::memo(&self.lin, key, || {
+            self.at_freq(port, freq_hz).gain_linear(angle_rad)
+        })
     }
 
     /// Memoized [`DualPortFsa::port_coupling_linear`] (bit-exact).
@@ -560,8 +584,14 @@ impl std::fmt::Debug for FsaGainEval {
         f.debug_struct("FsaGainEval")
             .field("design", &self.design)
             .field("leak", &self.leak)
-            .field("cached_freqs", &self.freq.read().map(|m| m.len()).unwrap_or(0))
-            .field("cached_gains", &self.lin.read().map(|m| m.len()).unwrap_or(0))
+            .field(
+                "cached_freqs",
+                &self.freq.read().map(|m| m.len()).unwrap_or(0),
+            )
+            .field(
+                "cached_gains",
+                &self.lin.read().map(|m| m.len()).unwrap_or(0),
+            )
             .finish()
     }
 }
@@ -629,14 +659,21 @@ mod tests {
     #[test]
     fn frequency_for_angle_rejects_out_of_scan() {
         let d = fsa();
-        assert!(d.frequency_for_angle(FsaPort::A, 45f64.to_radians()).is_none());
-        assert!(d.frequency_for_angle(FsaPort::A, -45f64.to_radians()).is_none());
+        assert!(d
+            .frequency_for_angle(FsaPort::A, 45f64.to_radians())
+            .is_none());
+        assert!(d
+            .frequency_for_angle(FsaPort::A, -45f64.to_radians())
+            .is_none());
     }
 
     #[test]
     fn pattern_peaks_at_the_predicted_beam_angle() {
         let d = fsa();
-        let view = FrequencyScanningAntenna { design: d, port: FsaPort::A };
+        let view = FrequencyScanningAntenna {
+            design: d,
+            port: FsaPort::A,
+        };
         for f in [27e9, 28e9, 29e9] {
             let predicted = d.beam_angle_rad(FsaPort::A, f).unwrap();
             let found = view.beam_direction_rad(f);
@@ -654,7 +691,10 @@ mod tests {
     fn peak_gain_in_fig10_range() {
         // Fig 10: beams with >10 dB gain across the band, 13–14 dBi center.
         let d = fsa();
-        let view = FrequencyScanningAntenna { design: d, port: FsaPort::A };
+        let view = FrequencyScanningAntenna {
+            design: d,
+            port: FsaPort::A,
+        };
         for i in 0..=6 {
             let f = 26.5e9 + 0.5e9 * i as f64;
             let g = view.peak_gain_dbi(f);
@@ -667,7 +707,10 @@ mod tests {
     fn beamwidth_is_about_ten_degrees() {
         // §9.3: "the beam width of the node is around 10 degree".
         let d = fsa();
-        let view = FrequencyScanningAntenna { design: d, port: FsaPort::A };
+        let view = FrequencyScanningAntenna {
+            design: d,
+            port: FsaPort::A,
+        };
         let bw = view.beamwidth_rad(28e9).to_degrees();
         assert!((8.0..14.0).contains(&bw), "beamwidth {bw:.1}°");
     }
@@ -681,7 +724,11 @@ mod tests {
         // Sample well away from the main lobe.
         for deg in [-50.0f64, -35.0, 25.0, 40.0] {
             let g = d.gain_dbi(FsaPort::A, f, deg.to_radians());
-            assert!(peak - g > 10.0, "sidelobe at {deg}° only {:.1} dB down", peak - g);
+            assert!(
+                peak - g > 10.0,
+                "sidelobe at {deg}° only {:.1} dB down",
+                peak - g
+            );
         }
     }
 
@@ -727,7 +774,10 @@ mod tests {
         let (into_a, into_b) = dp.port_coupling_linear(fa, ang);
         let ratio_db = 10.0 * (into_a / into_b).log10();
         assert!(ratio_db > 10.0, "port selectivity only {ratio_db:.1} dB");
-        assert!(ratio_db < 14.0, "selectivity {ratio_db:.1} dB too ideal for Fig 14");
+        assert!(
+            ratio_db < 14.0,
+            "selectivity {ratio_db:.1} dB too ideal for Fig 14"
+        );
     }
 
     #[test]
@@ -771,8 +821,9 @@ mod tests {
     fn dense_grid() -> (Vec<FsaPort>, Vec<f64>, Vec<f64>) {
         let ports = vec![FsaPort::A, FsaPort::B];
         let freqs: Vec<f64> = (0..=16).map(|i| 26.0e9 + 0.25e9 * i as f64).collect();
-        let angles: Vec<f64> =
-            (-70..=70).map(|i| (i as f64 * 1.5f64).to_radians()).collect();
+        let angles: Vec<f64> = (-70..=70)
+            .map(|i| (i as f64 * 1.5f64).to_radians())
+            .collect();
         (ports, freqs, angles)
     }
 
@@ -786,9 +837,21 @@ mod tests {
                 let fe = eval.at_freq(port, f);
                 for &a in &angles {
                     // `assert_eq!` on f64: bit-exactness is the contract.
-                    assert_eq!(fe.array_factor(a), d.array_factor(port, f, a), "af {port:?} {f} {a}");
-                    assert_eq!(fe.gain_dbi(a), d.gain_dbi(port, f, a), "dbi {port:?} {f} {a}");
-                    assert_eq!(fe.gain_linear(a), d.gain_linear(port, f, a), "lin {port:?} {f} {a}");
+                    assert_eq!(
+                        fe.array_factor(a),
+                        d.array_factor(port, f, a),
+                        "af {port:?} {f} {a}"
+                    );
+                    assert_eq!(
+                        fe.gain_dbi(a),
+                        d.gain_dbi(port, f, a),
+                        "dbi {port:?} {f} {a}"
+                    );
+                    assert_eq!(
+                        fe.gain_linear(a),
+                        d.gain_linear(port, f, a),
+                        "lin {port:?} {f} {a}"
+                    );
                     assert_eq!(eval.gain_dbi(port, f, a), d.gain_dbi(port, f, a));
                     assert_eq!(eval.gain_linear(port, f, a), d.gain_linear(port, f, a));
                 }
@@ -837,7 +900,10 @@ mod tests {
         let (_, freqs, angles) = dense_grid();
         for &f in &freqs {
             for &a in &angles {
-                assert_eq!(eval.port_coupling_linear(f, a), dp.port_coupling_linear(f, a));
+                assert_eq!(
+                    eval.port_coupling_linear(f, a),
+                    dp.port_coupling_linear(f, a)
+                );
             }
         }
     }

@@ -102,7 +102,11 @@ pub struct Horn {
 impl Horn {
     /// The AP horn from the paper: 20 dBi, ≈18° HPBW, −10 dBi floor.
     pub fn miwave_20dbi() -> Self {
-        Self { peak_gain_dbi: 20.0, hpbw_rad: 18f64.to_radians(), sidelobe_dbi: -10.0 }
+        Self {
+            peak_gain_dbi: 20.0,
+            hpbw_rad: 18f64.to_radians(),
+            sidelobe_dbi: -10.0,
+        }
     }
 }
 

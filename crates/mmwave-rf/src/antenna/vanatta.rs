@@ -81,8 +81,16 @@ impl VanAttaArray {
     /// # Panics
     /// Panics if `elements` is zero or odd.
     pub fn new(elements: usize) -> Self {
-        assert!(elements >= 2 && elements.is_multiple_of(2), "Van Atta pairs need an even count");
-        Self { elements, element_gain_dbi: 5.0, element_exponent: 1.0, trace_loss_db: 1.0 }
+        assert!(
+            elements >= 2 && elements.is_multiple_of(2),
+            "Van Atta pairs need an even count"
+        );
+        Self {
+            elements,
+            element_gain_dbi: 5.0,
+            element_exponent: 1.0,
+            trace_loss_db: 1.0,
+        }
     }
 
     /// Per-element linear gain toward incidence angle θ.

@@ -55,7 +55,10 @@ impl Vec2 {
 
     /// Polar construction: distance `r` at absolute angle `theta`.
     pub fn from_polar(r: f64, theta: f64) -> Self {
-        Self { x: r * theta.cos(), y: r * theta.sin() }
+        Self {
+            x: r * theta.cos(),
+            y: r * theta.sin(),
+        }
     }
 }
 
@@ -76,7 +79,10 @@ impl NodePose {
     pub fn on_boresight(r: f64, orientation_rad: f64) -> Self {
         // Facing back toward the AP (at the origin) means facing −x = π;
         // the orientation offset rotates the broadside away from that.
-        Self { position: Vec2::new(r, 0.0), facing_rad: PI + orientation_rad }
+        Self {
+            position: Vec2::new(r, 0.0),
+            facing_rad: PI + orientation_rad,
+        }
     }
 
     /// Incidence angle ψ of the AP (at `ap_pos`) relative to the node's
@@ -184,7 +190,7 @@ pub fn synthesize_beat(chirp: &Chirp, echoes: &[Echo<'_>], sample_rate_hz: f64) 
 const BEAT_BLOCK: usize = 256;
 
 /// [`synthesize_beat`] with an explicit worker budget. Output samples are
-/// partitioned into [`BEAT_BLOCK`]-sized blocks; within each sample the
+/// partitioned into `BEAT_BLOCK`-sized blocks; within each sample the
 /// echoes are summed in slice order, so the result is bit-identical for
 /// every `threads` value (`threads <= 1` runs inline on the caller).
 pub fn synthesize_beat_with_threads(
@@ -253,7 +259,10 @@ pub fn backscatter_amplitude_sqrt_w(
     assert!(distance_m > 0.0);
     let lambda = wavelength(freq_hz);
     let one_way = (lambda / (4.0 * PI * distance_m)).powi(2);
-    (tx_power_w * ap_tx_gain_linear * ap_rx_gain_linear * tag_gain_product_linear
+    (tx_power_w
+        * ap_tx_gain_linear
+        * ap_rx_gain_linear
+        * tag_gain_product_linear
         * one_way
         * one_way)
         .sqrt()
@@ -333,7 +342,10 @@ mod tests {
         assert_eq!(serial.len(), 900);
         for threads in [2usize, 4, 7] {
             let par = synthesize_beat_with_threads(&chirp, &echoes, 50e6, threads);
-            assert!(par == serial, "threads={threads} diverges from serial synthesis");
+            assert!(
+                par == serial,
+                "threads={threads} diverges from serial synthesis"
+            );
         }
     }
 
@@ -396,7 +408,11 @@ mod tests {
             fs,
         );
         let mags: Vec<f64> = fft(&beat).iter().map(|z| z.norm()).collect();
-        let peaks = mmwave_sigproc::detect::find_peaks(&mags, mags.iter().cloned().fold(0.0, f64::max) / 3.0, 4);
+        let peaks = mmwave_sigproc::detect::find_peaks(
+            &mags,
+            mags.iter().cloned().fold(0.0, f64::max) / 3.0,
+            4,
+        );
         assert!(peaks.len() >= 2, "expected two beat tones");
     }
 

@@ -24,12 +24,20 @@ pub struct Amplifier {
 impl Amplifier {
     /// ADPA7005-class mmWave power amplifier (paper's TX PA).
     pub fn adpa7005_pa() -> Self {
-        Self { gain_db: 21.0, noise_figure_db: 6.0, output_p1db_dbm: 28.0 }
+        Self {
+            gain_db: 21.0,
+            noise_figure_db: 6.0,
+            output_p1db_dbm: 28.0,
+        }
     }
 
     /// ADL8142-class low-noise amplifier (paper's RX LNA).
     pub fn adl8142_lna() -> Self {
-        Self { gain_db: 18.0, noise_figure_db: 3.0, output_p1db_dbm: 15.0 }
+        Self {
+            gain_db: 18.0,
+            noise_figure_db: 3.0,
+            output_p1db_dbm: 15.0,
+        }
     }
 
     /// Output power (dBm) for a given input power (dBm), with soft
@@ -58,7 +66,10 @@ pub struct Mixer {
 impl Mixer {
     /// ZMDB-44H-K+-class double-balanced mixer.
     pub fn zmdb44h() -> Self {
-        Self { conversion_loss_db: 7.0, lo_leakage_db: -30.0 }
+        Self {
+            conversion_loss_db: 7.0,
+            lo_leakage_db: -30.0,
+        }
     }
 
     /// Output power of the downconverted product for an RF input power.
@@ -218,7 +229,11 @@ impl Adc {
     /// The MSP430FR6989's 12-bit, 1 MS/s ADC with a 1.2 V reference scaled
     /// for detector output levels.
     pub fn msp430() -> Self {
-        Self { sample_rate_hz: 1e6, bits: 12, vref: 1.2 }
+        Self {
+            sample_rate_hz: 1e6,
+            bits: 12,
+            vref: 1.2,
+        }
     }
 
     /// Quantizes one voltage to the nearest code's voltage (clamping to the
@@ -335,8 +350,16 @@ mod tests {
         let d = EnvelopeDetector::adl6010();
         let low = 2.0 * s.power_at_rate_w(10e3) + 2.0 * d.bias_power_w;
         let high = 2.0 * s.power_at_rate_w(160e6) + 2.0 * d.bias_power_w;
-        assert!((low - 18e-3).abs() < 0.5e-3, "low-rate power {:.1} mW", low * 1e3);
-        assert!((high - 32e-3).abs() < 0.5e-3, "uplink power {:.1} mW", high * 1e3);
+        assert!(
+            (low - 18e-3).abs() < 0.5e-3,
+            "low-rate power {:.1} mW",
+            low * 1e3
+        );
+        assert!(
+            (high - 32e-3).abs() < 0.5e-3,
+            "uplink power {:.1} mW",
+            high * 1e3
+        );
     }
 
     #[test]

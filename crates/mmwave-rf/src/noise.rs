@@ -17,12 +17,18 @@ impl NoiseStage {
     /// A lossy passive stage (attenuator, mixer, filter): NF equals loss.
     pub fn passive(loss_db: f64) -> Self {
         assert!(loss_db >= 0.0, "loss must be non-negative");
-        Self { gain_db: -loss_db, noise_figure_db: loss_db }
+        Self {
+            gain_db: -loss_db,
+            noise_figure_db: loss_db,
+        }
     }
 
     /// An active gain stage.
     pub fn active(gain_db: f64, noise_figure_db: f64) -> Self {
-        Self { gain_db, noise_figure_db }
+        Self {
+            gain_db,
+            noise_figure_db,
+        }
     }
 }
 
@@ -63,7 +69,10 @@ impl ReceiverChain {
     pub fn new(stages: Vec<NoiseStage>, implementation_loss_db: f64) -> Self {
         assert!(!stages.is_empty(), "receiver chain needs stages");
         assert!(implementation_loss_db >= 0.0);
-        Self { stages, implementation_loss_db }
+        Self {
+            stages,
+            implementation_loss_db,
+        }
     }
 
     /// The paper's AP receiver: ADL8142 LNA (18 dB / NF 3), ZMDB-44H mixer
@@ -118,14 +127,10 @@ mod tests {
     fn lna_first_dominates_cascade() {
         // Classic result: with a high-gain LNA first, later stages barely
         // matter; with the lossy mixer first, NF ≈ mixer loss + LNA NF.
-        let good = cascade_noise_figure_db(&[
-            NoiseStage::active(18.0, 3.0),
-            NoiseStage::passive(7.0),
-        ]);
-        let bad = cascade_noise_figure_db(&[
-            NoiseStage::passive(7.0),
-            NoiseStage::active(18.0, 3.0),
-        ]);
+        let good =
+            cascade_noise_figure_db(&[NoiseStage::active(18.0, 3.0), NoiseStage::passive(7.0)]);
+        let bad =
+            cascade_noise_figure_db(&[NoiseStage::passive(7.0), NoiseStage::active(18.0, 3.0)]);
         assert!(good < 3.5, "good {good}");
         assert!((bad - 10.0).abs() < 0.2, "bad {bad}");
     }

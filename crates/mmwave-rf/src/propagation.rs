@@ -14,7 +14,10 @@ use std::f64::consts::PI;
 /// # Panics
 /// Panics for non-positive distance or frequency.
 pub fn fspl_db(freq_hz: f64, distance_m: f64) -> f64 {
-    assert!(freq_hz > 0.0 && distance_m > 0.0, "fspl needs positive arguments");
+    assert!(
+        freq_hz > 0.0 && distance_m > 0.0,
+        "fspl needs positive arguments"
+    );
     let lambda = SPEED_OF_LIGHT / freq_hz;
     lin_to_db((4.0 * PI * distance_m / lambda).powi(2))
 }

@@ -44,7 +44,10 @@ impl Complex {
     #[inline]
     pub fn from_polar(r: f64, theta: f64) -> Self {
         let (s, c) = theta.sin_cos();
-        Self { re: r * c, im: r * s }
+        Self {
+            re: r * c,
+            im: r * s,
+        }
     }
 
     /// `e^{jθ}` — a unit phasor at angle `theta` (radians).
@@ -56,7 +59,10 @@ impl Complex {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude `|z|`.
@@ -87,7 +93,10 @@ impl Complex {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// Multiplicative inverse `1/z`.
@@ -96,7 +105,10 @@ impl Complex {
     #[inline]
     pub fn inv(self) -> Self {
         let d = self.norm_sqr();
-        Self { re: self.re / d, im: -self.im / d }
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
     }
 
     /// Complex exponential `e^z`.
@@ -135,7 +147,10 @@ impl Add for Complex {
     type Output = Self;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -143,7 +158,10 @@ impl Sub for Complex {
     type Output = Self;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -171,7 +189,10 @@ impl Neg for Complex {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        Self { re: -self.re, im: -self.im }
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -195,7 +216,10 @@ impl Div<f64> for Complex {
     type Output = Self;
     #[inline]
     fn div(self, k: f64) -> Self {
-        Self { re: self.re / k, im: self.im / k }
+        Self {
+            re: self.re / k,
+            im: self.im / k,
+        }
     }
 }
 

@@ -42,18 +42,30 @@ pub fn find_peak(x: &[f64]) -> Option<Peak> {
 /// the integer position is returned unchanged.
 pub fn refine_peak(x: &[f64], idx: usize) -> Peak {
     if idx == 0 || idx + 1 >= x.len() {
-        return Peak { index: idx, position: idx as f64, value: x[idx] };
+        return Peak {
+            index: idx,
+            position: idx as f64,
+            value: x[idx],
+        };
     }
     let (a, b, c) = (x[idx - 1], x[idx], x[idx + 1]);
     let denom = a - 2.0 * b + c;
     if denom.abs() < 1e-300 {
-        return Peak { index: idx, position: idx as f64, value: b };
+        return Peak {
+            index: idx,
+            position: idx as f64,
+            value: b,
+        };
     }
     let delta = 0.5 * (a - c) / denom;
     // Clamp: a true local max interpolates within ±0.5 samples.
     let delta = delta.clamp(-0.5, 0.5);
     let value = b - 0.25 * (a - c) * delta;
-    Peak { index: idx, position: idx as f64 + delta, value }
+    Peak {
+        index: idx,
+        position: idx as f64 + delta,
+        value,
+    }
 }
 
 /// Finds all local maxima above `threshold`, separated by at least
@@ -88,7 +100,11 @@ pub fn two_strongest_peaks(x: &[f64], min_separation: usize) -> Option<(Peak, Pe
         return None;
     }
     let (a, b) = (peaks[0], peaks[1]);
-    Some(if a.position <= b.position { (a, b) } else { (b, a) })
+    Some(if a.position <= b.position {
+        (a, b)
+    } else {
+        (b, a)
+    })
 }
 
 /// Mean energy (mean of squares) of a real slice.
@@ -131,7 +147,7 @@ const XCORR_FFT_THRESHOLD: usize = 1 << 14;
 /// output length `len_a + len_b - 1`. Lag zero sits at index `len_b - 1`.
 ///
 /// Small inputs use the exact direct sum; once `len_a·len_b` exceeds
-/// [`XCORR_FFT_THRESHOLD`] the product is evaluated by planned FFTs
+/// `XCORR_FFT_THRESHOLD` the product is evaluated by planned FFTs
 /// (zero-pad to a power of two, multiply `FFT(a)` by `conj`-free
 /// `FFT(rev b)`, inverse-transform), which agrees with the direct sum to
 /// FFT round-off (~1e-13 relative) at a cost of `O(m log m)` instead of
@@ -219,7 +235,11 @@ impl SchmittTrigger {
     /// Panics unless `low < high`.
     pub fn new(low: f64, high: f64) -> Self {
         assert!(low < high, "hysteresis requires low < high");
-        Self { high, low, state: false }
+        Self {
+            high,
+            low,
+            state: false,
+        }
     }
 
     /// Feeds one sample; returns the (possibly updated) state.

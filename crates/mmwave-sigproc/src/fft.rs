@@ -58,7 +58,11 @@ enum PlanKind {
     /// and `w^{3p}` twiddles contiguously (built only when that stage
     /// exists, i.e. log₂(n) even and n ≥ 16) so its single long loop reads
     /// every operand at unit stride.
-    Pow2 { base: Vec<Complex>, w2f: Vec<Complex>, w3f: Vec<Complex> },
+    Pow2 {
+        base: Vec<Complex>,
+        w2f: Vec<Complex>,
+        w3f: Vec<Complex>,
+    },
     /// Bluestein: embed length-n DFT into a length-m (power of two ≥ 2n-1)
     /// circular convolution. The inner power-of-two plan comes from the
     /// planner cache, so every Bluestein length shares one copy of it.
@@ -93,14 +97,21 @@ impl FftPlan {
                 let w3f = (0..m)
                     .map(|p| {
                         let i = 3 * p;
-                        if i < half { base[i] } else { -base[i - half] }
+                        if i < half {
+                            base[i]
+                        } else {
+                            -base[i - half]
+                        }
                     })
                     .collect();
                 (w2f, w3f)
             } else {
                 (Vec::new(), Vec::new())
             };
-            Self { n, kind: PlanKind::Pow2 { base, w2f, w3f } }
+            Self {
+                n,
+                kind: PlanKind::Pow2 { base, w2f, w3f },
+            }
         } else {
             let m = (2 * n - 1).next_power_of_two();
             let inner = FftPlanner::plan(m);
@@ -135,7 +146,14 @@ impl FftPlan {
             let chirp_im: Vec<f64> = chirp.iter().map(|c| c.im).collect();
             Self {
                 n,
-                kind: PlanKind::Bluestein { m, inner, chirp_re, chirp_im, filter_re, filter_im },
+                kind: PlanKind::Bluestein {
+                    m,
+                    inner,
+                    chirp_re,
+                    chirp_im,
+                    filter_re,
+                    filter_im,
+                },
             }
         }
     }
@@ -190,12 +208,7 @@ impl FftPlan {
     /// # Panics
     /// Panics if `buf.len()` differs from the plan length or `scratch` is
     /// shorter than [`Self::scratch_len`].
-    pub fn process_with_scratch(
-        &self,
-        buf: &mut [Complex],
-        scratch: &mut [f64],
-        dir: Direction,
-    ) {
+    pub fn process_with_scratch(&self, buf: &mut [Complex], scratch: &mut [f64], dir: Direction) {
         assert_eq!(buf.len(), self.n, "buffer length does not match plan");
         assert!(
             scratch.len() >= self.scratch_len(),
@@ -224,8 +237,11 @@ impl FftPlan {
                         *i = if inverse { -z.im } else { z.im };
                     }
                     let stages = planar_fft(re, im, wre, wim, base);
-                    let (fre, fim) =
-                        if stages.is_multiple_of(2) { (&*re, &*im) } else { (&*wre, &*wim) };
+                    let (fre, fim) = if stages.is_multiple_of(2) {
+                        (&*re, &*im)
+                    } else {
+                        (&*wre, &*wim)
+                    };
                     let inv_n = 1.0 / n as f64;
                     for ((z, r), i) in buf.iter_mut().zip(fre).zip(fim) {
                         *z = if inverse {
@@ -265,7 +281,14 @@ impl FftPlan {
                 debug_assert_eq!(n_t, 4);
                 fused_last_r4(sre, sim, buf, inverse);
             }
-            PlanKind::Bluestein { m, inner, chirp_re, chirp_im, filter_re, filter_im } => {
+            PlanKind::Bluestein {
+                m,
+                inner,
+                chirp_re,
+                chirp_im,
+                filter_re,
+                filter_im,
+            } => {
                 let m = *m;
                 let (are, rest) = scratch.split_at_mut(m);
                 let (aim, rest) = rest.split_at_mut(m);
@@ -309,8 +332,11 @@ impl FftPlan {
                     cim[k] = -im;
                 }
                 let stages = planar_fft(cre, cim, ore, oim, base);
-                let (fre, fim) =
-                    if stages.is_multiple_of(2) { (&*cre, &*cim) } else { (&*ore, &*oim) };
+                let (fre, fim) = if stages.is_multiple_of(2) {
+                    (&*cre, &*cim)
+                } else {
+                    (&*ore, &*oim)
+                };
                 // Undo the inner conjugation (fold its 1/m and the outer
                 // chirp multiply into one pass); conjugate/normalize once
                 // more for an inverse outer transform.
@@ -318,24 +344,16 @@ impl FftPlan {
                 match dir {
                     Direction::Forward => {
                         for k in 0..n {
-                            let (r, i) = cmul(
-                                fre[k] * inv_m,
-                                -fim[k] * inv_m,
-                                chirp_re[k],
-                                chirp_im[k],
-                            );
+                            let (r, i) =
+                                cmul(fre[k] * inv_m, -fim[k] * inv_m, chirp_re[k], chirp_im[k]);
                             buf[k] = Complex::new(r, i);
                         }
                     }
                     Direction::Inverse => {
                         let inv_n = 1.0 / n as f64;
                         for k in 0..n {
-                            let (r, i) = cmul(
-                                fre[k] * inv_m,
-                                -fim[k] * inv_m,
-                                chirp_re[k],
-                                chirp_im[k],
-                            );
+                            let (r, i) =
+                                cmul(fre[k] * inv_m, -fim[k] * inv_m, chirp_re[k], chirp_im[k]);
                             buf[k] = Complex::new(r * inv_n, -i * inv_n);
                         }
                     }
@@ -463,7 +481,11 @@ fn fused_first_r4(
     let (x1, rest) = rest.split_at(m);
     let (x2, x3) = rest.split_at(m);
     let sign = if inverse { -1.0 } else { 1.0 };
-    for (p, (o, oi)) in dre.chunks_exact_mut(4).zip(dim.chunks_exact_mut(4)).enumerate() {
+    for (p, (o, oi)) in dre
+        .chunks_exact_mut(4)
+        .zip(dim.chunks_exact_mut(4))
+        .enumerate()
+    {
         let (a0r, a0i) = (x0[p].re, sign * x0[p].im);
         let (a1r, a1i) = (x1[p].re, sign * x1[p].im);
         let (a2r, a2i) = (x2[p].re, sign * x2[p].im);
@@ -510,7 +532,11 @@ fn fused_last_r4(sre: &[f64], sim: &[f64], buf: &mut [Complex], inverse: bool) {
     let (o0, rest) = buf.split_at_mut(s);
     let (o1, rest) = rest.split_at_mut(s);
     let (o2, o3) = rest.split_at_mut(s);
-    let (scale, sign) = if inverse { (1.0 / n as f64, -1.0) } else { (1.0, 1.0) };
+    let (scale, sign) = if inverse {
+        (1.0 / n as f64, -1.0)
+    } else {
+        (1.0, 1.0)
+    };
     let im_scale = sign * scale;
     for q in 0..s {
         let b0r = r0[q] + r2[q];
@@ -584,7 +610,10 @@ fn radix2_stage(
     let m = n_t / 2;
     let (re0, re1) = sre.split_at(m * s);
     let (im0, im1) = sim.split_at(m * s);
-    for (p, (ore, oim)) in dre.chunks_exact_mut(2 * s).zip(dim.chunks_exact_mut(2 * s)).enumerate()
+    for (p, (ore, oim)) in dre
+        .chunks_exact_mut(2 * s)
+        .zip(dim.chunks_exact_mut(2 * s))
+        .enumerate()
     {
         let w = base[p * s];
         let (o0r, o1r) = ore.split_at_mut(s);
@@ -655,12 +684,19 @@ fn radix4_stage_impl(
     let (im0, rest) = sim.split_at(m * s);
     let (im1, rest) = rest.split_at(m * s);
     let (im2, im3) = rest.split_at(m * s);
-    for (p, (ore, oim)) in dre.chunks_exact_mut(4 * s).zip(dim.chunks_exact_mut(4 * s)).enumerate()
+    for (p, (ore, oim)) in dre
+        .chunks_exact_mut(4 * s)
+        .zip(dim.chunks_exact_mut(4 * s))
+        .enumerate()
     {
         let w1 = base[p * s];
         let w2 = base[2 * p * s];
         let i3 = 3 * p * s;
-        let w3 = if i3 < half { base[i3] } else { -base[i3 - half] };
+        let w3 = if i3 < half {
+            base[i3]
+        } else {
+            -base[i3 - half]
+        };
         let (o0r, rest) = ore.split_at_mut(s);
         let (o1r, rest) = rest.split_at_mut(s);
         let (o2r, o3r) = rest.split_at_mut(s);
@@ -816,7 +852,9 @@ pub fn rfft(x: &[f64]) -> Vec<Complex> {
         return fft(&buf);
     }
     let h = n / 2;
-    let mut z: Vec<Complex> = (0..h).map(|k| Complex::new(x[2 * k], x[2 * k + 1])).collect();
+    let mut z: Vec<Complex> = (0..h)
+        .map(|k| Complex::new(x[2 * k], x[2 * k + 1]))
+        .collect();
     let plan = FftPlanner::plan(h);
     process_with_thread_scratch(&plan, &mut z, Direction::Forward);
 
@@ -1113,7 +1151,10 @@ mod tests {
     #[test]
     fn fft_frequencies_layout() {
         let f = fft_frequencies(8, 8000.0);
-        assert_eq!(f, vec![0.0, 1000.0, 2000.0, 3000.0, 4000.0, -3000.0, -2000.0, -1000.0]);
+        assert_eq!(
+            f,
+            vec![0.0, 1000.0, 2000.0, 3000.0, 4000.0, -3000.0, -2000.0, -1000.0]
+        );
     }
 
     #[test]

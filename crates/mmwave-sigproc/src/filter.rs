@@ -175,7 +175,15 @@ pub struct Biquad {
 impl Biquad {
     /// Creates a biquad from normalized coefficients (a0 = 1).
     pub fn new(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Self {
-        Self { b0, b1, b2, a1, a2, s1: 0.0, s2: 0.0 }
+        Self {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            s1: 0.0,
+            s2: 0.0,
+        }
     }
 
     /// Butterworth-style low-pass biquad (RBJ cookbook formulation).
@@ -206,7 +214,13 @@ impl Biquad {
         let (sw, cw) = w0.sin_cos();
         let alpha = sw / (2.0 * q);
         let a0 = 1.0 + alpha;
-        Self::new(alpha / a0, 0.0, -alpha / a0, -2.0 * cw / a0, (1.0 - alpha) / a0)
+        Self::new(
+            alpha / a0,
+            0.0,
+            -alpha / a0,
+            -2.0 * cw / a0,
+            (1.0 - alpha) / a0,
+        )
     }
 
     /// Processes one sample.
@@ -296,7 +310,9 @@ mod tests {
     use super::*;
 
     fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / fs).sin())
+            .collect()
     }
 
     fn rms(x: &[f64]) -> f64 {

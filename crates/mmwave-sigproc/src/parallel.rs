@@ -31,7 +31,9 @@ pub fn max_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Runs `f(start, chunk)` over every `chunk_len`-sized chunk of `data`
@@ -97,8 +99,13 @@ where
 ///
 /// # Panics
 /// Panics if `chunk_len == 0`, or propagates a panic from `init`/`f`.
-pub fn for_each_chunk_with<T, S, I, F>(data: &mut [T], chunk_len: usize, threads: usize, init: I, f: F)
-where
+pub fn for_each_chunk_with<T, S, I, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    threads: usize,
+    init: I,
+    f: F,
+) where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &mut [T]) + Sync,
@@ -223,7 +230,10 @@ mod tests {
                     }
                 },
             );
-            assert!(plain.iter().zip(&with_state).all(|(a, b)| a == b), "threads={threads}");
+            assert!(
+                plain.iter().zip(&with_state).all(|(a, b)| a == b),
+                "threads={threads}"
+            );
         }
     }
 }

@@ -72,10 +72,7 @@ mod backend {
 
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -113,7 +110,10 @@ pub struct GaussianSource {
 impl GaussianSource {
     /// Creates a source from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: Backend::from_seed(seed), cached: None }
+        Self {
+            rng: Backend::from_seed(seed),
+            cached: None,
+        }
     }
 
     /// Draws one standard-normal sample.

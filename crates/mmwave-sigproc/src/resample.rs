@@ -84,7 +84,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / fs).sin())
+            .collect()
     }
 
     #[test]
@@ -101,7 +103,10 @@ mod tests {
         // The decimated tone at 10 kHz / 100 kS/s keeps its amplitude.
         let rms_in = crate::stats::rms(&x);
         let rms_out = crate::stats::rms(&y[100..700]);
-        assert!((rms_out - rms_in).abs() / rms_in < 0.05, "{rms_out} vs {rms_in}");
+        assert!(
+            (rms_out - rms_in).abs() / rms_in < 0.05,
+            "{rms_out} vs {rms_in}"
+        );
     }
 
     #[test]

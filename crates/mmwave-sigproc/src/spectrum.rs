@@ -38,7 +38,10 @@ pub fn welch_psd(
     segment_len: usize,
     window: Window,
 ) -> (Vec<f64>, Vec<f64>) {
-    assert!(segment_len > 0 && segment_len <= x.len(), "bad segment length");
+    assert!(
+        segment_len > 0 && segment_len <= x.len(),
+        "bad segment length"
+    );
     assert!(sample_rate > 0.0);
     let hop = (segment_len / 2).max(1);
     // Plan, window energy, and segment/scratch buffers are hoisted out of
@@ -46,7 +49,9 @@ pub fn welch_psd(
     let plan = FftPlanner::plan(segment_len);
     let mut buf = vec![ZERO; segment_len];
     let mut scratch = vec![0.0f64; plan.scratch_len()];
-    let w_energy: f64 = (0..segment_len).map(|i| window.value(i, segment_len).powi(2)).sum();
+    let w_energy: f64 = (0..segment_len)
+        .map(|i| window.value(i, segment_len).powi(2))
+        .sum();
     let scale = 1.0 / (sample_rate * w_energy);
     let mut acc = vec![0.0f64; segment_len];
     let mut count = 0usize;
@@ -77,12 +82,7 @@ pub fn integrate_psd(psd: &[f64], sample_rate: f64) -> f64 {
 ///
 /// # Panics
 /// Panics if `frame_len` is zero, exceeds the signal, or `hop` is zero.
-pub fn spectrogram(
-    x: &[Complex],
-    frame_len: usize,
-    hop: usize,
-    window: Window,
-) -> Vec<Vec<f64>> {
+pub fn spectrogram(x: &[Complex], frame_len: usize, hop: usize, window: Window) -> Vec<Vec<f64>> {
     assert!(frame_len > 0 && frame_len <= x.len(), "bad frame length");
     assert!(hop > 0, "hop must be positive");
     // One plan and one frame/scratch buffer pair reused across all frames.
@@ -129,7 +129,10 @@ mod tests {
         let x = rng.complex_noise(1 << 15, noise_power);
         let (_, psd) = welch_psd(&x, 1e6, 512, Window::Hann);
         let total = integrate_psd(&psd, 1e6);
-        assert!((total - noise_power).abs() / noise_power < 0.1, "total {total}");
+        assert!(
+            (total - noise_power).abs() / noise_power < 0.1,
+            "total {total}"
+        );
     }
 
     #[test]
@@ -171,9 +174,7 @@ mod tests {
         let frames = spectrogram(&x, 512, 512, Window::Hann);
         let peaks: Vec<usize> = frames
             .iter()
-            .map(|f| {
-                crate::detect::find_peak(&f[..256]).unwrap().index
-            })
+            .map(|f| crate::detect::find_peak(&f[..256]).unwrap().index)
             .collect();
         for w in peaks.windows(2) {
             assert!(w[1] >= w[0], "chirp should sweep upward: {peaks:?}");

@@ -122,7 +122,11 @@ impl ErrorSummary {
         Self {
             trials: errors.len(),
             mean: mean(errors),
-            std_dev: if errors.len() > 1 { std_dev(errors) } else { 0.0 },
+            std_dev: if errors.len() > 1 {
+                std_dev(errors)
+            } else {
+                0.0
+            },
             median: median(errors),
             p90: percentile(errors, 90.0),
             max: errors.iter().cloned().fold(f64::MIN, f64::max),

@@ -45,13 +45,23 @@ impl Chirp {
     /// Panics unless bandwidth and duration are positive.
     pub fn sawtooth(start_hz: f64, bandwidth_hz: f64, duration_s: f64) -> Self {
         assert!(bandwidth_hz > 0.0 && duration_s > 0.0);
-        Self { start_hz, bandwidth_hz, duration_s, shape: ChirpShape::Sawtooth }
+        Self {
+            start_hz,
+            bandwidth_hz,
+            duration_s,
+            shape: ChirpShape::Sawtooth,
+        }
     }
 
     /// Creates a triangular chirp (up then down within `duration_s`).
     pub fn triangular(start_hz: f64, bandwidth_hz: f64, duration_s: f64) -> Self {
         assert!(bandwidth_hz > 0.0 && duration_s > 0.0);
-        Self { start_hz, bandwidth_hz, duration_s, shape: ChirpShape::Triangular }
+        Self {
+            start_hz,
+            bandwidth_hz,
+            duration_s,
+            shape: ChirpShape::Triangular,
+        }
     }
 
     /// Sweep slope in Hz/s. For triangular chirps this is the magnitude of
@@ -203,10 +213,22 @@ pub struct OaqfmSymbol {
 impl OaqfmSymbol {
     /// All four symbols in bit order 00, 01, 10, 11.
     pub const ALL: [OaqfmSymbol; 4] = [
-        OaqfmSymbol { tone_a: false, tone_b: false },
-        OaqfmSymbol { tone_a: false, tone_b: true },
-        OaqfmSymbol { tone_a: true, tone_b: false },
-        OaqfmSymbol { tone_a: true, tone_b: true },
+        OaqfmSymbol {
+            tone_a: false,
+            tone_b: false,
+        },
+        OaqfmSymbol {
+            tone_a: false,
+            tone_b: true,
+        },
+        OaqfmSymbol {
+            tone_a: true,
+            tone_b: false,
+        },
+        OaqfmSymbol {
+            tone_a: true,
+            tone_b: true,
+        },
     ];
 
     /// Maps a 2-bit value (`0..=3`) to a symbol. The MSB keys tone A.
@@ -215,7 +237,10 @@ impl OaqfmSymbol {
     /// Panics if `bits > 3`.
     pub fn from_bits(bits: u8) -> Self {
         assert!(bits <= 3, "OAQFM symbols carry exactly two bits");
-        Self { tone_a: bits & 0b10 != 0, tone_b: bits & 0b01 != 0 }
+        Self {
+            tone_a: bits & 0b10 != 0,
+            tone_b: bits & 0b01 != 0,
+        }
     }
 
     /// Recovers the 2-bit value carried by this symbol.
@@ -248,10 +273,7 @@ pub fn symbols_to_bytes(symbols: &[OaqfmSymbol]) -> Vec<u8> {
     assert!(symbols.len().is_multiple_of(4), "need 4 symbols per byte");
     symbols
         .chunks_exact(4)
-        .map(|c| {
-            c.iter()
-                .fold(0u8, |acc, s| (acc << 2) | s.to_bits())
-        })
+        .map(|c| c.iter().fold(0u8, |acc, s| (acc << 2) | s.to_bits()))
         .collect()
 }
 

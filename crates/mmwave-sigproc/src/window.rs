@@ -40,9 +40,7 @@ impl Window {
             Window::Rectangular => 1.0,
             Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos(),
             Window::Kaiser(beta) => {
                 let t = 2.0 * x - 1.0; // -1..=1
                 bessel_i0(beta * (1.0 - t * t).max(0.0).sqrt()) / bessel_i0(beta)
@@ -143,7 +141,10 @@ mod tests {
 
     #[test]
     fn rectangular_is_all_ones() {
-        assert!(Window::Rectangular.coefficients(9).iter().all(|&v| v == 1.0));
+        assert!(Window::Rectangular
+            .coefficients(9)
+            .iter()
+            .all(|&v| v == 1.0));
     }
 
     #[test]

@@ -38,7 +38,11 @@ fn main() {
         // FEC always runs under the adaptive layer; count its rate cost
         // whenever the raw BER is high enough to need it.
         let use_fec = scheme.ber(sinr) > 1e-8;
-        let goodput = if use_fec { raw_rate * codec.rate() } else { raw_rate };
+        let goodput = if use_fec {
+            raw_rate * codec.rate()
+        } else {
+            raw_rate
+        };
         println!(
             "{d:>8.2} {sinr:>10.1} {:>8} {:>12.0} {:>12} {:>14.1}",
             scheme.levels,

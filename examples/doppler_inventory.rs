@@ -17,7 +17,10 @@ fn main() {
     let n_chirps = 24;
 
     println!("Single-capture multi-node ranging ({n_chirps} chirps)\n");
-    println!("{:>5} {:>16} {:>13} {:>9} {:>9}", "node", "toggle period", "Doppler row", "true r", "est r");
+    println!(
+        "{:>5} {:>16} {:>13} {:>9} {:>9}",
+        "node", "toggle period", "Doppler row", "true r", "est r"
+    );
 
     let mut rng = GaussianSource::new(7);
     let fixes = localize_all_doppler(&network, n_chirps, &mut rng).expect("capture");

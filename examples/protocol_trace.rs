@@ -16,13 +16,19 @@ fn main() {
         Packet::downlink(b"AP command: set-report-interval=100ms".to_vec()),
     ] {
         let dir = packet.direction;
-        println!("── {dir:?} packet, {} payload bytes ──", packet.payload.len());
+        println!(
+            "── {dir:?} packet, {} payload bytes ──",
+            packet.payload.len()
+        );
         println!(
             "  Field 1: {} triangular chirps of {:.0} µs{}",
             dir.field1_chirp_count(),
             fmcw.field1_chirp_s * 1e6,
             if dir == LinkDirection::Downlink {
-                format!(" (with a {:.0} µs gap — the downlink marker)", FIELD1_GAP_S * 1e6)
+                format!(
+                    " (with a {:.0} µs gap — the downlink marker)",
+                    FIELD1_GAP_S * 1e6
+                )
             } else {
                 String::new()
             }
@@ -43,7 +49,10 @@ fn main() {
 
         // Wire framing round-trip.
         let wire = packet.to_bytes();
-        println!("  wire frame: {} bytes (magic|dir|len|payload|checksum)", wire.len());
+        println!(
+            "  wire frame: {} bytes (magic|dir|len|payload|checksum)",
+            wire.len()
+        );
         let parsed = Packet::from_bytes(wire.clone()).expect("frame parses");
         assert_eq!(parsed, packet);
 
@@ -64,11 +73,15 @@ fn main() {
     let downlink_trace = bursts(2, 45, 45);
     println!(
         "  3 bursts → {:?}",
-        detector.detect_direction(&uplink_trace).expect("uplink signal")
+        detector
+            .detect_direction(&uplink_trace)
+            .expect("uplink signal")
     );
     println!(
         "  2 bursts + gap → {:?}",
-        detector.detect_direction(&downlink_trace).expect("downlink signal")
+        detector
+            .detect_direction(&downlink_trace)
+            .expect("downlink signal")
     );
 }
 

@@ -21,8 +21,13 @@ fn main() {
     let pipeline = LocalizationPipeline::new(config.clone(), scene.clone()).unwrap();
     let fix = pipeline.localize(&mut rng).expect("localization");
     let gt = scene.ground_truth(0);
-    println!("[localize]  range {:.3} m (truth {:.3}),  angle {:+.2}° (truth {:+.2}°)",
-        fix.range_m, gt.range_m, fix.angle_rad.to_degrees(), gt.azimuth_rad.to_degrees());
+    println!(
+        "[localize]  range {:.3} m (truth {:.3}),  angle {:+.2}° (truth {:+.2}°)",
+        fix.range_m,
+        gt.range_m,
+        fix.angle_rad.to_degrees(),
+        gt.azimuth_rad.to_degrees()
+    );
 
     // ------------------------------------------------------------------
     // 2. Orientation, sensed independently at both ends.
@@ -43,7 +48,9 @@ fn main() {
     let carriers = sim.plan_carriers(Some(at_ap)).expect("carrier plan");
     println!("[carriers]  {carriers:?}");
 
-    let down = sim.downlink(b"firmware-update-chunk-0042", &mut rng).expect("downlink");
+    let down = sim
+        .downlink(b"firmware-update-chunk-0042", &mut rng)
+        .expect("downlink");
     println!(
         "[downlink]  {} bytes delivered, BER {:.1e}, SINR {:.1} dB",
         down.decoded.len(),
@@ -52,7 +59,9 @@ fn main() {
     );
     assert_eq!(down.decoded, b"firmware-update-chunk-0042");
 
-    let up = sim.uplink(b"sensor:23.7C;battery:ok", &mut rng).expect("uplink");
+    let up = sim
+        .uplink(b"sensor:23.7C;battery:ok", &mut rng)
+        .expect("uplink");
     println!(
         "[uplink]    {} bytes recovered, BER {:.1e}, SNR {:.1} dB",
         up.decoded.len(),

@@ -37,10 +37,16 @@ fn main() {
         let facing = std::f64::consts::PI + az + orientation;
 
         let mut scene = Scene::indoor(r, 0.0);
-        scene.nodes = vec![NodePose { position, facing_rad: facing }];
+        scene.nodes = vec![NodePose {
+            position,
+            facing_rad: facing,
+        }];
         // The AP steers its horns at the last known position (here: truth,
         // as the tracker would converge to).
-        scene.ap = ApFrontend { boresight_rad: az, ..ApFrontend::milback_default() };
+        scene.ap = ApFrontend {
+            boresight_rad: az,
+            ..ApFrontend::milback_default()
+        };
 
         let pipeline = LocalizationPipeline::new(config.clone(), scene.clone()).unwrap();
         let gt = scene.ground_truth(0);
@@ -63,9 +69,8 @@ fn main() {
 
         // AP-frame azimuth → absolute azimuth for reporting.
         let est_az_abs = fix.angle_rad + az;
-        tracking_errors.push(((fix.range_m - gt.range_m).powi(2)
-            + (est_az_abs - az).powi(2) * r * r)
-            .sqrt());
+        tracking_errors
+            .push(((fix.range_m - gt.range_m).powi(2) + (est_az_abs - az).powi(2) * r * r).sqrt());
 
         println!(
             "{frame:>5} {r:>8.2} {:>8.2} {:>8.1}° {:>8.1}° {:>9.1}° {:>10.1e} {:>9.1e}",
@@ -78,10 +83,12 @@ fn main() {
         );
     }
 
-    let rms: f64 = (tracking_errors.iter().map(|e| e * e).sum::<f64>()
-        / tracking_errors.len() as f64)
-        .sqrt();
-    println!("\nRMS position-tracking error across the walk: {:.1} cm", rms * 100.0);
+    let rms: f64 =
+        (tracking_errors.iter().map(|e| e * e).sum::<f64>() / tracking_errors.len() as f64).sqrt();
+    println!(
+        "\nRMS position-tracking error across the walk: {:.1} cm",
+        rms * 100.0
+    );
     println!("node power during this workload: 18 mW listening / 32 mW talking —");
     println!("roughly 100× below an active mmWave radio's budget, which is the paper's point.");
 }

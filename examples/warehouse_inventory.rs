@@ -34,7 +34,10 @@ fn main() {
     }
     let network = Network::new(config.clone(), scene.clone()).unwrap();
 
-    println!("Warehouse inventory: {} tags on shelves\n", network.node_count());
+    println!(
+        "Warehouse inventory: {} tags on shelves\n",
+        network.node_count()
+    );
 
     // SDM separability matrix.
     println!("pairwise SDM beam-isolation margins (dB):");
@@ -51,8 +54,10 @@ fn main() {
     }
 
     // Inventory round: localize + read each tag.
-    println!("\n{:>4} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8}",
-        "tag", "true r", "est r", "true az", "est az", "UL SNR", "BER");
+    println!(
+        "\n{:>4} {:>8} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "tag", "true r", "est r", "true az", "est az", "UL SNR", "BER"
+    );
     let mut ok = 0;
     let payloads: Vec<Vec<u8>> = (0..network.node_count())
         .map(|i| format!("SKU-{i:04};qty=42;batt=93%").into_bytes())
@@ -69,7 +74,10 @@ fn main() {
         let pipeline = LocalizationPipeline::new(config.clone(), view.clone()).unwrap();
         let fix = pipeline.localize(&mut rng);
         let (est_r, est_az) = match &fix {
-            Ok(f) => (f.range_m, (f.angle_rad + view.ap.boresight_rad).to_degrees()),
+            Ok(f) => (
+                f.range_m,
+                (f.angle_rad + view.ap.boresight_rad).to_degrees(),
+            ),
             Err(_) => (f64::NAN, f64::NAN),
         };
         let delivered = report.outcome.decoded == payloads[idx];
@@ -89,10 +97,8 @@ fn main() {
     let power = NodePowerModel::milback_default();
     let reads_per_day = 24.0;
     let seconds_per_read = 0.01; // preamble + ~50 kbit payload at 40 Mbps
-    let joules_per_year = power.power_w(NodeActivity::Uplink)
-        * seconds_per_read
-        * reads_per_day
-        * 365.0;
+    let joules_per_year =
+        power.power_w(NodeActivity::Uplink) * seconds_per_read * reads_per_day * 365.0;
     println!(
         "\n{ok}/{} tags localized and read successfully",
         network.node_count()

@@ -2,33 +2,42 @@
 # CI gate for the MilBack workspace.
 #
 # Runs the full quality bar in order of increasing cost:
-#   1. release build of every target
-#   2. the complete test suite (tier-1 umbrella + all crate suites)
-#   3. clippy across all targets with warnings promoted to errors
-#   4. the benchmark harness, which emits results/BENCH_dsp.json and
+#   1. formatting check (cargo fmt --check)
+#   2. release build of every target
+#   3. the complete test suite (tier-1 umbrella + all crate suites)
+#   4. clippy across all targets with warnings promoted to errors
+#   5. rustdoc with warnings promoted to errors
+#   6. the benchmark harness, which emits results/BENCH_dsp.json and
 #      results/BENCH_experiments.json
-#   5. structural validation of both benchmark JSONs
-#   6. one migrated figure binary end-to-end in reduced mode (shrunken
+#   7. structural validation of both benchmark JSONs
+#   8. one migrated figure binary end-to-end in reduced mode (shrunken
 #      grids, CSV anchors untouched)
+#   9. the net_scale extension in reduced mode + its full-scale CSV anchor
 #
 # Usage: scripts/ci.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/6] cargo build --release --workspace --all-targets"
+echo "==> [1/9] cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> [2/9] cargo build --release --workspace --all-targets"
 cargo build --release --workspace --all-targets
 
-echo "==> [2/6] cargo test --release --workspace"
+echo "==> [3/9] cargo test --release --workspace"
 cargo test --release --workspace -q
 
-echo "==> [3/6] cargo clippy --release --workspace --all-targets -- -D warnings"
+echo "==> [4/9] cargo clippy --release --workspace --all-targets -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
-echo "==> [4/6] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
+echo "==> [5/9] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> [6/9] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
 cargo run --release -p milback-bench --bin bench_smoke
 
-echo "==> [5/6] validating benchmark JSONs"
+echo "==> [7/9] validating benchmark JSONs"
 JSON=results/BENCH_dsp.json
 EXP_JSON=results/BENCH_experiments.json
 [ -s "$JSON" ] || { echo "FAIL: $JSON missing or empty" >&2; exit 1; }
@@ -83,11 +92,26 @@ else
     echo "OK: benchmark JSONs carry schema markers (python3 unavailable, shallow check)"
 fi
 
-echo "==> [6/6] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
+echo "==> [8/9] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
 CSV=results/figure_12a.csv
 before=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin fig12a_ranging
 after=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CSV" >&2; exit 1; }
+
+echo "==> [9/9] net_scale extension (reduced run + full-scale CSV anchor)"
+NET_CSV=results/extension_net_scale.csv
+before=$(sha256sum "$NET_CSV" 2>/dev/null || echo absent)
+MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale
+after=$(sha256sum "$NET_CSV" 2>/dev/null || echo absent)
+[ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $NET_CSV" >&2; exit 1; }
+[ -s "$NET_CSV" ] || { echo "FAIL: $NET_CSV missing or empty (regenerate with the net_scale binary at full scale)" >&2; exit 1; }
+header=$(head -1 "$NET_CSV")
+case "$header" in
+    nodes,*goodput*collisions*energy*) : ;;
+    *) echo "FAIL: unexpected $NET_CSV header: $header" >&2; exit 1 ;;
+esac
+rows=$(($(wc -l < "$NET_CSV") - 1))
+[ "$rows" -ge 7 ] || { echo "FAIL: $NET_CSV has $rows data rows, expected the 1..64 sweep (7)" >&2; exit 1; }
 
 echo "==> ci.sh: all gates passed"

@@ -77,7 +77,10 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Self {
-        Self { data: data.to_vec(), start: 0 }
+        Self {
+            data: data.to_vec(),
+            start: 0,
+        }
     }
 }
 
@@ -127,7 +130,9 @@ pub struct BytesMut {
 impl BytesMut {
     /// Creates an empty builder with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { data: Vec::with_capacity(cap) }
+        Self {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Creates an empty builder.

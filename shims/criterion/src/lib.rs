@@ -67,13 +67,17 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id like `name/param`.
     pub fn new(name: impl Into<String>, param: impl Display) -> Self {
-        Self { id: format!("{}/{}", name.into(), param) }
+        Self {
+            id: format!("{}/{}", name.into(), param),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(name: &str) -> Self {
-        Self { id: name.to_string() }
+        Self {
+            id: name.to_string(),
+        }
     }
 }
 
@@ -132,7 +136,10 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { sample_size: self.sample_size, last_ns_per_iter: 0.0 };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_ns_per_iter: 0.0,
+        };
         f(&mut b);
         report(&id.id, b.last_ns_per_iter, None);
         self
@@ -176,25 +183,34 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { sample_size: self.sample_size, last_ns_per_iter: 0.0 };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_ns_per_iter: 0.0,
+        };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id.id), b.last_ns_per_iter, self.throughput);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.last_ns_per_iter,
+            self.throughput,
+        );
         self
     }
 
     /// Runs one parameterized benchmark in the group.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { sample_size: self.sample_size, last_ns_per_iter: 0.0 };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            last_ns_per_iter: 0.0,
+        };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.id), b.last_ns_per_iter, self.throughput);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.last_ns_per_iter,
+            self.throughput,
+        );
         self
     }
 

@@ -41,7 +41,9 @@ pub mod thread {
             T: Send + 'scope,
         {
             let scope = *self;
-            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
         }
     }
 

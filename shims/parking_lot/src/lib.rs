@@ -27,19 +27,25 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a mutex (usable in `static` initializers).
     pub const fn new(value: T) -> Self {
-        Self { inner: sync::Mutex::new(value) }
+        Self {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available. Never poisons.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Tries to acquire the lock without blocking.
@@ -53,7 +59,9 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -66,19 +74,25 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Creates a lock (usable in `static` initializers).
     pub const fn new(value: T) -> Self {
-        Self { inner: sync::RwLock::new(value) }
+        Self {
+            inner: sync::RwLock::new(value),
+        }
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .read()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .write()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 

@@ -44,16 +44,15 @@ pub mod test_runner {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
                 z ^ (z >> 31)
             };
-            Self { s: [next(), next(), next(), next()] }
+            Self {
+                s: [next(), next(), next(), next()],
+            }
         }
 
         /// Next raw 64 random bits.
         pub fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -229,9 +228,7 @@ pub mod sample {
 pub mod prelude {
     //! Glob-import surface matching `proptest::prelude`.
 
-    pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, Strategy,
-    };
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, Strategy};
 }
 
 /// Defines `#[test]` functions whose arguments are drawn from strategies.

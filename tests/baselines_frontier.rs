@@ -41,8 +41,8 @@ fn milback_wins_downlink_and_energy() {
     let milback = MilBackSystem::published();
     assert!(mmtag.downlink_sinr_db(3.0).is_none());
     assert!(milback.downlink_sinr_db(3.0).is_some());
-    let ratio = mmtag.uplink_energy_per_bit_j().unwrap()
-        / milback.uplink_energy_per_bit_j().unwrap();
+    let ratio =
+        mmtag.uplink_energy_per_bit_j().unwrap() / milback.uplink_energy_per_bit_j().unwrap();
     assert!((ratio - 3.0).abs() < 0.1, "energy ratio {ratio:.2}");
 }
 

@@ -20,7 +20,11 @@ fn full_session_from_estimates() {
 
     // Localize.
     let fix = pipeline.localize(&mut rng).expect("localization");
-    assert!((fix.range_m - gt.range_m).abs() < 0.15, "range {:.3}", fix.range_m);
+    assert!(
+        (fix.range_m - gt.range_m).abs() < 0.15,
+        "range {:.3}",
+        fix.range_m
+    );
     assert!(
         (fix.angle_rad - gt.azimuth_rad).abs().to_degrees() < 5.0,
         "angle {:.2}°",
@@ -67,7 +71,10 @@ fn communication_tolerates_orientation_error() {
     };
     let (ra, rb) = sim.downlink_sinr_breakdown(f_a, f_b, true_psi);
     let sinr = ra.sinr_db().min(rb.sinr_db());
-    assert!(sinr > 12.0, "SINR with mis-planned carriers only {sinr:.1} dB");
+    assert!(
+        sinr > 12.0,
+        "SINR with mis-planned carriers only {sinr:.1} dB"
+    );
 
     let down = sim.downlink(b"still works", &mut rng).unwrap();
     assert_eq!(down.decoded, b"still works");
@@ -115,7 +122,10 @@ fn localization_error_envelope() {
             .collect();
         assert!(errs.len() >= 8, "too many failures at {d} m");
         let mean = milback::sigproc::stats::mean(&errs);
-        assert!(mean < bound, "mean error {mean:.3} m at {d} m exceeds paper bound {bound}");
+        assert!(
+            mean < bound,
+            "mean error {mean:.3} m at {d} m exceeds paper bound {bound}"
+        );
     }
 }
 

@@ -3,7 +3,9 @@
 //! drifted — these tests make that loud instead.
 
 use milback::ap::waveform::CarrierSet;
-use milback::baselines::{capability_table, BackscatterSystem, MilBackSystem, Millimetro, MmTag, OmniScatter};
+use milback::baselines::{
+    capability_table, BackscatterSystem, MilBackSystem, Millimetro, MmTag, OmniScatter,
+};
 use milback::core::{LinkSimulator, Scene, SystemConfig};
 use milback::node::{NodeActivity, NodePowerModel};
 use milback::rf::antenna::fsa::{FsaDesign, FsaPort};
@@ -22,8 +24,10 @@ fn fig10_fsa_anchors() {
     assert!(fsa.scan_coverage_rad().to_degrees() >= 59.9);
     for i in 0..7 {
         let f = 26.5e9 + 0.5e9 * i as f64;
-        let view =
-            milback::rf::antenna::fsa::FrequencyScanningAntenna { design: fsa, port: FsaPort::A };
+        let view = milback::rf::antenna::fsa::FrequencyScanningAntenna {
+            design: fsa,
+            port: FsaPort::A,
+        };
         assert!(view.peak_gain_dbi(f) > 10.0, "beam at {f:.2e} below 10 dBi");
         let a = fsa.beam_angle_rad(FsaPort::A, f).unwrap();
         let b = fsa.beam_angle_rad(FsaPort::B, f).unwrap();
@@ -115,10 +119,10 @@ fn table1_matrix() {
     let rows = capability_table(&[&mmtag, &millimetro, &omni, &milback]);
     let expect = [
         // (uplink, localization, downlink, orientation)
-        (true, false, false, false),  // mmTag
-        (false, true, false, false),  // Millimetro
-        (true, true, false, false),   // OmniScatter
-        (true, true, true, true),     // MilBack
+        (true, false, false, false), // mmTag
+        (false, true, false, false), // Millimetro
+        (true, true, false, false),  // OmniScatter
+        (true, true, true, true),    // MilBack
     ];
     for (row, &(u, l, d, o)) in rows.iter().zip(&expect) {
         assert_eq!(
