@@ -65,11 +65,15 @@ fn dense_oaqfm_vs_distance() {
         level_series.push(d, scheme.levels as f64);
         plain_series.push(d, DenseOaqfm::new(2).throughput_bps(18e6) / 1e6);
     }
-    let max_rate = rate_series.points.iter().map(|p| p.1).fold(0.0, f64::max);
+    let max_rate = rate_series
+        .points
+        .iter()
+        .filter_map(|p| p.1)
+        .fold(0.0, f64::max);
     let dense_region: Vec<f64> = rate_series
         .points
         .iter()
-        .filter(|p| p.1 > 36.0)
+        .filter(|p| p.1.is_some_and(|y| y > 36.0))
         .map(|p| p.0)
         .collect();
     report.add_series(rate_series);

@@ -50,7 +50,7 @@ fn main() {
         s.points
             .iter()
             .find(|p| (p.0 - x).abs() < 1e-9)
-            .map(|p| p.1)
+            .and_then(|p| p.1)
             .unwrap_or(f64::NAN)
     };
     let m5 = mean_at(&mean_series, 5.0);

@@ -69,7 +69,7 @@ fn main() {
         s.points
             .iter()
             .min_by(|a, b| (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap())
-            .map(|p| p.1)
+            .and_then(|p| p.1)
             .unwrap()
     };
     let s10 = at(&sinr_series, 10.0);

@@ -49,7 +49,7 @@ fn main() {
         s.points
             .iter()
             .min_by(|a, b| (a.0 - x).abs().partial_cmp(&(b.0 - x).abs()).unwrap())
-            .map(|p| p.1)
+            .and_then(|p| p.1)
             .unwrap()
     };
     let a8 = at(&snr10, 8.0);

@@ -40,7 +40,7 @@ fn main() {
     for p in batch.oks() {
         goodput.push(p.nodes as f64, p.per_node_goodput_bps / 1e3);
         collisions.push(p.nodes as f64, p.collisions_per_node);
-        energy.push(p.nodes as f64, p.energy_per_packet_j * 1e3);
+        energy.push_opt(p.nodes as f64, p.energy_per_packet_j.map(|e| e * 1e3));
         delivery.push(p.nodes as f64, p.delivery_rate);
     }
     let first_rate = batch

@@ -18,7 +18,10 @@ use crate::runner::{run_fallible, RunnerConfig, TrialBatch};
 use milback_core::coding::{bits_to_bytes, bytes_to_bits, PayloadCodec};
 use milback_core::localization::{Impairments, LocationFix};
 use milback_core::protocol::SlotPlan;
-use milback_core::{LinkSimulator, LocalizationPipeline, Network, Packet, Scene, SystemConfig};
+use milback_core::{
+    BackoffAloha, LinkSimulator, LocalizationPipeline, MacPolicy, Network, Packet,
+    RoundRobinPolling, Scene, SdmAwareAssignment, SlottedAloha, SlottedRunReport, SystemConfig,
+};
 use mmwave_rf::channel::{ApFrontend, NodePose, Vec2};
 
 /// The node orientation used by the ranging/link figures (the paper's
@@ -457,10 +460,30 @@ pub struct NetScalePoint {
     pub per_node_goodput_bps: f64,
     /// Mean slot collisions per node over the campaign.
     pub collisions_per_node: f64,
-    /// Total node energy divided by total delivered packets, joules.
-    pub energy_per_packet_j: f64,
+    /// Total node energy divided by total delivered packets, joules;
+    /// `None` when the campaign delivered nothing (an `inf` sentinel here
+    /// used to leak into CSV rows at high node counts).
+    pub energy_per_packet_j: Option<f64>,
     /// Delivered packets over attempted packets, network-wide.
     pub delivery_rate: f64,
+}
+
+/// N nodes across a ±60° sector at 4 m: evenly spaced, so density directly
+/// controls the neighbour separation SDM has to work with. Shared by the
+/// `net_scale` and `mac_compare` sweeps so their curves are comparable.
+fn sector_scene(n: usize) -> Scene {
+    let sector = 120f64.to_radians();
+    let mut scene = Scene::single_node(4.0, node_orientation_rad());
+    scene.nodes.clear();
+    for k in 0..n {
+        let az = if n == 1 {
+            0.0
+        } else {
+            -sector / 2.0 + sector * k as f64 / (n - 1) as f64
+        };
+        scene = scene.with_node_at(4.0, az, node_orientation_rad());
+    }
+    scene
 }
 
 /// Network-scaling extension core: a slotted-ALOHA campaign (on the
@@ -490,20 +513,7 @@ pub fn extension_net_scale(
             10e-6,
         )
         .map_err(|e| e.to_string())?;
-        // N nodes across a ±60° sector: evenly spaced, so density directly
-        // controls the neighbour separation SDM has to work with.
-        let sector = 120f64.to_radians();
-        let mut scene = Scene::single_node(4.0, node_orientation_rad());
-        scene.nodes.clear();
-        for k in 0..n {
-            let az = if n == 1 {
-                0.0
-            } else {
-                -sector / 2.0 + sector * k as f64 / (n - 1) as f64
-            };
-            scene = scene.with_node_at(4.0, az, node_orientation_rad());
-        }
-        let net = Network::new(config, scene).map_err(|e| e.to_string())?;
+        let net = Network::new(config, sector_scene(n)).map_err(|e| e.to_string())?;
         let slot_seed = root_seed.wrapping_add(n as u64);
         let r = net
             .run_slotted(frames, &payload, &plan, slot_seed, 20.0, rng)
@@ -517,10 +527,113 @@ pub fn extension_net_scale(
             nodes: n,
             per_node_goodput_bps: goodput,
             collisions_per_node: collisions as f64 / n as f64,
-            energy_per_packet_j: energy / delivered.max(1) as f64,
+            energy_per_packet_j: (delivered > 0).then(|| energy / delivered as f64),
             delivery_rate: delivered as f64 / attempts.max(1) as f64,
         })
     })
+}
+
+/// The MAC policies the `mac_compare` sweep races against each other, by
+/// the [`MacPolicy::name`] each reports.
+pub const MAC_POLICY_NAMES: [&str; 4] = ["aloha", "backoff", "polling", "sdm"];
+
+/// Builds a fresh policy instance by name (see [`MAC_POLICY_NAMES`]).
+/// `slot_seed` feeds the hashed-slot policies so a given (policy, scene)
+/// pair is reproducible.
+pub fn mac_policy_by_name(name: &str, slot_seed: u64) -> Option<Box<dyn MacPolicy>> {
+    match name {
+        "aloha" => Some(Box::new(SlottedAloha::new(slot_seed))),
+        "backoff" => Some(Box::new(BackoffAloha::new(slot_seed, 5))),
+        "polling" => Some(Box::new(RoundRobinPolling::new())),
+        "sdm" => Some(Box::new(SdmAwareAssignment::new())),
+        _ => None,
+    }
+}
+
+/// One (policy, node count) cell of the MAC-comparison extension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacComparePoint {
+    /// Which [`MacPolicy`] ran (its `name()`).
+    pub policy: &'static str,
+    /// Number of nodes sharing the cell.
+    pub nodes: usize,
+    /// Network-wide slot transmissions attempted.
+    pub attempts: usize,
+    /// Network-wide packets delivered.
+    pub delivered: usize,
+    /// Network-wide slot collisions.
+    pub collisions: usize,
+    /// Delivered over attempted, network-wide.
+    pub delivery_rate: f64,
+    /// Mean per-node goodput over the campaign, bits/second.
+    pub per_node_goodput_bps: f64,
+    /// Total node energy per delivered packet, joules; `None` when the
+    /// campaign delivered nothing.
+    pub energy_per_packet_j: Option<f64>,
+}
+
+fn mac_compare_point(policy: &'static str, r: &SlottedRunReport) -> MacComparePoint {
+    let n = r.nodes.len();
+    let attempts: usize = r.nodes.iter().map(|nd| nd.attempts).sum();
+    let delivered: usize = r.nodes.iter().map(|nd| nd.delivered).sum();
+    let collisions: usize = r.nodes.iter().map(|nd| nd.collisions).sum();
+    let energy: f64 = r.nodes.iter().map(|nd| nd.energy_j).sum();
+    let goodput = (0..n).map(|idx| r.goodput_bps(idx)).sum::<f64>() / n.max(1) as f64;
+    MacComparePoint {
+        policy,
+        nodes: n,
+        attempts,
+        delivered,
+        collisions,
+        delivery_rate: delivered as f64 / attempts.max(1) as f64,
+        per_node_goodput_bps: goodput,
+        energy_per_packet_j: (delivered > 0).then(|| energy / delivered as f64),
+    }
+}
+
+/// MAC-comparison extension core: every policy in `policies` runs the same
+/// sector-scene campaign as [`extension_net_scale`] at each node count.
+/// Trials flatten as `policy-major × node-count-minor`; each cell is one
+/// independent trial with its own deterministic RNG stream, and the slot
+/// seed per node count matches `extension_net_scale`'s, so the "aloha" row
+/// reproduces that baseline curve exactly.
+pub fn extension_mac_compare(
+    policies: &[&'static str],
+    node_counts: &[usize],
+    frames: usize,
+    payload_bytes: usize,
+    slots: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> TrialBatch<MacComparePoint, String> {
+    run_fallible(
+        policies.len() * node_counts.len(),
+        root_seed,
+        cfg,
+        |i, rng| {
+            let policy_name = policies[i / node_counts.len()];
+            let n = node_counts[i % node_counts.len()];
+            let config = SystemConfig::milback_default();
+            let payload = vec![0x42u8; payload_bytes];
+            let packet = Packet::uplink(payload.clone());
+            let plan = SlotPlan::for_packet(
+                slots,
+                &packet,
+                &config.fmcw,
+                config.uplink_symbol_rate_hz,
+                10e-6,
+            )
+            .map_err(|e| e.to_string())?;
+            let net = Network::new(config, sector_scene(n)).map_err(|e| e.to_string())?;
+            let slot_seed = root_seed.wrapping_add(n as u64);
+            let policy = mac_policy_by_name(policy_name, slot_seed)
+                .ok_or_else(|| format!("unknown MAC policy {policy_name:?}"))?;
+            let r = net
+                .run_mac(policy, frames, &payload, &plan, 20.0, rng)
+                .map_err(|e| e.to_string())?;
+            Ok(mac_compare_point(policy_name, &r))
+        },
+    )
 }
 
 #[cfg(test)]

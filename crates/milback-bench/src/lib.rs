@@ -26,13 +26,16 @@ pub fn reduced_mode() -> bool {
         .unwrap_or(false)
 }
 
-/// A labelled series of (x, y) points — one curve of a figure.
+/// A labelled series of (x, y) points — one curve of a figure. A `None`
+/// y-value is an honest "undefined here" (e.g. energy per delivered packet
+/// when nothing delivered): it renders as a dash and an *empty* CSV cell,
+/// never a `NaN`/`inf` token.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Curve label (legend entry).
     pub label: String,
-    /// The points.
-    pub points: Vec<(f64, f64)>,
+    /// The points; `None` marks an undefined y at that x.
+    pub points: Vec<(f64, Option<f64>)>,
 }
 
 impl Series {
@@ -46,6 +49,11 @@ impl Series {
 
     /// Appends a point.
     pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, Some(y)));
+    }
+
+    /// Appends a point whose y may be undefined.
+    pub fn push_opt(&mut self, x: f64, y: Option<f64>) {
         self.points.push((x, y));
     }
 }
@@ -116,10 +124,10 @@ impl Report {
                 let _ = write!(out, "{x:>14.4}");
                 for s in &self.series {
                     match s.points.get(i) {
-                        Some(&(_, y)) => {
+                        Some(&(_, Some(y))) => {
                             let _ = write!(out, " {y:>18.4}");
                         }
-                        None => {
+                        _ => {
                             let _ = write!(out, " {:>18}", "-");
                         }
                     }
@@ -146,10 +154,10 @@ impl Report {
                 let _ = write!(out, "{x}");
                 for s in &self.series {
                     match s.points.get(i) {
-                        Some(&(_, y)) => {
+                        Some(&(_, Some(y))) => {
                             let _ = write!(out, ",{y}");
                         }
-                        None => {
+                        _ => {
                             let _ = write!(out, ",");
                         }
                     }
@@ -226,7 +234,10 @@ mod tests {
     #[test]
     fn sweep_collects_points() {
         let s = sweep("sq", &[1.0, 2.0, 3.0], |x| x * x);
-        assert_eq!(s.points, vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]);
+        assert_eq!(
+            s.points,
+            vec![(1.0, Some(1.0)), (2.0, Some(4.0)), (3.0, Some(9.0))]
+        );
     }
 
     #[test]
@@ -242,6 +253,23 @@ mod tests {
         let csv = r.to_csv();
         assert!(csv.starts_with("x (m),a,b"));
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn undefined_points_render_dash_and_empty_csv_cell() {
+        let mut r = Report::new("F", "t", "x", "y");
+        let mut s = Series::new("e");
+        s.push(1.0, 2.5);
+        s.push_opt(2.0, None);
+        r.add_series(s);
+        let text = r.render();
+        assert!(text.contains('-'), "undefined y renders as a dash");
+        let csv = r.to_csv();
+        assert!(
+            csv.contains("\n2,\n"),
+            "undefined y is an empty cell: {csv}"
+        );
+        assert!(!csv.contains("NaN") && !csv.contains("inf"));
     }
 
     #[test]

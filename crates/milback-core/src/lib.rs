@@ -30,7 +30,10 @@ pub use engine::{Actor, ActorId, Engine, Outbox, TimePs};
 pub use error::{MilbackError, Result};
 pub use link::{DownlinkOutcome, LinkSimulator, TransferOutcome, UplinkOutcome};
 pub use localization::{Impairments, LocalizationPipeline, LocationFix};
-pub use network::Network;
+pub use network::{
+    BackoffAloha, FrameSchedule, MacContext, MacPolicy, Network, RoundRobinPolling,
+    SdmAwareAssignment, SlottedAloha, SlottedNodeReport, SlottedRunReport,
+};
 pub use protocol::Packet;
 pub use scene::{GroundTruth, Scene};
 pub use session::{Session, SessionReport};

@@ -13,31 +13,33 @@
 #   8. one migrated figure binary end-to-end in reduced mode (shrunken
 #      grids, CSV anchors untouched)
 #   9. the net_scale extension in reduced mode + its full-scale CSV anchor
+#  10. the mac_compare extension in reduced mode + schema validation of its
+#      full-scale CSV anchor (no NaN/inf tokens, ALOHA beaten at 64 nodes)
 #
 # Usage: scripts/ci.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/9] cargo fmt --check"
+echo "==> [1/10] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/9] cargo build --release --workspace --all-targets"
+echo "==> [2/10] cargo build --release --workspace --all-targets"
 cargo build --release --workspace --all-targets
 
-echo "==> [3/9] cargo test --release --workspace"
+echo "==> [3/10] cargo test --release --workspace"
 cargo test --release --workspace -q
 
-echo "==> [4/9] cargo clippy --release --workspace --all-targets -- -D warnings"
+echo "==> [4/10] cargo clippy --release --workspace --all-targets -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
-echo "==> [5/9] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [5/10] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [6/9] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
+echo "==> [6/10] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
 cargo run --release -p milback-bench --bin bench_smoke
 
-echo "==> [7/9] validating benchmark JSONs"
+echo "==> [7/10] validating benchmark JSONs"
 JSON=results/BENCH_dsp.json
 EXP_JSON=results/BENCH_experiments.json
 [ -s "$JSON" ] || { echo "FAIL: $JSON missing or empty" >&2; exit 1; }
@@ -92,14 +94,14 @@ else
     echo "OK: benchmark JSONs carry schema markers (python3 unavailable, shallow check)"
 fi
 
-echo "==> [8/9] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
+echo "==> [8/10] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
 CSV=results/figure_12a.csv
 before=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin fig12a_ranging
 after=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CSV" >&2; exit 1; }
 
-echo "==> [9/9] net_scale extension (reduced run + full-scale CSV anchor)"
+echo "==> [9/10] net_scale extension (reduced run + full-scale CSV anchor)"
 NET_CSV=results/extension_net_scale.csv
 before=$(sha256sum "$NET_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale
@@ -113,5 +115,40 @@ case "$header" in
 esac
 rows=$(($(wc -l < "$NET_CSV") - 1))
 [ "$rows" -ge 7 ] || { echo "FAIL: $NET_CSV has $rows data rows, expected the 1..64 sweep (7)" >&2; exit 1; }
+
+echo "==> [10/10] mac_compare extension (reduced run + full-scale CSV anchor schema)"
+MAC_CSV=results/extension_mac_compare.csv
+before=$(sha256sum "$MAC_CSV" 2>/dev/null || echo absent)
+MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin mac_compare
+after=$(sha256sum "$MAC_CSV" 2>/dev/null || echo absent)
+[ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $MAC_CSV" >&2; exit 1; }
+[ -s "$MAC_CSV" ] || { echo "FAIL: $MAC_CSV missing or empty (regenerate with the mac_compare binary at full scale)" >&2; exit 1; }
+header=$(head -1 "$MAC_CSV")
+case "$header" in
+    nodes,*delivery*aloha*energy_mj*goodput_kbps*) : ;;
+    *) echo "FAIL: unexpected $MAC_CSV header: $header" >&2; exit 1 ;;
+esac
+for p in aloha backoff polling sdm; do
+    case "$header" in
+        *"$p"*) : ;;
+        *) echo "FAIL: $MAC_CSV header is missing policy $p" >&2; exit 1 ;;
+    esac
+done
+# Undefined cells are empty, never NaN/inf sentinels.
+if grep -qiE '(nan|inf)' "$MAC_CSV"; then
+    echo "FAIL: $MAC_CSV carries NaN/inf tokens" >&2; exit 1
+fi
+rows=$(($(wc -l < "$MAC_CSV") - 1))
+[ "$rows" -ge 7 ] || { echo "FAIL: $MAC_CSV has $rows data rows, expected the 1..64 sweep (7)" >&2; exit 1; }
+# Contention-aware policies must beat plain ALOHA on delivery at the
+# densest point of the full-scale sweep (columns: delivery aloha/backoff/
+# polling/sdm are the 2nd..5th).
+awk -F, 'NR==1 { next } { last=$0 } END {
+    split(last, c, ",");
+    if (!(c[4] > c[2]) || !(c[5] > c[2])) {
+        printf "FAIL: at %s nodes delivery polling=%s sdm=%s do not both beat aloha=%s\n", c[1], c[4], c[5], c[2] > "/dev/stderr";
+        exit 1;
+    }
+}' "$MAC_CSV"
 
 echo "==> ci.sh: all gates passed"
