@@ -18,12 +18,15 @@ use mmwave_rf::components::{EnvelopeDetector, SpdtSwitch};
 use mmwave_sigproc::window::Window;
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     ablate_subtraction_chirps();
     ablate_fsa_elements();
     ablate_window_choice();
     ablate_detector_speed();
     ablate_switch_speed();
     ablate_impairments();
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }
 
 fn trials_per_point(full: usize) -> usize {
@@ -87,7 +90,10 @@ fn ablate_subtraction_chirps() {
         batch.summary(),
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
     println!();
 }
 
@@ -125,7 +131,10 @@ fn ablate_fsa_elements() {
     report.add_series(bw_series);
     report.add_series(snr_series);
     report.note("doubling the array adds ~3 dB of gain → ~6 dB of two-way uplink SNR, at the cost of halving the beamwidth (tighter orientation tolerance)");
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
     println!();
 }
 
@@ -180,7 +189,10 @@ fn ablate_window_choice() {
         batch.summary(),
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
     println!();
 }
 
@@ -201,7 +213,10 @@ fn ablate_detector_speed() {
     }
     report.add_series(series);
     report.note("the paper's 36 Mbps sits at the ADL6010's ~12 ns class; §9.4: \"one can increase the data-rate further by using faster envelope detector\"");
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
     println!();
 }
 
@@ -224,7 +239,10 @@ fn ablate_switch_speed() {
     report.add_series(rate_series);
     report.add_series(power_series);
     report.note("faster switches buy rate linearly but spend linearly more dynamic power — the 0.8 nJ/bit figure is rate-independent");
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
     println!();
 }
 
@@ -272,5 +290,8 @@ fn ablate_impairments() {
         cases.len() * trials,
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
 }

@@ -26,15 +26,16 @@ use std::fs;
 use std::time::Instant;
 
 use milback_bench::experiments::{self, OrientSide};
+use milback_bench::hostinfo::HostInfo;
 use milback_bench::results_dir;
 use milback_bench::runner::RunnerConfig;
+use milback_bench::spans;
 use milback_core::localization::Impairments;
 use milback_core::SystemConfig;
 use mmwave_rf::antenna::fsa::{FsaDesign, FsaGainEval, FsaPort};
 use mmwave_rf::channel::{synthesize_beat_with_threads, Echo};
 use mmwave_sigproc::complex::Complex;
 use mmwave_sigproc::fft::{fft, Direction, FftPlan, FftPlanner};
-use mmwave_sigproc::parallel;
 use mmwave_sigproc::random::GaussianSource;
 use std::f64::consts::PI;
 
@@ -190,6 +191,9 @@ fn bench_experiment<T: PartialEq>(
     rounds: usize,
     run: impl Fn(&RunnerConfig) -> T,
 ) -> ExpRow {
+    // One profiling span per experiment core, surfaced in the `spans`
+    // section of BENCH_experiments.json.
+    let _span = spans::span(name);
     let serial_cfg = RunnerConfig::serial();
     let parallel_cfg = RunnerConfig::from_env();
     let bit_exact = run(&serial_cfg) == run(&parallel_cfg);
@@ -279,6 +283,7 @@ struct FsaBench {
 }
 
 fn bench_fsa_gain_eval() -> FsaBench {
+    let _span = spans::span("fsa_gain_eval");
     let design = FsaDesign::milback_default();
     let eval = FsaGainEval::new(&design);
     let freqs: Vec<f64> = (0..7).map(|i| 26.5e9 + 0.5e9 * i as f64).collect();
@@ -360,12 +365,12 @@ fn median(mut v: Vec<f64>) -> f64 {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let threads = parallel::max_threads();
+    let host = HostInfo::capture();
+    let cores = host.cores;
+    let threads = host.threads;
 
     // --- Planned-FFT microbenches ------------------------------------
+    let fft_span = spans::span("dsp_fft_micro");
     println!("FFT microbenches (min over round-robin rounds):");
     let mut fft_rows = Vec::new();
     for &(n, rounds, iters) in &[
@@ -388,8 +393,10 @@ fn main() {
     }
     let fft4096 = fft_rows.iter().find(|r| r.n == 4096).unwrap();
     let fft4096_speedup = fft4096.plan_per_call_ns / fft4096.cached_oneshot_ns;
+    drop(fft_span);
 
     // --- Full range–Doppler frame, serial vs parallel ----------------
+    let rd_span = spans::span("dsp_range_doppler");
     let proc = milback_ap::fmcw::FmcwProcessor::milback_default();
     let dp = milback_ap::doppler::DopplerProcessor::milback_default();
     let mut rng = GaussianSource::new(21);
@@ -427,8 +434,10 @@ fn main() {
         rd[1] / 1e6,
         rd_speedup,
     );
+    drop(rd_span);
 
     // --- Beat synthesis ----------------------------------------------
+    let beat_span = spans::span("dsp_beat_synthesis");
     let echoes = vec![
         Echo::constant(2.0, 3e-4),
         Echo::constant(4.0, 1e-5),
@@ -457,8 +466,10 @@ fn main() {
         beat[1] / 1e3,
         beat[0] / beat[1],
     );
+    drop(beat_span);
 
     // --- Reduced Figure-15 uplink run (through the runner) -----------
+    let uplink_span = spans::span("uplink_fig15");
     let t = Instant::now();
     let spots =
         experiments::fig15_spot_checks(&[(10e6, 8.0)], 20_000, 0xF15, &RunnerConfig::serial());
@@ -470,6 +481,7 @@ fn main() {
         "fig15 uplink (reduced, 20 kB at 8 m, 10 Mbps, via runner): {:.1} ms, SNR {:.1} dB, BER {:.1e}",
         uplink_ms, spot.snr_db, spot.ber,
     );
+    drop(uplink_span);
 
     // --- Experiment cores + FSA evaluator ----------------------------
     let exp_rows = bench_experiments();
@@ -480,14 +492,17 @@ fn main() {
     let all_bit_exact = exp_rows.iter().all(|r| r.bit_exact) && fsa.bit_exact;
     assert!(all_bit_exact, "a parallel schedule or evaluator diverged");
 
+    // Every stage guard is closed by here, so the snapshot carries the
+    // full per-stage breakdown (plus the runner's own `run_trials` span).
+    let span_stats = spans::snapshot();
+
     // --- BENCH_dsp.json -----------------------------------------------
+    let io_span = spans::span("io");
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"schema\": \"milback-bench-dsp-v1\",\n");
-    let _ = writeln!(
-        j,
-        "  \"host\": {{ \"cores\": {cores}, \"threads_used\": {threads}, \"timer\": \"min over round-robin rounds\" }},"
-    );
+    let _ = writeln!(j, "  \"host\": {},", host.to_json());
+    j.push_str("  \"timer\": \"min over round-robin rounds\",\n");
     j.push_str("  \"fft\": [\n");
     for (i, r) in fft_rows.iter().enumerate() {
         let _ = writeln!(
@@ -540,10 +555,8 @@ fn main() {
     let mut j = String::new();
     j.push_str("{\n");
     j.push_str("  \"schema\": \"milback-bench-experiments-v1\",\n");
-    let _ = writeln!(
-        j,
-        "  \"host\": {{ \"cores\": {cores}, \"threads_used\": {threads}, \"timer\": \"min over rounds, serial/parallel round-robin\" }},"
-    );
+    let _ = writeln!(j, "  \"host\": {},", host.to_json());
+    j.push_str("  \"timer\": \"min over rounds, serial/parallel round-robin\",\n");
     j.push_str("  \"experiments\": [\n");
     for (i, r) in exp_rows.iter().enumerate() {
         let _ = writeln!(
@@ -570,6 +583,20 @@ fn main() {
         fsa.unhoisted_ns / fsa.memoized_ns,
         fsa.bit_exact,
     );
+    // Host-side wall-clock profiling spans: the per-stage breakdown of
+    // this run (empty in a telemetry-off build, where spans are inert).
+    j.push_str("  \"spans\": [\n");
+    for (i, s) in span_stats.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{ \"name\": \"{}\", \"total_ms\": {:.1}, \"count\": {} }}{}",
+            s.name,
+            s.total_ns as f64 / 1e6,
+            s.count,
+            if i + 1 == span_stats.len() { "" } else { "," },
+        );
+    }
+    j.push_str("  ],\n");
     let _ = writeln!(
         j,
         "  \"acceptance\": {{ \"runner_target_speedup\": 1.8, \"runner_target_needs_cores\": 4, \"cores\": {cores}, \"threads\": {threads}, \"runner_best_speedup\": {:.2}, \"runner_median_speedup\": {:.2}, \"fsa_target_speedup\": 2.0, \"fsa_hoisted_speedup\": {:.2}, \"fsa_memoized_speedup\": {:.2}, \"all_bit_exact\": {all_bit_exact} }}",
@@ -583,4 +610,6 @@ fn main() {
     let path = dir.join("BENCH_experiments.json");
     fs::write(&path, &j).expect("write BENCH_experiments.json");
     println!("wrote {}", path.display());
+    drop(io_span);
+    spans::export_if_requested();
 }

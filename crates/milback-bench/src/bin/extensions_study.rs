@@ -21,11 +21,14 @@ use milback_core::tracking::Tracker;
 use milback_core::{LinkSimulator, Scene, SystemConfig};
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     dense_oaqfm_vs_distance();
     println!();
     coded_uplink_vs_distance();
     println!();
     tracking_vs_raw();
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }
 
 /// Dense OAQFM: for each distance, the downlink SINR picks the densest
@@ -87,7 +90,10 @@ fn dense_oaqfm_vs_distance() {
         report.note("the SINR ceiling kept the link at plain OAQFM everywhere in this sweep");
     }
     report.note("§9.4: \"another option is to define denser OAQFM modulation schemes … considering different amplitudes for each tone\"");
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
 }
 
 /// Coded uplink: residual byte errors with and without FEC across range.
@@ -123,7 +129,10 @@ fn coded_uplink_vs_distance() {
         batch.summary(),
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
 }
 
 /// Tracking: RMS error of raw fixes vs Kalman-filtered track for a node
@@ -172,5 +181,8 @@ fn tracking_vs_raw() {
         batch.summary(),
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
 }

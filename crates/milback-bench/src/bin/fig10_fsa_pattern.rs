@@ -15,6 +15,7 @@ use milback_bench::{linspace, reduced_mode, Report, Series};
 use mmwave_rf::antenna::fsa::{FsaDesign, FsaGainEval, FsaPort};
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     let reduced = reduced_mode();
     let fsa = FsaDesign::milback_default();
     let eval = FsaGainEval::new(&fsa);
@@ -66,7 +67,10 @@ fn main() {
         for (f, deg, g) in &peaks {
             report.note(format!("{:.1} GHz → {deg:+.1}° at {g:.1} dBi", f / 1e9));
         }
-        report.emit_respecting_reduced();
+        {
+            let _io = milback_bench::spans::span("io");
+            report.emit_respecting_reduced();
+        }
         println!();
     }
 
@@ -75,4 +79,6 @@ fn main() {
         fsa.beam_angle_rad(FsaPort::A, 27.5e9).unwrap().to_degrees(),
         fsa.beam_angle_rad(FsaPort::B, 27.5e9).unwrap().to_degrees()
     );
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }

@@ -19,6 +19,7 @@ use mmwave_rf::antenna::fsa::FsaGainEval;
 use mmwave_sigproc::waveform::OaqfmSymbol;
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     let mut config = SystemConfig::milback_default();
     // 1 µs symbols as in the microbenchmark (§9.1).
     config.downlink_symbol_rate_hz = 1e6;
@@ -101,7 +102,12 @@ fn main() {
         "off-level (symbol 00): A {:.3} mV, B {:.3} mV — tones separate cleanly at the two ports as in the paper's scope capture",
         quiet.0, quiet.1
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }
 
 fn incident(sim: &LinkSimulator, f: f64) -> f64 {

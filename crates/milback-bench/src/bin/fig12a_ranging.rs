@@ -18,6 +18,7 @@ use milback_bench::{linspace, reduced_mode, Report, Series};
 use mmwave_sigproc::stats::ErrorSummary;
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     let reduced = reduced_mode();
     let distances = if reduced {
         linspace(2.0, 8.0, 3)
@@ -68,5 +69,10 @@ fn main() {
         total - failed,
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }

@@ -18,6 +18,7 @@ use milback_bench::{reduced_mode, Report, Series};
 use mmwave_sigproc::stats::{empirical_cdf, median, percentile};
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     let reduced = reduced_mode();
     // Sweep azimuths and distances like the paper's placements.
     let azimuths: &[f64] = if reduced {
@@ -68,5 +69,10 @@ fn main() {
         placements.len() * trials,
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }

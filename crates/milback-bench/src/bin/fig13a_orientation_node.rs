@@ -14,6 +14,7 @@ use milback_bench::{reduced_mode, Report, Series};
 use mmwave_sigproc::stats::ErrorSummary;
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     let reduced = reduced_mode();
     let orientations: Vec<f64> = if reduced {
         vec![-15.0, 0.0, 15.0]
@@ -54,5 +55,10 @@ fn main() {
         total - failed,
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }

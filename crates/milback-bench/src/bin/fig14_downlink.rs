@@ -16,6 +16,7 @@ use milback_bench::{linspace, reduced_mode, Report, Series};
 use milback_core::{LinkSimulator, Scene, SystemConfig};
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     let reduced = reduced_mode();
     let distances = if reduced {
         linspace(0.5, 12.0, 6)
@@ -95,5 +96,10 @@ fn main() {
         spots.summary(),
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }

@@ -30,6 +30,7 @@ fn run_rate(label: &str, bit_rate: f64, distances: &[f64]) -> (Series, Series) {
 }
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     let reduced = reduced_mode();
     let distances = if reduced {
         linspace(0.5, 10.0, 6)
@@ -96,5 +97,10 @@ fn main() {
         spots.summary(),
         cfg.threads
     ));
-    report.emit_respecting_reduced();
+    {
+        let _io = milback_bench::spans::span("io");
+        report.emit_respecting_reduced();
+    }
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }

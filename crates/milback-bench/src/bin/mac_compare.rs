@@ -9,13 +9,36 @@
 //! and slot seeds match `net_scale`'s, so the ALOHA rows reproduce that
 //! baseline curve exactly.
 //!
+//! The campaigns run instrumented (bit-identical to the plain sweep — the
+//! parity suite proves it): per-policy counters and histograms land in
+//! `results/METRICS_mac.json`, and with `MILBACK_TRACE=<dir>` (or `=1`
+//! for `results/traces`) each policy's densest campaign is captured as
+//! structured-trace JSONL plus one combined Chrome `trace_event` JSON,
+//! loadable at <https://ui.perfetto.dev>.
+//!
 //! Run with: `cargo run --release -p milback-bench --bin mac_compare`
 
-use milback_bench::experiments::{extension_mac_compare, MAC_POLICY_NAMES};
+use milback_bench::experiments::{extension_mac_compare_instrumented, MAC_POLICY_NAMES};
+use milback_bench::hostinfo::HostInfo;
 use milback_bench::runner::RunnerConfig;
-use milback_bench::{reduced_mode, Report, Series};
+use milback_bench::{log_info, log_warn, metrics_io, reduced_mode, results_dir, Report, Series};
+use milback_core::telemetry::{chrome_trace, DEFAULT_TRACE_CAPACITY};
+use std::path::PathBuf;
+
+/// Where `MILBACK_TRACE` asks traces to go: `None` when unset/empty,
+/// `results/traces` for `1`, else the given directory.
+fn trace_dir() -> Option<PathBuf> {
+    match std::env::var("MILBACK_TRACE") {
+        Ok(v) if v == "1" => Some(results_dir().join("traces")),
+        Ok(v) if !v.is_empty() && v != "0" => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
 
 fn main() {
+    // Named `main`/`io` so `all_experiments` can derive its per-stage
+    // table (setup = main - run_trials - io) from the exported span file.
+    let main_span = milback_bench::spans::span("main");
     let reduced = reduced_mode();
     let node_counts: &[usize] = if reduced {
         &[1, 2, 4, 8]
@@ -26,7 +49,8 @@ fn main() {
     let slots = 8;
     let payload_bytes = 16;
     let cfg = RunnerConfig::from_env();
-    let batch = extension_mac_compare(
+    let tracing = trace_dir();
+    let run = extension_mac_compare_instrumented(
         &MAC_POLICY_NAMES,
         node_counts,
         frames,
@@ -34,8 +58,11 @@ fn main() {
         slots,
         0xE4,
         &cfg,
+        tracing.as_ref().map(|_| DEFAULT_TRACE_CAPACITY),
     );
+    let batch = &run.batch;
 
+    let io_span = milback_bench::spans::span("io");
     let mut report = Report::new(
         "Extension mac_compare",
         "MAC policies on the shared sector cell: delivery, energy, goodput vs node count",
@@ -89,4 +116,105 @@ fn main() {
         cfg.threads
     ));
     report.emit_respecting_reduced();
+
+    write_metrics(&run, node_counts, frames, slots, payload_bytes, reduced);
+    if let Some(dir) = tracing {
+        write_traces(&run, &dir, densest);
+    }
+    drop(io_span);
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
+}
+
+/// Writes `results/METRICS_mac.json` from the per-policy registries. In a
+/// telemetry-off build the registries are empty and nothing is written —
+/// the artifact never silently claims an instrumented campaign that did
+/// not happen.
+fn write_metrics(
+    run: &milback_bench::experiments::InstrumentedMacCompare,
+    node_counts: &[usize],
+    frames: usize,
+    slots: usize,
+    payload_bytes: usize,
+    reduced: bool,
+) {
+    if run.policies.iter().all(|p| p.metrics.is_empty()) {
+        log_info!("telemetry off: skipping METRICS_mac.json");
+        return;
+    }
+    let node_list = node_counts
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let config = [
+        ("reduced", reduced.to_string()),
+        ("frames", frames.to_string()),
+        ("slots", slots.to_string()),
+        ("payload_bytes", payload_bytes.to_string()),
+        ("seed", 0xE4u64.to_string()),
+        ("node_counts", format!("[{node_list}]")),
+    ];
+    let policies: Vec<(&str, &milback_core::telemetry::Metrics)> = run
+        .policies
+        .iter()
+        .map(|p| (p.policy, &p.metrics))
+        .collect();
+    let doc = metrics_io::metrics_mac_json(&HostInfo::capture(), &config, &policies);
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        log_warn!("cannot create {}", dir.display());
+        return;
+    }
+    let path = dir.join("METRICS_mac.json");
+    match std::fs::write(&path, &doc) {
+        Ok(()) => log_info!("wrote {}", path.display()),
+        Err(e) => log_warn!("cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Dumps each policy's captured trace as JSONL (one file per policy, so
+/// `time_ps` stays monotone within a file) plus one combined Chrome
+/// `trace_event` JSON with the policies side-by-side as processes.
+fn write_traces(
+    run: &milback_bench::experiments::InstrumentedMacCompare,
+    dir: &std::path::Path,
+    densest: usize,
+) {
+    if std::fs::create_dir_all(dir).is_err() {
+        log_warn!("cannot create {}", dir.display());
+        return;
+    }
+    let mut sections = Vec::new();
+    for p in &run.policies {
+        let Some(buf) = &p.trace else {
+            continue;
+        };
+        let path = dir.join(format!("mac_{}.trace.jsonl", p.policy));
+        match std::fs::write(&path, buf.to_jsonl()) {
+            Ok(()) => log_info!(
+                "wrote {} ({} records, {} dropped)",
+                path.display(),
+                buf.len(),
+                buf.dropped()
+            ),
+            Err(e) => log_warn!("cannot write {}: {e}", path.display()),
+        }
+        sections.push((p.policy, buf));
+    }
+    if sections.is_empty() {
+        log_info!("telemetry off: no traces captured");
+        return;
+    }
+    let chrome = chrome_trace(&sections);
+    let path = dir.join("mac_compare.trace.json");
+    match std::fs::write(&path, &chrome) {
+        Ok(()) => {
+            println!(
+                "trace: {} ({densest}-node frame per policy) — open at https://ui.perfetto.dev",
+                path.display()
+            );
+        }
+        Err(e) => log_warn!("cannot write {}: {e}", path.display()),
+    }
 }

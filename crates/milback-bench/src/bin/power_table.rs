@@ -9,6 +9,7 @@
 use milback_node::power::{NodeActivity, NodePowerModel};
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     let model = NodePowerModel::milback_default();
     println!("==== §9.6 — Node power consumption ====");
     println!(
@@ -56,4 +57,6 @@ fn main() {
         with_mcu.power_w(NodeActivity::Downlink) * 1e3,
         with_mcu.power_w(NodeActivity::Uplink) * 1e3
     );
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }

@@ -11,6 +11,7 @@ use milback_baselines::{
 };
 
 fn main() {
+    let main_span = milback_bench::spans::span("main");
     let mmtag = MmTag::published();
     let millimetro = Millimetro::published();
     let omniscatter = OmniScatter::published();
@@ -46,4 +47,6 @@ fn main() {
         "  MilBack downlink SINR at 10 m: {:.1} dB — the only system with a downlink at all",
         milback.downlink_sinr_db(10.0).unwrap()
     );
+    drop(main_span);
+    milback_bench::spans::export_if_requested();
 }

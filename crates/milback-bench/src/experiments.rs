@@ -18,6 +18,7 @@ use crate::runner::{run_fallible, RunnerConfig, TrialBatch};
 use milback_core::coding::{bits_to_bytes, bytes_to_bits, PayloadCodec};
 use milback_core::localization::{Impairments, LocationFix};
 use milback_core::protocol::SlotPlan;
+use milback_core::telemetry::{CampaignProbe, Metrics, TraceBuffer};
 use milback_core::{
     BackoffAloha, LinkSimulator, LocalizationPipeline, MacPolicy, Network, Packet,
     RoundRobinPolling, Scene, SdmAwareAssignment, SlottedAloha, SlottedRunReport, SystemConfig,
@@ -634,6 +635,121 @@ pub fn extension_mac_compare(
             Ok(mac_compare_point(policy_name, &r))
         },
     )
+}
+
+/// One policy's merged campaign instrumentation from
+/// [`extension_mac_compare_instrumented`]: metrics folded across the
+/// policy's node-count campaigns in deterministic trial order, plus —
+/// when tracing was requested — the trace of its largest-node-count
+/// campaign.
+#[derive(Debug, Clone)]
+pub struct PolicyInstrumentation {
+    /// The policy's [`MacPolicy::name`].
+    pub policy: &'static str,
+    /// Counters/histograms merged across the policy's campaigns.
+    pub metrics: Metrics,
+    /// The largest-node-count campaign's trace, when tracing.
+    pub trace: Option<TraceBuffer>,
+}
+
+/// The outcome of [`extension_mac_compare_instrumented`]: the same trial
+/// batch [`extension_mac_compare`] produces (bit-identical — the parity
+/// suite proves it), plus per-policy instrumentation.
+#[derive(Debug)]
+pub struct InstrumentedMacCompare {
+    /// Per-cell campaign points, exactly as the uninstrumented sweep.
+    pub batch: TrialBatch<MacComparePoint, String>,
+    /// Per-policy instrumentation, in the sweep's policy order.
+    pub policies: Vec<PolicyInstrumentation>,
+}
+
+/// [`extension_mac_compare`] with telemetry attached: every cell runs
+/// with a metrics probe, and — when `trace_capacity` is set — each
+/// policy's **largest** node-count campaign also records a full trace
+/// (engine dispatches, slot outcomes, policy decisions, energy draws).
+///
+/// The campaign numbers are bit-identical to the uninstrumented sweep:
+/// probes only copy values the simulation already computed, and the trial
+/// streams are untouched. Metrics merge across a policy's node counts in
+/// trial order, so the merged registries are deterministic at any thread
+/// count too.
+#[allow(clippy::too_many_arguments)]
+pub fn extension_mac_compare_instrumented(
+    policies: &[&'static str],
+    node_counts: &[usize],
+    frames: usize,
+    payload_bytes: usize,
+    slots: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+    trace_capacity: Option<usize>,
+) -> InstrumentedMacCompare {
+    let per_policy = node_counts.len();
+    let traced_cell = per_policy.saturating_sub(1);
+    let inner = run_fallible(
+        policies.len() * per_policy,
+        root_seed,
+        cfg,
+        |i, rng| -> Result<(MacComparePoint, Metrics, Option<TraceBuffer>), String> {
+            let policy_name = policies[i / per_policy];
+            let n = node_counts[i % per_policy];
+            let config = SystemConfig::milback_default();
+            let payload = vec![0x42u8; payload_bytes];
+            let packet = Packet::uplink(payload.clone());
+            let plan = SlotPlan::for_packet(
+                slots,
+                &packet,
+                &config.fmcw,
+                config.uplink_symbol_rate_hz,
+                10e-6,
+            )
+            .map_err(|e| e.to_string())?;
+            let net = Network::new(config, sector_scene(n)).map_err(|e| e.to_string())?;
+            let slot_seed = root_seed.wrapping_add(n as u64);
+            let policy = mac_policy_by_name(policy_name, slot_seed)
+                .ok_or_else(|| format!("unknown MAC policy {policy_name:?}"))?;
+            let mut probe = match trace_capacity {
+                Some(cap) if i % per_policy == traced_cell => CampaignProbe::with_trace(cap),
+                _ => CampaignProbe::with_metrics(),
+            };
+            let r = net
+                .run_mac_probed(policy, frames, &payload, &plan, 20.0, rng, &mut probe)
+                .map_err(|e| e.to_string())?;
+            let metrics = probe.take_metrics().unwrap_or_default();
+            let trace = probe.trace.take().map(|sink| sink.into_buffer());
+            Ok((mac_compare_point(policy_name, &r), metrics, trace))
+        },
+    );
+    // Fold per-policy in trial order: trials flatten policy-major, so the
+    // merge order (and the serialized registries) is deterministic.
+    let mut folded: Vec<PolicyInstrumentation> = policies
+        .iter()
+        .map(|&p| PolicyInstrumentation {
+            policy: p,
+            metrics: Metrics::new(),
+            trace: None,
+        })
+        .collect();
+    for (i, result) in inner.results.iter().enumerate() {
+        if let Ok((_, metrics, trace)) = result {
+            let slot = &mut folded[i / per_policy];
+            slot.metrics.merge_from(metrics);
+            if let Some(buf) = trace {
+                crate::metrics_io::fold_queue_depths(buf, &mut slot.metrics);
+                slot.trace = Some(buf.clone());
+            }
+        }
+    }
+    InstrumentedMacCompare {
+        batch: TrialBatch {
+            results: inner
+                .results
+                .into_iter()
+                .map(|r| r.map(|(point, _, _)| point))
+                .collect(),
+        },
+        policies: folded,
+    }
 }
 
 #[cfg(test)]

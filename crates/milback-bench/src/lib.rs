@@ -10,7 +10,11 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod hostinfo;
+pub mod logging;
+pub mod metrics_io;
 pub mod runner;
+pub mod spans;
 
 use std::fmt::Write as _;
 use std::fs;

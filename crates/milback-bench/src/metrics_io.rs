@@ -1,0 +1,140 @@
+//! Campaign-metrics serialization: the `results/METRICS_mac.json`
+//! artifact `mac_compare` writes and `net_scale` consumes.
+//!
+//! All JSON here is hand-rolled (the workspace's serde shim is a no-op
+//! marker), with the same hygiene rules as the CSV anchors: no `NaN`/`inf`
+//! token can ever appear (the telemetry layer filters non-finite values at
+//! observation time), and reduced-mode runs write nothing so the artifact
+//! always describes a full-scale campaign unless CI regenerates it
+//! deliberately.
+
+use crate::hostinfo::HostInfo;
+use milback_core::telemetry::{Metrics, TraceBuffer, TraceRecord, OCCUPANCY_BUCKETS};
+use std::fmt::Write as _;
+
+/// Schema tag of `results/METRICS_mac.json`.
+pub const METRICS_MAC_SCHEMA: &str = "milback-metrics-mac-v1";
+
+/// Folds the engine-dispatch queue depths recorded in a trace buffer into
+/// the `queue_depth` histogram of `metrics` — the one metric that lives
+/// on the engine rather than in the MAC path, recovered from the trace so
+/// the engine itself never needs a metrics handle.
+pub fn fold_queue_depths(buffer: &TraceBuffer, metrics: &mut Metrics) {
+    for r in buffer.records() {
+        if let TraceRecord::Event { queue_depth, .. } = r {
+            metrics.observe("queue_depth", OCCUPANCY_BUCKETS, *queue_depth as f64);
+        }
+    }
+}
+
+/// Renders the full `METRICS_mac.json` document: schema, host block,
+/// campaign configuration, and one merged metrics registry per policy (in
+/// the given order, which the writer keeps deterministic).
+pub fn metrics_mac_json(
+    host: &HostInfo,
+    config: &[(&str, String)],
+    policies: &[(&str, &Metrics)],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{METRICS_MAC_SCHEMA}\",");
+    let _ = writeln!(out, "  \"host\": {},", host.to_json());
+    out.push_str("  \"config\": { ");
+    for (i, (k, v)) in config.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{k}\": {v}");
+    }
+    out.push_str(" },\n  \"policies\": {\n");
+    for (i, (name, metrics)) in policies.iter().enumerate() {
+        let _ = write!(out, "    \"{name}\": {}", metrics.to_json());
+        out.push_str(if i + 1 < policies.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extracts one counter from a policy's section of a `METRICS_mac.json`
+/// document. A substring reader over the writer's known layout — not a
+/// JSON parser — which is all the cross-consumer (`net_scale`) needs
+/// without a JSON dependency.
+pub fn parse_policy_counter(text: &str, policy: &str, counter: &str) -> Option<u64> {
+    let section_start = text.find(&format!("\"{policy}\": {{"))?;
+    let section = &text[section_start..];
+    // Sections are one line each; stay inside this policy's line.
+    let section = section.lines().next()?;
+    let key = format!("\"{counter}\":");
+    let at = section.find(&key)? + key.len();
+    let digits: String = section[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "telemetry")]
+    fn host() -> HostInfo {
+        HostInfo {
+            cores: 4,
+            threads: 2,
+            rustc: "rustc 1.99.0 (test)".into(),
+            features: vec!["telemetry"],
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn document_round_trips_counters() {
+        let mut aloha = Metrics::new();
+        aloha.inc("slots_fired", 42);
+        aloha.inc("slot_collisions", 7);
+        let mut sdm = Metrics::new();
+        sdm.inc("slots_fired", 42);
+        sdm.inc("slot_collisions", 0);
+        let doc = metrics_mac_json(
+            &host(),
+            &[("frames", "24".into()), ("slots", "8".into())],
+            &[("aloha", &aloha), ("sdm", &sdm)],
+        );
+        assert!(doc.contains(METRICS_MAC_SCHEMA));
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
+        assert_eq!(
+            parse_policy_counter(&doc, "aloha", "slot_collisions"),
+            Some(7)
+        );
+        assert_eq!(
+            parse_policy_counter(&doc, "sdm", "slot_collisions"),
+            Some(0)
+        );
+        assert_eq!(parse_policy_counter(&doc, "sdm", "slots_fired"), Some(42));
+        assert_eq!(parse_policy_counter(&doc, "polling", "slots_fired"), None);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn queue_depths_fold_from_trace() {
+        let mut buf = TraceBuffer::new(16);
+        for depth in [0usize, 2, 5] {
+            buf.push(TraceRecord::Event {
+                time_ps: depth as u64,
+                seq: depth as u64,
+                actor: 0,
+                kind: "slot_fire",
+                queue_depth: depth,
+            });
+        }
+        buf.push(TraceRecord::Backoff {
+            time_ps: 9,
+            node: 0,
+            window_frames: 2,
+        });
+        let mut m = Metrics::new();
+        fold_queue_depths(&buf, &mut m);
+        let h = m.histogram("queue_depth").expect("histogram created");
+        assert_eq!(h.count, 3, "only engine events carry a queue depth");
+    }
+}

@@ -79,6 +79,8 @@ where
     T: Send,
     F: Fn(usize, &mut GaussianSource) -> T + Sync,
 {
+    // Host-side wall-clock span only — never visible to the trials.
+    let _span = crate::spans::span("run_trials");
     let mut slots: Vec<Option<T>> = (0..n_trials).map(|_| None).collect();
     parallel::for_each_chunk(&mut slots, 1, cfg.threads, |idx, chunk| {
         let mut rng = trial_rng(root_seed, idx);

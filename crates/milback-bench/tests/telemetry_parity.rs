@@ -1,0 +1,222 @@
+//! Non-perturbation suite for the telemetry layer: attaching probes,
+//! metrics registries, or trace sinks must never change a simulation
+//! result. Every test here drives the instrumented and uninstrumented
+//! paths on identical trial streams and demands bit-for-bit equality —
+//! `==` plus `to_bits` on every float — through the trial-parallel runner
+//! at `MILBACK_THREADS` 1/2/4/8, for all four MAC policies.
+//!
+//! The suite also passes with `--no-default-features` (telemetry compiled
+//! out): the probed entry points still exist, the probes are inert, and
+//! the parity half of every assertion is feature-independent.
+
+use milback_bench::experiments::{
+    extension_mac_compare, extension_mac_compare_instrumented, MacComparePoint, MAC_POLICY_NAMES,
+};
+use milback_bench::runner::{trial_rng, RunnerConfig};
+use milback_core::protocol::SlotPlan;
+use milback_core::{
+    CampaignProbe, Network, Packet, Scene, Session, SessionReport, SlottedRunReport, SystemConfig,
+};
+
+fn network() -> Network {
+    let scene = Scene::single_node(4.0, 12f64.to_radians())
+        .with_node_at(4.5, 35f64.to_radians(), 12f64.to_radians())
+        .with_node_at(3.5, -30f64.to_radians(), 12f64.to_radians());
+    Network::new(SystemConfig::milback_default(), scene).unwrap()
+}
+
+fn plan_for(n: &Network, slots: usize, payload: &[u8]) -> SlotPlan {
+    let packet = Packet::uplink(payload.to_vec());
+    SlotPlan::for_packet(
+        slots,
+        &packet,
+        &n.config.fmcw,
+        n.config.uplink_symbol_rate_hz,
+        10e-6,
+    )
+    .unwrap()
+}
+
+/// Float-bit equality across two campaign reports — stricter than
+/// `PartialEq`, catches -0.0/rounding drift that `==` would forgive.
+fn assert_report_bit_exact(a: &SlottedRunReport, b: &SlottedRunReport) {
+    assert_eq!(a, b);
+    for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(na.energy_j.to_bits(), nb.energy_j.to_bits());
+        assert_eq!(
+            na.mean_snr_db.map(f64::to_bits),
+            nb.mean_snr_db.map(f64::to_bits)
+        );
+    }
+}
+
+/// Float-bit equality across two sweep cells.
+fn assert_point_bit_exact(a: &MacComparePoint, b: &MacComparePoint) {
+    assert_eq!(a, b);
+    assert_eq!(a.delivery_rate.to_bits(), b.delivery_rate.to_bits());
+    assert_eq!(
+        a.per_node_goodput_bps.to_bits(),
+        b.per_node_goodput_bps.to_bits()
+    );
+    assert_eq!(
+        a.energy_per_packet_j.map(f64::to_bits),
+        b.energy_per_packet_j.map(f64::to_bits)
+    );
+}
+
+/// `run_mac` vs `run_mac_probed` (metrics + full trace) on shared trial
+/// streams, for every MAC policy: bit-identical reports, and the RNG
+/// streams advanced identically (the probe drew nothing).
+#[test]
+fn probed_campaign_is_bit_identical_for_every_policy() {
+    let n = network();
+    let payload = vec![0x42u8; 16];
+    let plan = plan_for(&n, 4, &payload);
+    for (k, &name) in MAC_POLICY_NAMES.iter().enumerate() {
+        let mut rng_plain = trial_rng(0x7E1E, k);
+        let mut rng_probed = trial_rng(0x7E1E, k);
+        let plain = n
+            .run_mac(
+                milback_bench::experiments::mac_policy_by_name(name, 9).unwrap(),
+                6,
+                &payload,
+                &plan,
+                20.0,
+                &mut rng_plain,
+            )
+            .unwrap();
+        let mut probe = CampaignProbe::with_trace(4096);
+        let probed = n
+            .run_mac_probed(
+                milback_bench::experiments::mac_policy_by_name(name, 9).unwrap(),
+                6,
+                &payload,
+                &plan,
+                20.0,
+                &mut rng_probed,
+                &mut probe,
+            )
+            .unwrap();
+        assert_report_bit_exact(&plain, &probed);
+        // The streams advanced identically too: the next draw matches.
+        assert_eq!(
+            rng_plain.sample(1.0).to_bits(),
+            rng_probed.sample(1.0).to_bits(),
+            "probe perturbed the RNG stream of policy {name}"
+        );
+        #[cfg(feature = "telemetry")]
+        {
+            let metrics = probe.take_metrics().expect("telemetry on: metrics exist");
+            assert!(
+                metrics.counter("slots_fired") > 0,
+                "policy {name} recorded no slots"
+            );
+            let trace = probe
+                .trace
+                .take()
+                .expect("tracing was requested")
+                .into_buffer();
+            assert!(!trace.is_empty(), "policy {name} recorded no trace");
+        }
+    }
+}
+
+/// The instrumented sweep is bit-identical to the plain sweep, cell by
+/// cell, for the full policy × node-count grid at 1/2/4/8 threads — and
+/// the merged per-policy registries are identical at every thread count
+/// (the fold runs in deterministic trial order).
+#[test]
+fn instrumented_sweep_matches_plain_at_every_thread_count() {
+    let node_counts = [1, 3, 5];
+    let (frames, payload_bytes, slots, seed) = (4, 8, 4, 0x3AC);
+    let plain_ref = extension_mac_compare(
+        &MAC_POLICY_NAMES,
+        &node_counts,
+        frames,
+        payload_bytes,
+        slots,
+        seed,
+        &RunnerConfig::serial(),
+    );
+    assert_eq!(
+        plain_ref.ok_count(),
+        MAC_POLICY_NAMES.len() * node_counts.len(),
+        "every cell must simulate"
+    );
+    let mut merged_json: Option<Vec<String>> = None;
+    for threads in [1, 2, 4, 8] {
+        let inst = extension_mac_compare_instrumented(
+            &MAC_POLICY_NAMES,
+            &node_counts,
+            frames,
+            payload_bytes,
+            slots,
+            seed,
+            &RunnerConfig::with_threads(threads),
+            Some(4096),
+        );
+        assert_eq!(inst.batch.results.len(), plain_ref.results.len());
+        for (p, q) in plain_ref.oks().zip(inst.batch.oks()) {
+            assert_point_bit_exact(p, q);
+        }
+        // The serialized registries are schedule-invariant too.
+        let jsons: Vec<String> = inst.policies.iter().map(|p| p.metrics.to_json()).collect();
+        match &merged_json {
+            None => merged_json = Some(jsons),
+            Some(reference) => assert_eq!(
+                reference, &jsons,
+                "merged metrics changed at {threads} threads"
+            ),
+        }
+    }
+}
+
+fn session_scene() -> (SystemConfig, Scene) {
+    (
+        SystemConfig::milback_default(),
+        Scene::single_node(2.0, 12f64.to_radians()),
+    )
+}
+
+fn assert_session_bit_exact(a: &SessionReport, b: &SessionReport) {
+    assert_eq!(a, b);
+    assert_eq!(a.ber.to_bits(), b.ber.to_bits());
+    assert_eq!(a.airtime_s.to_bits(), b.airtime_s.to_bits());
+    assert_eq!(a.node_energy_j.to_bits(), b.node_energy_j.to_bits());
+}
+
+/// `run_packet` vs `run_packet_probed` on shared streams: the session
+/// layer's probe (event counters, energy histogram, optional trace) is
+/// non-perturbing as well.
+#[test]
+fn probed_session_is_bit_identical() {
+    let (config, scene) = session_scene();
+    let session = Session::new(config, scene).unwrap();
+    let packet = Packet::uplink(vec![0xA5u8; 24]);
+    for trial in 0..3 {
+        let mut rng_plain = trial_rng(0x5E55, trial);
+        let mut rng_probed = trial_rng(0x5E55, trial);
+        let plain = session.run_packet(&packet, &mut rng_plain).unwrap();
+        let mut probe = CampaignProbe::with_trace(1024);
+        let probed = session
+            .run_packet_probed(&packet, &mut rng_probed, &mut probe)
+            .unwrap();
+        assert_session_bit_exact(&plain, &probed);
+        assert_eq!(
+            rng_plain.sample(1.0).to_bits(),
+            rng_probed.sample(1.0).to_bits(),
+            "session probe perturbed the RNG stream"
+        );
+        #[cfg(feature = "telemetry")]
+        {
+            let metrics = probe.take_metrics().expect("telemetry on: metrics exist");
+            assert!(metrics.counter("session_events") > 0);
+            let trace = probe
+                .trace
+                .take()
+                .expect("tracing was requested")
+                .into_buffer();
+            assert!(!trace.is_empty(), "session recorded no trace events");
+        }
+    }
+}

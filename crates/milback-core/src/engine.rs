@@ -37,6 +37,7 @@
 //! ([`Engine::run_until`]).
 
 use crate::error::{MilbackError, Result};
+use crate::telemetry::{TraceRecord, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -155,12 +156,22 @@ pub struct EngineStats {
     pub end_time_ps: TimePs,
 }
 
+/// Labels an event kind for trace capture; must be a pure function of
+/// the event value.
+pub type EventLabeler<E> = fn(&E) -> &'static str;
+
 /// The discrete-event engine: one queue, one clock, one shared medium.
 pub struct Engine<M, E> {
     now_ps: TimePs,
     seq: u64,
     queue: BinaryHeap<Reverse<Scheduled<E>>>,
     actors: Vec<Box<dyn Actor<M, E>>>,
+    /// Optional dispatch tracer: the sink plus a labeler naming each
+    /// event kind. Stored as a plain `fn` pointer so `E` needs no trait
+    /// bound and an un-traced engine is unchanged. Recording happens
+    /// *after* the pop, from values already computed for dispatch, so
+    /// tracing can never reorder or perturb the run.
+    tracer: Option<(TraceSink, EventLabeler<E>)>,
     /// The shared medium every handler sees (`&mut` during dispatch).
     pub medium: M,
 }
@@ -173,8 +184,17 @@ impl<M, E> Engine<M, E> {
             seq: 0,
             queue: BinaryHeap::new(),
             actors: Vec::new(),
+            tracer: None,
             medium,
         }
+    }
+
+    /// Attaches a dispatch tracer: every popped event is recorded as a
+    /// [`TraceRecord::Event`] with `(time_ps, seq, actor, kind)` plus the
+    /// queue depth after the pop. `label` names the event kind and must be
+    /// a pure function of the event value.
+    pub fn set_tracer(&mut self, sink: TraceSink, label: EventLabeler<E>) {
+        self.tracer = Some((sink, label));
     }
 
     /// Registers an actor and returns its id.
@@ -238,6 +258,15 @@ impl<M, E> Engine<M, E> {
                 "queue delivered an event from the past"
             );
             self.now_ps = entry.at_ps;
+            if let Some((sink, label)) = &self.tracer {
+                sink.record(TraceRecord::Event {
+                    time_ps: entry.at_ps,
+                    seq: entry.seq,
+                    actor: entry.dst.0,
+                    kind: label(&entry.event),
+                    queue_depth: self.queue.len(),
+                });
+            }
             let actor = self.actors.get_mut(entry.dst.0).ok_or_else(|| {
                 MilbackError::Engine(format!(
                     "event addressed to unregistered actor {}",
@@ -424,6 +453,39 @@ mod tests {
             e.into_medium()
         };
         assert_eq!(run(), run());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn tracer_records_dispatches_without_changing_the_run() {
+        use crate::telemetry::TraceSink;
+        let run = |trace: bool| {
+            let mut e: Engine<Log, u32> = Engine::new(Vec::new());
+            let sink = TraceSink::with_capacity(16);
+            if trace {
+                e.set_tracer(sink.clone(), |ev| if *ev < 50 { "low" } else { "high" });
+            }
+            let a = e.add_actor(Box::new(Recorder {
+                tag: 1,
+                follow_up: Some((2e-6, 50)),
+            }));
+            e.post(secs_to_ps(1e-6), a, 1);
+            e.run().unwrap();
+            (e.into_medium(), sink.into_buffer())
+        };
+        let (plain, empty) = run(false);
+        let (traced, buf) = run(true);
+        assert_eq!(plain, traced, "tracing must not perturb the run");
+        assert!(empty.is_empty());
+        assert_eq!(buf.len(), 2, "one record per dispatched event");
+        let kinds: Vec<_> = buf
+            .records()
+            .map(|r| match r {
+                crate::telemetry::TraceRecord::Event { kind, .. } => *kind,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(kinds, ["low", "high"]);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod network;
 pub mod protocol;
 pub mod scene;
 pub mod session;
+pub mod telemetry;
 pub mod tracking;
 
 pub use config::SystemConfig;
@@ -37,4 +38,5 @@ pub use network::{
 pub use protocol::Packet;
 pub use scene::{GroundTruth, Scene};
 pub use session::{Session, SessionReport};
+pub use telemetry::{CampaignProbe, Metrics, TraceBuffer, TraceRecord, TraceSink};
 pub use tracking::Tracker;

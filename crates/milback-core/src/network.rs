@@ -9,6 +9,10 @@ use crate::error::{MilbackError, Result};
 use crate::link::{LinkSimulator, UplinkOutcome};
 use crate::protocol::{Packet, SlotPlan};
 use crate::scene::Scene;
+use crate::telemetry::{
+    CampaignProbe, TraceRecord, BACKOFF_BUCKETS_FRAMES, ENERGY_BUCKETS_J, OCCUPANCY_BUCKETS,
+    SNR_BUCKETS_DB,
+};
 use milback_node::power::{NodeActivity, NodePowerModel};
 use mmwave_rf::antenna::Antenna;
 use mmwave_sigproc::random::GaussianSource;
@@ -219,12 +223,45 @@ impl Network {
     /// per-node reports compare across policies.
     pub fn run_mac(
         &self,
+        policy: Box<dyn MacPolicy>,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        rng: &mut GaussianSource,
+    ) -> Result<SlottedRunReport> {
+        let mut probe = CampaignProbe::disabled();
+        self.run_mac_probed(
+            policy,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            rng,
+            &mut probe,
+        )
+    }
+
+    /// [`run_mac`](Self::run_mac) with an instrumentation probe attached.
+    ///
+    /// The probe collects counters/histograms (slot occupancy, collisions,
+    /// energy, SNR) and — when tracing — structured records of every
+    /// engine dispatch, slot outcome, policy decision, and energy draw.
+    /// Recording is non-perturbing by construction: the probe only copies
+    /// values the campaign already computed, draws no randomness, and
+    /// reads no clocks; `run_mac` is literally this function with a
+    /// disabled probe, and the parity suite proves both produce
+    /// bit-identical reports.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mac_probed(
+        &self,
         mut policy: Box<dyn MacPolicy>,
         frames: usize,
         payload: &[u8],
         plan: &SlotPlan,
         sdm_threshold_db: f64,
         rng: &mut GaussianSource,
+        probe: &mut CampaignProbe,
     ) -> Result<SlottedRunReport> {
         let airtime_s = self.slotted_airtime_s(payload, plan)?;
         {
@@ -236,8 +273,16 @@ impl Network {
             };
             policy.begin(&ctx, rng);
         }
-        let medium = self.slot_medium(payload, airtime_s, rng);
+        let mut medium = self.slot_medium(payload, airtime_s, rng);
+        medium.probe = std::mem::take(probe);
+        let trace = medium.probe.trace.clone();
         let mut engine = Engine::new(medium);
+        if let Some(sink) = trace {
+            engine.set_tracer(sink, |ev| match ev {
+                SlotEvent::FrameStart { .. } => "frame_start",
+                SlotEvent::SlotFire { .. } => "slot_fire",
+            });
+        }
         let coordinator = engine.add_actor(Box::new(PolicyCoordinator {
             me: ActorId(0),
             plan: *plan,
@@ -250,12 +295,9 @@ impl Network {
             engine.post(0, coordinator, SlotEvent::FrameStart { frame: 0 });
         }
         engine.run()?;
-        Ok(Self::finish_slotted(
-            engine.into_medium(),
-            frames,
-            plan,
-            payload,
-        ))
+        let mut m = engine.into_medium();
+        *probe = std::mem::take(&mut m.probe);
+        Ok(Self::finish_slotted(m, frames, plan, payload))
     }
 
     /// The pre-trait slotted-ALOHA campaign, retained verbatim as the
@@ -326,6 +368,7 @@ impl Network {
             collisions: vec![0; n],
             energy_j: vec![0.0; n],
             snr_sum_db: vec![0.0; n],
+            probe: CampaignProbe::disabled(),
         }
     }
 
@@ -488,6 +531,10 @@ struct SlotMedium<'a> {
     collisions: Vec<usize>,
     energy_j: Vec<f64>,
     snr_sum_db: Vec<f64>,
+    /// The campaign's instrumentation surface. Disabled (all-`None`) on
+    /// every uninstrumented path, so recording helpers no-op and both
+    /// paths execute the same code.
+    probe: CampaignProbe,
 }
 
 impl<'a> SlotMedium<'a> {
@@ -499,8 +546,20 @@ impl<'a> SlotMedium<'a> {
     /// Every MAC path funnels through this one function (`inline(never)` so
     /// the optimizer cannot split it into per-caller pipelines that drift
     /// by a ULP — the same discipline the FSA evaluator uses).
+    ///
+    /// `(now_ps, frame, slot)` identify the slot for telemetry only — the
+    /// physics never reads them, and the probe calls are unconditional
+    /// no-ops when the probe is disabled, so instrumented and plain runs
+    /// share one code path.
     #[inline(never)]
-    fn fire_slot(&mut self, group: &[usize], sdm_threshold_db: f64) -> Result<bool> {
+    fn fire_slot(
+        &mut self,
+        group: &[usize],
+        sdm_threshold_db: f64,
+        now_ps: TimePs,
+        frame: usize,
+        slot: usize,
+    ) -> Result<bool> {
         for &node in group {
             self.attempts[node] += 1;
             self.energy_j[node] += self.power.energy_j(NodeActivity::Uplink, self.airtime_s);
@@ -516,6 +575,7 @@ impl<'a> SlotMedium<'a> {
             for &node in group {
                 self.collisions[node] += 1;
             }
+            self.record_slot(group, true, now_ps, frame, slot);
             return Ok(true);
         }
         for &node in group {
@@ -536,9 +596,61 @@ impl<'a> SlotMedium<'a> {
             if outcome.decoded == self.payload {
                 self.delivered[node] += 1;
                 self.snr_sum_db[node] += outcome.snr_db;
+                self.probe
+                    .observe("delivered_snr_db", SNR_BUCKETS_DB, outcome.snr_db);
             }
         }
+        self.record_slot(group, false, now_ps, frame, slot);
         Ok(false)
+    }
+
+    /// Records one resolved slot into the probe: the slot outcome (with
+    /// its collision participants), per-node energy draws, and the
+    /// occupancy/collision/energy aggregates. Pure copies of
+    /// already-computed values — no physics, no randomness, no clock.
+    fn record_slot(
+        &mut self,
+        group: &[usize],
+        collided: bool,
+        now_ps: TimePs,
+        frame: usize,
+        slot: usize,
+    ) {
+        if !self.probe.is_enabled() {
+            return;
+        }
+        let dur_ps = crate::engine::secs_to_ps(self.airtime_s);
+        self.probe.trace(|| TraceRecord::Slot {
+            time_ps: now_ps,
+            frame,
+            slot,
+            group: group.to_vec(),
+            collided,
+            dur_ps,
+        });
+        for &node in group {
+            let cumulative_j = self.energy_j[node];
+            self.probe.trace(|| TraceRecord::Energy {
+                time_ps: now_ps,
+                node,
+                cumulative_j,
+            });
+        }
+        self.probe.inc("slots_fired", 1);
+        self.probe.inc("attempts", group.len() as u64);
+        self.probe
+            .observe("slot_occupancy", OCCUPANCY_BUCKETS, group.len() as f64);
+        // Every attempt drains the same uplink airtime energy, collided or
+        // not — the histogram records the drain per transmitter.
+        let energy_per_attempt = self.power.energy_j(NodeActivity::Uplink, self.airtime_s);
+        for _ in group {
+            self.probe
+                .observe("energy_per_attempt_j", ENERGY_BUCKETS_J, energy_per_attempt);
+        }
+        if collided {
+            self.probe.inc("slot_collisions", 1);
+            self.probe.inc("collided_packets", group.len() as u64);
+        }
     }
 }
 
@@ -596,7 +708,7 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for SlotCoordinator {
                 // frame) — the parity reference the hash-once schedule in
                 // [`PolicyCoordinator`] is checked against.
                 let group = self.group(n, frame, slot);
-                m.fire_slot(&group, self.sdm_threshold_db)?;
+                m.fire_slot(&group, self.sdm_threshold_db, now_ps, frame, slot)?;
             }
         }
         Ok(())
@@ -655,6 +767,21 @@ pub trait MacPolicy {
     /// Feedback after a slot resolves: `collided` is true when the group
     /// was lost to an unseparable collision.
     fn on_slot_outcome(&mut self, _frame: usize, _slot: usize, _group: &[usize], _collided: bool) {}
+
+    /// Telemetry hook, called once per frame right after
+    /// [`schedule_frame`](Self::schedule_frame): the policy may describe
+    /// its current decision state (backoff windows, group rotations) into
+    /// the probe. Takes `&self`, so recording **cannot** mutate policy
+    /// state — the non-perturbation contract holds by construction. The
+    /// default records nothing.
+    fn record_frame(
+        &self,
+        _frame: usize,
+        _now_ps: TimePs,
+        _ctx: &MacContext<'_>,
+        _probe: &mut CampaignProbe,
+    ) {
+    }
 }
 
 /// One SplitMix64 step: advances `state` and returns the mixed output.
@@ -798,6 +925,37 @@ impl MacPolicy for BackoffAloha {
             }
         }
     }
+
+    fn record_frame(
+        &self,
+        _frame: usize,
+        now_ps: TimePs,
+        _ctx: &MacContext<'_>,
+        probe: &mut CampaignProbe,
+    ) {
+        // Contention windows as of this frame boundary: a node with a
+        // non-zero exponent is inside a `2^e`-frame window; one still
+        // deferring sat this frame out.
+        for (node, st) in self.nodes.iter().enumerate() {
+            if st.exponent == 0 {
+                continue;
+            }
+            let window_frames = 1u64 << st.exponent;
+            probe.observe(
+                "backoff_window_frames",
+                BACKOFF_BUCKETS_FRAMES,
+                window_frames as f64,
+            );
+            if st.defer_frames > 0 {
+                probe.inc("backoff_deferrals", 1);
+                probe.trace(|| TraceRecord::Backoff {
+                    time_ps: now_ps,
+                    node,
+                    window_frames,
+                });
+            }
+        }
+    }
 }
 
 /// AP-driven reservation/polling: the AP grants slots round-robin over the
@@ -894,6 +1052,31 @@ impl MacPolicy for SdmAwareAssignment {
             })
             .collect()
     }
+
+    fn record_frame(
+        &self,
+        frame: usize,
+        now_ps: TimePs,
+        ctx: &MacContext<'_>,
+        probe: &mut CampaignProbe,
+    ) {
+        if self.groups.is_empty() {
+            return;
+        }
+        // The rotation this frame grants: same arithmetic as
+        // `schedule_frame`, re-derived read-only.
+        let slots = ctx.plan.slots_per_frame;
+        for slot in 0..slots {
+            let group_idx = (frame * slots + slot) % self.groups.len();
+            probe.inc("sdm_rotations", 1);
+            probe.trace(|| TraceRecord::SdmRotation {
+                time_ps: now_ps,
+                frame,
+                group_idx,
+                group_size: self.groups[group_idx].len(),
+            });
+        }
+    }
 }
 
 /// The generic MAC coordinator: drives any [`MacPolicy`] over the same
@@ -929,6 +1112,8 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
                     sdm_threshold_db: self.sdm_threshold_db,
                 };
                 self.schedule = self.policy.schedule_frame(frame, &ctx);
+                m.probe.inc("frames", 1);
+                self.policy.record_frame(frame, now_ps, &ctx, &mut m.probe);
                 debug_assert!(
                     self.schedule.windows(2).all(|w| w[0].0 < w[1].0),
                     "schedule slots must be strictly increasing"
@@ -961,7 +1146,13 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
                             "slot {slot} of frame {frame} fired without a schedule entry"
                         ))
                     })?;
-                let collided = m.fire_slot(&self.schedule[idx].1, self.sdm_threshold_db)?;
+                let collided = m.fire_slot(
+                    &self.schedule[idx].1,
+                    self.sdm_threshold_db,
+                    now_ps,
+                    frame,
+                    slot,
+                )?;
                 self.policy
                     .on_slot_outcome(frame, slot, &self.schedule[idx].1, collided);
             }

@@ -21,6 +21,7 @@ use crate::link::LinkSimulator;
 use crate::localization::{LocalizationPipeline, LocationFix};
 use crate::protocol::Packet;
 use crate::scene::Scene;
+use crate::telemetry::CampaignProbe;
 use milback_ap::waveform::LinkDirection;
 use milback_node::firmware::{Direction, Event as FwEvent, Firmware, State as FwState};
 use milback_node::mode::{PortMode, ToggleSchedule};
@@ -260,6 +261,22 @@ impl Session {
     /// Bit-identical to [`run_packet_direct`](Self::run_packet_direct) for
     /// any seed — the parity suite enforces this.
     pub fn run_packet(&self, packet: &Packet, rng: &mut GaussianSource) -> Result<SessionReport> {
+        let mut probe = CampaignProbe::disabled();
+        self.run_packet_probed(packet, rng, &mut probe)
+    }
+
+    /// [`run_packet`](Self::run_packet) with an instrumentation probe:
+    /// when tracing, every dispatched session event is recorded
+    /// `(time_ps, seq, actor, kind)`; metrics count dispatches, mode
+    /// switches, and the node energy draw. `run_packet` is this function
+    /// with a disabled probe — the probe copies values the session already
+    /// computed and can never perturb it.
+    pub fn run_packet_probed(
+        &self,
+        packet: &Packet,
+        rng: &mut GaussianSource,
+        probe: &mut CampaignProbe,
+    ) -> Result<SessionReport> {
         let pipeline = LocalizationPipeline::new(self.config.clone(), self.scene.clone())?;
         let sim = LinkSimulator::new(self.config.clone(), self.scene.clone())?;
         let medium = SessionMedium {
@@ -284,6 +301,19 @@ impl Session {
             mode_switches: 0,
         };
         let mut engine = Engine::new(medium);
+        if let Some(sink) = &probe.trace {
+            engine.set_tracer(sink.clone(), |ev| match ev {
+                SessionEvent::Field1Burst => "field1_burst",
+                SessionEvent::Field1Gap => "field1_gap",
+                SessionEvent::Field2Start => "field2_start",
+                SessionEvent::ToggleMode => "toggle_mode",
+                SessionEvent::Field2Process => "field2_process",
+                SessionEvent::PlanCarriers => "plan_carriers",
+                SessionEvent::PayloadStart => "payload_start",
+                SessionEvent::PayloadTransfer => "payload_transfer",
+                SessionEvent::PayloadEnd => "payload_end",
+            });
+        }
         let node = engine.add_actor(Box::new(NodeActor {
             me: ActorId(0),
             firmware: Firmware::new(NodePowerModel::milback_default()),
@@ -319,6 +349,13 @@ impl Session {
             LinkDirection::Downlink => self.config.downlink_symbol_rate_hz,
             LinkDirection::Uplink => self.config.uplink_symbol_rate_hz,
         };
+        probe.inc("session_events", stats.events_dispatched as u64);
+        probe.inc("mode_switches", m.mode_switches as u64);
+        probe.observe(
+            "session_node_energy_j",
+            crate::telemetry::ENERGY_BUCKETS_J,
+            m.node_energy_j,
+        );
         // Consistency guards: the node decoded what the AP signalled, and
         // the engine clock closed exactly at the packet's airtime.
         debug_assert_eq!(decoded_direction, packet.direction);

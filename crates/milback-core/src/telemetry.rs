@@ -1,0 +1,983 @@
+//! Deterministic instrumentation: trace capture, campaign metrics, and the
+//! probe that threads them through the engine, MAC stack, and session
+//! pipeline.
+//!
+//! # Non-perturbation contract
+//!
+//! Instrumentation must never change what a simulation computes. Every
+//! recording surface in this module is designed so that turning it on or
+//! off cannot move a single bit of a campaign report:
+//!
+//! * **No randomness.** Nothing here draws from the trial RNG stream or
+//!   owns a generator. Recorders only copy values the simulation already
+//!   computed.
+//! * **No simulated-time reads.** Timestamps are passed *in* by the code
+//!   that already holds `now_ps`; telemetry never queries the clock, so it
+//!   cannot reorder reads.
+//! * **No wall clock.** Host-side wall-clock timing lives in the bench
+//!   crate's span layer, outside the simulation entirely.
+//! * **No panics on pressure.** The trace ring buffer drops its oldest
+//!   records (and counts the drops) instead of growing or failing, so an
+//!   instrumented run cannot abort where an uninstrumented one succeeded.
+//!
+//! The parity suite (`milback-bench/tests/telemetry_parity.rs`) enforces
+//! the contract end-to-end: instrumented and uninstrumented campaigns are
+//! bit-identical (`==` and `to_bits`) through the trial-parallel runner at
+//! 1/2/4/8 threads for every MAC policy.
+//!
+//! # The `telemetry` feature
+//!
+//! With the default `telemetry` cargo feature enabled, recorders append
+//! into the sink/registry. Built with `--no-default-features`, every
+//! recording body compiles to a no-op (the types and APIs remain, exports
+//! emit empty data), so a telemetry-off build is the zero-overhead
+//! baseline. [`enabled`] reports which build this is.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Whether this build records telemetry (`telemetry` cargo feature).
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Default trace ring-buffer capacity (records). At ~5 records per
+/// occupied slot this holds several 64-node frames comfortably.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Fixed buckets for slot-occupancy histograms (transmitters per slot).
+pub const OCCUPANCY_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Fixed buckets for per-attempt / per-packet node energy, joules.
+pub const ENERGY_BUCKETS_J: &[f64] = &[1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
+
+/// Fixed buckets for backoff contention windows, frames.
+pub const BACKOFF_BUCKETS_FRAMES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Fixed buckets for delivered-packet SNR, dB.
+pub const SNR_BUCKETS_DB: &[f64] = &[-10.0, 0.0, 10.0, 20.0, 30.0, 40.0];
+
+/// One structured trace record. Timestamps are simulated integer
+/// picoseconds, always supplied by the recording site (never read here).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// An engine dispatch: one event popped from the queue.
+    Event {
+        /// Dispatch time, picoseconds.
+        time_ps: u64,
+        /// The event's queue sequence number.
+        seq: u64,
+        /// Destination actor index.
+        actor: usize,
+        /// Event kind label (static, per event type).
+        kind: &'static str,
+        /// Events still queued after this one was popped.
+        queue_depth: usize,
+    },
+    /// A MAC slot resolved: the group either collided or was served.
+    Slot {
+        /// Slot airtime start, picoseconds.
+        time_ps: u64,
+        /// Frame number.
+        frame: usize,
+        /// Slot within the frame.
+        slot: usize,
+        /// Transmitting nodes (collision participants when `collided`).
+        group: Vec<usize>,
+        /// Whether the slot was lost to an unseparable collision.
+        collided: bool,
+        /// Packet airtime, picoseconds.
+        dur_ps: u64,
+    },
+    /// A node sat out a frame under backoff.
+    Backoff {
+        /// Frame-start time, picoseconds.
+        time_ps: u64,
+        /// Deferring node.
+        node: usize,
+        /// Its current contention window, frames.
+        window_frames: u64,
+    },
+    /// An SDM-aware group grant rotated into a slot.
+    SdmRotation {
+        /// Frame-start time, picoseconds.
+        time_ps: u64,
+        /// Frame number.
+        frame: usize,
+        /// Index of the granted group in the partition.
+        group_idx: usize,
+        /// Size of the granted group.
+        group_size: usize,
+    },
+    /// A node's cumulative energy ledger after a draw.
+    Energy {
+        /// Time of the draw, picoseconds.
+        time_ps: u64,
+        /// The node.
+        node: usize,
+        /// Cumulative energy spent so far, joules.
+        cumulative_j: f64,
+    },
+}
+
+impl TraceRecord {
+    /// The record's simulated timestamp, picoseconds.
+    pub fn time_ps(&self) -> u64 {
+        match *self {
+            TraceRecord::Event { time_ps, .. }
+            | TraceRecord::Slot { time_ps, .. }
+            | TraceRecord::Backoff { time_ps, .. }
+            | TraceRecord::SdmRotation { time_ps, .. }
+            | TraceRecord::Energy { time_ps, .. } => time_ps,
+        }
+    }
+
+    /// One JSONL line (no trailing newline). Floats are guaranteed finite
+    /// by the recording sites; non-finite values are clamped to `0` so a
+    /// line can never carry a `NaN`/`inf` token.
+    pub fn to_jsonl(&self) -> String {
+        match self {
+            TraceRecord::Event {
+                time_ps,
+                seq,
+                actor,
+                kind,
+                queue_depth,
+            } => format!(
+                "{{\"type\":\"event\",\"time_ps\":{time_ps},\"seq\":{seq},\"actor\":{actor},\
+                 \"kind\":\"{kind}\",\"queue_depth\":{queue_depth}}}"
+            ),
+            TraceRecord::Slot {
+                time_ps,
+                frame,
+                slot,
+                group,
+                collided,
+                dur_ps,
+            } => format!(
+                "{{\"type\":\"slot\",\"time_ps\":{time_ps},\"frame\":{frame},\"slot\":{slot},\
+                 \"group\":{},\"collided\":{collided},\"dur_ps\":{dur_ps}}}",
+                json_usize_array(group)
+            ),
+            TraceRecord::Backoff {
+                time_ps,
+                node,
+                window_frames,
+            } => format!(
+                "{{\"type\":\"backoff\",\"time_ps\":{time_ps},\"node\":{node},\
+                 \"window_frames\":{window_frames}}}"
+            ),
+            TraceRecord::SdmRotation {
+                time_ps,
+                frame,
+                group_idx,
+                group_size,
+            } => format!(
+                "{{\"type\":\"sdm_rotation\",\"time_ps\":{time_ps},\"frame\":{frame},\
+                 \"group_idx\":{group_idx},\"group_size\":{group_size}}}"
+            ),
+            TraceRecord::Energy {
+                time_ps,
+                node,
+                cumulative_j,
+            } => format!(
+                "{{\"type\":\"energy\",\"time_ps\":{time_ps},\"node\":{node},\
+                 \"cumulative_j\":{}}}",
+                json_f64(*cumulative_j)
+            ),
+        }
+    }
+}
+
+/// Formats a float for JSON: finite values in full precision, everything
+/// else clamped to `0` (trace/metric files must never carry NaN/inf).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v:e}");
+        // `{:e}` is compact and round-trippable but renders exponents as
+        // `1e0`; standard JSON parsers accept that form.
+        s
+    } else {
+        "0".into()
+    }
+}
+
+fn json_usize_array(v: &[usize]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{x}");
+    }
+    s.push(']');
+    s
+}
+
+/// A bounded in-memory trace: a ring buffer that drops its **oldest**
+/// records under pressure and counts the drops — it never grows without
+/// bound and never panics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBuffer {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            records: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, r: TraceRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(r);
+    }
+
+    /// The records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// JSONL export: one record per line, oldest first, plus a trailing
+    /// `meta` line carrying the drop counter. `time_ps` is monotone
+    /// non-decreasing across record lines because records are appended in
+    /// dispatch order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_jsonl());
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"records\":{},\"dropped\":{}}}",
+            self.records.len(),
+            self.dropped
+        );
+        out
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+/// A shared, clonable handle to a [`TraceBuffer`]. One engine run is
+/// single-threaded by construction, so the handle is a plain `Rc<RefCell>`
+/// — the engine, medium, and coordinator can all hold one.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink(Rc<RefCell<TraceBuffer>>);
+
+impl TraceSink {
+    /// A sink over a fresh buffer of `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self(Rc::new(RefCell::new(TraceBuffer::new(capacity))))
+    }
+
+    /// Appends a record (no-op in a telemetry-off build).
+    #[inline]
+    pub fn record(&self, r: TraceRecord) {
+        #[cfg(feature = "telemetry")]
+        self.0.borrow_mut().push(r);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = r;
+    }
+
+    /// Runs `f` over the underlying buffer (read-only snapshot access).
+    pub fn with_buffer<T>(&self, f: impl FnOnce(&TraceBuffer) -> T) -> T {
+        f(&self.0.borrow())
+    }
+
+    /// Consumes this handle, returning the buffer when this was the last
+    /// clone (otherwise a deep copy of the current contents).
+    pub fn into_buffer(self) -> TraceBuffer {
+        match Rc::try_unwrap(self.0) {
+            Ok(cell) => cell.into_inner(),
+            Err(rc) => rc.borrow().clone(),
+        }
+    }
+}
+
+/// One fixed-bucket histogram: `counts[i]` holds observations in
+/// `(bounds[i-1], bounds[i]]`, with one extra overflow bucket past the
+/// last bound. Bucket bounds are fixed at creation so histograms merge
+/// bucket-by-bucket without rebinning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket bounds, ascending.
+    pub bounds: &'static [f64],
+    /// Per-bucket counts (`bounds.len() + 1` entries; last = overflow).
+    pub counts: Vec<u64>,
+    /// Total observations (finite values only).
+    pub count: u64,
+    /// Sum of observed values (finite values only).
+    pub sum: f64,
+}
+
+// `new`/`observe` are only reached from the cfg-gated recording bodies,
+// so a telemetry-off build sees them as dead — that is the point.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Self {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    fn merge_from(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.bounds, other.bounds, "histogram buckets must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean of the observed values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// JSON object: `{"bounds":[..],"counts":[..],"count":N,"sum":S}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"bounds\":[");
+        for (i, b) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&json_f64(*b));
+        }
+        s.push_str("],\"counts\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{c}");
+        }
+        let _ = write!(
+            s,
+            "],\"count\":{},\"sum\":{}}}",
+            self.count,
+            json_f64(self.sum)
+        );
+        s
+    }
+}
+
+/// A deterministic metrics registry: named counters and fixed-bucket
+/// histograms, held in **first-registration order** so two runs that
+/// record the same things serialize identically, and so cross-trial merges
+/// (performed by the runner's caller in trial order) are reproducible.
+///
+/// Lookup is a linear scan — registries hold a handful of names, and a
+/// `Vec` keeps ordering deterministic without a hasher.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    counters: Vec<(&'static str, u64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to counter `name` (no-op in a telemetry-off build).
+    #[inline]
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            match self.counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, v)) => *v += by,
+                None => self.counters.push((name, by)),
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (name, by);
+    }
+
+    /// Observes `value` into histogram `name` with the given fixed bucket
+    /// bounds (no-op in a telemetry-off build). Non-finite values are
+    /// ignored — they can never reach a serialized file.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, bounds: &'static [f64], value: f64) {
+        #[cfg(feature = "telemetry")]
+        {
+            match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, h)) => h.observe(value),
+                None => {
+                    let mut h = Histogram::new(bounds);
+                    h.observe(value);
+                    self.histograms.push((name, h));
+                }
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (name, bounds, value);
+    }
+
+    /// A counter's current value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Counters in first-registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// Histograms in first-registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(n, h)| (*n, h))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another registry into this one. Names the other registry
+    /// knows and this one does not are appended in the other's order, so
+    /// merging a trial sequence in trial order is deterministic.
+    pub fn merge_from(&mut self, other: &Metrics) {
+        for &(name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name, v)),
+            }
+        }
+        for &(name, ref h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, mine)) => mine.merge_from(h),
+                None => self.histograms.push((name, h.clone())),
+            }
+        }
+    }
+
+    /// JSON object:
+    /// `{"counters":{..},"histograms":{name:{bounds,counts,count,sum}}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{v}");
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{}", h.to_json());
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// The instrumentation surface a campaign run carries: an optional trace
+/// sink and an optional metrics registry. A disabled probe (both `None`,
+/// the default) is what every uninstrumented path passes — recording
+/// helpers no-op on it, so the instrumented and uninstrumented code paths
+/// are literally the same code.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignProbe {
+    /// Structured trace destination, when tracing.
+    pub trace: Option<TraceSink>,
+    /// Counter/histogram registry, when collecting metrics.
+    pub metrics: Option<Metrics>,
+}
+
+impl CampaignProbe {
+    /// A probe that records nothing.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A probe collecting metrics only.
+    pub fn with_metrics() -> Self {
+        Self {
+            trace: None,
+            metrics: Some(Metrics::new()),
+        }
+    }
+
+    /// A probe collecting metrics and tracing into a ring of `capacity`
+    /// records.
+    pub fn with_trace(capacity: usize) -> Self {
+        Self {
+            trace: Some(TraceSink::with_capacity(capacity)),
+            metrics: Some(Metrics::new()),
+        }
+    }
+
+    /// Whether anything is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Records a trace record, if tracing.
+    #[inline]
+    pub fn trace(&mut self, f: impl FnOnce() -> TraceRecord) {
+        if let Some(sink) = &self.trace {
+            sink.record(f());
+        }
+    }
+
+    /// Adds to a counter, if collecting metrics.
+    #[inline]
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.inc(name, by);
+        }
+    }
+
+    /// Observes into a histogram, if collecting metrics.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, bounds: &'static [f64], value: f64) {
+        if let Some(m) = &mut self.metrics {
+            m.observe(name, bounds, value);
+        }
+    }
+
+    /// Takes the collected metrics out of the probe (leaves `None`).
+    pub fn take_metrics(&mut self) -> Option<Metrics> {
+        self.metrics.take()
+    }
+}
+
+/// Renders one or more trace buffers as Chrome `trace_event` JSON (the
+/// JSON-object format: `{"traceEvents":[...]}`), loadable in
+/// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev).
+///
+/// Each `(name, buffer)` pair becomes its own trace "process" (`pid` = its
+/// index, labelled by a metadata record), so several campaigns — e.g. the
+/// four MAC policies — land side by side in one view. Simulated
+/// picoseconds map to trace microseconds (`ts = time_ps / 1e6`), keeping a
+/// 45 µs slot legible at Perfetto's default zoom.
+///
+/// Record mapping: engine events → instant (`"ph":"i"`), slots → complete
+/// spans (`"ph":"X"` with `dur`), backoff/rotation → instants with args,
+/// energy → counter tracks (`"ph":"C"`).
+pub fn chrome_trace(sections: &[(&str, &TraceBuffer)]) -> String {
+    let mut s = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            s.push(',');
+        }
+        *first = false;
+        s.push_str(&ev);
+    };
+    for (pid, (name, buf)) in sections.iter().enumerate() {
+        push(
+            &mut s,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ),
+        );
+        for r in buf.records() {
+            let ts = json_f64(r.time_ps() as f64 / 1e6);
+            let ev = match r {
+                TraceRecord::Event {
+                    actor,
+                    kind,
+                    seq,
+                    queue_depth,
+                    ..
+                } => format!(
+                    "{{\"name\":\"{kind}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\
+                     \"tid\":{actor},\"args\":{{\"seq\":{seq},\"queue_depth\":{queue_depth}}}}}"
+                ),
+                TraceRecord::Slot {
+                    frame,
+                    slot,
+                    group,
+                    collided,
+                    dur_ps,
+                    ..
+                } => format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":{pid},\
+                     \"tid\":{},\"args\":{{\"frame\":{frame},\"group\":{},\
+                     \"collided\":{collided}}}}}",
+                    if *collided { "collision" } else { "slot" },
+                    json_f64(*dur_ps as f64 / 1e6),
+                    100 + slot,
+                    json_usize_array(group),
+                ),
+                TraceRecord::Backoff {
+                    node,
+                    window_frames,
+                    ..
+                } => format!(
+                    "{{\"name\":\"backoff\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\
+                     \"tid\":{},\"args\":{{\"node\":{node},\"window_frames\":{window_frames}}}}}",
+                    200 + node
+                ),
+                TraceRecord::SdmRotation {
+                    frame,
+                    group_idx,
+                    group_size,
+                    ..
+                } => format!(
+                    "{{\"name\":\"sdm_rotation\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+                     \"pid\":{pid},\"tid\":0,\"args\":{{\"frame\":{frame},\
+                     \"group_idx\":{group_idx},\"group_size\":{group_size}}}}}"
+                ),
+                TraceRecord::Energy {
+                    node, cumulative_j, ..
+                } => format!(
+                    "{{\"name\":\"energy_node{node}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":{pid},\
+                     \"tid\":0,\"args\":{{\"joules\":{}}}}}",
+                    json_f64(*cumulative_j)
+                ),
+            };
+            push(&mut s, &mut first, ev);
+        }
+    }
+    s.push_str("],\"displayTimeUnit\":\"ns\"}");
+    s
+}
+
+/// A minimal structural validator for the Chrome traces [`chrome_trace`]
+/// emits: checks the envelope, balanced braces/brackets, the absence of
+/// `NaN`/`inf` tokens, and that every event object carries the required
+/// `ph`/`pid`/`ts`-or-metadata fields. Returns the event count.
+///
+/// This is not a general JSON parser — it validates the subset this module
+/// generates, which is exactly what the schema round-trip tests and CI
+/// need without a JSON dependency.
+pub fn validate_chrome_trace(s: &str) -> Result<usize, String> {
+    let body = s
+        .strip_prefix("{\"traceEvents\":[")
+        .ok_or("missing traceEvents envelope")?;
+    if !s.ends_with('}') {
+        return Err("unterminated trace object".into());
+    }
+    if s.contains("NaN") || s.contains("inf") {
+        return Err("trace carries NaN/inf tokens".into());
+    }
+    let (mut depth_obj, mut depth_arr) = (1i64, 1i64);
+    for c in body.chars() {
+        match c {
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return Err("unbalanced braces".into());
+        }
+    }
+    if depth_obj != 0 || depth_arr != 0 {
+        return Err(format!(
+            "unbalanced trace: obj depth {depth_obj}, arr depth {depth_arr}"
+        ));
+    }
+    let mut events = 0usize;
+    let marker = "{\"name\":";
+    for (pos, _) in body.match_indices(marker) {
+        // Skip nested objects (a metadata event's `"args":{"name":..}`).
+        if body[..pos].ends_with("\"args\":") {
+            continue;
+        }
+        let chunk = &body[pos + marker.len()..];
+        let end = chunk.len().min(200);
+        let head = &chunk[..end];
+        if !(head.contains("\"ph\":\"M\"") || head.contains("\"ts\":")) {
+            return Err(format!("event without ph/ts: {{\"name\":{head:.60}"));
+        }
+        if !head.contains("\"pid\":") {
+            return Err("event without pid".into());
+        }
+        events += 1;
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(t: u64, seq: u64) -> TraceRecord {
+        TraceRecord::Event {
+            time_ps: t,
+            seq,
+            actor: 0,
+            kind: "test",
+            queue_depth: 3,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_and_counts_never_panics() {
+        let mut buf = TraceBuffer::new(4);
+        for k in 0..10 {
+            buf.push(event(k * 100, k));
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped(), 6);
+        let first = buf.records().next().unwrap().time_ps();
+        assert_eq!(first, 600, "oldest records were evicted first");
+        // The JSONL export records the drop count.
+        let jsonl = buf.to_jsonl();
+        assert!(jsonl.contains("\"dropped\":6"), "{jsonl}");
+    }
+
+    #[test]
+    fn jsonl_lines_are_monotone_and_clean() {
+        let mut buf = TraceBuffer::new(16);
+        buf.push(event(100, 0));
+        buf.push(TraceRecord::Slot {
+            time_ps: 200,
+            frame: 0,
+            slot: 3,
+            group: vec![1, 4],
+            collided: true,
+            dur_ps: 45_000_000,
+        });
+        buf.push(TraceRecord::Energy {
+            time_ps: 250,
+            node: 1,
+            cumulative_j: 1.5e-5,
+        });
+        let jsonl = buf.to_jsonl();
+        assert!(!jsonl.contains("NaN") && !jsonl.contains("inf"));
+        let mut last = 0u64;
+        for line in jsonl.lines().filter(|l| !l.contains("\"meta\"")) {
+            let t: u64 = line
+                .split("\"time_ps\":")
+                .nth(1)
+                .and_then(|s| s.split(&[',', '}'][..]).next())
+                .and_then(|s| s.parse().ok())
+                .expect("every record line carries time_ps");
+            assert!(t >= last, "time went backwards in {line}");
+            last = t;
+        }
+        assert!(jsonl.contains("\"group\":[1,4]"));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn non_finite_observations_never_reach_json() {
+        let mut m = Metrics::new();
+        m.observe("e", ENERGY_BUCKETS_J, f64::NAN);
+        m.observe("e", ENERGY_BUCKETS_J, f64::INFINITY);
+        m.observe("e", ENERGY_BUCKETS_J, 1e-5);
+        let h = m.histogram("e").unwrap();
+        assert_eq!(h.count, 1, "non-finite values are ignored");
+        let json = m.to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        // And a non-finite trace float clamps rather than leaking.
+        assert_eq!(json_f64(f64::NAN), "0");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut m = Metrics::new();
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            m.observe("occ", OCCUPANCY_BUCKETS, v);
+        }
+        let h = m.histogram("occ").unwrap();
+        assert_eq!(h.counts[0], 2, "0.5 and 1.0 land in the first bucket");
+        assert_eq!(h.counts[2], 1, "3.0 lands in (2, 4]");
+        assert_eq!(*h.counts.last().unwrap(), 1, "100.0 overflows");
+        assert_eq!(h.count, 4);
+        assert!((h.mean().unwrap() - 26.125).abs() < 1e-12);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn metrics_merge_is_deterministic_and_ordered() {
+        let mut a = Metrics::new();
+        a.inc("slots", 3);
+        a.observe("occ", OCCUPANCY_BUCKETS, 2.0);
+        let mut b = Metrics::new();
+        b.inc("collisions", 1);
+        b.inc("slots", 2);
+        b.observe("occ", OCCUPANCY_BUCKETS, 5.0);
+        let merged = |order: &[&Metrics]| {
+            let mut m = Metrics::new();
+            for x in order {
+                m.merge_from(x);
+            }
+            m
+        };
+        let ab = merged(&[&a, &b]);
+        assert_eq!(ab.counter("slots"), 5);
+        assert_eq!(ab.counter("collisions"), 1);
+        assert_eq!(ab.histogram("occ").unwrap().count, 2);
+        // Merging in a fixed order always serializes identically.
+        assert_eq!(ab.to_json(), merged(&[&a, &b]).to_json());
+        // First-registration order is preserved: "slots" precedes
+        // "collisions" when a merges first.
+        let json = ab.to_json();
+        assert!(json.find("slots").unwrap() < json.find("collisions").unwrap());
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn telemetry_off_build_records_nothing() {
+        let mut m = Metrics::new();
+        m.inc("slots", 3);
+        m.observe("occ", OCCUPANCY_BUCKETS, 2.0);
+        assert!(m.is_empty(), "recording must compile to a no-op");
+        let sink = TraceSink::with_capacity(8);
+        sink.record(TraceRecord::Event {
+            time_ps: 0,
+            seq: 0,
+            actor: 0,
+            kind: "x",
+            queue_depth: 0,
+        });
+        assert!(sink.with_buffer(|b| b.is_empty()));
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_validator() {
+        let mut aloha = TraceBuffer::new(64);
+        aloha.push(event(0, 0));
+        aloha.push(TraceRecord::Slot {
+            time_ps: 45_000_000,
+            frame: 0,
+            slot: 1,
+            group: vec![0, 2],
+            collided: false,
+            dur_ps: 40_000_000,
+        });
+        let mut backoff = TraceBuffer::new(64);
+        backoff.push(TraceRecord::Backoff {
+            time_ps: 0,
+            node: 2,
+            window_frames: 8,
+        });
+        backoff.push(TraceRecord::SdmRotation {
+            time_ps: 10,
+            frame: 0,
+            group_idx: 1,
+            group_size: 3,
+        });
+        backoff.push(TraceRecord::Energy {
+            time_ps: 20,
+            node: 2,
+            cumulative_j: 2.5e-6,
+        });
+        let json = chrome_trace(&[("aloha", &aloha), ("backoff", &backoff)]);
+        let events = validate_chrome_trace(&json).expect("trace must validate");
+        // 5 records + 2 process_name metadata events.
+        assert_eq!(events, 7);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn validator_rejects_mangled_traces() {
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{]}").is_err());
+        let mut buf = TraceBuffer::new(4);
+        buf.push(event(0, 0));
+        let good = chrome_trace(&[("x", &buf)]);
+        let bad = good.replace("\"ts\":", "\"xs\":");
+        assert!(validate_chrome_trace(&bad).is_err());
+    }
+
+    #[test]
+    fn probe_helpers_no_op_when_disabled() {
+        let mut p = CampaignProbe::disabled();
+        assert!(!p.is_enabled());
+        p.inc("slots", 1);
+        p.observe("occ", OCCUPANCY_BUCKETS, 1.0);
+        let mut called = false;
+        p.trace(|| {
+            called = true;
+            TraceRecord::Event {
+                time_ps: 0,
+                seq: 0,
+                actor: 0,
+                kind: "x",
+                queue_depth: 0,
+            }
+        });
+        assert!(!called, "a disabled probe must not even build records");
+        assert!(p.take_metrics().is_none());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn probe_with_trace_collects_both() {
+        let mut p = CampaignProbe::with_trace(8);
+        assert!(p.is_enabled());
+        p.inc("slots", 2);
+        p.trace(|| event(5, 1));
+        let m = p.take_metrics().unwrap();
+        assert_eq!(m.counter("slots"), 2);
+        let buf = p.trace.take().unwrap().into_buffer();
+        assert_eq!(buf.len(), 1);
+    }
+}

@@ -15,31 +15,37 @@
 #   9. the net_scale extension in reduced mode + its full-scale CSV anchor
 #  10. the mac_compare extension in reduced mode + schema validation of its
 #      full-scale CSV anchor (no NaN/inf tokens, ALOHA beaten at 64 nodes)
+#  11. an instrumented reduced campaign: mac_compare with tracing on, then
+#      schema validation of results/METRICS_mac.json, the per-policy trace
+#      JSONL files (monotone time_ps, no NaN/inf), and the combined Chrome
+#      trace JSON
+#  12. the telemetry-off build (--no-default-features): tests pass, the
+#      reduced anchors survive, and no metrics artifact is written
 #
 # Usage: scripts/ci.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/10] cargo fmt --check"
+echo "==> [1/12] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/10] cargo build --release --workspace --all-targets"
+echo "==> [2/12] cargo build --release --workspace --all-targets"
 cargo build --release --workspace --all-targets
 
-echo "==> [3/10] cargo test --release --workspace"
+echo "==> [3/12] cargo test --release --workspace"
 cargo test --release --workspace -q
 
-echo "==> [4/10] cargo clippy --release --workspace --all-targets -- -D warnings"
+echo "==> [4/12] cargo clippy --release --workspace --all-targets -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
-echo "==> [5/10] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [5/12] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [6/10] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
+echo "==> [6/12] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
 cargo run --release -p milback-bench --bin bench_smoke
 
-echo "==> [7/10] validating benchmark JSONs"
+echo "==> [7/12] validating benchmark JSONs"
 JSON=results/BENCH_dsp.json
 EXP_JSON=results/BENCH_experiments.json
 [ -s "$JSON" ] || { echo "FAIL: $JSON missing or empty" >&2; exit 1; }
@@ -94,14 +100,14 @@ else
     echo "OK: benchmark JSONs carry schema markers (python3 unavailable, shallow check)"
 fi
 
-echo "==> [8/10] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
+echo "==> [8/12] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
 CSV=results/figure_12a.csv
 before=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin fig12a_ranging
 after=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CSV" >&2; exit 1; }
 
-echo "==> [9/10] net_scale extension (reduced run + full-scale CSV anchor)"
+echo "==> [9/12] net_scale extension (reduced run + full-scale CSV anchor)"
 NET_CSV=results/extension_net_scale.csv
 before=$(sha256sum "$NET_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale
@@ -116,7 +122,7 @@ esac
 rows=$(($(wc -l < "$NET_CSV") - 1))
 [ "$rows" -ge 7 ] || { echo "FAIL: $NET_CSV has $rows data rows, expected the 1..64 sweep (7)" >&2; exit 1; }
 
-echo "==> [10/10] mac_compare extension (reduced run + full-scale CSV anchor schema)"
+echo "==> [10/12] mac_compare extension (reduced run + full-scale CSV anchor schema)"
 MAC_CSV=results/extension_mac_compare.csv
 before=$(sha256sum "$MAC_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin mac_compare
@@ -150,5 +156,89 @@ awk -F, 'NR==1 { next } { last=$0 } END {
         exit 1;
     }
 }' "$MAC_CSV"
+
+echo "==> [11/12] instrumented campaign (MILBACK_TRACE) + telemetry artifact schemas"
+TRACE_DIR=$(mktemp -d)
+METRICS=results/METRICS_mac.json
+rm -f "$METRICS"
+MILBACK_REDUCED=1 MILBACK_TRACE="$TRACE_DIR" cargo run --release -p milback-bench --bin mac_compare
+[ -s "$METRICS" ] || { echo "FAIL: $METRICS missing or empty" >&2; exit 1; }
+[ -s "$TRACE_DIR/mac_compare.trace.json" ] || { echo "FAIL: Chrome trace missing" >&2; exit 1; }
+for p in aloha backoff polling sdm; do
+    [ -s "$TRACE_DIR/mac_$p.trace.jsonl" ] || { echo "FAIL: trace JSONL for $p missing" >&2; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$METRICS" "$TRACE_DIR" <<'PY'
+import json, math, sys, os
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "milback-metrics-mac-v1", doc.get("schema")
+for key in ("host", "config", "policies"):
+    assert key in doc, f"missing top-level key: {key}"
+def finite(x, path):
+    if isinstance(x, float):
+        assert math.isfinite(x), f"non-finite value at {path}"
+    elif isinstance(x, dict):
+        for k, v in x.items():
+            finite(v, f"{path}.{k}")
+    elif isinstance(x, list):
+        for i, v in enumerate(x):
+            finite(v, f"{path}[{i}]")
+finite(doc, "$")
+for policy in ("aloha", "backoff", "polling", "sdm"):
+    m = doc["policies"][policy]
+    assert m["counters"]["slots_fired"] > 0, f"{policy}: no slots fired"
+    for h in ("slot_occupancy", "energy_per_attempt_j"):
+        assert h in m["histograms"], f"{policy}: missing histogram {h}"
+trace_dir = sys.argv[2]
+for name in sorted(os.listdir(trace_dir)):
+    path = os.path.join(trace_dir, name)
+    if name.endswith(".trace.jsonl"):
+        last_ps, events = -1, 0
+        for line in open(path):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            finite(rec, name)
+            ps = rec.get("time_ps")
+            if ps is not None:
+                assert ps >= last_ps, f"{name}: time_ps went backwards ({ps} < {last_ps})"
+                last_ps, events = ps, events + 1
+        assert events > 0, f"{name}: no timestamped records"
+    elif name.endswith(".trace.json"):
+        chrome = json.load(open(path))
+        assert chrome["traceEvents"], f"{name}: no trace events"
+        finite(chrome, name)
+        for ev in chrome["traceEvents"]:
+            assert ev["ph"] in ("M", "i", "X", "C"), ev
+print(f"OK: {sys.argv[1]} and {trace_dir}/*.trace.json* are well-formed "
+      f"({sum(1 for _ in open(os.path.join(trace_dir, 'mac_aloha.trace.jsonl')))} aloha trace lines)")
+PY
+else
+    grep -q '"schema": "milback-metrics-mac-v1"' "$METRICS"
+    if grep -qiE '(nan|inf)' "$METRICS"; then
+        echo "FAIL: $METRICS carries NaN/inf tokens" >&2; exit 1
+    fi
+    grep -q '"traceEvents"' "$TRACE_DIR/mac_compare.trace.json"
+    echo "OK: telemetry artifacts carry schema markers (python3 unavailable, shallow check)"
+fi
+rm -rf "$TRACE_DIR"
+
+echo "==> [12/12] telemetry-off build (--no-default-features) passes the anchor gates"
+cargo test --release -p milback-bench --no-default-features -q
+cargo build --release -p milback-bench --no-default-features
+rm -f "$METRICS"
+before=$(sha256sum "$MAC_CSV")
+MILBACK_REDUCED=1 MILBACK_TRACE=1 ./target/release/mac_compare
+after=$(sha256sum "$MAC_CSV")
+[ "$before" = "$after" ] || { echo "FAIL: telemetry-off reduced run overwrote $MAC_CSV" >&2; exit 1; }
+[ ! -e "$METRICS" ] || { echo "FAIL: telemetry-off build wrote $METRICS" >&2; exit 1; }
+# Restore the default (telemetry-on) binaries so the tree is left as built.
+cargo build --release -p milback-bench --all-targets
+# Regenerate the committed full-scale metrics artifact (the full campaign
+# is memoized and cheap) so the tree does not end the run with a reduced
+# or missing METRICS_mac.json.
+./target/release/mac_compare >/dev/null
+grep -q '"reduced": false' "$METRICS" || { echo "FAIL: regenerated $METRICS is not full-scale" >&2; exit 1; }
 
 echo "==> ci.sh: all gates passed"
