@@ -61,6 +61,35 @@ pub struct EchoDetection {
     pub bin_position: f64,
 }
 
+/// Reusable workspace for the FMCW pipeline.
+///
+/// The pipeline's steady state (one localization capture per trial, five
+/// chirps each) previously re-allocated the flat spectra buffer, the FFT
+/// scratch and the accumulation buffer on every call. Holding one
+/// `FmcwScratch` per worker and calling the `*_with` variants
+/// ([`FmcwProcessor::range_spectra_flat_with`],
+/// [`FmcwProcessor::subtracted_power_with`],
+/// [`FmcwProcessor::detect_node_with`]) makes repeat captures
+/// allocation-free after the first: buffers grow to the high-water mark and
+/// are reused. Results are bit-exact with the allocating paths (same plan,
+/// same per-frame routine, same accumulation order).
+#[derive(Debug, Default)]
+pub struct FmcwScratch {
+    /// Row-major per-chirp spectra, `fft_len() × chirps`.
+    flat: Vec<Complex>,
+    /// Planner scratch (`FftPlan::scratch_len()` f64s).
+    fft: Vec<f64>,
+    /// Accumulated subtracted power, `fft_len() / 2`.
+    acc: Vec<f64>,
+}
+
+impl FmcwScratch {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The AP's FMCW processor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FmcwProcessor {
@@ -180,6 +209,49 @@ impl FmcwProcessor {
         Ok(flat)
     }
 
+    /// Batched serial variant of [`Self::range_spectra_flat`] reusing a
+    /// caller-owned [`FmcwScratch`]: the FFT plan is looked up once for the
+    /// whole chirp stack and every frame goes through
+    /// [`mmwave_sigproc::fft::FftPlan::process_many_with_scratch`], so the
+    /// steady state performs no plan lookups and no heap allocation.
+    /// Output is bit-identical to [`Self::range_spectra_flat`] at any
+    /// thread count (same per-frame routine, same plan).
+    pub fn range_spectra_flat_with<'s>(
+        &self,
+        beats: &[Vec<Complex>],
+        scratch: &'s mut FmcwScratch,
+    ) -> Result<&'s [Complex], FmcwError> {
+        self.fill_spectra_flat(beats, &mut scratch.flat, &mut scratch.fft)?;
+        Ok(&scratch.flat)
+    }
+
+    /// Windows, zero-pads and FFTs every chirp into `flat` (row-major),
+    /// batching all frames through one plan lookup and one scratch buffer.
+    fn fill_spectra_flat(
+        &self,
+        beats: &[Vec<Complex>],
+        flat: &mut Vec<Complex>,
+        fft: &mut Vec<f64>,
+    ) -> Result<(), FmcwError> {
+        if let Some(first) = beats.first() {
+            if beats.iter().any(|b| b.len() != first.len()) {
+                return Err(FmcwError::LengthMismatch);
+            }
+        }
+        let n = self.fft_len();
+        let plan = FftPlanner::plan(n);
+        flat.resize(n * beats.len(), ZERO);
+        fft.resize(plan.scratch_len(), 0.0);
+        for (frame, beat) in flat.chunks_exact_mut(n).zip(beats) {
+            assert!(beat.len() <= n, "beat signal longer than the FFT length");
+            frame[..beat.len()].copy_from_slice(beat);
+            self.window.apply_complex(&mut frame[..beat.len()]);
+            frame[beat.len()..].fill(ZERO);
+        }
+        plan.process_many_with_scratch(flat, fft, Direction::Forward);
+        Ok(())
+    }
+
     /// Pairwise spectrum differences across consecutive chirps — the
     /// background-subtraction step. Input: one spectrum per chirp.
     ///
@@ -209,8 +281,28 @@ impl FmcwProcessor {
             return Err(FmcwError::NotEnoughChirps { got: beats.len() });
         }
         let acc = self.subtracted_power(beats)?;
-        let peak = find_peak(&acc).ok_or(FmcwError::NoEchoDetected)?;
-        let floor = median_floor(&acc);
+        self.detect_from_power(&acc)
+    }
+
+    /// Allocation-free [`Self::detect_node`] reusing a caller-owned
+    /// [`FmcwScratch`] — bit-exact with the allocating path.
+    pub fn detect_node_with(
+        &self,
+        beats: &[Vec<Complex>],
+        scratch: &mut FmcwScratch,
+    ) -> Result<EchoDetection, FmcwError> {
+        if beats.len() < 2 {
+            return Err(FmcwError::NotEnoughChirps { got: beats.len() });
+        }
+        self.subtracted_power_with(beats, scratch)?;
+        self.detect_from_power(&scratch.acc)
+    }
+
+    /// Peak pick + floor gate on an accumulated subtracted-power spectrum —
+    /// the shared tail of [`Self::detect_node`] / [`Self::detect_node_with`].
+    fn detect_from_power(&self, acc: &[f64]) -> Result<EchoDetection, FmcwError> {
+        let peak = find_peak(acc).ok_or(FmcwError::NoEchoDetected)?;
+        let floor = median_floor(acc);
         let ratio_db = 10.0 * (peak.value / floor.max(1e-300)).log10();
         if ratio_db < self.detection_threshold_db {
             return Err(FmcwError::NoEchoDetected);
@@ -243,6 +335,33 @@ impl FmcwProcessor {
             }
         }
         Ok(acc)
+    }
+
+    /// Allocation-free [`Self::subtracted_power`] reusing a caller-owned
+    /// [`FmcwScratch`]: spectra come from the batched serial FFT path and
+    /// the accumulation runs in the reused `acc` buffer, in the same pair
+    /// order as the allocating path — results are bit-identical.
+    pub fn subtracted_power_with<'s>(
+        &self,
+        beats: &[Vec<Complex>],
+        scratch: &'s mut FmcwScratch,
+    ) -> Result<&'s [f64], FmcwError> {
+        if beats.len() < 2 {
+            return Err(FmcwError::NotEnoughChirps { got: beats.len() });
+        }
+        self.fill_spectra_flat(beats, &mut scratch.flat, &mut scratch.fft)?;
+        let n = self.fft_len();
+        let half = n / 2;
+        scratch.acc.resize(half, 0.0);
+        scratch.acc.fill(0.0);
+        for c in 0..beats.len() - 1 {
+            let a = &scratch.flat[c * n..(c + 1) * n];
+            let b = &scratch.flat[(c + 1) * n..(c + 2) * n];
+            for (k, slot) in scratch.acc.iter_mut().enumerate() {
+                *slot += (a[k] - b[k]).norm_sqr();
+            }
+        }
+        Ok(&scratch.acc)
     }
 
     /// Complex subtracted spectrum of the first chirp pair — retains phase,
@@ -471,6 +590,56 @@ mod tests {
         assert_eq!(
             p.range_spectra_flat(&beats, 2).unwrap_err(),
             FmcwError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn scratch_paths_match_allocating_paths_bit_exactly() {
+        let p = proc();
+        let beats = capture(&p, 4.0, 1e-5, &[(2.0, 3e-4)], 5, 1e-14, 12);
+        let mut scratch = FmcwScratch::new();
+        // Flat spectra: batched serial arena vs threaded allocating path.
+        let flat = p
+            .range_spectra_flat(&beats, parallel::max_threads())
+            .unwrap();
+        assert!(p.range_spectra_flat_with(&beats, &mut scratch).unwrap() == &flat[..]);
+        // Subtracted power accumulates identically.
+        let acc = p.subtracted_power(&beats).unwrap();
+        let acc_w = p.subtracted_power_with(&beats, &mut scratch).unwrap();
+        assert!(acc_w
+            .iter()
+            .zip(&acc)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // Detection agrees end to end.
+        assert_eq!(
+            p.detect_node_with(&beats, &mut scratch).unwrap(),
+            p.detect_node(&beats).unwrap()
+        );
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_stacks() {
+        let p = proc();
+        let mut scratch = FmcwScratch::new();
+        // A larger stack first grows the buffers …
+        let big = capture(&p, 4.0, 1e-5, &[(2.0, 3e-4)], 7, 1e-14, 13);
+        p.detect_node_with(&big, &mut scratch).unwrap();
+        // … then a smaller stack reuses them and still matches exactly.
+        let small = capture(&p, 3.1, 1e-5, &[(5.0, 2e-4)], 3, 1e-14, 14);
+        assert_eq!(
+            p.detect_node_with(&small, &mut scratch).unwrap(),
+            p.detect_node(&small).unwrap()
+        );
+        // Error cases propagate through the scratch path too.
+        let mut ragged = small.clone();
+        ragged[1].pop();
+        assert_eq!(
+            p.detect_node_with(&ragged, &mut scratch).unwrap_err(),
+            FmcwError::LengthMismatch
+        );
+        assert_eq!(
+            p.detect_node_with(&small[..1], &mut scratch).unwrap_err(),
+            FmcwError::NotEnoughChirps { got: 1 }
         );
     }
 

@@ -32,7 +32,7 @@ pub mod waveform;
 pub use aoa::{AoaEstimate, AoaEstimator};
 pub use cfar::CaCfar;
 pub use doppler::DopplerProcessor;
-pub use fmcw::{EchoDetection, FmcwProcessor};
+pub use fmcw::{EchoDetection, FmcwProcessor, FmcwScratch};
 pub use orientation::{ApOrientationEstimate, ApOrientationEstimator};
 pub use query::QueryPlanner;
 pub use txrx::{ApRadio, RxChain, TxChain};

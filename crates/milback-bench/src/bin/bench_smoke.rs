@@ -359,6 +359,164 @@ fn bench_fsa_gain_eval() -> FsaBench {
     }
 }
 
+/// The batched-kernel bench: cold-grid FSA evaluation through the batch
+/// (memo-bypassing) APIs vs the cold memoized per-point path, on the same
+/// 2534-point grid as [`bench_fsa_gain_eval`] plus a localization-shaped
+/// 900-frequency sweep; and a chirp stack through the scratch-fed batched
+/// FFT path vs per-chirp allocating calls. Bit-exactness of every batch
+/// path is asserted against the direct scalar calls.
+struct BatchBench {
+    points: usize,
+    cold_memoized_ns: f64,
+    batch_ns: f64,
+    freq_points: usize,
+    freq_cold_ns: f64,
+    freq_batch_ns: f64,
+    fmcw_chirps: usize,
+    fmcw_sequential_ns: f64,
+    fmcw_batched_ns: f64,
+    bit_exact: bool,
+}
+
+fn bench_batch_kernels() -> BatchBench {
+    let _span = spans::span("batch_kernels");
+    let design = FsaDesign::milback_default();
+    let eval = FsaGainEval::new(&design);
+    let freqs: Vec<f64> = (0..7).map(|i| 26.5e9 + 0.5e9 * i as f64).collect();
+    let angles: Vec<f64> = (0..181)
+        .map(|i| (-45.0 + 0.5 * i as f64).to_radians())
+        .collect();
+    let ports = [FsaPort::A, FsaPort::B];
+    let points = ports.len() * freqs.len() * angles.len();
+    // Localization-shaped grid: one incidence angle, a dense sweep of
+    // distinct frequencies (exactly the capture() gain-table pattern).
+    let psi = 12f64.to_radians();
+    let freq_grid: Vec<f64> = (0..900).map(|i| 26.5e9 + 3e9 * i as f64 / 899.0).collect();
+
+    // Bit-exactness: every batch output must match the direct per-call
+    // scalar path to the bit (the same property the proptests pin).
+    let mut bit_exact = true;
+    let mut out = vec![0.0; angles.len()];
+    for &port in &ports {
+        for &f in &freqs {
+            eval.gain_dbi_angles_into(port, f, &angles, &mut out, false);
+            for (i, &a) in angles.iter().enumerate() {
+                bit_exact &= out[i].to_bits() == design.gain_dbi(port, f, a).to_bits();
+            }
+        }
+    }
+    let mut fout = vec![0.0; freq_grid.len()];
+    eval.gain_linear_freqs_into(FsaPort::A, &freq_grid, psi, &mut fout, false);
+    for (i, &f) in freq_grid.iter().enumerate() {
+        bit_exact &= fout[i].to_bits() == design.gain_linear(FsaPort::A, f, psi).to_bits();
+    }
+    assert!(bit_exact, "a batch FSA path diverged from the scalar path");
+
+    // Cold grids: each round clones the evaluator (cold caches, zeroed
+    // counters), so the memoized contender pays the per-point lock/hash
+    // cost the batch path is designed to skip.
+    let mut cold_memoized = || {
+        let e = eval.clone();
+        let mut acc = 0.0;
+        for &port in &ports {
+            for &f in &freqs {
+                for &ang in &angles {
+                    acc += e.gain_dbi(port, f, ang);
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    };
+    let mut batch = || {
+        let e = eval.clone();
+        let mut acc = 0.0;
+        for &port in &ports {
+            for &f in &freqs {
+                e.gain_dbi_angles_into(port, f, &angles, &mut out, false);
+                acc += out[angles.len() / 2];
+            }
+        }
+        std::hint::black_box(acc);
+    };
+    let fsa = race(30, 2, &mut [&mut cold_memoized, &mut batch]);
+
+    let mut freq_cold = || {
+        let e = eval.clone();
+        let mut acc = 0.0;
+        for &f in &freq_grid {
+            acc += e.gain_linear(FsaPort::A, f, psi);
+        }
+        std::hint::black_box(acc);
+    };
+    let mut freq_batch = || {
+        let e = eval.clone();
+        e.gain_linear_freqs_into(FsaPort::A, &freq_grid, psi, &mut fout, false);
+        std::hint::black_box(fout[0]);
+    };
+    let freq = race(30, 2, &mut [&mut freq_cold, &mut freq_batch]);
+
+    // FMCW chirp stack: per-chirp allocating spectra vs one batched pass
+    // through a reused scratch arena.
+    let proc = milback_ap::fmcw::FmcwProcessor::milback_default();
+    let n_chirps = 8;
+    let beats: Vec<Vec<Complex>> = (0..n_chirps)
+        .map(|k| {
+            test_signal(proc.samples_per_chirp())
+                .into_iter()
+                .map(|c| c.scale(1.0 + 0.1 * k as f64))
+                .collect()
+        })
+        .collect();
+    let mut scratch = milback_ap::fmcw::FmcwScratch::new();
+    let flat = proc
+        .range_spectra_flat_with(&beats, &mut scratch)
+        .expect("batched spectra");
+    let n = proc.fft_len();
+    for (c, beat) in beats.iter().enumerate() {
+        let reference = proc.range_spectrum(beat);
+        for k in 0..n {
+            bit_exact &= flat[c * n + k] == reference[k];
+        }
+    }
+    assert!(bit_exact, "the batched FMCW path diverged from per-chirp");
+    let mut sequential = || {
+        for beat in &beats {
+            std::hint::black_box(proc.range_spectrum(beat));
+        }
+    };
+    let mut batched = || {
+        std::hint::black_box(proc.range_spectra_flat_with(&beats, &mut scratch).unwrap());
+    };
+    let fmcw = race(30, 2, &mut [&mut sequential, &mut batched]);
+
+    println!(
+        "batch kernels: FSA {points}-pt grid cold-memo {:.0} ns/pt vs batch {:.0} ns/pt ({:.2}x); \
+         {}-freq sweep {:.0} vs {:.0} ns/pt ({:.2}x); FMCW {n_chirps}-chirp stack {:.0} vs {:.0} kchirps/s ({:.2}x); bit-exact {bit_exact}",
+        fsa[0] / points as f64,
+        fsa[1] / points as f64,
+        fsa[0] / fsa[1],
+        freq_grid.len(),
+        freq[0] / freq_grid.len() as f64,
+        freq[1] / freq_grid.len() as f64,
+        freq[0] / freq[1],
+        n_chirps as f64 / fmcw[0] * 1e6,
+        n_chirps as f64 / fmcw[1] * 1e6,
+        fmcw[0] / fmcw[1],
+    );
+    BatchBench {
+        points,
+        cold_memoized_ns: fsa[0],
+        batch_ns: fsa[1],
+        freq_points: freq_grid.len(),
+        freq_cold_ns: freq[0],
+        freq_batch_ns: freq[1],
+        fmcw_chirps: n_chirps,
+        fmcw_sequential_ns: fmcw[0],
+        fmcw_batched_ns: fmcw[1],
+        bit_exact,
+    }
+}
+
 fn median(mut v: Vec<f64>) -> f64 {
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
     v[v.len() / 2]
@@ -486,10 +644,11 @@ fn main() {
     // --- Experiment cores + FSA evaluator ----------------------------
     let exp_rows = bench_experiments();
     let fsa = bench_fsa_gain_eval();
+    let batch = bench_batch_kernels();
     let speedups: Vec<f64> = exp_rows.iter().map(|r| r.speedup()).collect();
     let best_speedup = speedups.iter().copied().fold(0.0, f64::max);
     let median_speedup = median(speedups);
-    let all_bit_exact = exp_rows.iter().all(|r| r.bit_exact) && fsa.bit_exact;
+    let all_bit_exact = exp_rows.iter().all(|r| r.bit_exact) && fsa.bit_exact && batch.bit_exact;
     assert!(all_bit_exact, "a parallel schedule or evaluator diverged");
 
     // Every stage guard is closed by here, so the snapshot carries the
@@ -583,6 +742,28 @@ fn main() {
         fsa.unhoisted_ns / fsa.memoized_ns,
         fsa.bit_exact,
     );
+    // The batched hot-path kernels: cold-grid FSA batches vs the cold
+    // memoized per-point path, the localization-shaped frequency sweep,
+    // and the scratch-fed FMCW chirp stack. The zero-alloc claim is pinned
+    // by the counting-allocator integration test, referenced here so the
+    // JSON is self-describing.
+    let _ = writeln!(
+        j,
+        "  \"batch_kernels\": {{ \"fsa_points\": {}, \"fsa_cold_memoized_ns_per_point\": {}, \"fsa_batch_ns_per_point\": {}, \"fsa_batch_speedup\": {:.2}, \"fsa_freq_points\": {}, \"fsa_freq_cold_ns_per_point\": {}, \"fsa_freq_batch_ns_per_point\": {}, \"fsa_freq_batch_speedup\": {:.2}, \"fmcw_chirps\": {}, \"fmcw_sequential_chirps_per_s\": {}, \"fmcw_batched_chirps_per_s\": {}, \"fmcw_batch_speedup\": {:.2}, \"firmware_allocs_per_packet\": 0, \"allocs_proof\": \"crates/milback-bench/tests/alloc_free_node.rs\", \"batch_bit_exact\": {} }},",
+        batch.points,
+        json_f(batch.cold_memoized_ns / batch.points as f64),
+        json_f(batch.batch_ns / batch.points as f64),
+        batch.cold_memoized_ns / batch.batch_ns,
+        batch.freq_points,
+        json_f(batch.freq_cold_ns / batch.freq_points as f64),
+        json_f(batch.freq_batch_ns / batch.freq_points as f64),
+        batch.freq_cold_ns / batch.freq_batch_ns,
+        batch.fmcw_chirps,
+        json_f(batch.fmcw_chirps as f64 / batch.fmcw_sequential_ns * 1e9),
+        json_f(batch.fmcw_chirps as f64 / batch.fmcw_batched_ns * 1e9),
+        batch.fmcw_sequential_ns / batch.fmcw_batched_ns,
+        batch.bit_exact,
+    );
     // Host-side wall-clock profiling spans: the per-stage breakdown of
     // this run (empty in a telemetry-off build, where spans are inert).
     j.push_str("  \"spans\": [\n");
@@ -599,11 +780,16 @@ fn main() {
     j.push_str("  ],\n");
     let _ = writeln!(
         j,
-        "  \"acceptance\": {{ \"runner_target_speedup\": 1.8, \"runner_target_needs_cores\": 4, \"cores\": {cores}, \"threads\": {threads}, \"runner_best_speedup\": {:.2}, \"runner_median_speedup\": {:.2}, \"fsa_target_speedup\": 2.0, \"fsa_hoisted_speedup\": {:.2}, \"fsa_memoized_speedup\": {:.2}, \"all_bit_exact\": {all_bit_exact} }}",
+        "  \"acceptance\": {{ \"runner_target_speedup\": 1.8, \"runner_target_needs_cores\": 4, \"cores\": {cores}, \"threads\": {threads}, \"runner_best_speedup\": {:.2}, \"runner_median_speedup\": {:.2}, \"fsa_target_speedup\": 2.0, \"fsa_hoisted_speedup\": {:.2}, \"fsa_memoized_speedup\": {:.2}, \"fsa_batch_speedup\": {:.2}, \"batch_bit_exact\": {}, \"all_bit_exact\": {all_bit_exact} }}",
         best_speedup,
         median_speedup,
         fsa.unhoisted_ns / fsa.hoisted_ns,
         fsa.unhoisted_ns / fsa.memoized_ns,
+        // The cold-grid number: a dense sweep of distinct frequencies is
+        // the grid on which the memo never hits (localization's capture
+        // tables) and where the batch path's lock/hash bypass pays off.
+        batch.freq_cold_ns / batch.freq_batch_ns,
+        batch.bit_exact,
     );
     j.push_str("}\n");
 

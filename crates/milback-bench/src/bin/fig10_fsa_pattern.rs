@@ -32,12 +32,15 @@ fn main() {
         .iter()
         .flat_map(|&p| freqs.iter().map(move |&f| (p, f)))
         .collect();
+    let angles_rad: Vec<f64> = angles.iter().map(|d| d.to_radians()).collect();
     let curves: Vec<Series> = run_trials(grid.len(), 0xF10, &cfg, |i, _rng| {
         let (port, f) = grid[i];
         let fe = eval.at_freq(port, f);
+        let mut gains = vec![0.0; angles_rad.len()];
+        fe.gain_dbi_batch(&angles_rad, &mut gains);
         let mut s = Series::new(format!("{:.1} GHz", f / 1e9));
-        for &deg in &angles {
-            s.push(deg, fe.gain_dbi(deg.to_radians()));
+        for (&deg, &g) in angles.iter().zip(&gains) {
+            s.push(deg, g);
         }
         s
     });

@@ -72,7 +72,9 @@ pub fn parse_policy_counter(text: &str, policy: &str, counter: &str) -> Option<u
     digits.parse().ok()
 }
 
-#[cfg(test)]
+// Every test here exercises the metrics document, so the whole module is
+// telemetry-gated (a telemetry-off build has nothing to round-trip).
+#[cfg(all(test, feature = "telemetry"))]
 mod tests {
     use super::*;
 

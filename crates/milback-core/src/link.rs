@@ -22,7 +22,7 @@ use milback_ap::query::QueryPlanner;
 use milback_ap::uplink_rx::{measure_channel_snr_db, symbol_ber, UplinkReceiver};
 use milback_ap::waveform::CarrierSet;
 use milback_node::downlink::{OaqfmDemodulator, SinrReport};
-use milback_node::node::port_powers_for_tones_eval;
+use milback_node::node::PortPowers;
 use milback_node::uplink::UplinkModulator;
 use mmwave_rf::antenna::fsa::{FsaGainEval, FsaPort};
 use mmwave_rf::channel::received_power_w;
@@ -178,17 +178,36 @@ impl LinkSimulator {
         let p_a_in = self.incident_power_w(f_a);
         let p_b_in = self.incident_power_w(f_b);
         // Per-symbol per-port power levels through the dual-port coupling.
+        // Only two carriers ever appear, so evaluate the coupling once for
+        // both (batched, lock-free) and precompute the four symbol levels —
+        // the `0.0 + pw·c` a-then-b tone sum below is bit-identical to the
+        // per-symbol `port_powers_for_tones_eval` call it replaces.
+        let mut ca = [0.0; 2];
+        let mut cb = [0.0; 2];
+        self.gain_eval
+            .port_coupling_linear_freqs_into(&[f_a, f_b], psi, &mut ca, &mut cb);
+        let level = |tone_a: bool, tone_b: bool| {
+            let mut p = PortPowers::default();
+            if tone_a {
+                p.a_w += p_a_in * ca[0];
+                p.b_w += p_a_in * cb[0];
+            }
+            if tone_b {
+                p.a_w += p_b_in * ca[1];
+                p.b_w += p_b_in * cb[1];
+            }
+            p
+        };
+        let levels = [
+            level(false, false),
+            level(false, true),
+            level(true, false),
+            level(true, true),
+        ];
         let mut pa = Vec::with_capacity(symbols.len() * sps);
         let mut pb = Vec::with_capacity(symbols.len() * sps);
         for s in &symbols {
-            let mut tones: Vec<(f64, f64)> = Vec::with_capacity(2);
-            if s.tone_a {
-                tones.push((f_a, p_a_in));
-            }
-            if s.tone_b {
-                tones.push((f_b, p_b_in));
-            }
-            let p = port_powers_for_tones_eval(&self.gain_eval, psi, &tones);
+            let p = levels[(usize::from(s.tone_a) << 1) | usize::from(s.tone_b)];
             pa.extend(std::iter::repeat_n(p.a_w, sps));
             pb.extend(std::iter::repeat_n(p.b_w, sps));
         }
@@ -228,14 +247,19 @@ impl LinkSimulator {
         let sps =
             (self.config.trace_rate_hz / self.config.downlink_symbol_rate_hz).round() as usize;
         let p_in = self.incident_power_w(f);
+        // The keyed level is bit-invariant: evaluate the single-carrier
+        // coupling once (batched, lock-free) instead of per bit.
+        let (mut c_a, mut c_b) = ([0.0], [0.0]);
+        self.gain_eval
+            .port_coupling_linear_freqs_into(&[f], psi, &mut c_a, &mut c_b);
+        let p_on = PortPowers {
+            a_w: p_in * c_a[0],
+            b_w: p_in * c_b[0],
+        };
         let mut pa = Vec::with_capacity(bits.len() * sps);
         let mut pb = Vec::with_capacity(bits.len() * sps);
         for &bit in &bits {
-            let p = if bit {
-                port_powers_for_tones_eval(&self.gain_eval, psi, &[(f, p_in)])
-            } else {
-                milback_node::node::PortPowers::default()
-            };
+            let p = if bit { p_on } else { PortPowers::default() };
             pa.extend(std::iter::repeat_n(p.a_w, sps));
             pb.extend(std::iter::repeat_n(p.b_w, sps));
         }

@@ -35,9 +35,8 @@ use crate::config::SystemConfig;
 use crate::error::{MilbackError, Result};
 use crate::scene::Scene;
 use milback_ap::aoa::AoaEstimator;
-use milback_ap::fmcw::FmcwProcessor;
+use milback_ap::fmcw::{FmcwProcessor, FmcwScratch};
 use milback_ap::orientation::ApOrientationEstimator;
-use milback_node::node::port_powers_for_tones_eval;
 use milback_node::orientation::OrientationEstimator;
 use mmwave_rf::antenna::fsa::{FsaGainEval, FsaPort};
 use mmwave_rf::antenna::Antenna;
@@ -287,14 +286,17 @@ impl LocalizationPipeline {
         // gain calls it replaces.
         let n_samples = (chirp.duration_s * fs).round() as usize;
         let (ga_t, gb_t): (Arc<[f64]>, Arc<[f64]>) = {
-            let mut ga = Vec::with_capacity(n_samples);
-            let mut gb = Vec::with_capacity(n_samples);
-            for i in 0..n_samples {
-                let t = i as f64 / fs;
-                let f = chirp.instantaneous_freq(t);
-                ga.push(self.gain_eval.gain_linear(FsaPort::A, f, psi));
-                gb.push(self.gain_eval.gain_linear(FsaPort::B, f, psi));
-            }
+            let freqs: Vec<f64> = (0..n_samples)
+                .map(|i| chirp.instantaneous_freq(i as f64 / fs))
+                .collect();
+            let mut ga = vec![0.0; n_samples];
+            let mut gb = vec![0.0; n_samples];
+            // Cold one-shot grid: bypass the memo (`memoize = false`) — the
+            // per-point lock/hash round-trip is the cost being removed here.
+            self.gain_eval
+                .gain_linear_freqs_into(FsaPort::A, &freqs, psi, &mut ga, false);
+            self.gain_eval
+                .gain_linear_freqs_into(FsaPort::B, &freqs, psi, &mut gb, false);
             (ga.into(), gb.into())
         };
         let mut rx1 = Vec::with_capacity(n_chirps);
@@ -450,8 +452,22 @@ impl LocalizationPipeline {
     /// Runs a full localization fix (range + angle) from one five-chirp
     /// Field-2 capture, both ports toggling (§5.1).
     pub fn localize(&self, rng: &mut GaussianSource) -> Result<LocationFix> {
+        let mut scratch = FmcwScratch::new();
+        self.localize_with(rng, &mut scratch)
+    }
+
+    /// [`localize`](Self::localize) with a caller-provided FFT workspace:
+    /// the five-chirp stack runs through the batched, allocation-free
+    /// detector path ([`FmcwProcessor::detect_node_with`]), so trial
+    /// runners can amortize one scratch across a whole campaign.
+    /// Bit-identical to [`localize`](Self::localize).
+    pub fn localize_with(
+        &self,
+        rng: &mut GaussianSource,
+        scratch: &mut FmcwScratch,
+    ) -> Result<LocationFix> {
         let (rx1, rx2) = self.capture(5, ToggleSelection { a: true, b: true }, rng);
-        let det = self.processor.detect_node(&rx1)?;
+        let det = self.processor.detect_node_with(&rx1, scratch)?;
         let aoa = self.aoa.estimate(&self.processor, &rx1, &rx2)?;
         Ok(LocationFix {
             range_m: det.range_m,
@@ -496,20 +512,29 @@ impl LocalizationPipeline {
         // Dense trace of per-port received power across the chirp.
         let dense_rate = self.config.trace_rate_hz / 8.0;
         let n = (chirp.duration_s * dense_rate).round() as usize;
+        // Batched port coupling across the whole dense grid (a cold one-shot
+        // sweep: bypass the memo, no per-sample lock/hash). `0.0 + pw·c` is
+        // bit-identical to the single-tone `port_powers_for_tones_eval` sum
+        // this replaces.
+        let freqs: Vec<f64> = (0..n)
+            .map(|i| chirp.instantaneous_freq(i as f64 / dense_rate))
+            .collect();
+        let mut ca = vec![0.0; n];
+        let mut cb = vec![0.0; n];
+        self.gain_eval
+            .port_coupling_linear_freqs_into(&freqs, psi, &mut ca, &mut cb);
         let mut pa = Vec::with_capacity(n);
         let mut pb = Vec::with_capacity(n);
         for i in 0..n {
-            let t = i as f64 / dense_rate;
-            let f = chirp.instantaneous_freq(t);
+            let f = freqs[i];
             let g_ap = db_to_lin(horn.gain_dbi(f, gt.azimuth_rad));
             let incident = received_power_w(tx_w, g_ap, 1.0, f, gt.range_m);
-            let p = port_powers_for_tones_eval(&self.gain_eval, psi, &[(f, incident)]);
             let k =
                 2.0 * std::f64::consts::PI * f * mp_delta / mmwave_sigproc::units::SPEED_OF_LIGHT;
             let ripple_a = 1.0 + 2.0 * mp_amp * (k + phi_a).cos();
             let ripple_b = 1.0 + 2.0 * mp_amp * (k + phi_b).cos();
-            pa.push(p.a_w * ripple_a.max(0.0));
-            pb.push(p.b_w * ripple_b.max(0.0));
+            pa.push(incident * ca[i] * ripple_a.max(0.0));
+            pb.push(incident * cb[i] * ripple_b.max(0.0));
         }
         let (va, vb) = node.detector_traces(&pa, &pb, dense_rate, rng);
         let adc_a = node.mcu_sample(&va, dense_rate);

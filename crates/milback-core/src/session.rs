@@ -356,6 +356,12 @@ impl Session {
             crate::telemetry::ENERGY_BUCKETS_J,
             m.node_energy_j,
         );
+        // FSA cache traffic for this packet's pipeline (the evaluator is
+        // per-session, so the snapshot is exactly this packet's queries),
+        // and the Field-2 chirp stack the FMCW detector batched (five
+        // chirps by protocol, §5.1).
+        probe.record_fsa_stats(&m.pipeline.gain_eval.stats());
+        probe.observe_fmcw_batch(5);
         // Consistency guards: the node decoded what the AP signalled, and
         // the engine clock closed exactly at the packet's airtime.
         debug_assert_eq!(decoded_direction, packet.direction);

@@ -68,6 +68,25 @@ pub fn calibrate_threshold(trace: &[f64]) -> Result<f64, DemodError> {
     Ok((hi + lo) / 2.0)
 }
 
+/// Reusable buffers for the demodulation hot path: per-port symbol
+/// energies. One `DemodScratch` per worker plus the `*_into` entry points
+/// make repeated demodulation allocation-free past the high-water mark,
+/// with decisions identical to the allocating paths.
+#[derive(Debug, Default)]
+pub struct DemodScratch {
+    /// Port-A symbol energies.
+    ea: Vec<f64>,
+    /// Port-B symbol energies.
+    eb: Vec<f64>,
+}
+
+impl DemodScratch {
+    /// An empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The node's OAQFM downlink demodulator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OaqfmDemodulator {
@@ -99,10 +118,11 @@ impl OaqfmDemodulator {
     }
 
     /// Integrates the post-guard portion of each symbol period.
-    fn symbol_energies(&self, trace: &[f64]) -> Vec<f64> {
+    fn symbol_energies_into(&self, trace: &[f64], out: &mut Vec<f64>) {
         let n = self.samples_per_symbol;
         let guard = ((n as f64) * self.guard_fraction) as usize;
-        trace.chunks_exact(n).map(|c| mean(&c[guard..])).collect()
+        out.clear();
+        out.extend(trace.chunks_exact(n).map(|c| mean(&c[guard..])));
     }
 
     /// Demodulates OAQFM symbols from the two detector traces.
@@ -115,6 +135,24 @@ impl OaqfmDemodulator {
         trace_b: &[f64],
         thresholds: Thresholds,
     ) -> Result<Vec<OaqfmSymbol>, DemodError> {
+        let mut scratch = DemodScratch::new();
+        let mut out = Vec::new();
+        self.demodulate_into(trace_a, trace_b, thresholds, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::demodulate`] into a caller-owned symbol buffer (cleared
+    /// first), reusing a [`DemodScratch`] for the per-port energies — the
+    /// allocation-free form for per-trial loops. Decisions are identical
+    /// to the allocating path.
+    pub fn demodulate_into(
+        &self,
+        trace_a: &[f64],
+        trace_b: &[f64],
+        thresholds: Thresholds,
+        scratch: &mut DemodScratch,
+        out: &mut Vec<OaqfmSymbol>,
+    ) -> Result<(), DemodError> {
         if trace_a.len() != trace_b.len() {
             return Err(DemodError::LengthMismatch {
                 a: trace_a.len(),
@@ -124,16 +162,20 @@ impl OaqfmDemodulator {
         if trace_a.len() < self.samples_per_symbol {
             return Err(DemodError::TraceTooShort);
         }
-        let ea = self.symbol_energies(trace_a);
-        let eb = self.symbol_energies(trace_b);
-        Ok(ea
-            .iter()
-            .zip(&eb)
-            .map(|(&va, &vb)| OaqfmSymbol {
-                tone_a: va > thresholds.a,
-                tone_b: vb > thresholds.b,
-            })
-            .collect())
+        self.symbol_energies_into(trace_a, &mut scratch.ea);
+        self.symbol_energies_into(trace_b, &mut scratch.eb);
+        out.clear();
+        out.extend(
+            scratch
+                .ea
+                .iter()
+                .zip(&scratch.eb)
+                .map(|(&va, &vb)| OaqfmSymbol {
+                    tone_a: va > thresholds.a,
+                    tone_b: vb > thresholds.b,
+                }),
+        );
+        Ok(())
     }
 
     /// Self-calibrating demodulation: derives thresholds from the traces
@@ -143,24 +185,53 @@ impl OaqfmDemodulator {
         trace_a: &[f64],
         trace_b: &[f64],
     ) -> Result<Vec<OaqfmSymbol>, DemodError> {
+        let mut scratch = DemodScratch::new();
+        let mut out = Vec::new();
+        self.demodulate_auto_into(trace_a, trace_b, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::demodulate_auto`] into caller-owned buffers — the
+    /// allocation-free form.
+    pub fn demodulate_auto_into(
+        &self,
+        trace_a: &[f64],
+        trace_b: &[f64],
+        scratch: &mut DemodScratch,
+        out: &mut Vec<OaqfmSymbol>,
+    ) -> Result<(), DemodError> {
         let thresholds = Thresholds {
             a: calibrate_threshold(trace_a)?,
             b: calibrate_threshold(trace_b)?,
         };
-        self.demodulate(trace_a, trace_b, thresholds)
+        self.demodulate_into(trace_a, trace_b, thresholds, scratch, out)
     }
 
     /// Single-tone OOK fallback for normal incidence (§6.2): one bit per
     /// symbol from one detector trace.
     pub fn demodulate_ook(&self, trace: &[f64], threshold: f64) -> Result<Vec<bool>, DemodError> {
+        let mut scratch = DemodScratch::new();
+        let mut out = Vec::new();
+        self.demodulate_ook_into(trace, threshold, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::demodulate_ook`] into a caller-owned bit buffer (cleared
+    /// first) — the allocation-free form.
+    pub fn demodulate_ook_into(
+        &self,
+        trace: &[f64],
+        threshold: f64,
+        scratch: &mut DemodScratch,
+        out: &mut Vec<bool>,
+    ) -> Result<(), DemodError> {
         if trace.len() < self.samples_per_symbol {
             return Err(DemodError::TraceTooShort);
         }
-        Ok(self
-            .symbol_energies(trace)
-            .iter()
-            .map(|&v| v > threshold)
-            .collect())
+        self.symbol_energies_into(trace, &mut scratch.ea);
+        out.clear();
+        out.extend(scratch.ea.iter().map(|&v| v > threshold));
+        Ok(())
     }
 }
 

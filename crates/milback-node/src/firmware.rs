@@ -73,8 +73,10 @@ pub struct TransitionError {
     pub event: Event,
 }
 
-impl std::fmt::Display for TransitionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+// `core::fmt` so the firmware compiles without `std` (the workspace MSRV
+// predates `core::error::Error`, so the `Error` impl stays std-gated).
+impl core::fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
             "event {:?} is illegal in state {}",
@@ -83,6 +85,7 @@ impl std::fmt::Display for TransitionError {
     }
 }
 
+#[cfg(feature = "std")]
 impl std::error::Error for TransitionError {}
 
 /// The firmware with its energy ledger.

@@ -16,18 +16,31 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
 
+// The node core — the firmware state machine, port modes and the power
+// model — compiles without `std` (what an MCU build would take). The
+// simulation-facing modules synthesize traces and decode them with the
+// std-only DSP crates, so they sit behind the default `std` feature.
+#[cfg(feature = "std")]
 pub mod downlink;
 pub mod firmware;
 pub mod mode;
+#[cfg(feature = "std")]
 pub mod node;
+#[cfg(feature = "std")]
 pub mod orientation;
 pub mod power;
+#[cfg(feature = "std")]
 pub mod uplink;
 
-pub use downlink::{OaqfmDemodulator, Thresholds};
+#[cfg(feature = "std")]
+pub use downlink::{DemodScratch, OaqfmDemodulator, Thresholds};
 pub use mode::{PortMode, PortStates, ToggleSchedule};
-pub use node::{NodeHardware, PortPowers};
+#[cfg(feature = "std")]
+pub use node::{NodeHardware, NodeScratch, PortPowers};
+#[cfg(feature = "std")]
 pub use orientation::OrientationEstimator;
 pub use power::{NodeActivity, NodePowerModel};
+#[cfg(feature = "std")]
 pub use uplink::UplinkModulator;

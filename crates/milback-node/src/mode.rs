@@ -95,6 +95,7 @@ impl ToggleSchedule {
     ///
     /// # Panics
     /// Panics for a non-positive rate.
+    #[cfg(feature = "std")]
     pub fn state_at(&self, t: f64) -> PortMode {
         assert!(self.rate_hz > 0.0, "toggle rate must be positive");
         let half_period = 1.0 / self.rate_hz;
@@ -105,21 +106,32 @@ impl ToggleSchedule {
         }
     }
 
-    /// The switch instants in `[from_s, until_s)`, seconds — each the start
-    /// of a new half-period. This is the schedule as *events*: an engine
-    /// actor posts one timed event per instant instead of sampling
-    /// `state_at` on its own clock.
-    ///
-    /// # Panics
-    /// Panics for a non-positive rate.
-    pub fn switch_times_s(&self, from_s: f64, until_s: f64) -> Vec<f64> {
+    /// Index of the first half-period boundary at or after `from_s`.
+    #[cfg(feature = "std")]
+    fn first_switch_index(&self, from_s: f64) -> i64 {
         assert!(self.rate_hz > 0.0, "toggle rate must be positive");
         let half_period = 1.0 / self.rate_hz;
         let mut k = (from_s / half_period).ceil() as i64;
         if (k as f64) * half_period < from_s {
             k += 1; // guard against ceil landing a tick early at representable boundaries
         }
-        let mut times = Vec::new();
+        k
+    }
+
+    /// The switch instants in `[from_s, until_s)`, seconds — each the start
+    /// of a new half-period. This is the schedule as *events*: an engine
+    /// actor posts one timed event per instant instead of sampling
+    /// `state_at` on its own clock. The vector is pre-sized from
+    /// [`Self::switch_count`] (this runs once per trial in the campaigns,
+    /// so growth reallocations add up).
+    ///
+    /// # Panics
+    /// Panics for a non-positive rate.
+    #[cfg(feature = "std")]
+    pub fn switch_times_s(&self, from_s: f64, until_s: f64) -> Vec<f64> {
+        let half_period = 1.0 / self.rate_hz;
+        let mut k = self.first_switch_index(from_s);
+        let mut times = Vec::with_capacity(self.switch_count(from_s, until_s));
         loop {
             let t = (k as f64) * half_period;
             if t >= until_s {
@@ -131,9 +143,30 @@ impl ToggleSchedule {
         times
     }
 
+    /// How many switch instants fall in `[from_s, until_s)` — the count
+    /// [`Self::switch_times_s`] would return, without materializing the
+    /// vector. The energy-accounting path only needs this number (toggle
+    /// count × per-toggle energy), and it also pre-sizes the event vector.
+    ///
+    /// # Panics
+    /// Panics for a non-positive rate.
+    #[cfg(feature = "std")]
+    pub fn switch_count(&self, from_s: f64, until_s: f64) -> usize {
+        let half_period = 1.0 / self.rate_hz;
+        let first = self.first_switch_index(from_s);
+        // Walk the same float recurrence as the enumeration so the count
+        // always agrees with it exactly, even at representable boundaries.
+        let mut k = first;
+        while (k as f64) * half_period < until_s {
+            k += 1;
+        }
+        (k - first).max(0) as usize
+    }
+
     /// Whether the state differs between two instants — used by the AP's
     /// background subtraction logic, which relies on the node's echo
     /// changing between consecutive chirps while clutter does not (§5.1).
+    #[cfg(feature = "std")]
     pub fn differs_between(&self, t1: f64, t2: f64) -> bool {
         self.state_at(t1) != self.state_at(t2)
     }
@@ -198,6 +231,27 @@ mod tests {
         // Empty and offset windows behave.
         assert!(t.switch_times_s(10e-6, 90e-6).is_empty());
         assert_eq!(t.switch_times_s(150e-6, 350e-6).len(), 2);
+    }
+
+    #[test]
+    fn switch_count_agrees_with_enumeration() {
+        let t = ToggleSchedule::localization_default();
+        for (from, until) in [
+            (0.0, 450e-6),
+            (10e-6, 90e-6),
+            (150e-6, 350e-6),
+            (0.0, 0.0),
+            (-250e-6, 250e-6),
+            (0.0, 1.0),
+            (1e-4, 1e-4 + 1e-9),
+        ] {
+            let times = t.switch_times_s(from, until);
+            assert_eq!(
+                t.switch_count(from, until),
+                times.len(),
+                "window [{from}, {until})"
+            );
+        }
     }
 
     #[test]

@@ -103,6 +103,40 @@ impl NodeHardware {
         sample_rate_hz: f64,
         noise: &mut GaussianSource,
     ) -> (Vec<f64>, Vec<f64>) {
+        let mut scratch = NodeScratch::new();
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        self.detector_traces_into(
+            power_a_w,
+            power_b_w,
+            sample_rate_hz,
+            noise,
+            &mut scratch,
+            &mut va,
+            &mut vb,
+        );
+        (va, vb)
+    }
+
+    /// [`Self::detector_traces`] into caller-owned buffers, using a
+    /// [`NodeScratch`] for the intermediate scaled-power trace — the
+    /// allocation-free form for per-trial hot loops. Noise draws happen in
+    /// the same order (port A fully, then port B), so results are
+    /// bit-identical to the allocating path for the same RNG state.
+    ///
+    /// # Panics
+    /// Panics if the traces differ in length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn detector_traces_into(
+        &self,
+        power_a_w: &[f64],
+        power_b_w: &[f64],
+        sample_rate_hz: f64,
+        noise: &mut GaussianSource,
+        scratch: &mut NodeScratch,
+        va: &mut Vec<f64>,
+        vb: &mut Vec<f64>,
+    ) {
         assert_eq!(
             power_a_w.len(),
             power_b_w.len(),
@@ -111,22 +145,29 @@ impl NodeHardware {
         let dt = 1.0 / sample_rate_hz;
         let eff_a = self.absorption_efficiency(FsaPort::A);
         let eff_b = self.absorption_efficiency(FsaPort::B);
-        let scaled_a: Vec<f64> = power_a_w.iter().map(|p| p * eff_a).collect();
-        let scaled_b: Vec<f64> = power_b_w.iter().map(|p| p * eff_b).collect();
-        let mut va = self.detector_a.trace(&scaled_a, dt);
-        let mut vb = self.detector_b.trace(&scaled_b, dt);
+        scratch.scaled.clear();
+        scratch.scaled.extend(power_a_w.iter().map(|p| p * eff_a));
+        self.detector_a.trace_into(&scratch.scaled, dt, va);
+        scratch.scaled.clear();
+        scratch.scaled.extend(power_b_w.iter().map(|p| p * eff_b));
+        self.detector_b.trace_into(&scratch.scaled, dt, vb);
         let bw = sample_rate_hz / 2.0;
         let na = self.detector_a.output_noise_v(bw);
         let nb = self.detector_b.output_noise_v(bw);
-        noise.add_real_noise(&mut va, na * na);
-        noise.add_real_noise(&mut vb, nb * nb);
-        (va, vb)
+        noise.add_real_noise(va, na * na);
+        noise.add_real_noise(vb, nb * nb);
     }
 
     /// Samples a dense detector trace with the MCU ADC (decimation +
     /// quantization), as the firmware would see it.
     pub fn mcu_sample(&self, trace: &[f64], trace_rate_hz: f64) -> Vec<f64> {
         self.adc.sample_trace(trace, trace_rate_hz)
+    }
+
+    /// [`Self::mcu_sample`] into a caller-owned buffer (cleared first) —
+    /// identical values, no allocation past the high-water mark.
+    pub fn mcu_sample_into(&self, trace: &[f64], trace_rate_hz: f64, out: &mut Vec<f64>) {
+        self.adc.sample_trace_into(trace, trace_rate_hz, out);
     }
 
     /// The complex backscatter coefficient the node presents on a given
@@ -143,6 +184,25 @@ impl NodeHardware {
     ) -> f64 {
         let g = self.fsa.gain_linear(port, freq_hz, incidence_rad);
         g * self.reflection_amplitude(port, mode)
+    }
+}
+
+/// Reusable buffers for the node's trace-synthesis hot path.
+///
+/// The per-call `Vec` churn of [`NodeHardware::detector_traces`] (the
+/// scaled per-port power traces) moves here: one `NodeScratch` per worker
+/// plus the `*_into` entry points make the steady state allocation-free,
+/// with results bit-identical to the allocating paths.
+#[derive(Debug, Default)]
+pub struct NodeScratch {
+    /// Scaled per-port power trace (reused for both ports in turn).
+    scaled: Vec<f64>,
+}
+
+impl NodeScratch {
+    /// An empty workspace; buffers grow lazily to the trace high-water mark.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 

@@ -29,6 +29,7 @@ use mmwave_sigproc::units::SPEED_OF_LIGHT;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Which feed port of a dual-port FSA is in use.
@@ -447,10 +448,84 @@ impl FsaFreqEval {
     pub fn gain_linear(&self, angle_rad: f64) -> f64 {
         self.core.gain_linear(angle_rad)
     }
+
+    /// Batched [`FsaFreqEval::array_factor`] over an angle chunk.
+    ///
+    /// Every point runs the same compiled `AfCore` routine as the scalar
+    /// call, so each output is bit-exact with the corresponding scalar
+    /// query — the batch form only amortizes dispatch over the chunk.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != angles.len()`.
+    pub fn array_factor_batch(&self, angles: &[f64], out: &mut [f64]) {
+        assert_eq!(angles.len(), out.len(), "batch output length mismatch");
+        for (o, &a) in out.iter_mut().zip(angles) {
+            *o = self.core.array_factor(a);
+        }
+    }
+
+    /// Batched [`FsaFreqEval::gain_dbi`] over an angle chunk (bit-exact per
+    /// point with the scalar path).
+    ///
+    /// # Panics
+    /// Panics when `out.len() != angles.len()`.
+    pub fn gain_dbi_batch(&self, angles: &[f64], out: &mut [f64]) {
+        assert_eq!(angles.len(), out.len(), "batch output length mismatch");
+        for (o, &a) in out.iter_mut().zip(angles) {
+            *o = self.core.gain_dbi(a);
+        }
+    }
+
+    /// Batched [`FsaFreqEval::gain_linear`] over an angle chunk (bit-exact
+    /// per point with the scalar path).
+    ///
+    /// # Panics
+    /// Panics when `out.len() != angles.len()`.
+    pub fn gain_linear_batch(&self, angles: &[f64], out: &mut [f64]) {
+        assert_eq!(angles.len(), out.len(), "batch output length mismatch");
+        for (o, &a) in out.iter_mut().zip(angles) {
+            *o = self.core.gain_linear(a);
+        }
+    }
 }
 
 /// Memo key: `(port == B, freq bits, angle bits)`.
 type GainKey = (bool, u64, u64);
+
+/// Snapshot of an evaluator's cache and batch counters
+/// ([`FsaGainEval::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsaStats {
+    /// Hits on the per-`(port, freq)` hoisted-evaluation cache.
+    pub freq_hits: u64,
+    /// Misses on the per-`(port, freq)` cache (each builds an
+    /// [`FsaFreqEval`]).
+    pub freq_misses: u64,
+    /// Hits on the per-`(port, freq, angle)` value memos.
+    pub gain_hits: u64,
+    /// Misses on the value memos (each runs the `AfCore` pipeline once).
+    pub gain_misses: u64,
+    /// Points evaluated through the batch APIs, bypassing the value memos.
+    pub batch_points: u64,
+}
+
+/// Relaxed atomic counters behind [`FsaStats`]. Monitoring only: the values
+/// never feed back into any computation, so observing them cannot perturb
+/// results.
+#[derive(Default)]
+struct FsaCounters {
+    freq_hits: AtomicU64,
+    freq_misses: AtomicU64,
+    gain_hits: AtomicU64,
+    gain_misses: AtomicU64,
+    batch_points: AtomicU64,
+}
+
+impl FsaCounters {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+}
 
 /// A memoizing FSA gain evaluator, bit-exact with the direct
 /// [`FsaDesign`] / [`DualPortFsa`] query paths.
@@ -477,6 +552,7 @@ pub struct FsaGainEval {
     freq: RwLock<HashMap<(bool, u64), Arc<FsaFreqEval>>>,
     dbi: RwLock<HashMap<GainKey, f64>>,
     lin: RwLock<HashMap<GainKey, f64>>,
+    counters: FsaCounters,
 }
 
 impl FsaGainEval {
@@ -503,6 +579,20 @@ impl FsaGainEval {
             freq: RwLock::new(HashMap::new()),
             dbi: RwLock::new(HashMap::new()),
             lin: RwLock::new(HashMap::new()),
+            counters: FsaCounters::default(),
+        }
+    }
+
+    /// Snapshot of the cache hit/miss and batch-bypass counters since this
+    /// evaluator was built. Counters are relaxed atomics updated on every
+    /// query; they never influence any computed value.
+    pub fn stats(&self) -> FsaStats {
+        FsaStats {
+            freq_hits: self.counters.freq_hits.load(Ordering::Relaxed),
+            freq_misses: self.counters.freq_misses.load(Ordering::Relaxed),
+            gain_hits: self.counters.gain_hits.load(Ordering::Relaxed),
+            gain_misses: self.counters.gain_misses.load(Ordering::Relaxed),
+            batch_points: self.counters.batch_points.load(Ordering::Relaxed),
         }
     }
 
@@ -515,21 +605,26 @@ impl FsaGainEval {
     pub fn at_freq(&self, port: FsaPort, freq_hz: f64) -> Arc<FsaFreqEval> {
         let key = (port == FsaPort::B, freq_hz.to_bits());
         if let Some(fe) = self.freq.read().expect("fsa freq cache poisoned").get(&key) {
+            FsaCounters::bump(&self.counters.freq_hits, 1);
             return Arc::clone(fe);
         }
+        FsaCounters::bump(&self.counters.freq_misses, 1);
         let fe = Arc::new(FsaFreqEval::new(&self.design, port, freq_hz, self.af_norm));
         let mut cache = self.freq.write().expect("fsa freq cache poisoned");
         Arc::clone(cache.entry(key).or_insert(fe))
     }
 
     fn memo(
+        &self,
         cache: &RwLock<HashMap<GainKey, f64>>,
         key: GainKey,
         compute: impl FnOnce() -> f64,
     ) -> f64 {
         if let Some(&v) = cache.read().expect("fsa gain cache poisoned").get(&key) {
+            FsaCounters::bump(&self.counters.gain_hits, 1);
             return v;
         }
+        FsaCounters::bump(&self.counters.gain_misses, 1);
         // Racing computations produce the same bits, so last-write-wins
         // insertion keeps the cache deterministic.
         let v = compute();
@@ -543,7 +638,7 @@ impl FsaGainEval {
     /// Memoized [`FsaDesign::gain_dbi`] (bit-exact).
     pub fn gain_dbi(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
         let key = (port == FsaPort::B, freq_hz.to_bits(), angle_rad.to_bits());
-        Self::memo(&self.dbi, key, || {
+        self.memo(&self.dbi, key, || {
             self.at_freq(port, freq_hz).gain_dbi(angle_rad)
         })
     }
@@ -551,9 +646,155 @@ impl FsaGainEval {
     /// Memoized [`FsaDesign::gain_linear`] (bit-exact).
     pub fn gain_linear(&self, port: FsaPort, freq_hz: f64, angle_rad: f64) -> f64 {
         let key = (port == FsaPort::B, freq_hz.to_bits(), angle_rad.to_bits());
-        Self::memo(&self.lin, key, || {
+        self.memo(&self.lin, key, || {
             self.at_freq(port, freq_hz).gain_linear(angle_rad)
         })
+    }
+
+    /// Batched gain in dBi over an **angle chunk** at one `(port, freq)`.
+    ///
+    /// Hoists the per-frequency setup once for the whole chunk and bypasses
+    /// the per-point value memo — on a cold grid the memo's lock/hash/insert
+    /// traffic is pure overhead, and skipping it is where the batch path's
+    /// speedup comes from. Each point is bit-exact with the scalar
+    /// [`FsaGainEval::gain_dbi`] because it runs the same compiled
+    /// `AfCore` routine. Pass `memoize = true` to also write the chunk
+    /// back into the value memo (one write-lock acquisition), worth it only
+    /// when the same exact points will be re-queried through the scalar
+    /// path later.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != angles.len()`.
+    pub fn gain_dbi_angles_into(
+        &self,
+        port: FsaPort,
+        freq_hz: f64,
+        angles: &[f64],
+        out: &mut [f64],
+        memoize: bool,
+    ) {
+        let fe = self.at_freq(port, freq_hz);
+        fe.gain_dbi_batch(angles, out);
+        FsaCounters::bump(&self.counters.batch_points, angles.len() as u64);
+        if memoize {
+            let mut cache = self.dbi.write().expect("fsa gain cache poisoned");
+            for (&a, &v) in angles.iter().zip(out.iter()) {
+                cache.insert((port == FsaPort::B, freq_hz.to_bits(), a.to_bits()), v);
+            }
+        }
+    }
+
+    /// Batched linear gain over an **angle chunk** at one `(port, freq)` —
+    /// see [`FsaGainEval::gain_dbi_angles_into`] for the memo-bypass and
+    /// bit-exactness contract.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != angles.len()`.
+    pub fn gain_linear_angles_into(
+        &self,
+        port: FsaPort,
+        freq_hz: f64,
+        angles: &[f64],
+        out: &mut [f64],
+        memoize: bool,
+    ) {
+        let fe = self.at_freq(port, freq_hz);
+        fe.gain_linear_batch(angles, out);
+        FsaCounters::bump(&self.counters.batch_points, angles.len() as u64);
+        if memoize {
+            let mut cache = self.lin.write().expect("fsa gain cache poisoned");
+            for (&a, &v) in angles.iter().zip(out.iter()) {
+                cache.insert((port == FsaPort::B, freq_hz.to_bits(), a.to_bits()), v);
+            }
+        }
+    }
+
+    /// Batched gain in dBi over a **frequency chunk** at one angle — the
+    /// cold-grid hot path of localization echo synthesis, where every chirp
+    /// sample sits at a distinct instantaneous frequency and the memo never
+    /// hits. Builds the hoisted core directly per frequency with no
+    /// locking, hashing or shared-pointer traffic; bit-exact with the
+    /// scalar path by construction (identical `AfCore` arguments and
+    /// routines).
+    ///
+    /// # Panics
+    /// Panics when `out.len() != freqs.len()`.
+    pub fn gain_dbi_freqs_into(
+        &self,
+        port: FsaPort,
+        freqs: &[f64],
+        angle_rad: f64,
+        out: &mut [f64],
+        memoize: bool,
+    ) {
+        assert_eq!(freqs.len(), out.len(), "batch output length mismatch");
+        for (o, &f) in out.iter_mut().zip(freqs) {
+            *o = AfCore::new(&self.design, port, f, self.af_norm).gain_dbi(angle_rad);
+        }
+        FsaCounters::bump(&self.counters.batch_points, freqs.len() as u64);
+        if memoize {
+            let mut cache = self.dbi.write().expect("fsa gain cache poisoned");
+            for (&f, &v) in freqs.iter().zip(out.iter()) {
+                cache.insert((port == FsaPort::B, f.to_bits(), angle_rad.to_bits()), v);
+            }
+        }
+    }
+
+    /// Batched linear gain over a **frequency chunk** at one angle — see
+    /// [`FsaGainEval::gain_dbi_freqs_into`] for the contract.
+    ///
+    /// # Panics
+    /// Panics when `out.len() != freqs.len()`.
+    pub fn gain_linear_freqs_into(
+        &self,
+        port: FsaPort,
+        freqs: &[f64],
+        angle_rad: f64,
+        out: &mut [f64],
+        memoize: bool,
+    ) {
+        assert_eq!(freqs.len(), out.len(), "batch output length mismatch");
+        for (o, &f) in out.iter_mut().zip(freqs) {
+            *o = AfCore::new(&self.design, port, f, self.af_norm).gain_linear(angle_rad);
+        }
+        FsaCounters::bump(&self.counters.batch_points, freqs.len() as u64);
+        if memoize {
+            let mut cache = self.lin.write().expect("fsa gain cache poisoned");
+            for (&f, &v) in freqs.iter().zip(out.iter()) {
+                cache.insert((port == FsaPort::B, f.to_bits(), angle_rad.to_bits()), v);
+            }
+        }
+    }
+
+    /// Batched [`FsaGainEval::port_coupling_linear`] over a frequency chunk
+    /// at one incidence angle: fills `into_a`/`into_b` with the per-port
+    /// coupled power factors, bit-exact per point with the scalar call.
+    /// Bypasses the value memos like the other batch paths.
+    ///
+    /// # Panics
+    /// Panics when the evaluator was built with [`FsaGainEval::new`]
+    /// instead of [`FsaGainEval::for_dual`], or on length mismatch.
+    pub fn port_coupling_linear_freqs_into(
+        &self,
+        freqs: &[f64],
+        angle_rad: f64,
+        into_a: &mut [f64],
+        into_b: &mut [f64],
+    ) {
+        let leak = self
+            .leak
+            .expect("port_coupling_linear requires an evaluator built with FsaGainEval::for_dual");
+        assert_eq!(freqs.len(), into_a.len(), "batch output length mismatch");
+        assert_eq!(freqs.len(), into_b.len(), "batch output length mismatch");
+        for i in 0..freqs.len() {
+            let ga = AfCore::new(&self.design, FsaPort::A, freqs[i], self.af_norm)
+                .gain_linear(angle_rad);
+            let gb = AfCore::new(&self.design, FsaPort::B, freqs[i], self.af_norm)
+                .gain_linear(angle_rad);
+            into_a[i] = ga + gb * leak;
+            into_b[i] = gb + ga * leak;
+        }
+        FsaCounters::bump(&self.counters.batch_points, 2 * freqs.len() as u64);
     }
 
     /// Memoized [`DualPortFsa::port_coupling_linear`] (bit-exact).
@@ -572,8 +813,8 @@ impl FsaGainEval {
 }
 
 impl Clone for FsaGainEval {
-    /// Clones the design and leak factor; caches start cold (they are a
-    /// transparent performance detail, not state).
+    /// Clones the design and leak factor; caches start cold and counters at
+    /// zero (they are a transparent performance detail, not state).
     fn clone(&self) -> Self {
         Self::build(&self.design, self.leak)
     }
@@ -932,5 +1173,98 @@ mod tests {
     #[should_panic(expected = "for_dual")]
     fn bare_eval_rejects_port_coupling() {
         FsaGainEval::new(&fsa()).port_coupling_linear(28e9, 0.0);
+    }
+
+    #[test]
+    fn angle_batch_matches_scalar_bit_exactly() {
+        let d = fsa();
+        let eval = FsaGainEval::new(&d);
+        let (ports, freqs, angles) = dense_grid();
+        let mut dbi = vec![0.0; angles.len()];
+        let mut lin = vec![0.0; angles.len()];
+        let mut af = vec![0.0; angles.len()];
+        for &port in &ports {
+            for &f in &freqs {
+                eval.gain_dbi_angles_into(port, f, &angles, &mut dbi, false);
+                eval.gain_linear_angles_into(port, f, &angles, &mut lin, false);
+                eval.at_freq(port, f).array_factor_batch(&angles, &mut af);
+                for (i, &a) in angles.iter().enumerate() {
+                    assert_eq!(dbi[i].to_bits(), d.gain_dbi(port, f, a).to_bits());
+                    assert_eq!(lin[i].to_bits(), d.gain_linear(port, f, a).to_bits());
+                    assert_eq!(af[i].to_bits(), d.array_factor(port, f, a).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freq_batch_matches_scalar_bit_exactly() {
+        let d = fsa();
+        let eval = FsaGainEval::new(&d);
+        let (ports, freqs, angles) = dense_grid();
+        let mut dbi = vec![0.0; freqs.len()];
+        let mut lin = vec![0.0; freqs.len()];
+        for &port in &ports {
+            for &a in &angles {
+                eval.gain_dbi_freqs_into(port, &freqs, a, &mut dbi, false);
+                eval.gain_linear_freqs_into(port, &freqs, a, &mut lin, false);
+                for (i, &f) in freqs.iter().enumerate() {
+                    assert_eq!(dbi[i].to_bits(), d.gain_dbi(port, f, a).to_bits());
+                    assert_eq!(lin[i].to_bits(), d.gain_linear(port, f, a).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_freq_batch_matches_scalar_bit_exactly() {
+        let dp = DualPortFsa::milback_default();
+        let eval = FsaGainEval::for_dual(&dp);
+        let (_, freqs, angles) = dense_grid();
+        let mut ia = vec![0.0; freqs.len()];
+        let mut ib = vec![0.0; freqs.len()];
+        for &a in &angles {
+            eval.port_coupling_linear_freqs_into(&freqs, a, &mut ia, &mut ib);
+            for (i, &f) in freqs.iter().enumerate() {
+                let (sa, sb) = dp.port_coupling_linear(f, a);
+                assert_eq!(ia[i].to_bits(), sa.to_bits());
+                assert_eq!(ib[i].to_bits(), sb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_memo_writeback_seeds_scalar_hits() {
+        let d = fsa();
+        let eval = FsaGainEval::new(&d);
+        let angles: Vec<f64> = (-10..=10).map(|i| i as f64 * 0.05).collect();
+        let mut out = vec![0.0; angles.len()];
+        eval.gain_linear_angles_into(FsaPort::A, 28e9, &angles, &mut out, true);
+        let before = eval.stats();
+        for (i, &a) in angles.iter().enumerate() {
+            // Every scalar re-query must hit the memo seeded by the batch.
+            assert_eq!(eval.gain_linear(FsaPort::A, 28e9, a), out[i]);
+        }
+        let after = eval.stats();
+        assert_eq!(after.gain_hits - before.gain_hits, angles.len() as u64);
+        assert_eq!(after.gain_misses, before.gain_misses);
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_batch_points() {
+        let d = fsa();
+        let eval = FsaGainEval::new(&d);
+        assert_eq!(eval.stats(), FsaStats::default());
+        let _ = eval.gain_dbi(FsaPort::A, 28e9, 0.1); // miss
+        let _ = eval.gain_dbi(FsaPort::A, 28e9, 0.1); // hit
+        let s = eval.stats();
+        assert_eq!(s.gain_misses, 1);
+        assert_eq!(s.gain_hits, 1);
+        assert_eq!(s.freq_misses, 1);
+        let mut out = [0.0; 4];
+        eval.gain_dbi_freqs_into(FsaPort::B, &[27e9, 28e9, 29e9, 30e9], 0.0, &mut out, false);
+        assert_eq!(eval.stats().batch_points, 4);
+        // Clones start with fresh counters.
+        assert_eq!(eval.clone().stats(), FsaStats::default());
     }
 }

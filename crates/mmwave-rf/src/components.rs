@@ -208,8 +208,18 @@ impl EnvelopeDetector {
     /// Traces the detector output over time for a piecewise-constant input
     /// power sequence sampled at `dt` (applies square law then RC dynamics).
     pub fn trace(&self, power_w: &[f64], dt_s: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(power_w.len());
+        self.trace_into(power_w, dt_s, &mut out);
+        out
+    }
+
+    /// [`Self::trace`] into a caller-owned buffer (cleared first), so a hot
+    /// loop holding the buffer performs no heap allocation past the
+    /// high-water mark. Values are identical to [`Self::trace`].
+    pub fn trace_into(&self, power_w: &[f64], dt_s: f64, out: &mut Vec<f64>) {
         let mut rc = self.video_filter(dt_s);
-        power_w.iter().map(|&p| rc.step(self.detect_v(p))).collect()
+        out.clear();
+        out.extend(power_w.iter().map(|&p| rc.step(self.detect_v(p))));
     }
 }
 
@@ -251,6 +261,18 @@ impl Adc {
     /// # Panics
     /// Panics if the input rate is below the ADC rate.
     pub fn sample_trace(&self, trace: &[f64], input_rate_hz: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.sample_trace_into(trace, input_rate_hz, &mut out);
+        out
+    }
+
+    /// [`Self::sample_trace`] into a caller-owned buffer (cleared first) —
+    /// the allocation-free form for per-trial loops. Values are identical
+    /// to [`Self::sample_trace`].
+    ///
+    /// # Panics
+    /// Panics if the input rate is below the ADC rate.
+    pub fn sample_trace_into(&self, trace: &[f64], input_rate_hz: f64, out: &mut Vec<f64>) {
         assert!(
             input_rate_hz >= self.sample_rate_hz,
             "cannot upsample: input {input_rate_hz} < ADC {}",
@@ -258,9 +280,8 @@ impl Adc {
         );
         let step = input_rate_hz / self.sample_rate_hz;
         let n_out = (trace.len() as f64 / step).floor() as usize;
-        (0..n_out)
-            .map(|i| self.quantize(trace[(i as f64 * step).round() as usize]))
-            .collect()
+        out.clear();
+        out.extend((0..n_out).map(|i| self.quantize(trace[(i as f64 * step).round() as usize])));
     }
 
     /// Quantization step (one LSB) in volts.

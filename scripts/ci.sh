@@ -3,13 +3,15 @@
 #
 # Runs the full quality bar in order of increasing cost:
 #   1. formatting check (cargo fmt --check)
-#   2. release build of every target
+#   2. release build of every target, plus the no_std build of the node
+#      core (milback-node --no-default-features)
 #   3. the complete test suite (tier-1 umbrella + all crate suites)
 #   4. clippy across all targets with warnings promoted to errors
 #   5. rustdoc with warnings promoted to errors
 #   6. the benchmark harness, which emits results/BENCH_dsp.json and
 #      results/BENCH_experiments.json
-#   7. structural validation of both benchmark JSONs
+#   7. structural validation of both benchmark JSONs, gating on the
+#      batch_kernels section (batch_bit_exact == true, zero firmware allocs)
 #   8. one migrated figure binary end-to-end in reduced mode (shrunken
 #      grids, CSV anchors untouched)
 #   9. the net_scale extension in reduced mode + its full-scale CSV anchor
@@ -32,6 +34,10 @@ cargo fmt --all -- --check
 
 echo "==> [2/12] cargo build --release --workspace --all-targets"
 cargo build --release --workspace --all-targets
+# The node core must stay portable to an MCU: firmware/mode/power compile
+# without std (the sim-facing modules are std-gated behind the default
+# feature).
+cargo build --release -p milback-node --no-default-features
 
 echo "==> [3/12] cargo test --release --workspace"
 cargo test --release --workspace -q
@@ -70,7 +76,7 @@ PY
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "milback-bench-experiments-v1", doc.get("schema")
-for key in ("host", "experiments", "fsa_gain_eval", "acceptance"):
+for key in ("host", "experiments", "fsa_gain_eval", "batch_kernels", "acceptance"):
     assert key in doc, f"missing top-level key: {key}"
 assert doc["experiments"], "experiments section is empty"
 for row in doc["experiments"]:
@@ -78,16 +84,27 @@ for row in doc["experiments"]:
     assert row["bit_exact"] is True, f"schedule divergence in {row['name']}"
 fsa = doc["fsa_gain_eval"]
 assert fsa["bit_exact"] is True, "FSA evaluator diverged from the direct path"
+bk = doc["batch_kernels"]
+for key in ("fsa_points", "fsa_cold_memoized_ns_per_point", "fsa_batch_ns_per_point",
+            "fsa_batch_speedup", "fsa_freq_points", "fsa_freq_batch_speedup",
+            "fmcw_chirps", "fmcw_sequential_chirps_per_s", "fmcw_batched_chirps_per_s",
+            "firmware_allocs_per_packet", "batch_bit_exact"):
+    assert key in bk, f"missing batch_kernels key: {key}"
+assert bk["batch_bit_exact"] is True, "a batch kernel diverged from the scalar path"
+assert bk["firmware_allocs_per_packet"] == 0, "firmware hot loop must stay heap-free"
 acc = doc["acceptance"]
 for key in ("runner_target_speedup", "runner_target_needs_cores", "cores",
             "runner_best_speedup", "runner_median_speedup",
-            "fsa_target_speedup", "fsa_hoisted_speedup", "all_bit_exact"):
+            "fsa_target_speedup", "fsa_hoisted_speedup", "fsa_batch_speedup",
+            "batch_bit_exact", "all_bit_exact"):
     assert key in acc, f"missing acceptance key: {key}"
+assert acc["batch_bit_exact"] is True
 assert acc["all_bit_exact"] is True
 print(f"OK: {sys.argv[1]} is well-formed "
       f"({len(doc['experiments'])} experiment rows, "
       f"runner best {acc['runner_best_speedup']:.2f}x on {acc['cores']} core(s), "
-      f"fsa hoisted {acc['fsa_hoisted_speedup']:.2f}x)")
+      f"fsa hoisted {acc['fsa_hoisted_speedup']:.2f}x, "
+      f"cold-grid batch {acc['fsa_batch_speedup']:.2f}x)")
 PY
 else
     # Minimal fallback: the files must at least carry the schema markers
@@ -96,6 +113,8 @@ else
     grep -q '"acceptance"' "$JSON"
     grep -q '"schema": "milback-bench-experiments-v1"' "$EXP_JSON"
     grep -q '"acceptance"' "$EXP_JSON"
+    grep -q '"batch_kernels"' "$EXP_JSON"
+    grep -q '"batch_bit_exact": true' "$EXP_JSON"
     grep -q '"all_bit_exact": true' "$EXP_JSON"
     echo "OK: benchmark JSONs carry schema markers (python3 unavailable, shallow check)"
 fi
