@@ -517,6 +517,126 @@ fn bench_batch_kernels() -> BatchBench {
     }
 }
 
+/// The sharded-campaign bench: single-cell vs 4-cell sharded nodes/s on
+/// the same sector campaign, plus the acceptance proofs — a 1-cell sharded
+/// run reproduces `run_mac` bit-for-bit, the sharded aggregate is
+/// invariant across 1/2/4/8 worker threads, and the streaming aggregate's
+/// report footprint does not grow with node count.
+struct ShardBench {
+    nodes: usize,
+    cells: usize,
+    threads: usize,
+    single_cell_nodes_per_sec: f64,
+    sharded_nodes_per_sec: f64,
+    shard_bit_exact: bool,
+    bucket_footprint: usize,
+    bounded_memory: bool,
+}
+
+fn bench_sharded_campaign() -> ShardBench {
+    use milback_core::{CampaignAggregate, MacPolicy, SlottedAloha};
+
+    let _span = spans::span("sharded_campaign");
+    let nodes = 64;
+    let cells = 4;
+    let frames = 4;
+    let slots = 8;
+    let seed = 0x5AD5u64;
+    let c = experiments::sector_campaign(nodes, 16, slots, seed).expect("sector campaign");
+    let factory = |_: usize, s: u64| Box::new(SlottedAloha::new(s)) as Box<dyn MacPolicy>;
+
+    // Proof 1: one cell, many worker threads — the sharded path must
+    // reproduce today's `run_mac` report bit-for-bit (`==` and `to_bits`).
+    let sharded_reports = c
+        .net
+        .run_sharded_mac_reports(1, 4, seed, frames, &c.payload, &c.plan, 20.0, factory)
+        .expect("1-cell sharded run");
+    let mut rng = GaussianSource::new(seed);
+    let plain = c
+        .net
+        .run_mac(
+            Box::new(SlottedAloha::new(seed)),
+            frames,
+            &c.payload,
+            &c.plan,
+            20.0,
+            &mut rng,
+        )
+        .expect("plain run_mac");
+    let mut shard_bit_exact = sharded_reports.len() == 1 && sharded_reports[0] == plain;
+    for (a, b) in sharded_reports[0].nodes.iter().zip(&plain.nodes) {
+        shard_bit_exact &= a.energy_j.to_bits() == b.energy_j.to_bits();
+        shard_bit_exact &= a.mean_snr_db.map(f64::to_bits) == b.mean_snr_db.map(f64::to_bits);
+    }
+
+    // Proof 2: the sharded aggregate is invariant across thread counts.
+    let run_agg = |n_cells: usize, threads: usize| {
+        c.net
+            .run_sharded_mac(
+                n_cells, threads, seed, frames, &c.payload, &c.plan, 20.0, factory,
+            )
+            .expect("sharded campaign")
+    };
+    let baseline = run_agg(cells, 1);
+    for threads in [2usize, 4, 8] {
+        let agg = run_agg(cells, threads);
+        shard_bit_exact &= agg == baseline;
+        shard_bit_exact &= agg.energy_j.to_bits() == baseline.energy_j.to_bits();
+        shard_bit_exact &= agg.snr_sum_db.to_bits() == baseline.snr_sum_db.to_bits();
+    }
+    assert!(shard_bit_exact, "the sharded campaign path diverged");
+
+    // Proof 3: bounded memory — the aggregate's report footprint is the
+    // same number of histogram buckets at half the node count.
+    let half = experiments::sector_campaign(nodes / 2, 16, slots, seed).expect("half campaign");
+    let half_agg = half
+        .net
+        .run_sharded_mac(
+            cells,
+            2,
+            seed,
+            frames,
+            &half.payload,
+            &half.plan,
+            20.0,
+            factory,
+        )
+        .expect("half-scale campaign");
+    let bucket_footprint = baseline.bucket_footprint();
+    let bounded_memory = bucket_footprint == half_agg.bucket_footprint()
+        && bucket_footprint == CampaignAggregate::new().bucket_footprint();
+    assert!(bounded_memory, "aggregate footprint grew with node count");
+
+    // Throughput: single-cell vs sharded, round-robin min over rounds.
+    let threads = RunnerConfig::from_env().threads;
+    let mut single = || {
+        std::hint::black_box(run_agg(1, threads));
+    };
+    let mut sharded = || {
+        std::hint::black_box(run_agg(cells, threads));
+    };
+    let times = race(10, 1, &mut [&mut single, &mut sharded]);
+    let bench = ShardBench {
+        nodes,
+        cells,
+        threads,
+        single_cell_nodes_per_sec: nodes as f64 / times[0] * 1e9,
+        sharded_nodes_per_sec: nodes as f64 / times[1] * 1e9,
+        shard_bit_exact,
+        bucket_footprint,
+        bounded_memory,
+    };
+    println!(
+        "sharded campaign ({nodes} nodes): single-cell {:.0} nodes/s, {cells}-cell sharded {:.0} nodes/s \
+         on {threads} thread(s) ({:.2}x); bit-exact {shard_bit_exact}, footprint {} buckets (bounded {bounded_memory})",
+        bench.single_cell_nodes_per_sec,
+        bench.sharded_nodes_per_sec,
+        bench.sharded_nodes_per_sec / bench.single_cell_nodes_per_sec,
+        bench.bucket_footprint,
+    );
+    bench
+}
+
 fn median(mut v: Vec<f64>) -> f64 {
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
     v[v.len() / 2]
@@ -645,10 +765,14 @@ fn main() {
     let exp_rows = bench_experiments();
     let fsa = bench_fsa_gain_eval();
     let batch = bench_batch_kernels();
+    let shard = bench_sharded_campaign();
     let speedups: Vec<f64> = exp_rows.iter().map(|r| r.speedup()).collect();
     let best_speedup = speedups.iter().copied().fold(0.0, f64::max);
     let median_speedup = median(speedups);
-    let all_bit_exact = exp_rows.iter().all(|r| r.bit_exact) && fsa.bit_exact && batch.bit_exact;
+    let all_bit_exact = exp_rows.iter().all(|r| r.bit_exact)
+        && fsa.bit_exact
+        && batch.bit_exact
+        && shard.shard_bit_exact;
     assert!(all_bit_exact, "a parallel schedule or evaluator diverged");
 
     // Every stage guard is closed by here, so the snapshot carries the
@@ -764,6 +888,23 @@ fn main() {
         batch.fmcw_sequential_ns / batch.fmcw_batched_ns,
         batch.bit_exact,
     );
+    // The sharded city-scale campaign path: single-cell vs sharded
+    // throughput on the same campaign, with the 1-cell `run_mac` parity,
+    // 1/2/4/8-thread invariance, and bounded-footprint proofs recorded as
+    // acceptance keys.
+    let _ = writeln!(
+        j,
+        "  \"sharded_campaign\": {{ \"nodes\": {}, \"cells\": {}, \"threads\": {}, \"single_cell_nodes_per_sec\": {}, \"sharded_nodes_per_sec\": {}, \"shard_speedup\": {:.2}, \"shard_bit_exact\": {}, \"bucket_footprint\": {}, \"bounded_memory\": {} }},",
+        shard.nodes,
+        shard.cells,
+        shard.threads,
+        json_f(shard.single_cell_nodes_per_sec),
+        json_f(shard.sharded_nodes_per_sec),
+        shard.sharded_nodes_per_sec / shard.single_cell_nodes_per_sec,
+        shard.shard_bit_exact,
+        shard.bucket_footprint,
+        shard.bounded_memory,
+    );
     // Host-side wall-clock profiling spans: the per-stage breakdown of
     // this run (empty in a telemetry-off build, where spans are inert).
     j.push_str("  \"spans\": [\n");
@@ -780,7 +921,7 @@ fn main() {
     j.push_str("  ],\n");
     let _ = writeln!(
         j,
-        "  \"acceptance\": {{ \"runner_target_speedup\": 1.8, \"runner_target_needs_cores\": 4, \"cores\": {cores}, \"threads\": {threads}, \"runner_best_speedup\": {:.2}, \"runner_median_speedup\": {:.2}, \"fsa_target_speedup\": 2.0, \"fsa_hoisted_speedup\": {:.2}, \"fsa_memoized_speedup\": {:.2}, \"fsa_batch_speedup\": {:.2}, \"batch_bit_exact\": {}, \"all_bit_exact\": {all_bit_exact} }}",
+        "  \"acceptance\": {{ \"runner_target_speedup\": 1.8, \"runner_target_needs_cores\": 4, \"cores\": {cores}, \"threads\": {threads}, \"runner_best_speedup\": {:.2}, \"runner_median_speedup\": {:.2}, \"fsa_target_speedup\": 2.0, \"fsa_hoisted_speedup\": {:.2}, \"fsa_memoized_speedup\": {:.2}, \"fsa_batch_speedup\": {:.2}, \"batch_bit_exact\": {}, \"shard_bit_exact\": {}, \"shard_bounded_memory\": {}, \"all_bit_exact\": {all_bit_exact} }}",
         best_speedup,
         median_speedup,
         fsa.unhoisted_ns / fsa.hoisted_ns,
@@ -790,6 +931,8 @@ fn main() {
         // tables) and where the batch path's lock/hash bypass pays off.
         batch.freq_cold_ns / batch.freq_batch_ns,
         batch.bit_exact,
+        shard.shard_bit_exact,
+        shard.bounded_memory,
     );
     j.push_str("}\n");
 

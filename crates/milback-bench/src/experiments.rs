@@ -14,7 +14,7 @@
 //! runner already parallelizes across trials, so the inner beat-synthesis
 //! parallelism would only oversubscribe the machine.
 
-use crate::runner::{run_fallible, run_fallible_with, RunnerConfig, TrialBatch};
+use crate::runner::{run_fallible, run_fallible_with, trial_seed, RunnerConfig, TrialBatch};
 use milback_ap::fmcw::FmcwScratch;
 use milback_core::coding::{bits_to_bytes, bytes_to_bits, PayloadCodec};
 use milback_core::localization::{Impairments, LocationFix};
@@ -502,6 +502,53 @@ fn sector_scene(n: usize) -> Scene {
     scene
 }
 
+/// The shared setup every sector-scene MAC sweep starts from: payload,
+/// slot plan, network, and the per-node-count slot seed. One builder so
+/// `net_scale`, `mac_compare`, the instrumented sweep, and the city-scale
+/// sharded sweep all race over exactly the same campaign and stay
+/// comparable row-for-row.
+#[derive(Debug)]
+pub struct SectorCampaign {
+    /// The uplink payload every node reports.
+    pub payload: Vec<u8>,
+    /// The slot plan sized for that payload.
+    pub plan: SlotPlan,
+    /// The network over the ±60° sector scene.
+    pub net: Network,
+    /// The slot seed shared across sweeps at this node count, so e.g. the
+    /// `mac_compare` "aloha" row reproduces the `net_scale` baseline.
+    pub slot_seed: u64,
+}
+
+/// Builds the [`SectorCampaign`] for `n` nodes: default system config,
+/// a `0x42`-filled payload, a `slots`-slot plan with 10 µs guards, and the
+/// uniform sector scene. Errors are stringified for the fallible trial runner.
+pub fn sector_campaign(
+    n: usize,
+    payload_bytes: usize,
+    slots: usize,
+    root_seed: u64,
+) -> Result<SectorCampaign, String> {
+    let config = SystemConfig::milback_default();
+    let payload = vec![0x42u8; payload_bytes];
+    let packet = Packet::uplink(payload.clone());
+    let plan = SlotPlan::for_packet(
+        slots,
+        &packet,
+        &config.fmcw,
+        config.uplink_symbol_rate_hz,
+        10e-6,
+    )
+    .map_err(|e| e.to_string())?;
+    let net = Network::new(config, sector_scene(n)).map_err(|e| e.to_string())?;
+    Ok(SectorCampaign {
+        payload,
+        plan,
+        net,
+        slot_seed: root_seed.wrapping_add(n as u64),
+    })
+}
+
 /// Network-scaling extension core: a slotted-ALOHA campaign (on the
 /// discrete-event engine's [`Network::run_slotted`]) for each node count,
 /// with the nodes spread over a ±60° sector at 4 m so growing density both
@@ -518,21 +565,10 @@ pub fn extension_net_scale(
 ) -> TrialBatch<NetScalePoint, String> {
     run_fallible(node_counts.len(), root_seed, cfg, |i, rng| {
         let n = node_counts[i];
-        let config = SystemConfig::milback_default();
-        let payload = vec![0x42u8; payload_bytes];
-        let packet = Packet::uplink(payload.clone());
-        let plan = SlotPlan::for_packet(
-            slots,
-            &packet,
-            &config.fmcw,
-            config.uplink_symbol_rate_hz,
-            10e-6,
-        )
-        .map_err(|e| e.to_string())?;
-        let net = Network::new(config, sector_scene(n)).map_err(|e| e.to_string())?;
-        let slot_seed = root_seed.wrapping_add(n as u64);
-        let r = net
-            .run_slotted(frames, &payload, &plan, slot_seed, 20.0, rng)
+        let c = sector_campaign(n, payload_bytes, slots, root_seed)?;
+        let r = c
+            .net
+            .run_slotted(frames, &c.payload, &c.plan, c.slot_seed, 20.0, rng)
             .map_err(|e| e.to_string())?;
         let goodput = (0..n).map(|idx| r.goodput_bps(idx)).sum::<f64>() / n as f64;
         let collisions: usize = r.nodes.iter().map(|nd| nd.collisions).sum();
@@ -629,23 +665,12 @@ pub fn extension_mac_compare(
         |i, rng| {
             let policy_name = policies[i / node_counts.len()];
             let n = node_counts[i % node_counts.len()];
-            let config = SystemConfig::milback_default();
-            let payload = vec![0x42u8; payload_bytes];
-            let packet = Packet::uplink(payload.clone());
-            let plan = SlotPlan::for_packet(
-                slots,
-                &packet,
-                &config.fmcw,
-                config.uplink_symbol_rate_hz,
-                10e-6,
-            )
-            .map_err(|e| e.to_string())?;
-            let net = Network::new(config, sector_scene(n)).map_err(|e| e.to_string())?;
-            let slot_seed = root_seed.wrapping_add(n as u64);
-            let policy = mac_policy_by_name(policy_name, slot_seed)
+            let c = sector_campaign(n, payload_bytes, slots, root_seed)?;
+            let policy = mac_policy_by_name(policy_name, c.slot_seed)
                 .ok_or_else(|| format!("unknown MAC policy {policy_name:?}"))?;
-            let r = net
-                .run_mac(policy, frames, &payload, &plan, 20.0, rng)
+            let r = c
+                .net
+                .run_mac(policy, frames, &c.payload, &c.plan, 20.0, rng)
                 .map_err(|e| e.to_string())?;
             Ok(mac_compare_point(policy_name, &r))
         },
@@ -708,27 +733,16 @@ pub fn extension_mac_compare_instrumented(
         |i, rng| -> Result<(MacComparePoint, Metrics, Option<TraceBuffer>), String> {
             let policy_name = policies[i / per_policy];
             let n = node_counts[i % per_policy];
-            let config = SystemConfig::milback_default();
-            let payload = vec![0x42u8; payload_bytes];
-            let packet = Packet::uplink(payload.clone());
-            let plan = SlotPlan::for_packet(
-                slots,
-                &packet,
-                &config.fmcw,
-                config.uplink_symbol_rate_hz,
-                10e-6,
-            )
-            .map_err(|e| e.to_string())?;
-            let net = Network::new(config, sector_scene(n)).map_err(|e| e.to_string())?;
-            let slot_seed = root_seed.wrapping_add(n as u64);
-            let policy = mac_policy_by_name(policy_name, slot_seed)
+            let c = sector_campaign(n, payload_bytes, slots, root_seed)?;
+            let policy = mac_policy_by_name(policy_name, c.slot_seed)
                 .ok_or_else(|| format!("unknown MAC policy {policy_name:?}"))?;
             let mut probe = match trace_capacity {
                 Some(cap) if i % per_policy == traced_cell => CampaignProbe::with_trace(cap),
                 _ => CampaignProbe::with_metrics(),
             };
-            let r = net
-                .run_mac_probed(policy, frames, &payload, &plan, 20.0, rng, &mut probe)
+            let r = c
+                .net
+                .run_mac_probed(policy, frames, &c.payload, &c.plan, 20.0, rng, &mut probe)
                 .map_err(|e| e.to_string())?;
             let metrics = probe.take_metrics().unwrap_or_default();
             let trace = probe.trace.take().map(|sink| sink.into_buffer());
@@ -765,6 +779,101 @@ pub fn extension_mac_compare_instrumented(
         },
         policies: folded,
     }
+}
+
+/// One node-count point of the city-scale sharded sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetScaleCityPoint {
+    /// Total nodes across the campaign.
+    pub nodes: usize,
+    /// Spatial cells the scene was sharded into.
+    pub cells: usize,
+    /// Worker threads the cells fanned out over.
+    pub threads: usize,
+    /// Frames per cell campaign.
+    pub frames: usize,
+    /// Network-wide slot transmissions attempted.
+    pub attempts: u64,
+    /// Network-wide packets delivered.
+    pub delivered: u64,
+    /// Network-wide slot collisions.
+    pub collisions: u64,
+    /// Delivered over attempted; `None` before any attempt.
+    pub delivery_rate: Option<f64>,
+    /// Mean node energy over the campaign, joules.
+    pub energy_per_node_j: Option<f64>,
+    /// Mean per-delivery SNR across delivering nodes, dB; `None` when
+    /// nothing delivered.
+    pub mean_snr_db: Option<f64>,
+    /// Simulated nodes per wall-clock second — the sweep's throughput axis.
+    pub nodes_per_sec: f64,
+    /// Wall-clock time for this point, seconds.
+    pub wall_s: f64,
+}
+
+/// City-scale network sweep core: each node count shards the sector scene
+/// into `⌈nodes / cell_size⌉` spatial cells and runs one slotted-ALOHA
+/// campaign per cell via [`Network::run_sharded_mac`] — parallel across
+/// cells, streaming straight into a [`milback_core::CampaignAggregate`], so
+/// peak report
+/// memory is O(cells + buckets) and a 10⁵–10⁶-node campaign fits where the
+/// per-node `Vec` path would not. Unlike the room-scale sweeps, the
+/// parallelism lives *inside* each point (the cell fan-out), so points run
+/// serially here; results are bit-identical at any `cfg.threads`.
+///
+/// Seeding: point `i` derives its campaign seed via the runner's
+/// [`trial_seed`] mix, and each cell re-mixes that with its cell index
+/// ([`milback_core::cell_seed`]) — the same SplitMix64 discipline end to
+/// end. Wall-clock throughput (`nodes_per_sec`) is measured, so it varies
+/// run to run; every simulation field is deterministic.
+pub fn extension_net_scale_city(
+    node_counts: &[usize],
+    cell_size: usize,
+    frames: usize,
+    payload_bytes: usize,
+    slots: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> Result<Vec<NetScaleCityPoint>, String> {
+    assert!(cell_size > 0, "cells must hold at least one node");
+    node_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let c = sector_campaign(n, payload_bytes, slots, root_seed)?;
+            let cells = n.div_ceil(cell_size);
+            let campaign_seed = trial_seed(root_seed, i);
+            let started = std::time::Instant::now();
+            let agg = c
+                .net
+                .run_sharded_mac(
+                    cells,
+                    cfg.threads,
+                    campaign_seed,
+                    frames,
+                    &c.payload,
+                    &c.plan,
+                    20.0,
+                    |_, seed| Box::new(SlottedAloha::new(seed)),
+                )
+                .map_err(|e| e.to_string())?;
+            let wall_s = started.elapsed().as_secs_f64();
+            Ok(NetScaleCityPoint {
+                nodes: n,
+                cells: agg.cells as usize,
+                threads: cfg.threads,
+                frames,
+                attempts: agg.attempts,
+                delivered: agg.delivered,
+                collisions: agg.collisions,
+                delivery_rate: agg.delivery_rate(),
+                energy_per_node_j: agg.mean_energy_per_node_j(),
+                mean_snr_db: agg.mean_snr_db(),
+                nodes_per_sec: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
+                wall_s,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ pub mod network;
 pub mod protocol;
 pub mod scene;
 pub mod session;
+pub mod shard;
 pub mod telemetry;
 pub mod tracking;
 
@@ -32,11 +33,13 @@ pub use error::{MilbackError, Result};
 pub use link::{DownlinkOutcome, LinkSimulator, TransferOutcome, UplinkOutcome};
 pub use localization::{Impairments, LocalizationPipeline, LocationFix};
 pub use network::{
-    BackoffAloha, FrameSchedule, MacContext, MacPolicy, Network, RoundRobinPolling,
-    SdmAwareAssignment, SlottedAloha, SlottedNodeReport, SlottedRunReport,
+    BackoffAloha, CampaignAggregate, CampaignScratch, FrameSchedule, MacContext, MacPolicy,
+    Network, RoundRobinPolling, SdmAwareAssignment, SlottedAloha, SlottedNodeReport,
+    SlottedRunReport,
 };
 pub use protocol::Packet;
 pub use scene::{GroundTruth, Scene};
 pub use session::{Session, SessionReport};
+pub use shard::{cell_seed, partition_cells};
 pub use telemetry::{CampaignProbe, Metrics, TraceBuffer, TraceRecord, TraceSink};
 pub use tracking::Tracker;

@@ -10,8 +10,8 @@ use crate::link::{LinkSimulator, UplinkOutcome};
 use crate::protocol::{Packet, SlotPlan};
 use crate::scene::Scene;
 use crate::telemetry::{
-    CampaignProbe, TraceRecord, BACKOFF_BUCKETS_FRAMES, ENERGY_BUCKETS_J, OCCUPANCY_BUCKETS,
-    SNR_BUCKETS_DB,
+    CampaignProbe, Histogram, TraceRecord, BACKOFF_BUCKETS_FRAMES, ENERGY_BUCKETS_J,
+    OCCUPANCY_BUCKETS, SNR_BUCKETS_DB,
 };
 use milback_node::power::{NodeActivity, NodePowerModel};
 use mmwave_rf::antenna::Antenna;
@@ -255,7 +255,7 @@ impl Network {
     #[allow(clippy::too_many_arguments)]
     pub fn run_mac_probed(
         &self,
-        mut policy: Box<dyn MacPolicy>,
+        policy: Box<dyn MacPolicy>,
         frames: usize,
         payload: &[u8],
         plan: &SlotPlan,
@@ -263,6 +263,78 @@ impl Network {
         rng: &mut GaussianSource,
         probe: &mut CampaignProbe,
     ) -> Result<SlottedRunReport> {
+        let m = self.run_mac_engine(
+            policy,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            rng,
+            probe,
+            None,
+        )?;
+        Ok(Self::finish_slotted(&m, frames, plan, payload))
+    }
+
+    /// [`run_mac`](Self::run_mac) with streaming accounting: instead of
+    /// materializing a per-node `Vec<SlottedNodeReport>`, each node's
+    /// ledger row is folded straight into `agg` — fixed-size counters and
+    /// fixed-bucket histograms — so peak report memory is O(buckets), not
+    /// O(nodes). `scratch` recycles the campaign's per-node ledger vectors
+    /// across calls (a sharded runner's workers reuse one scratch per
+    /// worker thread); its incoming contents are zeroed before use and
+    /// never influence the result.
+    ///
+    /// The folded values are bit-identical to what
+    /// [`run_mac`](Self::run_mac) reports: both paths share one engine run
+    /// and one per-node finishing computation, differing only in whether
+    /// each [`SlottedNodeReport`] is pushed into a `Vec` or observed into
+    /// the aggregate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mac_streaming(
+        &self,
+        policy: Box<dyn MacPolicy>,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        rng: &mut GaussianSource,
+        scratch: &mut CampaignScratch,
+        agg: &mut CampaignAggregate,
+    ) -> Result<()> {
+        let mut probe = CampaignProbe::disabled();
+        let m = self.run_mac_engine(
+            policy,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            rng,
+            &mut probe,
+            Some(scratch),
+        )?;
+        agg.begin_run(frames, ps_to_secs(plan.frame_ps()), payload.len());
+        Self::for_each_node_report(&m, frames, plan, |r| agg.observe_node(&r));
+        scratch.reclaim(m);
+        Ok(())
+    }
+
+    /// The shared engine core of every policy-driven campaign path: runs
+    /// `policy` over `frames` frames on a fresh [`Engine`] and returns the
+    /// settled medium with its per-node ledgers. Callers decide how to
+    /// finish the ledgers (per-node report `Vec` or streaming aggregate).
+    #[allow(clippy::too_many_arguments)]
+    fn run_mac_engine<'a>(
+        &'a self,
+        mut policy: Box<dyn MacPolicy>,
+        frames: usize,
+        payload: &'a [u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        rng: &'a mut GaussianSource,
+        probe: &mut CampaignProbe,
+        scratch: Option<&mut CampaignScratch>,
+    ) -> Result<SlotMedium<'a>> {
         let airtime_s = self.slotted_airtime_s(payload, plan)?;
         {
             let ctx = MacContext {
@@ -273,7 +345,10 @@ impl Network {
             };
             policy.begin(&ctx, rng);
         }
-        let mut medium = self.slot_medium(payload, airtime_s, rng);
+        let mut medium = match scratch {
+            Some(s) => self.slot_medium_recycled(payload, airtime_s, rng, s),
+            None => self.slot_medium(payload, airtime_s, rng),
+        };
         medium.probe = std::mem::take(probe);
         let trace = medium.probe.trace.clone();
         let mut engine = Engine::new(medium);
@@ -297,7 +372,7 @@ impl Network {
         engine.run()?;
         let mut m = engine.into_medium();
         *probe = std::mem::take(&mut m.probe);
-        Ok(Self::finish_slotted(m, frames, plan, payload))
+        Ok(m)
     }
 
     /// The pre-trait slotted-ALOHA campaign, retained verbatim as the
@@ -327,12 +402,8 @@ impl Network {
             engine.post(0, coordinator, SlotEvent::FrameStart { frame: 0 });
         }
         engine.run()?;
-        Ok(Self::finish_slotted(
-            engine.into_medium(),
-            frames,
-            plan,
-            payload,
-        ))
+        let m = engine.into_medium();
+        Ok(Self::finish_slotted(&m, frames, plan, payload))
     }
 
     /// Validates that one `payload` packet (plus guard) fits a slot of
@@ -372,33 +443,79 @@ impl Network {
         }
     }
 
-    /// Folds the duty-cycled idle energy into the ledgers and assembles the
-    /// per-node report — shared by every MAC path so accounting cannot
-    /// drift between policies.
-    fn finish_slotted(
-        mut m: SlotMedium<'_>,
+    /// A campaign medium whose per-node ledgers recycle `scratch`'s
+    /// vectors (zeroed before use). Bit-identical to
+    /// [`slot_medium`](Self::slot_medium): only the allocations differ.
+    fn slot_medium_recycled<'a>(
+        &'a self,
+        payload: &'a [u8],
+        airtime_s: f64,
+        rng: &'a mut GaussianSource,
+        scratch: &mut CampaignScratch,
+    ) -> SlotMedium<'a> {
+        let n = self.node_count();
+        fn recycle<T: Copy>(v: &mut Vec<T>, n: usize, zero: T) -> Vec<T> {
+            let mut v = std::mem::take(v);
+            v.clear();
+            v.resize(n, zero);
+            v
+        }
+        SlotMedium {
+            net: self,
+            rng,
+            payload,
+            airtime_s,
+            power: NodePowerModel::milback_default(),
+            attempts: recycle(&mut scratch.attempts, n, 0),
+            delivered: recycle(&mut scratch.delivered, n, 0),
+            collisions: recycle(&mut scratch.collisions, n, 0),
+            energy_j: recycle(&mut scratch.energy_j, n, 0.0),
+            snr_sum_db: recycle(&mut scratch.snr_sum_db, n, 0.0),
+            probe: CampaignProbe::disabled(),
+        }
+    }
+
+    /// Runs each node's finished report — duty-cycled idle energy folded
+    /// in — through `each`, without materializing a report `Vec`. Shared
+    /// by every MAC finishing path so accounting cannot drift between the
+    /// per-node-report and streaming-aggregate outputs.
+    fn for_each_node_report(
+        m: &SlotMedium<'_>,
         frames: usize,
         plan: &SlotPlan,
-        payload: &[u8],
-    ) -> SlottedRunReport {
+        mut each: impl FnMut(SlottedNodeReport),
+    ) {
         let n = m.net.node_count();
         // Duty cycling: outside its own transmissions every node idles.
         let total_s = frames as f64 * ps_to_secs(plan.frame_ps());
         for idx in 0..n {
             let active_s = m.attempts[idx] as f64 * m.airtime_s;
-            m.energy_j[idx] += m.power.energy_j(NodeActivity::Idle, total_s - active_s);
-        }
-        let nodes = (0..n)
-            .map(|idx| SlottedNodeReport {
+            let energy_j =
+                m.energy_j[idx] + m.power.energy_j(NodeActivity::Idle, total_s - active_s);
+            each(SlottedNodeReport {
                 node_idx: idx,
                 attempts: m.attempts[idx],
                 delivered: m.delivered[idx],
                 collisions: m.collisions[idx],
-                energy_j: m.energy_j[idx],
+                energy_j,
                 mean_snr_db: (m.delivered[idx] > 0)
                     .then(|| m.snr_sum_db[idx] / m.delivered[idx] as f64),
-            })
-            .collect();
+            });
+        }
+    }
+
+    /// Assembles the per-node report `Vec` from a settled medium — the
+    /// collecting counterpart of the streaming fold in
+    /// [`run_mac_streaming`](Self::run_mac_streaming); both walk
+    /// [`for_each_node_report`](Self::for_each_node_report).
+    fn finish_slotted(
+        m: &SlotMedium<'_>,
+        frames: usize,
+        plan: &SlotPlan,
+        payload: &[u8],
+    ) -> SlottedRunReport {
+        let mut nodes = Vec::with_capacity(m.net.node_count());
+        Self::for_each_node_report(m, frames, plan, |r| nodes.push(r));
         SlottedRunReport {
             frames,
             frame_s: ps_to_secs(plan.frame_ps()),
@@ -498,6 +615,231 @@ impl SlottedRunReport {
     pub fn energy_per_packet_j(&self, node_idx: usize) -> Option<f64> {
         let n = &self.nodes[node_idx];
         (n.delivered > 0).then(|| n.energy_j / n.delivered as f64)
+    }
+}
+
+/// Streaming campaign accounting: fixed-size counters plus the fixed-bucket
+/// telemetry histograms, folded node-by-node and merged cell-by-cell in
+/// deterministic order (the same discipline as
+/// [`Metrics::merge_from`](crate::telemetry::Metrics::merge_from)).
+///
+/// This is the city-scale replacement for per-node
+/// `Vec<SlottedNodeReport>` accounting: an aggregate's size is a function
+/// of its histogram bucket counts alone, so a sharded campaign's peak
+/// report memory is O(cells + buckets) — never O(nodes). The u64 counters
+/// and histogram buckets are exact (integer adds), so folding node reports
+/// in any cell order produces identical counters/buckets; the f64 sums are
+/// reproducible for a *fixed* fold order, which the sharded runner
+/// guarantees by merging cells in index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignAggregate {
+    /// Cell campaigns folded in (1 for a plain run).
+    pub cells: u64,
+    /// Nodes observed across all cells.
+    pub nodes: u64,
+    /// Frames per cell campaign (identical across a campaign's cells).
+    pub frames: u64,
+    /// Frame duration, seconds.
+    pub frame_s: f64,
+    /// Payload size per packet, bytes.
+    pub payload_bytes: u64,
+    /// Packets transmitted, network-wide.
+    pub attempts: u64,
+    /// Packets delivered intact, network-wide.
+    pub delivered: u64,
+    /// Packets lost to unseparable collisions, network-wide.
+    pub collisions: u64,
+    /// Total node energy over the campaign (transmit + idle), joules.
+    pub energy_j: f64,
+    /// Sum of per-node mean delivered SNRs over the delivering nodes, dB.
+    pub snr_sum_db: f64,
+    /// Nodes that delivered at least one packet.
+    pub delivering_nodes: u64,
+    /// Per-node total-energy distribution over [`ENERGY_BUCKETS_J`].
+    pub node_energy_j: Histogram,
+    /// Per-node mean-delivered-SNR distribution over [`SNR_BUCKETS_DB`].
+    pub node_snr_db: Histogram,
+}
+
+impl CampaignAggregate {
+    /// An empty aggregate (all counters zero, histograms empty).
+    pub fn new() -> Self {
+        Self {
+            cells: 0,
+            nodes: 0,
+            frames: 0,
+            frame_s: 0.0,
+            payload_bytes: 0,
+            attempts: 0,
+            delivered: 0,
+            collisions: 0,
+            energy_j: 0.0,
+            snr_sum_db: 0.0,
+            delivering_nodes: 0,
+            node_energy_j: Histogram::new(ENERGY_BUCKETS_J),
+            node_snr_db: Histogram::new(SNR_BUCKETS_DB),
+        }
+    }
+
+    /// Opens one cell campaign's fold: records the campaign shape and
+    /// counts the cell. Call once per cell, then
+    /// [`observe_node`](Self::observe_node) per node.
+    pub fn begin_run(&mut self, frames: usize, frame_s: f64, payload_bytes: usize) {
+        if self.cells > 0 {
+            debug_assert_eq!(
+                self.frames, frames as u64,
+                "cells must share a campaign shape"
+            );
+            debug_assert_eq!(self.frame_s.to_bits(), frame_s.to_bits());
+            debug_assert_eq!(self.payload_bytes, payload_bytes as u64);
+        }
+        self.frames = frames as u64;
+        self.frame_s = frame_s;
+        self.payload_bytes = payload_bytes as u64;
+        self.cells += 1;
+    }
+
+    /// Folds one node's finished report into the aggregate.
+    pub fn observe_node(&mut self, r: &SlottedNodeReport) {
+        self.nodes += 1;
+        self.attempts += r.attempts as u64;
+        self.delivered += r.delivered as u64;
+        self.collisions += r.collisions as u64;
+        self.energy_j += r.energy_j;
+        self.node_energy_j.observe(r.energy_j);
+        if let Some(snr) = r.mean_snr_db {
+            self.delivering_nodes += 1;
+            self.snr_sum_db += snr;
+            self.node_snr_db.observe(snr);
+        }
+    }
+
+    /// Folds a whole per-node report into the aggregate — the reference
+    /// the streaming path and the property suite compare against.
+    pub fn observe_run(&mut self, r: &SlottedRunReport) {
+        self.begin_run(r.frames, r.frame_s, r.payload_bytes);
+        for node in &r.nodes {
+            self.observe_node(node);
+        }
+    }
+
+    /// The aggregate of one materialized report.
+    pub fn from_report(r: &SlottedRunReport) -> Self {
+        let mut agg = Self::new();
+        agg.observe_run(r);
+        agg
+    }
+
+    /// Folds another aggregate into this one. Merge cells in index order:
+    /// counters and buckets are exact either way, and a fixed order makes
+    /// the f64 sums reproducible at any thread count.
+    pub fn merge_from(&mut self, other: &Self) {
+        if other.cells == 0 && other.nodes == 0 {
+            return;
+        }
+        if self.cells == 0 {
+            self.frames = other.frames;
+            self.frame_s = other.frame_s;
+            self.payload_bytes = other.payload_bytes;
+        } else if other.cells > 0 {
+            debug_assert_eq!(
+                self.frames, other.frames,
+                "cells must share a campaign shape"
+            );
+            debug_assert_eq!(self.frame_s.to_bits(), other.frame_s.to_bits());
+            debug_assert_eq!(self.payload_bytes, other.payload_bytes);
+        }
+        self.cells += other.cells;
+        self.nodes += other.nodes;
+        self.attempts += other.attempts;
+        self.delivered += other.delivered;
+        self.collisions += other.collisions;
+        self.energy_j += other.energy_j;
+        self.snr_sum_db += other.snr_sum_db;
+        self.delivering_nodes += other.delivering_nodes;
+        self.node_energy_j.merge_from(&other.node_energy_j);
+        self.node_snr_db.merge_from(&other.node_snr_db);
+    }
+
+    /// Elapsed campaign time, seconds (cells run concurrently in
+    /// simulated time — each serves its own AP).
+    pub fn elapsed_s(&self) -> f64 {
+        self.frames as f64 * self.frame_s
+    }
+
+    /// Delivered over attempted, network-wide; `None` before any attempt.
+    pub fn delivery_rate(&self) -> Option<f64> {
+        (self.attempts > 0).then(|| self.delivered as f64 / self.attempts as f64)
+    }
+
+    /// Network-wide goodput over the campaign, bits/second.
+    pub fn goodput_bps(&self) -> f64 {
+        let elapsed = self.elapsed_s();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.delivered as f64 * self.payload_bytes as f64 * 8.0 / elapsed
+    }
+
+    /// Mean node energy over the campaign, joules; `None` with no nodes.
+    pub fn mean_energy_per_node_j(&self) -> Option<f64> {
+        (self.nodes > 0).then(|| self.energy_j / self.nodes as f64)
+    }
+
+    /// Total energy per delivered packet, joules; `None` when nothing got
+    /// through.
+    pub fn energy_per_delivered_j(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.energy_j / self.delivered as f64)
+    }
+
+    /// Mean of the per-node mean delivered SNRs, dB; `None` when nothing
+    /// got through anywhere.
+    pub fn mean_snr_db(&self) -> Option<f64> {
+        (self.delivering_nodes > 0).then(|| self.snr_sum_db / self.delivering_nodes as f64)
+    }
+
+    /// Total histogram bucket slots held — the aggregate's only
+    /// node-count-independent heap footprint, which the bounded-memory
+    /// acceptance check compares across campaign sizes.
+    pub fn bucket_footprint(&self) -> usize {
+        self.node_energy_j.counts.len() + self.node_snr_db.counts.len()
+    }
+}
+
+impl Default for CampaignAggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reusable per-worker ledger buffers for campaign runs: the five per-node
+/// ledger vectors a [`Network::run_mac_streaming`] campaign needs, recycled
+/// across a worker's cells instead of reallocated per cell. Contents are
+/// zeroed before every use, so (per the
+/// [`parallel::for_each_chunk_with`](mmwave_sigproc::parallel::for_each_chunk_with)
+/// contract) scratch state can never influence a result.
+#[derive(Debug, Default)]
+pub struct CampaignScratch {
+    attempts: Vec<usize>,
+    delivered: Vec<usize>,
+    collisions: Vec<usize>,
+    energy_j: Vec<f64>,
+    snr_sum_db: Vec<f64>,
+}
+
+impl CampaignScratch {
+    /// Empty scratch; buffers grow to the largest cell a worker runs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a settled medium's ledger vectors back for the next cell.
+    fn reclaim(&mut self, m: SlotMedium<'_>) {
+        self.attempts = m.attempts;
+        self.delivered = m.delivered;
+        self.collisions = m.collisions;
+        self.energy_j = m.energy_j;
+        self.snr_sum_db = m.snr_sum_db;
     }
 }
 

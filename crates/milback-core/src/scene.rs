@@ -94,14 +94,17 @@ impl Scene {
     /// — the beam-steering is what makes SDM possible at all). `None` for
     /// an out-of-range index.
     pub fn view_for_node(&self, idx: usize) -> Option<Scene> {
-        if idx >= self.nodes.len() {
-            return None;
-        }
-        let mut scene = self.clone();
-        scene.nodes.swap(0, idx);
-        scene.nodes.truncate(1);
-        scene.ap.boresight_rad = scene.ap.position.bearing_to(scene.nodes[0].position);
-        Some(scene)
+        // Copy exactly one pose instead of cloning the whole node list: this
+        // runs once per node per frame, so an O(nodes) clone here would make
+        // a campaign quadratic at city scale.
+        let node = *self.nodes.get(idx)?;
+        let mut ap = self.ap;
+        ap.boresight_rad = ap.position.bearing_to(node.position);
+        Some(Scene {
+            ap,
+            nodes: vec![node],
+            clutter: self.clutter.clone(),
+        })
     }
 
     /// The primary (first) node's pose.

@@ -348,11 +348,12 @@ pub struct Histogram {
     pub sum: f64,
 }
 
-// `new`/`observe` are only reached from the cfg-gated recording bodies,
-// so a telemetry-off build sees them as dead — that is the point.
-#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+// Public regardless of the `telemetry` feature: the campaign aggregate
+// (`network::CampaignAggregate`) uses these as campaign *output*, not as
+// optional instrumentation, so a telemetry-off build still needs them.
 impl Histogram {
-    fn new(bounds: &'static [f64]) -> Self {
+    /// An empty histogram over fixed ascending `bounds`.
+    pub fn new(bounds: &'static [f64]) -> Self {
         Self {
             bounds,
             counts: vec![0; bounds.len() + 1],
@@ -361,7 +362,9 @@ impl Histogram {
         }
     }
 
-    fn observe(&mut self, value: f64) {
+    /// Counts a finite value into its bucket; non-finite values are
+    /// ignored so they can never reach a serialized file.
+    pub fn observe(&mut self, value: f64) {
         if !value.is_finite() {
             return;
         }
@@ -375,7 +378,9 @@ impl Histogram {
         self.sum += value;
     }
 
-    fn merge_from(&mut self, other: &Histogram) {
+    /// Folds another histogram's buckets into this one bucket-by-bucket
+    /// (bounds must match).
+    pub fn merge_from(&mut self, other: &Histogram) {
         debug_assert_eq!(self.bounds, other.bounds, "histogram buckets must match");
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;

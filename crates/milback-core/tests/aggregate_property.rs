@@ -1,0 +1,150 @@
+//! Property tests for the streaming campaign aggregation: folding
+//! randomized per-node reports through [`CampaignAggregate`] node-by-node,
+//! in any cell partition and any cell order, must agree with the per-node
+//! `Vec` aggregation — u64 counters by `==`, histogram buckets by `==`.
+//! (The f64 running sums are deliberately excluded from the any-order
+//! property: addition order changes their low bits, which is exactly why
+//! the production merge fixes cell index order.)
+
+use milback_core::{CampaignAggregate, SlottedNodeReport, SlottedRunReport};
+use proptest::prelude::*;
+
+/// Expands 64 bits of entropy into one node report with the real
+/// invariants: `delivered <= attempts`, `collisions <= attempts`, SNR
+/// present iff something was delivered.
+fn report_from_entropy(idx: usize, bits: u64) -> SlottedNodeReport {
+    let attempts = (bits & 0x3F) as usize;
+    let delivered = if attempts == 0 {
+        0
+    } else {
+        ((bits >> 6) & 0x3F) as usize % (attempts + 1)
+    };
+    let collisions = ((bits >> 12) & 0x3F) as usize % (attempts + 1);
+    let energy_j = ((bits >> 24) & 0xFFFFF) as f64 * 1e-9;
+    let snr_db = -10.0 + ((bits >> 44) & 0xFFF) as f64 * (60.0 / 4096.0);
+    SlottedNodeReport {
+        node_idx: idx,
+        attempts,
+        delivered,
+        collisions,
+        energy_j,
+        mean_snr_db: (delivered > 0).then_some(snr_db),
+    }
+}
+
+fn reports_from_entropy(entropy: &[u64]) -> Vec<SlottedNodeReport> {
+    entropy
+        .iter()
+        .enumerate()
+        .map(|(idx, &bits)| report_from_entropy(idx, bits))
+        .collect()
+}
+
+fn run_report(nodes: Vec<SlottedNodeReport>) -> SlottedRunReport {
+    SlottedRunReport {
+        frames: 16,
+        frame_s: 2.5e-3,
+        payload_bytes: 8,
+        nodes,
+    }
+}
+
+/// Counter and bucket equality — everything the issue's property names.
+fn counters_and_buckets_eq(a: &CampaignAggregate, b: &CampaignAggregate) -> bool {
+    a.nodes == b.nodes
+        && a.attempts == b.attempts
+        && a.delivered == b.delivered
+        && a.collisions == b.collisions
+        && a.delivering_nodes == b.delivering_nodes
+        && a.frames == b.frames
+        && a.payload_bytes == b.payload_bytes
+        && a.node_energy_j.counts == b.node_energy_j.counts
+        && a.node_energy_j.count == b.node_energy_j.count
+        && a.node_snr_db.counts == b.node_snr_db.counts
+        && a.node_snr_db.count == b.node_snr_db.count
+}
+
+proptest! {
+    /// Slicing one campaign's nodes into arbitrary contiguous cells and
+    /// folding the per-cell aggregates in a shuffled cell order reproduces
+    /// the single per-node `Vec` aggregation: counters `==`, buckets `==`.
+    #[test]
+    fn cell_folds_match_vec_aggregation_in_any_order(
+        entropy in proptest::collection::vec(any::<u64>(), 1..64),
+        raw_cuts in proptest::collection::vec(0usize..64, 1..7),
+        order_seed in any::<u64>(),
+    ) {
+        let reports = reports_from_entropy(&entropy);
+
+        // Reference: one Vec-backed report, folded whole.
+        let reference = CampaignAggregate::from_report(&run_report(reports.clone()));
+
+        // Cells: contiguous slices at the random cut points.
+        let mut bounds: Vec<usize> = raw_cuts.iter().map(|&c| c % reports.len()).collect();
+        bounds.push(0);
+        bounds.push(reports.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut cells: Vec<CampaignAggregate> = bounds
+            .windows(2)
+            .map(|w| CampaignAggregate::from_report(&run_report(reports[w[0]..w[1]].to_vec())))
+            .collect();
+
+        // Shuffle the merge order with a tiny deterministic LCG.
+        let mut state = order_seed | 1;
+        for i in (1..cells.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            cells.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        let mut folded = CampaignAggregate::new();
+        for cell in &cells {
+            folded.merge_from(cell);
+        }
+
+        prop_assert!(
+            counters_and_buckets_eq(&folded, &reference),
+            "cell fold diverged from Vec aggregation:\n{folded:?}\nvs\n{reference:?}"
+        );
+        prop_assert_eq!(folded.cells as usize, cells.len());
+        // The f64 sums agree to rounding even across orders.
+        prop_assert!(
+            (folded.energy_j - reference.energy_j).abs()
+                <= 1e-9 * (1.0 + reference.energy_j.abs())
+        );
+        prop_assert!(
+            (folded.snr_sum_db - reference.snr_sum_db).abs()
+                <= 1e-9 * (1.0 + reference.snr_sum_db.abs())
+        );
+    }
+
+    /// Node-by-node streaming (`begin_run` + `observe_node`) is exactly the
+    /// `Vec` aggregation — including bit-equal f64 sums, since the fold
+    /// order is identical.
+    #[test]
+    fn streaming_fold_is_bit_exact_in_report_order(
+        entropy in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let report = run_report(reports_from_entropy(&entropy));
+        let reference = CampaignAggregate::from_report(&report);
+        let mut streamed = CampaignAggregate::new();
+        streamed.begin_run(report.frames, report.frame_s, report.payload_bytes);
+        for node in &report.nodes {
+            streamed.observe_node(node);
+        }
+        prop_assert_eq!(&streamed, &reference);
+        prop_assert_eq!(streamed.energy_j.to_bits(), reference.energy_j.to_bits());
+        prop_assert_eq!(streamed.snr_sum_db.to_bits(), reference.snr_sum_db.to_bits());
+    }
+
+    /// Merging never grows the bucket footprint: memory stays O(buckets)
+    /// no matter how many nodes or cells fold in.
+    #[test]
+    fn bucket_footprint_is_constant(
+        entropy in proptest::collection::vec(any::<u64>(), 1..48),
+    ) {
+        let empty = CampaignAggregate::new();
+        let folded = CampaignAggregate::from_report(&run_report(reports_from_entropy(&entropy)));
+        prop_assert_eq!(folded.bucket_footprint(), empty.bucket_footprint());
+    }
+}

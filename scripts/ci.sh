@@ -23,35 +23,38 @@
 #      trace JSON
 #  12. the telemetry-off build (--no-default-features): tests pass, the
 #      reduced anchors survive, and no metrics artifact is written
+#  13. the net_scale_city sharded sweep in reduced mode (4+ cells, ~10³
+#      nodes) + schema validation of its full-scale CSV anchor, which must
+#      carry a completed 10⁵-node campaign
 #
 # Usage: scripts/ci.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/12] cargo fmt --check"
+echo "==> [1/13] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/12] cargo build --release --workspace --all-targets"
+echo "==> [2/13] cargo build --release --workspace --all-targets"
 cargo build --release --workspace --all-targets
 # The node core must stay portable to an MCU: firmware/mode/power compile
 # without std (the sim-facing modules are std-gated behind the default
 # feature).
 cargo build --release -p milback-node --no-default-features
 
-echo "==> [3/12] cargo test --release --workspace"
+echo "==> [3/13] cargo test --release --workspace"
 cargo test --release --workspace -q
 
-echo "==> [4/12] cargo clippy --release --workspace --all-targets -- -D warnings"
+echo "==> [4/13] cargo clippy --release --workspace --all-targets -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
-echo "==> [5/12] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [5/13] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [6/12] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
+echo "==> [6/13] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
 cargo run --release -p milback-bench --bin bench_smoke
 
-echo "==> [7/12] validating benchmark JSONs"
+echo "==> [7/13] validating benchmark JSONs"
 JSON=results/BENCH_dsp.json
 EXP_JSON=results/BENCH_experiments.json
 [ -s "$JSON" ] || { echo "FAIL: $JSON missing or empty" >&2; exit 1; }
@@ -76,7 +79,8 @@ PY
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "milback-bench-experiments-v1", doc.get("schema")
-for key in ("host", "experiments", "fsa_gain_eval", "batch_kernels", "acceptance"):
+for key in ("host", "experiments", "fsa_gain_eval", "batch_kernels",
+            "sharded_campaign", "acceptance"):
     assert key in doc, f"missing top-level key: {key}"
 assert doc["experiments"], "experiments section is empty"
 for row in doc["experiments"]:
@@ -92,19 +96,31 @@ for key in ("fsa_points", "fsa_cold_memoized_ns_per_point", "fsa_batch_ns_per_po
     assert key in bk, f"missing batch_kernels key: {key}"
 assert bk["batch_bit_exact"] is True, "a batch kernel diverged from the scalar path"
 assert bk["firmware_allocs_per_packet"] == 0, "firmware hot loop must stay heap-free"
+sc = doc["sharded_campaign"]
+for key in ("nodes", "cells", "threads", "single_cell_nodes_per_sec",
+            "sharded_nodes_per_sec", "shard_bit_exact", "bucket_footprint",
+            "bounded_memory"):
+    assert key in sc, f"missing sharded_campaign key: {key}"
+assert sc["shard_bit_exact"] is True, "sharded campaign diverged from run_mac or across threads"
+assert sc["bounded_memory"] is True, "campaign aggregate footprint grew with node count"
+assert sc["cells"] >= 4 and sc["sharded_nodes_per_sec"] > 0, sc
 acc = doc["acceptance"]
 for key in ("runner_target_speedup", "runner_target_needs_cores", "cores",
             "runner_best_speedup", "runner_median_speedup",
             "fsa_target_speedup", "fsa_hoisted_speedup", "fsa_batch_speedup",
-            "batch_bit_exact", "all_bit_exact"):
+            "batch_bit_exact", "shard_bit_exact", "shard_bounded_memory",
+            "all_bit_exact"):
     assert key in acc, f"missing acceptance key: {key}"
 assert acc["batch_bit_exact"] is True
+assert acc["shard_bit_exact"] is True
+assert acc["shard_bounded_memory"] is True
 assert acc["all_bit_exact"] is True
 print(f"OK: {sys.argv[1]} is well-formed "
       f"({len(doc['experiments'])} experiment rows, "
       f"runner best {acc['runner_best_speedup']:.2f}x on {acc['cores']} core(s), "
       f"fsa hoisted {acc['fsa_hoisted_speedup']:.2f}x, "
-      f"cold-grid batch {acc['fsa_batch_speedup']:.2f}x)")
+      f"cold-grid batch {acc['fsa_batch_speedup']:.2f}x, "
+      f"sharded {sc['sharded_nodes_per_sec']:.0f} nodes/s over {sc['cells']} cells)")
 PY
 else
     # Minimal fallback: the files must at least carry the schema markers
@@ -115,18 +131,21 @@ else
     grep -q '"acceptance"' "$EXP_JSON"
     grep -q '"batch_kernels"' "$EXP_JSON"
     grep -q '"batch_bit_exact": true' "$EXP_JSON"
+    grep -q '"sharded_campaign"' "$EXP_JSON"
+    grep -q '"shard_bit_exact": true' "$EXP_JSON"
+    grep -q '"bounded_memory": true' "$EXP_JSON"
     grep -q '"all_bit_exact": true' "$EXP_JSON"
     echo "OK: benchmark JSONs carry schema markers (python3 unavailable, shallow check)"
 fi
 
-echo "==> [8/12] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
+echo "==> [8/13] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
 CSV=results/figure_12a.csv
 before=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin fig12a_ranging
 after=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CSV" >&2; exit 1; }
 
-echo "==> [9/12] net_scale extension (reduced run + full-scale CSV anchor)"
+echo "==> [9/13] net_scale extension (reduced run + full-scale CSV anchor)"
 NET_CSV=results/extension_net_scale.csv
 before=$(sha256sum "$NET_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale
@@ -141,7 +160,7 @@ esac
 rows=$(($(wc -l < "$NET_CSV") - 1))
 [ "$rows" -ge 7 ] || { echo "FAIL: $NET_CSV has $rows data rows, expected the 1..64 sweep (7)" >&2; exit 1; }
 
-echo "==> [10/12] mac_compare extension (reduced run + full-scale CSV anchor schema)"
+echo "==> [10/13] mac_compare extension (reduced run + full-scale CSV anchor schema)"
 MAC_CSV=results/extension_mac_compare.csv
 before=$(sha256sum "$MAC_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin mac_compare
@@ -176,7 +195,7 @@ awk -F, 'NR==1 { next } { last=$0 } END {
     }
 }' "$MAC_CSV"
 
-echo "==> [11/12] instrumented campaign (MILBACK_TRACE) + telemetry artifact schemas"
+echo "==> [11/13] instrumented campaign (MILBACK_TRACE) + telemetry artifact schemas"
 TRACE_DIR=$(mktemp -d)
 METRICS=results/METRICS_mac.json
 rm -f "$METRICS"
@@ -243,7 +262,7 @@ else
 fi
 rm -rf "$TRACE_DIR"
 
-echo "==> [12/12] telemetry-off build (--no-default-features) passes the anchor gates"
+echo "==> [12/13] telemetry-off build (--no-default-features) passes the anchor gates"
 cargo test --release -p milback-bench --no-default-features -q
 cargo build --release -p milback-bench --no-default-features
 rm -f "$METRICS"
@@ -259,5 +278,31 @@ cargo build --release -p milback-bench --all-targets
 # or missing METRICS_mac.json.
 ./target/release/mac_compare >/dev/null
 grep -q '"reduced": false' "$METRICS" || { echo "FAIL: regenerated $METRICS is not full-scale" >&2; exit 1; }
+
+echo "==> [13/13] net_scale_city sharded sweep (reduced run + full-scale CSV anchor)"
+CITY_CSV=results/extension_net_scale_city.csv
+before=$(sha256sum "$CITY_CSV" 2>/dev/null || echo absent)
+MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale_city
+after=$(sha256sum "$CITY_CSV" 2>/dev/null || echo absent)
+[ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CITY_CSV" >&2; exit 1; }
+[ -s "$CITY_CSV" ] || { echo "FAIL: $CITY_CSV missing or empty (regenerate with the net_scale_city binary at full scale)" >&2; exit 1; }
+header=$(head -1 "$CITY_CSV")
+want="nodes,cells,threads,frames,attempts,delivered,collisions,delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s"
+[ "$header" = "$want" ] || { echo "FAIL: unexpected $CITY_CSV header: $header" >&2; exit 1; }
+if grep -qiE '(nan|inf)' "$CITY_CSV"; then
+    echo "FAIL: $CITY_CSV carries NaN/inf tokens" >&2; exit 1
+fi
+rows=$(($(wc -l < "$CITY_CSV") - 1))
+[ "$rows" -ge 3 ] || { echo "FAIL: $CITY_CSV has $rows data rows, expected the 10^3..10^5+ sweep" >&2; exit 1; }
+# The anchor must carry a completed campaign of at least 10^5 nodes with a
+# sane cell count and throughput (the bounded-memory acceptance scale).
+awk -F, 'NR==1 { next } { if ($1 > max) { max = $1; cells = $2; nps = $11 } } END {
+    if (max < 100000) {
+        printf "FAIL: largest campaign is %s nodes, need >= 100000\n", max > "/dev/stderr"; exit 1;
+    }
+    if (cells < 4 || !(nps > 0)) {
+        printf "FAIL: %s-node campaign has cells=%s nodes_per_sec=%s\n", max, cells, nps > "/dev/stderr"; exit 1;
+    }
+}' "$CITY_CSV"
 
 echo "==> ci.sh: all gates passed"
