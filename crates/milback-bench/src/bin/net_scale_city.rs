@@ -13,9 +13,10 @@
 //!
 //! Run with: `cargo run --release -p milback-bench --bin net_scale_city`
 
-use milback_bench::experiments::{extension_net_scale_city, NetScaleCityPoint};
+use milback_bench::experiments::{extension_net_scale_city, sector_campaign, NetScaleCityPoint};
 use milback_bench::runner::RunnerConfig;
 use milback_bench::{reduced_mode, results_dir, Report, Series};
+use milback_core::{ApServiceConfig, OverflowPolicy};
 
 /// The campaign shape shared by the full-scale anchor and the reduced CI
 /// run: 8-slot frames over 32-node cells keeps every cell contended (slot
@@ -25,6 +26,18 @@ const SLOTS: usize = 8;
 const FRAMES: usize = 4;
 const PAYLOAD_BYTES: usize = 16;
 const ROOT_SEED: u64 = 0xC17E;
+
+/// Each cell AP's service pipeline: a Capture stage two slot widths deep
+/// behind a 4-deep queue, spilling with `Defer`. Defer keeps the queue
+/// FIFO, so every simulation column below is bit-identical to the old
+/// instantaneous campaign — the config only lights up the
+/// `offered`/`served`/`overflow` columns with a real backlog.
+const SERVICE_QUEUE: usize = 4;
+fn service(slot_ps: u64) -> ApServiceConfig {
+    ApServiceConfig::instantaneous()
+        .with_stage_latencies(2 * slot_ps, 0, 0)
+        .with_queue(SERVICE_QUEUE, OverflowPolicy::Defer)
+}
 
 fn main() {
     let main_span = milback_bench::spans::span("main");
@@ -36,6 +49,16 @@ fn main() {
         &[1_000, 10_000, 100_000, 1_000_000]
     };
     let cfg = RunnerConfig::from_env();
+    // The slot plan is a pure function of the campaign shape; a 1-node
+    // probe campaign yields the slot width the service pipeline is sized
+    // against.
+    let slot_ps = match sector_campaign(1, PAYLOAD_BYTES, SLOTS, ROOT_SEED) {
+        Ok(c) => c.plan.slot_ps,
+        Err(e) => {
+            eprintln!("net_scale_city failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let points = match extension_net_scale_city(
         node_counts,
         CELL_SIZE,
@@ -43,6 +66,7 @@ fn main() {
         PAYLOAD_BYTES,
         SLOTS,
         ROOT_SEED,
+        &service(slot_ps),
         &cfg,
     ) {
         Ok(points) => points,
@@ -87,6 +111,12 @@ fn main() {
         "{SLOTS} slots/frame, {FRAMES} frames, {PAYLOAD_BYTES}-byte payloads, SDM threshold 20 dB, \
          cell seeds from SplitMix64 over seed {ROOT_SEED:#x}"
     ));
+    report.note(format!(
+        "each cell AP serves grants through the staged Capture→Plan→Transmit pipeline \
+         (capture 2 slot widths, queue {SERVICE_QUEUE}, Defer): offered/served/overflow carry \
+         the backlog, and Defer's FIFO admission keeps every other column bit-identical to \
+         the instantaneous campaign"
+    ));
     print!("{}", report.render());
 
     // The wide per-point schema goes out as a hand-rolled CSV (the Report
@@ -118,14 +148,14 @@ fn bucket_footprint() -> usize {
 fn to_csv(points: &[NetScaleCityPoint]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
-        "nodes,cells,threads,frames,attempts,delivered,collisions,delivery_rate,\
-         energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s\n",
+        "nodes,cells,threads,frames,attempts,delivered,collisions,offered,served,overflow,\
+         delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s\n",
     );
     for p in points {
         let opt = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             p.nodes,
             p.cells,
             p.threads,
@@ -133,6 +163,9 @@ fn to_csv(points: &[NetScaleCityPoint]) -> String {
             p.attempts,
             p.delivered,
             p.collisions,
+            p.offered,
+            p.served,
+            p.overflow,
             opt(p.delivery_rate),
             opt(p.energy_per_node_j),
             opt(p.mean_snr_db),

@@ -17,12 +17,14 @@
 use crate::runner::{run_fallible, run_fallible_with, trial_seed, RunnerConfig, TrialBatch};
 use milback_ap::fmcw::FmcwScratch;
 use milback_core::coding::{bits_to_bytes, bytes_to_bits, PayloadCodec};
+use milback_core::engine::ps_to_secs;
 use milback_core::localization::{Impairments, LocationFix};
 use milback_core::protocol::SlotPlan;
 use milback_core::telemetry::{CampaignProbe, Metrics, TraceBuffer};
 use milback_core::{
-    BackoffAloha, LinkSimulator, LocalizationPipeline, MacPolicy, Network, Packet,
-    RoundRobinPolling, Scene, SdmAwareAssignment, SlottedAloha, SlottedRunReport, SystemConfig,
+    ApServiceConfig, BackoffAloha, LinkSimulator, LocalizationPipeline, MacPolicy, Network,
+    OverflowPolicy, Packet, RoundRobinPolling, Scene, SdmAwareAssignment, SlottedAloha,
+    SlottedRunReport, SystemConfig,
 };
 use mmwave_rf::channel::{ApFrontend, NodePose, Vec2};
 
@@ -761,10 +763,12 @@ pub fn extension_mac_compare_instrumented(
         .collect();
     for (i, result) in inner.results.iter().enumerate() {
         if let Ok((_, metrics, trace)) = result {
+            // Queue-depth histograms arrive inside `metrics` already: the
+            // engine tallies every dispatch losslessly (the old trace-ring
+            // reconstruction silently truncated once the ring evicted).
             let slot = &mut folded[i / per_policy];
             slot.metrics.merge_from(metrics);
             if let Some(buf) = trace {
-                crate::metrics_io::fold_queue_depths(buf, &mut slot.metrics);
                 slot.trace = Some(buf.clone());
             }
         }
@@ -798,6 +802,12 @@ pub struct NetScaleCityPoint {
     pub delivered: u64,
     /// Network-wide slot collisions.
     pub collisions: u64,
+    /// Slot grants offered to the AP service pipelines, summed over cells.
+    pub offered: u64,
+    /// Grants that completed all three pipeline stages and reached the air.
+    pub served: u64,
+    /// Grants that hit a full stage queue (dropped + deferred + degraded).
+    pub overflow: u64,
     /// Delivered over attempted; `None` before any attempt.
     pub delivery_rate: Option<f64>,
     /// Mean node energy over the campaign, joules.
@@ -826,6 +836,13 @@ pub struct NetScaleCityPoint {
 /// ([`milback_core::cell_seed`]) — the same SplitMix64 discipline end to
 /// end. Wall-clock throughput (`nodes_per_sec`) is measured, so it varies
 /// run to run; every simulation field is deterministic.
+///
+/// `service` is each cell AP's **Capture → Plan → Transmit** pipeline
+/// shape. A bounded queue with [`OverflowPolicy::Defer`] keeps every
+/// ledger column bit-identical to the instantaneous campaign (Defer is
+/// FIFO, so the per-cell RNG streams are consumed unchanged) while the
+/// new `offered`/`served`/`overflow` columns expose the service backlog.
+#[allow(clippy::too_many_arguments)]
 pub fn extension_net_scale_city(
     node_counts: &[usize],
     cell_size: usize,
@@ -833,6 +850,7 @@ pub fn extension_net_scale_city(
     payload_bytes: usize,
     slots: usize,
     root_seed: u64,
+    service: &ApServiceConfig,
     cfg: &RunnerConfig,
 ) -> Result<Vec<NetScaleCityPoint>, String> {
     assert!(cell_size > 0, "cells must hold at least one node");
@@ -846,7 +864,7 @@ pub fn extension_net_scale_city(
             let started = std::time::Instant::now();
             let agg = c
                 .net
-                .run_sharded_mac(
+                .run_sharded_mac_service(
                     cells,
                     cfg.threads,
                     campaign_seed,
@@ -854,6 +872,7 @@ pub fn extension_net_scale_city(
                     &c.payload,
                     &c.plan,
                     20.0,
+                    service,
                     |_, seed| Box::new(SlottedAloha::new(seed)),
                 )
                 .map_err(|e| e.to_string())?;
@@ -866,6 +885,9 @@ pub fn extension_net_scale_city(
                 attempts: agg.attempts,
                 delivered: agg.delivered,
                 collisions: agg.collisions,
+                offered: agg.service.offered,
+                served: agg.service.served,
+                overflow: agg.service.overflowed(),
                 delivery_rate: agg.delivery_rate(),
                 energy_per_node_j: agg.mean_energy_per_node_j(),
                 mean_snr_db: agg.mean_snr_db(),
@@ -874,6 +896,120 @@ pub fn extension_net_scale_city(
             })
         })
         .collect()
+}
+
+/// The overflow policies the offered-load sweep races, by CSV tag.
+pub const OVERFLOW_POLICY_NAMES: [&str; 3] = ["drop", "defer", "degrade"];
+
+/// Maps an [`OVERFLOW_POLICY_NAMES`] tag to its [`OverflowPolicy`].
+pub fn overflow_policy_by_name(name: &str) -> Option<OverflowPolicy> {
+    match name {
+        "drop" => Some(OverflowPolicy::Drop),
+        "defer" => Some(OverflowPolicy::Defer),
+        "degrade" => Some(OverflowPolicy::Degrade),
+        _ => None,
+    }
+}
+
+/// One (overflow policy, node count) cell of the offered-vs-served sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetLoadPoint {
+    /// Overflow policy tag (see [`OVERFLOW_POLICY_NAMES`]).
+    pub overflow: &'static str,
+    /// Nodes contending for the frame.
+    pub nodes: usize,
+    /// Slot grants offered to the AP pipeline over the campaign.
+    pub offered: u64,
+    /// Grants that completed all three stages and reached the air.
+    pub served: u64,
+    /// Grants shed at a full stage queue (never transmitted).
+    pub dropped: u64,
+    /// Grants admitted past the queue bound and served late.
+    pub deferred: u64,
+    /// Grants admitted with the degraded (no-SDM) plan.
+    pub degraded: u64,
+    /// Offered load over the nominal campaign airtime, grants/second.
+    pub offered_per_s: f64,
+    /// Served load over the same axis, grants/second.
+    pub served_per_s: f64,
+    /// Network-wide packets delivered.
+    pub delivered: u64,
+    /// Delivered over attempted; `None` before any attempt.
+    pub delivery_rate: Option<f64>,
+}
+
+/// Offered-vs-served extension core: sweeps offered load past the AP
+/// service pipeline's capacity to expose the served-load knee.
+///
+/// Every cell runs [`SlottedAloha`], so the offered load — the occupied
+/// slots per frame, each one a grant the AP must serve — grows
+/// monotonically with node count (`slots·(1−(1−1/slots)^nodes)` in
+/// expectation, from ~1 at a single node to every slot at high density).
+/// The pipeline's Capture stage takes **two slot widths** behind a
+/// `queue_capacity`-deep stage queue, so service capacity is half the
+/// slot rate: once offered load passes `slots / 2` grants per frame,
+/// `Drop` saturates `served` (the knee), `Defer` piles spill into the
+/// queue, and `Degrade` trades SDM concurrency for service.
+///
+/// Trials flatten `overflow-policy-major × node-count-minor`; each cell is
+/// one independent trial on its own SplitMix64 stream, bit-identical at
+/// any thread count. The load axes (`*_per_s`) are computed over the
+/// nominal campaign airtime `frames × frame_ps` — simulated time, not
+/// wall-clock — so they are deterministic too.
+#[allow(clippy::too_many_arguments)]
+pub fn extension_net_load(
+    overflows: &[&'static str],
+    node_counts: &[usize],
+    frames: usize,
+    payload_bytes: usize,
+    slots: usize,
+    queue_capacity: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> TrialBatch<NetLoadPoint, String> {
+    run_fallible(
+        overflows.len() * node_counts.len(),
+        root_seed,
+        cfg,
+        |i, rng| {
+            let tag = overflows[i / node_counts.len()];
+            let n = node_counts[i % node_counts.len()];
+            let policy = overflow_policy_by_name(tag)
+                .ok_or_else(|| format!("unknown overflow policy {tag:?}"))?;
+            let c = sector_campaign(n, payload_bytes, slots, root_seed)?;
+            let service = ApServiceConfig::instantaneous()
+                .with_stage_latencies(2 * c.plan.slot_ps, 0, 0)
+                .with_queue(queue_capacity, policy);
+            let r = c
+                .net
+                .run_mac_service(
+                    Box::new(SlottedAloha::new(c.slot_seed)),
+                    frames,
+                    &c.payload,
+                    &c.plan,
+                    20.0,
+                    rng,
+                    &service,
+                )
+                .map_err(|e| e.to_string())?;
+            let airtime_s = frames as f64 * ps_to_secs(c.plan.frame_ps());
+            let attempts: usize = r.nodes.iter().map(|nd| nd.attempts).sum();
+            let delivered: usize = r.nodes.iter().map(|nd| nd.delivered).sum();
+            Ok(NetLoadPoint {
+                overflow: tag,
+                nodes: n,
+                offered: r.service.offered,
+                served: r.service.served,
+                dropped: r.service.dropped,
+                deferred: r.service.deferred,
+                degraded: r.service.degraded,
+                offered_per_s: r.service.offered as f64 / airtime_s,
+                served_per_s: r.service.served as f64 / airtime_s,
+                delivered: delivered as u64,
+                delivery_rate: (attempts > 0).then(|| delivered as f64 / attempts as f64),
+            })
+        },
+    )
 }
 
 #[cfg(test)]
@@ -885,6 +1021,39 @@ mod tests {
         let results: Vec<Result<u32, ()>> = vec![Ok(1), Err(()), Ok(3), Ok(4), Ok(5), Err(())];
         let groups = group_by_point(3, &results);
         assert_eq!(groups, vec![(vec![1, 3], 1), (vec![4, 5], 1)]);
+    }
+
+    /// The offered-load sweep is bit-identical at any thread count, and
+    /// every cell conserves grants: `served ≤ offered` always, with
+    /// `served + dropped = offered` (defer/degrade spill is still served).
+    #[test]
+    fn net_load_sweep_conserves_grants_at_any_thread_count() {
+        let counts = [1, 4, 16];
+        let run = |cfg: &RunnerConfig| {
+            extension_net_load(&OVERFLOW_POLICY_NAMES, &counts, 6, 8, 4, 1, 0x10AD, cfg)
+        };
+        let serial = run(&RunnerConfig::serial());
+        assert_eq!(
+            serial.ok_count(),
+            OVERFLOW_POLICY_NAMES.len() * counts.len(),
+            "every cell must simulate"
+        );
+        let parallel = run(&RunnerConfig::with_threads(4));
+        assert_eq!(serial.results, parallel.results);
+        let mut overflowed = 0;
+        for p in serial.oks() {
+            assert!(p.served <= p.offered, "{p:?}");
+            assert_eq!(p.served + p.dropped, p.offered, "{p:?}");
+            assert!(p.served_per_s <= p.offered_per_s, "{p:?}");
+            match p.overflow {
+                "drop" => assert_eq!(p.deferred + p.degraded, 0, "{p:?}"),
+                "defer" => assert_eq!(p.dropped + p.degraded, 0, "{p:?}"),
+                "degrade" => assert_eq!(p.dropped + p.deferred, 0, "{p:?}"),
+                other => panic!("unknown overflow tag {other:?}"),
+            }
+            overflowed += p.dropped + p.deferred + p.degraded;
+        }
+        assert!(overflowed > 0, "the sweep never pushed past capacity");
     }
 
     #[test]

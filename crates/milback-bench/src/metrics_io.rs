@@ -9,23 +9,18 @@
 //! deliberately.
 
 use crate::hostinfo::HostInfo;
-use milback_core::telemetry::{Metrics, TraceBuffer, TraceRecord, OCCUPANCY_BUCKETS};
+use milback_core::telemetry::Metrics;
 use std::fmt::Write as _;
 
 /// Schema tag of `results/METRICS_mac.json`.
 pub const METRICS_MAC_SCHEMA: &str = "milback-metrics-mac-v1";
 
-/// Folds the engine-dispatch queue depths recorded in a trace buffer into
-/// the `queue_depth` histogram of `metrics` — the one metric that lives
-/// on the engine rather than in the MAC path, recovered from the trace so
-/// the engine itself never needs a metrics handle.
-pub fn fold_queue_depths(buffer: &TraceBuffer, metrics: &mut Metrics) {
-    for r in buffer.records() {
-        if let TraceRecord::Event { queue_depth, .. } = r {
-            metrics.observe("queue_depth", OCCUPANCY_BUCKETS, *queue_depth as f64);
-        }
-    }
-}
+// `fold_queue_depths` — the trace-ring reconstruction of the engine's
+// queue-depth histogram — is gone: a bounded ring evicts its oldest
+// records, so any histogram rebuilt from it silently truncated on long
+// campaigns. The engine now tallies dispatch-time depths losslessly
+// (`Engine::enable_depth_stats`) and the campaign runner folds them into
+// the probe's metrics directly.
 
 /// Renders the full `METRICS_mac.json` document: schema, host block,
 /// campaign configuration, and one merged metrics registry per policy (in
@@ -114,29 +109,5 @@ mod tests {
         );
         assert_eq!(parse_policy_counter(&doc, "sdm", "slots_fired"), Some(42));
         assert_eq!(parse_policy_counter(&doc, "polling", "slots_fired"), None);
-    }
-
-    #[cfg(feature = "telemetry")]
-    #[test]
-    fn queue_depths_fold_from_trace() {
-        let mut buf = TraceBuffer::new(16);
-        for depth in [0usize, 2, 5] {
-            buf.push(TraceRecord::Event {
-                time_ps: depth as u64,
-                seq: depth as u64,
-                actor: 0,
-                kind: "slot_fire",
-                queue_depth: depth,
-            });
-        }
-        buf.push(TraceRecord::Backoff {
-            time_ps: 9,
-            node: 0,
-            window_frames: 2,
-        });
-        let mut m = Metrics::new();
-        fold_queue_depths(&buf, &mut m);
-        let h = m.histogram("queue_depth").expect("histogram created");
-        assert_eq!(h.count, 3, "only engine events carry a queue depth");
     }
 }

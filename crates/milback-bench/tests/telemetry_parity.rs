@@ -121,6 +121,60 @@ fn probed_campaign_is_bit_identical_for_every_policy() {
     }
 }
 
+/// The engine's queue-depth histograms are lossless even when the bounded
+/// trace ring overflows. The retired implementation reconstructed the
+/// histogram from the ring's `Event` records, so once the ring evicted its
+/// oldest records the histogram silently truncated; depths are now tallied
+/// at dispatch inside the engine. A 4-record ring and an effectively
+/// unbounded one must therefore report identical histograms — while the
+/// small ring demonstrably dropped records.
+#[cfg(feature = "telemetry")]
+#[test]
+fn queue_depth_histograms_survive_trace_ring_eviction() {
+    let n = network();
+    let payload = vec![0x42u8; 16];
+    let plan = plan_for(&n, 4, &payload);
+    let run = |capacity: usize| {
+        let mut rng = trial_rng(0xD0_0D, 0);
+        let mut probe = CampaignProbe::with_trace(capacity);
+        n.run_mac_probed(
+            milback_bench::experiments::mac_policy_by_name("aloha", 9).unwrap(),
+            6,
+            &payload,
+            &plan,
+            20.0,
+            &mut rng,
+            &mut probe,
+        )
+        .unwrap();
+        let metrics = probe.take_metrics().expect("telemetry on: metrics exist");
+        let dropped = probe.trace.take().unwrap().into_buffer().dropped();
+        (metrics, dropped)
+    };
+    let (small, small_dropped) = run(4);
+    let (big, big_dropped) = run(1 << 20);
+    assert!(small_dropped > 0, "a 4-record ring must evict");
+    assert_eq!(big_dropped, 0, "the large ring must hold everything");
+    for name in [
+        "queue_depth",
+        "queue_depth_frame_start",
+        "queue_depth_slot_fire",
+        "queue_depth_stage_capture",
+        "queue_depth_stage_plan",
+        "queue_depth_stage_transmit",
+    ] {
+        let h_small = small
+            .histogram(name)
+            .unwrap_or_else(|| panic!("histogram {name} missing from the small-ring run"));
+        let h_big = big.histogram(name).expect("histogram in large-ring run");
+        assert_eq!(h_small, h_big, "{name} truncated under ring eviction");
+        assert!(h_small.count > 0, "{name} tallied nothing");
+    }
+    // The combined histogram saw more dispatches than the small ring could
+    // ever hold — exactly the case the reconstruction used to truncate.
+    assert!(small.histogram("queue_depth").unwrap().count > 4);
+}
+
 /// The instrumented sweep is bit-identical to the plain sweep, cell by
 /// cell, for the full policy × node-count grid at 1/2/4/8 threads — and
 /// the merged per-policy registries are identical at every thread count

@@ -37,7 +37,7 @@
 //! ([`Engine::run_until`]).
 
 use crate::error::{MilbackError, Result};
-use crate::telemetry::{TraceRecord, TraceSink};
+use crate::telemetry::{Histogram, TraceRecord, TraceSink, OCCUPANCY_BUCKETS};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -160,6 +160,44 @@ pub struct EngineStats {
 /// the event value.
 pub type EventLabeler<E> = fn(&E) -> &'static str;
 
+/// Lossless per-label queue-depth tallies, counted at dispatch.
+///
+/// The bounded [`TraceBuffer`](crate::telemetry::TraceBuffer) ring also
+/// carries a depth per `Event` record, but a long campaign evicts its
+/// oldest records, so any histogram *reconstructed* from the ring is
+/// silently truncated. These tallies are aggregated as events pop — one
+/// [`Histogram`] over [`OCCUPANCY_BUCKETS`] per event label — so they stay
+/// exact for campaigns of any length, and a staged pipeline's per-stage
+/// event kinds get per-stage depth distributions for free.
+#[derive(Debug, Clone, Default)]
+pub struct DepthStats {
+    entries: Vec<(&'static str, Histogram)>,
+}
+
+impl DepthStats {
+    fn observe(&mut self, label: &'static str, depth: usize) {
+        let idx = match self.entries.iter().position(|(n, _)| *n == label) {
+            Some(i) => i,
+            None => {
+                self.entries
+                    .push((label, Histogram::new(OCCUPANCY_BUCKETS)));
+                self.entries.len() - 1
+            }
+        };
+        self.entries[idx].1.observe(depth as f64);
+    }
+
+    /// The tallies, one per label in first-dispatch order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.entries.iter().map(|(n, h)| (*n, h))
+    }
+
+    /// Total dispatches tallied across every label.
+    pub fn total_count(&self) -> u64 {
+        self.entries.iter().map(|(_, h)| h.count).sum()
+    }
+}
+
 /// The discrete-event engine: one queue, one clock, one shared medium.
 pub struct Engine<M, E> {
     now_ps: TimePs,
@@ -172,6 +210,10 @@ pub struct Engine<M, E> {
     /// *after* the pop, from values already computed for dispatch, so
     /// tracing can never reorder or perturb the run.
     tracer: Option<(TraceSink, EventLabeler<E>)>,
+    /// Optional lossless queue-depth tallies (see [`DepthStats`]): counted
+    /// from values already computed for dispatch, never from the trace
+    /// ring, so they cannot truncate or perturb the run.
+    depth_stats: Option<(DepthStats, EventLabeler<E>)>,
     /// The shared medium every handler sees (`&mut` during dispatch).
     pub medium: M,
 }
@@ -185,6 +227,7 @@ impl<M, E> Engine<M, E> {
             queue: BinaryHeap::new(),
             actors: Vec::new(),
             tracer: None,
+            depth_stats: None,
             medium,
         }
     }
@@ -195,6 +238,20 @@ impl<M, E> Engine<M, E> {
     /// a pure function of the event value.
     pub fn set_tracer(&mut self, sink: TraceSink, label: EventLabeler<E>) {
         self.tracer = Some((sink, label));
+    }
+
+    /// Enables lossless per-label queue-depth tallies: every popped event
+    /// counts the post-pop queue depth into its label's [`Histogram`].
+    /// Unlike the trace ring, nothing is ever evicted — the tallies stay
+    /// exact for campaigns of any length.
+    pub fn enable_depth_stats(&mut self, label: EventLabeler<E>) {
+        self.depth_stats = Some((DepthStats::default(), label));
+    }
+
+    /// Takes the accumulated depth tallies out of the engine (`None` when
+    /// [`enable_depth_stats`](Self::enable_depth_stats) was never called).
+    pub fn take_depth_stats(&mut self) -> Option<DepthStats> {
+        self.depth_stats.take().map(|(stats, _)| stats)
     }
 
     /// Registers an actor and returns its id.
@@ -266,6 +323,9 @@ impl<M, E> Engine<M, E> {
                     kind: label(&entry.event),
                     queue_depth: self.queue.len(),
                 });
+            }
+            if let Some((stats, label)) = &mut self.depth_stats {
+                stats.observe(label(&entry.event), self.queue.len());
             }
             let actor = self.actors.get_mut(entry.dst.0).ok_or_else(|| {
                 MilbackError::Engine(format!(
@@ -411,6 +471,126 @@ mod tests {
         let stats = e.run().unwrap();
         assert_eq!(stats.events_dispatched, 1);
         assert_eq!(e.medium.len(), 3);
+    }
+
+    #[test]
+    fn run_until_dispatches_events_exactly_at_the_horizon() {
+        // The horizon is inclusive: an event at precisely `horizon_ps`
+        // fires in this run; only strictly-later events stay queued.
+        let mut e: Engine<Log, u32> = Engine::new(Vec::new());
+        let a = e.add_actor(Box::new(Recorder {
+            tag: 1,
+            follow_up: None,
+        }));
+        e.post(249, a, 1);
+        e.post(250, a, 2);
+        e.post(251, a, 3);
+        let stats = e.run_until(250).unwrap();
+        assert_eq!(stats.events_dispatched, 2);
+        assert_eq!(stats.end_time_ps, 250, "the horizon event itself fired");
+        let events: Vec<u32> = e.medium.iter().map(|&(_, _, ev)| ev).collect();
+        assert_eq!(events, vec![1, 2]);
+        // A second run at the same horizon is a no-op — nothing at or
+        // before 250 remains.
+        let stats = e.run_until(250).unwrap();
+        assert_eq!(stats.events_dispatched, 0);
+        let stats = e.run_until(251).unwrap();
+        assert_eq!(stats.events_dispatched, 1);
+        assert_eq!(e.medium.len(), 3);
+    }
+
+    #[test]
+    fn run_until_zero_horizon_fires_only_time_zero_events() {
+        let mut e: Engine<Log, u32> = Engine::new(Vec::new());
+        let a = e.add_actor(Box::new(Recorder {
+            tag: 1,
+            follow_up: None,
+        }));
+        e.post(0, a, 1);
+        e.post(1, a, 2);
+        let stats = e.run_until(0).unwrap();
+        assert_eq!(stats.events_dispatched, 1);
+        assert_eq!(e.medium, vec![(0, 1, 1)]);
+    }
+
+    /// Test actor posting a burst of same-timestamp events to two targets
+    /// from inside a handler — the cross-actor tie-break scenario.
+    struct Burster {
+        targets: Vec<(ActorId, u32)>,
+        at_ps: TimePs,
+    }
+
+    impl Actor<Log, u32> for Burster {
+        fn on_event(
+            &mut self,
+            now_ps: TimePs,
+            event: &u32,
+            log: &mut Log,
+            out: &mut Outbox<u32>,
+        ) -> Result<()> {
+            log.push((now_ps, 0, *event));
+            for &(dst, ev) in &self.targets {
+                out.post_at(self.at_ps, dst, ev);
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn same_timestamp_posts_from_multiple_actors_keep_seq_order() {
+        // Two bursters each post interleaved same-timestamp events to two
+        // recorders; (time, seq) must serialize them in exact posting
+        // order: first burster's posts (in its posting order), then the
+        // second's — regardless of destination actor.
+        let mut e: Engine<Log, u32> = Engine::new(Vec::new());
+        let ra = e.add_actor(Box::new(Recorder {
+            tag: 1,
+            follow_up: None,
+        }));
+        let rb = e.add_actor(Box::new(Recorder {
+            tag: 2,
+            follow_up: None,
+        }));
+        let b1 = e.add_actor(Box::new(Burster {
+            targets: vec![(ra, 10), (rb, 11), (ra, 12)],
+            at_ps: 500,
+        }));
+        let b2 = e.add_actor(Box::new(Burster {
+            targets: vec![(rb, 20), (ra, 21), (rb, 22)],
+            at_ps: 500,
+        }));
+        e.post(100, b1, 0);
+        e.post(100, b2, 1);
+        e.run().unwrap();
+        let tagged: Vec<(u32, u32)> = e
+            .medium
+            .iter()
+            .filter(|&&(t, _, _)| t == 500)
+            .map(|&(_, tag, ev)| (tag, ev))
+            .collect();
+        assert_eq!(
+            tagged,
+            vec![(1, 10), (2, 11), (1, 12), (2, 20), (1, 21), (2, 22)],
+            "same-time events must fire in global posting (seq) order"
+        );
+    }
+
+    #[test]
+    fn depth_stats_tally_every_dispatch_per_label() {
+        let mut e: Engine<Log, u32> = Engine::new(Vec::new());
+        e.enable_depth_stats(|ev| if *ev < 50 { "low" } else { "high" });
+        let a = e.add_actor(Box::new(Recorder {
+            tag: 1,
+            follow_up: Some((2e-6, 99)),
+        }));
+        e.post(100, a, 1);
+        e.post(200, a, 2);
+        let stats = e.run().unwrap();
+        let depths = e.take_depth_stats().expect("enabled");
+        assert_eq!(depths.total_count() as usize, stats.events_dispatched);
+        let labels: Vec<_> = depths.entries().map(|(n, _)| n).collect();
+        assert_eq!(labels, ["low", "high"]);
+        assert!(e.take_depth_stats().is_none(), "take drains the tallies");
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod error;
 pub mod link;
 pub mod localization;
 pub mod network;
+pub mod pipeline;
 pub mod protocol;
 pub mod scene;
 pub mod session;
@@ -37,6 +38,7 @@ pub use network::{
     Network, RoundRobinPolling, SdmAwareAssignment, SlottedAloha, SlottedNodeReport,
     SlottedRunReport,
 };
+pub use pipeline::{ApServiceConfig, ApServiceStats, OverflowPolicy, StageKind};
 pub use protocol::Packet;
 pub use scene::{GroundTruth, Scene};
 pub use session::{Session, SessionReport};

@@ -7,6 +7,7 @@ use crate::config::SystemConfig;
 use crate::engine::{ps_to_secs, Actor, ActorId, Engine, Outbox, TimePs};
 use crate::error::{MilbackError, Result};
 use crate::link::{LinkSimulator, UplinkOutcome};
+use crate::pipeline::{ApServiceConfig, ApServiceStats, OverflowPolicy, StageKind};
 use crate::protocol::{Packet, SlotPlan};
 use crate::scene::Scene;
 use crate::telemetry::{
@@ -18,6 +19,7 @@ use mmwave_rf::antenna::Antenna;
 use mmwave_sigproc::random::GaussianSource;
 use mmwave_sigproc::units::db_to_lin;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// One node's link report in a multi-node round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -122,14 +124,33 @@ impl Network {
     }
 
     /// Runs an uplink round serving every node (each in its own beam/slot)
-    /// on the discrete-event engine: one `ServeNode` event per node, all at
-    /// the same instant (the beams are concurrent), dispatched in posting
-    /// order so a fixed seed reproduces
-    /// [`uplink_round_direct`](Self::uplink_round_direct) bit-for-bit.
+    /// on the discrete-event engine, through the staged AP service: every
+    /// beam walks **Capture → Plan → Transmit** as three distinct events
+    /// (capture the granted transmission, plan the beam's interference
+    /// margin, then run the link), dispatched in posting order so a fixed
+    /// seed reproduces [`uplink_round_direct`](Self::uplink_round_direct)
+    /// bit-for-bit. This is
+    /// [`uplink_round_service`](Self::uplink_round_service) with the
+    /// instantaneous (zero-latency) service configuration.
     pub fn uplink_round(
         &self,
         payloads: &[Vec<u8>],
         rng: &mut GaussianSource,
+    ) -> Result<Vec<NodeReport>> {
+        self.uplink_round_service(payloads, rng, &ApServiceConfig::instantaneous())
+    }
+
+    /// [`uplink_round`](Self::uplink_round) under an explicit
+    /// [`ApServiceConfig`]: each beam's Capture → Plan → Transmit events
+    /// are spaced by the configured stage latencies. Beams are concurrent
+    /// (one staged actor per node, no shared queue on this path), and the
+    /// physics never reads the clock, so the round report is identical for
+    /// any latency setting — only the event timeline stretches.
+    pub fn uplink_round_service(
+        &self,
+        payloads: &[Vec<u8>],
+        rng: &mut GaussianSource,
+        service: &ApServiceConfig,
     ) -> Result<Vec<NodeReport>> {
         if payloads.len() != self.node_count() {
             return Err(MilbackError::Config(format!(
@@ -143,12 +164,18 @@ impl Network {
             net: self,
             rng,
             payloads,
+            margins: vec![None; n],
             reports: vec![None; n],
         };
         let mut engine = Engine::new(medium);
         for idx in 0..n {
-            let id = engine.add_actor(Box::new(BeamActor { idx }));
-            engine.post(0, id, RoundEvent::ServeNode);
+            let id = engine.add_actor(Box::new(BeamActor {
+                me: ActorId(idx),
+                idx,
+                service: *service,
+            }));
+            debug_assert_eq!(id, ActorId(idx));
+            engine.post(0, id, RoundEvent::Stage(StageKind::Capture));
         }
         engine.run()?;
         let m = engine.into_medium();
@@ -230,14 +257,46 @@ impl Network {
         sdm_threshold_db: f64,
         rng: &mut GaussianSource,
     ) -> Result<SlottedRunReport> {
-        let mut probe = CampaignProbe::disabled();
-        self.run_mac_probed(
+        self.run_mac_service(
             policy,
             frames,
             payload,
             plan,
             sdm_threshold_db,
             rng,
+            &ApServiceConfig::instantaneous(),
+        )
+    }
+
+    /// [`run_mac`](Self::run_mac) under an explicit [`ApServiceConfig`]:
+    /// every granted slot flows through the AP's staged
+    /// **Capture → Plan → Transmit** pipeline, each stage a distinct engine
+    /// event with its configured processing latency and a bounded FIFO
+    /// queue (see [`OverflowPolicy`] for what a full queue does). The
+    /// instantaneous configuration reproduces [`run_mac`](Self::run_mac)
+    /// bit-for-bit — `run_mac` is literally this function with that
+    /// config — and the report's [`ApServiceStats`] ledger records
+    /// offered/served/dropped/deferred/degraded grants either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mac_service(
+        &self,
+        policy: Box<dyn MacPolicy>,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        rng: &mut GaussianSource,
+        service: &ApServiceConfig,
+    ) -> Result<SlottedRunReport> {
+        let mut probe = CampaignProbe::disabled();
+        self.run_mac_service_probed(
+            policy,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            rng,
+            service,
             &mut probe,
         )
     }
@@ -263,6 +322,37 @@ impl Network {
         rng: &mut GaussianSource,
         probe: &mut CampaignProbe,
     ) -> Result<SlottedRunReport> {
+        self.run_mac_service_probed(
+            policy,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            rng,
+            &ApServiceConfig::instantaneous(),
+            probe,
+        )
+    }
+
+    /// [`run_mac_service`](Self::run_mac_service) with an instrumentation
+    /// probe attached: besides the campaign counters the probe already
+    /// collects, the staged pipeline records per-stage queue-occupancy
+    /// histograms (`ap_queue_*`), the offered/served/dropped/deferred/
+    /// degraded counters (`ap_*`), and — losslessly, straight from the
+    /// engine's dispatch-time tallies — per-event-kind queue-depth
+    /// histograms (`queue_depth_*`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mac_service_probed(
+        &self,
+        policy: Box<dyn MacPolicy>,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        rng: &mut GaussianSource,
+        service: &ApServiceConfig,
+        probe: &mut CampaignProbe,
+    ) -> Result<SlottedRunReport> {
         let m = self.run_mac_engine(
             policy,
             frames,
@@ -270,6 +360,7 @@ impl Network {
             plan,
             sdm_threshold_db,
             rng,
+            service,
             probe,
             None,
         )?;
@@ -302,6 +393,38 @@ impl Network {
         scratch: &mut CampaignScratch,
         agg: &mut CampaignAggregate,
     ) -> Result<()> {
+        self.run_mac_streaming_service(
+            policy,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            rng,
+            &ApServiceConfig::instantaneous(),
+            scratch,
+            agg,
+        )
+    }
+
+    /// [`run_mac_streaming`](Self::run_mac_streaming) under an explicit
+    /// [`ApServiceConfig`]: the per-node fold is unchanged, and the run's
+    /// [`ApServiceStats`] (offered/served/dropped/deferred/degraded) fold
+    /// into the aggregate's service ledger — exactly what
+    /// [`CampaignAggregate::observe_run`] folds from a materialized
+    /// report, so the streaming and report paths stay interchangeable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mac_streaming_service(
+        &self,
+        policy: Box<dyn MacPolicy>,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        rng: &mut GaussianSource,
+        service: &ApServiceConfig,
+        scratch: &mut CampaignScratch,
+        agg: &mut CampaignAggregate,
+    ) -> Result<()> {
         let mut probe = CampaignProbe::disabled();
         let m = self.run_mac_engine(
             policy,
@@ -310,11 +433,13 @@ impl Network {
             plan,
             sdm_threshold_db,
             rng,
+            service,
             &mut probe,
             Some(scratch),
         )?;
         agg.begin_run(frames, ps_to_secs(plan.frame_ps()), payload.len());
         Self::for_each_node_report(&m, frames, plan, |r| agg.observe_node(&r));
+        agg.service.merge_from(&m.service);
         scratch.reclaim(m);
         Ok(())
     }
@@ -332,6 +457,7 @@ impl Network {
         plan: &SlotPlan,
         sdm_threshold_db: f64,
         rng: &'a mut GaussianSource,
+        service: &ApServiceConfig,
         probe: &mut CampaignProbe,
         scratch: Option<&mut CampaignScratch>,
     ) -> Result<SlotMedium<'a>> {
@@ -345,18 +471,25 @@ impl Network {
             };
             policy.begin(&ctx, rng);
         }
+        // Jitter state is seeded from the trial stream only when jitter is
+        // configured — the parity configuration draws nothing, leaving the
+        // stream exactly where the pre-pipeline campaign expects it. Drawn
+        // after `begin` so policies see the same stream position either way.
+        let jitter_state = (service.jitter_ps > 0)
+            .then(|| u64::from_le_bytes(rng.bytes(8).try_into().expect("eight bytes")));
         let mut medium = match scratch {
             Some(s) => self.slot_medium_recycled(payload, airtime_s, rng, s),
             None => self.slot_medium(payload, airtime_s, rng),
         };
         medium.probe = std::mem::take(probe);
         let trace = medium.probe.trace.clone();
+        let want_depths = medium.probe.metrics.is_some();
         let mut engine = Engine::new(medium);
         if let Some(sink) = trace {
-            engine.set_tracer(sink, |ev| match ev {
-                SlotEvent::FrameStart { .. } => "frame_start",
-                SlotEvent::SlotFire { .. } => "slot_fire",
-            });
+            engine.set_tracer(sink, slot_event_label);
+        }
+        if want_depths {
+            engine.enable_depth_stats(slot_event_label);
         }
         let coordinator = engine.add_actor(Box::new(PolicyCoordinator {
             me: ActorId(0),
@@ -365,13 +498,20 @@ impl Network {
             sdm_threshold_db,
             policy,
             schedule: Vec::new(),
+            service: *service,
+            stages: Default::default(),
+            jitter_state,
         }));
         if frames > 0 {
             engine.post(0, coordinator, SlotEvent::FrameStart { frame: 0 });
         }
         engine.run()?;
+        let depths = engine.take_depth_stats();
         let mut m = engine.into_medium();
         *probe = std::mem::take(&mut m.probe);
+        if let Some(d) = depths {
+            probe.merge_queue_depths(d.entries());
+        }
         Ok(m)
     }
 
@@ -440,6 +580,7 @@ impl Network {
             energy_j: vec![0.0; n],
             snr_sum_db: vec![0.0; n],
             probe: CampaignProbe::disabled(),
+            service: ApServiceStats::default(),
         }
     }
 
@@ -472,6 +613,7 @@ impl Network {
             energy_j: recycle(&mut scratch.energy_j, n, 0.0),
             snr_sum_db: recycle(&mut scratch.snr_sum_db, n, 0.0),
             probe: CampaignProbe::disabled(),
+            service: ApServiceStats::default(),
         }
     }
 
@@ -521,15 +663,17 @@ impl Network {
             frame_s: ps_to_secs(plan.frame_ps()),
             payload_bytes: payload.len(),
             nodes,
+            service: m.service,
         }
     }
 }
 
-/// Events of one SDM uplink round.
+/// Events of one SDM uplink round: each beam walks the three AP service
+/// stages (the staged replacement of the old single `ServeNode` event).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RoundEvent {
-    /// Serve this actor's node with its own beam.
-    ServeNode,
+    /// One AP service stage of this actor's beam.
+    Stage(StageKind),
 }
 
 /// Shared medium of an uplink round.
@@ -537,25 +681,78 @@ struct RoundMedium<'a> {
     net: &'a Network,
     rng: &'a mut GaussianSource,
     payloads: &'a [Vec<u8>],
+    /// Per-beam planned interference margin (dB), set by the Plan stage
+    /// and consumed by Transmit. `f64::INFINITY` means no interferer.
+    margins: Vec<Option<f64>>,
     reports: Vec<Option<NodeReport>>,
 }
 
-/// One beam, pointed at one node.
+/// One beam, pointed at one node, serving it through the staged AP
+/// pipeline: Capture validates the node view, Plan computes the
+/// worst-case concurrent-beam margin, Transmit runs the link and applies
+/// it. The split computes exactly what the retained
+/// [`Network::serve_uplink`] computes (the margin fold and the SNR
+/// degradation are pure float expressions, and the RNG is drawn only in
+/// Transmit, in node order), so the parity suite's `==`/`to_bits` checks
+/// against [`Network::uplink_round_direct`] hold for any stage latency.
 struct BeamActor {
+    me: ActorId,
     idx: usize,
+    service: ApServiceConfig,
 }
 
 impl<'a> Actor<RoundMedium<'a>, RoundEvent> for BeamActor {
     fn on_event(
         &mut self,
-        _now_ps: TimePs,
+        now_ps: TimePs,
         event: &RoundEvent,
         m: &mut RoundMedium<'a>,
-        _out: &mut Outbox<RoundEvent>,
+        out: &mut Outbox<RoundEvent>,
     ) -> Result<()> {
-        let RoundEvent::ServeNode = event;
-        let report = m.net.serve_uplink(self.idx, &m.payloads[self.idx], m.rng)?;
-        m.reports[self.idx] = Some(report);
+        let RoundEvent::Stage(stage) = *event;
+        match stage {
+            StageKind::Capture => {
+                // Front-end capture: the beam exists and the node is in
+                // view; anything else is a configuration error surfaced
+                // before any plan or transmission work is spent.
+                m.net.view_for(self.idx)?;
+                out.post_at(
+                    now_ps + self.service.stage_latency_ps(StageKind::Capture),
+                    self.me,
+                    RoundEvent::Stage(StageKind::Plan),
+                );
+            }
+            StageKind::Plan => {
+                // Beam plan: the worst concurrent-beam leakage toward this
+                // node — the same pure fold `serve_uplink` computes.
+                let margin = (0..m.net.node_count())
+                    .filter(|&o| o != self.idx)
+                    .map(|o| m.net.sdm_margin_db(self.idx, o))
+                    .fold(f64::INFINITY, f64::min);
+                m.margins[self.idx] = Some(margin);
+                out.post_at(
+                    now_ps + self.service.stage_latency_ps(StageKind::Plan),
+                    self.me,
+                    RoundEvent::Stage(StageKind::Transmit),
+                );
+            }
+            StageKind::Transmit => {
+                let margin = m.margins[self.idx]
+                    .ok_or_else(|| MilbackError::Engine("transmit before plan".into()))?;
+                let sim = LinkSimulator::new(m.net.config.clone(), m.net.view_for(self.idx)?)?;
+                let mut outcome = sim.uplink(&m.payloads[self.idx], m.rng)?;
+                if margin.is_finite() {
+                    let sig = db_to_lin(outcome.snr_db);
+                    let interference = db_to_lin(outcome.snr_db - margin);
+                    outcome.snr_db = 10.0 * (sig / (1.0 + interference)).log10();
+                }
+                m.reports[self.idx] = Some(NodeReport {
+                    node_idx: self.idx,
+                    outcome,
+                    sdm_margin_db: if margin.is_finite() { margin } else { f64::MAX },
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -592,6 +789,10 @@ pub struct SlottedRunReport {
     pub payload_bytes: usize,
     /// Per-node statistics.
     pub nodes: Vec<SlottedNodeReport>,
+    /// AP service pipeline accounting for the run. Defaults to all-zero
+    /// when deserializing pre-pipeline reports.
+    #[serde(default)]
+    pub service: ApServiceStats,
 }
 
 impl SlottedRunReport {
@@ -659,6 +860,9 @@ pub struct CampaignAggregate {
     pub node_energy_j: Histogram,
     /// Per-node mean-delivered-SNR distribution over [`SNR_BUCKETS_DB`].
     pub node_snr_db: Histogram,
+    /// AP service pipeline accounting summed over the folded runs —
+    /// exact u64 adds, so any cell merge order agrees.
+    pub service: ApServiceStats,
 }
 
 impl CampaignAggregate {
@@ -678,6 +882,7 @@ impl CampaignAggregate {
             delivering_nodes: 0,
             node_energy_j: Histogram::new(ENERGY_BUCKETS_J),
             node_snr_db: Histogram::new(SNR_BUCKETS_DB),
+            service: ApServiceStats::default(),
         }
     }
 
@@ -721,6 +926,7 @@ impl CampaignAggregate {
         for node in &r.nodes {
             self.observe_node(node);
         }
+        self.service.merge_from(&r.service);
     }
 
     /// The aggregate of one materialized report.
@@ -759,6 +965,7 @@ impl CampaignAggregate {
         self.delivering_nodes += other.delivering_nodes;
         self.node_energy_j.merge_from(&other.node_energy_j);
         self.node_snr_db.merge_from(&other.node_snr_db);
+        self.service.merge_from(&other.service);
     }
 
     /// Elapsed campaign time, seconds (cells run concurrently in
@@ -859,6 +1066,25 @@ enum SlotEvent {
         /// Slot within the frame.
         slot: usize,
     },
+    /// An AP pipeline stage finished the job it had in service. The job
+    /// itself lives in the coordinator's [`StageState`] (events stay
+    /// `Copy`); the completed job moves downstream and the stage starts
+    /// its next queued job, if any.
+    StageDone {
+        /// Which stage completed.
+        stage: StageKind,
+    },
+}
+
+/// The stable trace/metric label of a campaign event — shared by the
+/// tracer and the engine's lossless queue-depth tallies so both name
+/// event kinds identically.
+fn slot_event_label(ev: &SlotEvent) -> &'static str {
+    match ev {
+        SlotEvent::FrameStart { .. } => "frame_start",
+        SlotEvent::SlotFire { .. } => "slot_fire",
+        SlotEvent::StageDone { stage } => stage.label(),
+    }
 }
 
 /// Shared medium of a slotted campaign.
@@ -877,6 +1103,11 @@ struct SlotMedium<'a> {
     /// every uninstrumented path, so recording helpers no-op and both
     /// paths execute the same code.
     probe: CampaignProbe,
+    /// AP service accounting for the run: offered/served at the pipeline's
+    /// mouth and tail, overflow outcomes in between. Exact u64 adds only,
+    /// so the instantaneous pipeline and the retained direct coordinator
+    /// account identically.
+    service: ApServiceStats,
 }
 
 impl<'a> SlotMedium<'a> {
@@ -893,6 +1124,13 @@ impl<'a> SlotMedium<'a> {
     /// physics never reads them, and the probe calls are unconditional
     /// no-ops when the probe is disabled, so instrumented and plain runs
     /// share one code path.
+    ///
+    /// `degraded` marks a grant the pipeline admitted under
+    /// [`OverflowPolicy::Degrade`]: the AP skipped SDM arbitration, so a
+    /// multi-transmitter group resolves as a collision (a lone transmitter
+    /// still serves — there is nothing to arbitrate). With
+    /// `degraded == false` the computation is bit-identical to the
+    /// pre-pipeline serve path.
     #[inline(never)]
     fn fire_slot(
         &mut self,
@@ -901,18 +1139,21 @@ impl<'a> SlotMedium<'a> {
         now_ps: TimePs,
         frame: usize,
         slot: usize,
+        degraded: bool,
     ) -> Result<bool> {
         for &node in group {
             self.attempts[node] += 1;
             self.energy_j[node] += self.power.energy_j(NodeActivity::Uplink, self.airtime_s);
         }
         // SDM arbitration: the slot survives concurrency only if every
-        // pair of co-slotted beams is separable.
-        let separable = group.iter().enumerate().all(|(i, &a)| {
-            group[i + 1..]
-                .iter()
-                .all(|&b| self.net.sdm_separable(a, b, sdm_threshold_db))
-        });
+        // pair of co-slotted beams is separable (a degraded grant skips
+        // arbitration and never survives concurrency).
+        let separable = !degraded
+            && group.iter().enumerate().all(|(i, &a)| {
+                group[i + 1..]
+                    .iter()
+                    .all(|&b| self.net.sdm_separable(a, b, sdm_threshold_db))
+            });
         if group.len() > 1 && !separable {
             for &node in group {
                 self.collisions[node] += 1;
@@ -1048,9 +1289,19 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for SlotCoordinator {
             SlotEvent::SlotFire { frame, slot } => {
                 // The retained per-slot re-hash (O(nodes × slots) per
                 // frame) — the parity reference the hash-once schedule in
-                // [`PolicyCoordinator`] is checked against.
+                // [`PolicyCoordinator`] is checked against. The direct AP
+                // serves instantly: every offered grant is served, which is
+                // exactly what the instantaneous pipeline accounts, so the
+                // parity suite's `==` covers the service ledger too.
                 let group = self.group(n, frame, slot);
-                m.fire_slot(&group, self.sdm_threshold_db, now_ps, frame, slot)?;
+                m.service.offered += 1;
+                m.fire_slot(&group, self.sdm_threshold_db, now_ps, frame, slot, false)?;
+                m.service.served += 1;
+            }
+            SlotEvent::StageDone { .. } => {
+                return Err(MilbackError::Engine(
+                    "the direct coordinator runs no pipeline stages".into(),
+                ));
             }
         }
         Ok(())
@@ -1421,10 +1672,47 @@ impl MacPolicy for SdmAwareAssignment {
     }
 }
 
+/// One granted slot flowing through the AP service pipeline: the slot's
+/// identity, its transmitter group (cloned out of the frame schedule at
+/// grant time, so the job survives frame rollover while queued), and
+/// whether an overflowing queue degraded its plan.
+#[derive(Debug, Clone)]
+struct SlotJob {
+    frame: usize,
+    slot: usize,
+    group: Vec<usize>,
+    degraded: bool,
+}
+
+/// One serial AP service stage: at most one job in service (its
+/// completion event is in flight) plus a FIFO of waiters.
+#[derive(Debug, Default)]
+struct StageState {
+    current: Option<SlotJob>,
+    queue: VecDeque<SlotJob>,
+}
+
+impl StageState {
+    /// Jobs held by the stage: the one in service plus the waiters.
+    fn occupancy(&self) -> usize {
+        self.queue.len() + usize::from(self.current.is_some())
+    }
+}
+
 /// The generic MAC coordinator: drives any [`MacPolicy`] over the same
 /// frame/slot event timeline as the retained [`SlotCoordinator`], asking
-/// the policy for each frame's schedule once at the frame boundary and
-/// indexing it per [`SlotEvent::SlotFire`].
+/// the policy for each frame's schedule once at the frame boundary.
+///
+/// Unlike the direct coordinator, a granted slot is not served inside its
+/// [`SlotEvent::SlotFire`] dispatch: the grant becomes a [`SlotJob`] that
+/// walks the **Capture → Plan → Transmit** service stages, each a serial
+/// server with its own latency ([`ApServiceConfig`]) and bounded FIFO.
+/// The transmission physics run at Transmit completion. Under
+/// [`ApServiceConfig::instantaneous`] every stage completes at the grant
+/// instant (engine `seq` order keeps the chain ahead of any later-time
+/// event), so slots fire in exactly the pre-pipeline order and the trial
+/// RNG stream is consumed identically — the parity suite proves
+/// bit-exactness against [`SlotCoordinator`].
 struct PolicyCoordinator {
     me: ActorId,
     plan: SlotPlan,
@@ -1433,8 +1721,93 @@ struct PolicyCoordinator {
     policy: Box<dyn MacPolicy>,
     /// The current frame's schedule. Safe to hold per frame: every slot of
     /// frame `f` fires strictly before `FrameStart { f + 1 }` (the last
-    /// slot starts one slot-width before the frame boundary).
+    /// slot starts one slot-width before the frame boundary). Queued
+    /// [`SlotJob`]s own clones of their groups, so a backlogged pipeline
+    /// is unaffected by rollover.
     schedule: FrameSchedule,
+    /// The AP service pipeline configuration.
+    service: ApServiceConfig,
+    /// Stage states, indexed by [`StageKind`] discriminant.
+    stages: [StageState; 3],
+    /// SplitMix64 jitter state, seeded once from the trial stream —
+    /// `None` when `jitter_ps == 0` (nothing was drawn).
+    jitter_state: Option<u64>,
+}
+
+impl PolicyCoordinator {
+    /// Offers a job to `stage`: starts it if the stage is idle, otherwise
+    /// queues it subject to the configured bound and overflow policy.
+    /// Queue occupancy is observed at every offer, so the histograms see
+    /// the arrival-time depths that admission decisions are made against.
+    fn offer_stage(
+        &mut self,
+        stage: StageKind,
+        mut job: SlotJob,
+        now_ps: TimePs,
+        m: &mut SlotMedium<'_>,
+        out: &mut Outbox<SlotEvent>,
+    ) {
+        let idx = stage as usize;
+        m.probe.observe(
+            stage.occupancy_metric(),
+            OCCUPANCY_BUCKETS,
+            self.stages[idx].occupancy() as f64,
+        );
+        if self.stages[idx].current.is_none() {
+            self.start_stage(stage, job, now_ps, out);
+            return;
+        }
+        if let Some(cap) = self.service.queue_capacity {
+            if self.stages[idx].queue.len() >= cap {
+                match self.service.overflow {
+                    OverflowPolicy::Drop => {
+                        m.service.dropped += 1;
+                        m.probe.inc("ap_dropped", 1);
+                        return;
+                    }
+                    OverflowPolicy::Defer => {
+                        m.service.deferred += 1;
+                        m.probe.inc("ap_deferred", 1);
+                    }
+                    OverflowPolicy::Degrade => {
+                        if !job.degraded {
+                            job.degraded = true;
+                            m.service.degraded += 1;
+                            m.probe.inc("ap_degraded", 1);
+                        }
+                    }
+                }
+            }
+        }
+        self.stages[idx].queue.push_back(job);
+    }
+
+    /// Puts a job in service at an idle `stage` and posts its completion:
+    /// base stage latency (a degraded job's Plan costs nothing) plus a
+    /// uniform SplitMix64 jitter draw when jitter is configured.
+    fn start_stage(
+        &mut self,
+        stage: StageKind,
+        job: SlotJob,
+        now_ps: TimePs,
+        out: &mut Outbox<SlotEvent>,
+    ) {
+        let base_ps = if job.degraded && stage == StageKind::Plan {
+            0
+        } else {
+            self.service.stage_latency_ps(stage)
+        };
+        let jitter_ps = match &mut self.jitter_state {
+            Some(state) => splitmix64(state) % (self.service.jitter_ps + 1),
+            None => 0,
+        };
+        self.stages[stage as usize].current = Some(job);
+        out.post_at(
+            now_ps + base_ps + jitter_ps,
+            self.me,
+            SlotEvent::StageDone { stage },
+        );
+    }
 }
 
 impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
@@ -1488,15 +1861,46 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
                             "slot {slot} of frame {frame} fired without a schedule entry"
                         ))
                     })?;
-                let collided = m.fire_slot(
-                    &self.schedule[idx].1,
-                    self.sdm_threshold_db,
-                    now_ps,
+                let job = SlotJob {
                     frame,
                     slot,
-                )?;
-                self.policy
-                    .on_slot_outcome(frame, slot, &self.schedule[idx].1, collided);
+                    group: self.schedule[idx].1.clone(),
+                    degraded: false,
+                };
+                m.service.offered += 1;
+                m.probe.inc("ap_offered", 1);
+                self.offer_stage(StageKind::Capture, job, now_ps, m, out);
+            }
+            SlotEvent::StageDone { stage } => {
+                let job = self.stages[stage as usize].current.take().ok_or_else(|| {
+                    MilbackError::Engine(format!(
+                        "{} completed with no job in service",
+                        stage.label()
+                    ))
+                })?;
+                // The finished job cascades downstream before this stage
+                // admits its next waiter, so same-instant chains complete
+                // in pipeline order.
+                match stage.next() {
+                    Some(next) => self.offer_stage(next, job, now_ps, m, out),
+                    None => {
+                        let collided = m.fire_slot(
+                            &job.group,
+                            self.sdm_threshold_db,
+                            now_ps,
+                            job.frame,
+                            job.slot,
+                            job.degraded,
+                        )?;
+                        m.service.served += 1;
+                        m.probe.inc("ap_served", 1);
+                        self.policy
+                            .on_slot_outcome(job.frame, job.slot, &job.group, collided);
+                    }
+                }
+                if let Some(next_job) = self.stages[stage as usize].queue.pop_front() {
+                    self.start_stage(stage, next_job, now_ps, out);
+                }
             }
         }
         Ok(())

@@ -19,6 +19,7 @@ use crate::engine::{secs_to_ps, Actor, ActorId, Engine, Outbox, TimePs};
 use crate::error::{MilbackError, Result};
 use crate::link::LinkSimulator;
 use crate::localization::{LocalizationPipeline, LocationFix};
+use crate::pipeline::{ApServiceConfig, StageKind};
 use crate::protocol::Packet;
 use crate::scene::Scene;
 use crate::telemetry::CampaignProbe;
@@ -178,15 +179,23 @@ impl<'a> Actor<SessionMedium<'a>, SessionEvent> for NodeActor {
 }
 
 /// The AP side: Field-2 processing, carrier planning, payload scheduling.
+/// The three protocol steps are the single-link image of the MAC layer's
+/// **Capture → Plan → Transmit** pipeline: `Field2Process` is the capture
+/// stage (it completes `capture_ps` after the Field-2 window closes),
+/// `PlanCarriers` the plan stage, and the payload schedule starts after
+/// the transmit-stage latency. Under [`ApServiceConfig::instantaneous`]
+/// every post lands at the current instant, reproducing the pre-pipeline
+/// timeline bit-for-bit.
 struct ApActor {
     me: ActorId,
     node: ActorId,
+    service: ApServiceConfig,
 }
 
 impl<'a> Actor<SessionMedium<'a>, SessionEvent> for ApActor {
     fn on_event(
         &mut self,
-        _now_ps: TimePs,
+        now_ps: TimePs,
         event: &SessionEvent,
         m: &mut SessionMedium<'a>,
         out: &mut Outbox<SessionEvent>,
@@ -195,16 +204,30 @@ impl<'a> Actor<SessionMedium<'a>, SessionEvent> for ApActor {
             SessionEvent::Field2Process => {
                 m.fix = Some(m.pipeline.localize(m.rng)?);
                 m.orientation_at_ap = Some(m.pipeline.orient_at_ap(m.rng)?);
-                out.post_now(self.me, SessionEvent::PlanCarriers);
+                out.post_at(
+                    now_ps + self.service.stage_latency_ps(StageKind::Capture),
+                    self.me,
+                    SessionEvent::PlanCarriers,
+                );
             }
             SessionEvent::PlanCarriers => {
                 // Carriers planned from the AP's *estimate*, never ground
                 // truth — the closed loop the protocol actually runs.
                 m.sim.orientation_hint = m.orientation_at_ap;
                 let payload_s = m.payload_s()?;
-                out.post_now(self.node, SessionEvent::PayloadStart);
-                out.post_now(self.me, SessionEvent::PayloadTransfer);
-                out.post_after(payload_s, self.node, SessionEvent::PayloadEnd);
+                // The payload starts once the plan lands and the transmit
+                // front-end is configured. AP compute latency is AP-side:
+                // the node's energy ledger ticks airtime only.
+                let start_ps = now_ps
+                    + self.service.stage_latency_ps(StageKind::Plan)
+                    + self.service.stage_latency_ps(StageKind::Transmit);
+                out.post_at(start_ps, self.node, SessionEvent::PayloadStart);
+                out.post_at(start_ps, self.me, SessionEvent::PayloadTransfer);
+                out.post_at(
+                    start_ps + secs_to_ps(payload_s),
+                    self.node,
+                    SessionEvent::PayloadEnd,
+                );
             }
             SessionEvent::PayloadTransfer => {
                 let delivered = match m.decoded_direction {
@@ -265,6 +288,23 @@ impl Session {
         self.run_packet_probed(packet, rng, &mut probe)
     }
 
+    /// [`run_packet`](Self::run_packet) under an explicit
+    /// [`ApServiceConfig`]: the AP's Field-2 processing, carrier planning,
+    /// and transmit setup each cost their configured stage latency, so the
+    /// payload starts `total_latency_ps` later than the instantaneous
+    /// timeline. The physics and the RNG draw order are unchanged — only
+    /// event timestamps shift — so the report is identical up to the
+    /// session clock.
+    pub fn run_packet_service(
+        &self,
+        packet: &Packet,
+        rng: &mut GaussianSource,
+        service: &ApServiceConfig,
+    ) -> Result<SessionReport> {
+        let mut probe = CampaignProbe::disabled();
+        self.run_packet_service_probed(packet, rng, service, &mut probe)
+    }
+
     /// [`run_packet`](Self::run_packet) with an instrumentation probe:
     /// when tracing, every dispatched session event is recorded
     /// `(time_ps, seq, actor, kind)`; metrics count dispatches, mode
@@ -275,6 +315,17 @@ impl Session {
         &self,
         packet: &Packet,
         rng: &mut GaussianSource,
+        probe: &mut CampaignProbe,
+    ) -> Result<SessionReport> {
+        self.run_packet_service_probed(packet, rng, &ApServiceConfig::instantaneous(), probe)
+    }
+
+    /// The full session runner: explicit service config and probe.
+    pub fn run_packet_service_probed(
+        &self,
+        packet: &Packet,
+        rng: &mut GaussianSource,
+        service: &ApServiceConfig,
         probe: &mut CampaignProbe,
     ) -> Result<SessionReport> {
         let pipeline = LocalizationPipeline::new(self.config.clone(), self.scene.clone())?;
@@ -321,6 +372,7 @@ impl Session {
         let ap = engine.add_actor(Box::new(ApActor {
             me: ActorId(1),
             node,
+            service: *service,
         }));
         debug_assert_eq!((node, ap), (ActorId(0), ActorId(1)));
 
@@ -363,11 +415,12 @@ impl Session {
         probe.record_fsa_stats(&m.pipeline.gain_eval.stats());
         probe.observe_fmcw_batch(5);
         // Consistency guards: the node decoded what the AP signalled, and
-        // the engine clock closed exactly at the packet's airtime.
+        // the engine clock closed exactly at the packet's airtime plus the
+        // AP's end-to-end service latency (zero on the instantaneous path).
         debug_assert_eq!(decoded_direction, packet.direction);
         debug_assert_eq!(
             stats.end_time_ps,
-            packet.duration_ps(&self.config.fmcw, symbol_rate)
+            packet.duration_ps(&self.config.fmcw, symbol_rate) + service.total_latency_ps()
         );
         Ok(SessionReport {
             fix: m
@@ -540,6 +593,29 @@ mod tests {
             );
             assert_eq!(engine.ber.to_bits(), direct.ber.to_bits());
         }
+    }
+
+    #[test]
+    fn service_latency_shifts_the_clock_but_not_the_physics() {
+        // Nonzero AP stage latencies delay the payload schedule (the
+        // end-of-run clock guard inside the runner checks the exact
+        // shift) but draw no randomness and change no physics — the
+        // report is identical to the instantaneous run.
+        let s = session(3.0, 12.0);
+        let packet = Packet::downlink(b"staged session".to_vec());
+        let mut rng_a = GaussianSource::new(0xC0FFEE);
+        let mut rng_b = GaussianSource::new(0xC0FFEE);
+        let instant = s.run_packet(&packet, &mut rng_a).unwrap();
+        let staged = s
+            .run_packet_service(
+                &packet,
+                &mut rng_b,
+                &ApServiceConfig::instantaneous()
+                    .with_stage_latencies(1_000_000, 2_000_000, 3_000_000),
+            )
+            .unwrap();
+        assert_eq!(instant, staged);
+        assert_eq!(rng_a.sample(1.0).to_bits(), rng_b.sample(1.0).to_bits());
     }
 
     #[test]

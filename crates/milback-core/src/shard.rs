@@ -40,6 +40,7 @@
 
 use crate::error::{MilbackError, Result};
 use crate::network::{CampaignAggregate, CampaignScratch, MacPolicy, Network, SlottedRunReport};
+use crate::pipeline::ApServiceConfig;
 use crate::protocol::SlotPlan;
 use crate::scene::Scene;
 use mmwave_sigproc::parallel;
@@ -152,17 +153,54 @@ impl Network {
     where
         F: Fn(usize, u64) -> Box<dyn MacPolicy> + Sync,
     {
+        self.run_sharded_mac_service(
+            n_cells,
+            threads,
+            campaign_seed,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            &ApServiceConfig::instantaneous(),
+            policy_for_cell,
+        )
+    }
+
+    /// [`run_sharded_mac`](Self::run_sharded_mac) under an explicit
+    /// [`ApServiceConfig`]: every cell's AP runs its own staged
+    /// **Capture → Plan → Transmit** pipeline (stage queues are per-cell —
+    /// cells are independent APs), and the per-cell
+    /// [`ApServiceStats`](crate::pipeline::ApServiceStats) ledgers fold
+    /// into the streaming aggregate's `service` counters in cell index
+    /// order, exact u64 adds all the way up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sharded_mac_service<F>(
+        &self,
+        n_cells: usize,
+        threads: usize,
+        campaign_seed: u64,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        service: &ApServiceConfig,
+        policy_for_cell: F,
+    ) -> Result<CampaignAggregate>
+    where
+        F: Fn(usize, u64) -> Box<dyn MacPolicy> + Sync,
+    {
         let per_cell = run_cells(self, n_cells, threads, |scratch, idx, cell| {
             let seed = cell_seed(campaign_seed, idx);
             let mut rng = GaussianSource::new(seed);
             let mut agg = CampaignAggregate::new();
-            cell.run_mac_streaming(
+            cell.run_mac_streaming_service(
                 policy_for_cell(idx, seed),
                 frames,
                 payload,
                 plan,
                 sdm_threshold_db,
                 &mut rng,
+                service,
                 scratch,
                 &mut agg,
             )?;
@@ -364,6 +402,54 @@ mod tests {
         assert_eq!(streamed, folded);
         assert_eq!(streamed.energy_j.to_bits(), folded.energy_j.to_bits());
         assert_eq!(streamed.snr_sum_db.to_bits(), folded.snr_sum_db.to_bits());
+    }
+
+    #[test]
+    fn sharded_service_ledger_folds_and_is_thread_invariant() {
+        // A backlogged Defer pipeline (capacity 0, capture slower than the
+        // slot width) serves every grant late but in FIFO order, so the
+        // trial RNG stream is consumed exactly as in the instantaneous
+        // campaign: the node ledgers match bit-for-bit, only the service
+        // counters differ — and the whole aggregate is thread invariant.
+        let net = Network::new(SystemConfig::milback_default(), arc_scene(9)).unwrap();
+        let payload = [0x42u8; 8];
+        let plan = plan_for(&net, 4, &payload);
+        let service = crate::pipeline::ApServiceConfig::instantaneous()
+            .with_stage_latencies(3 * plan.slot_ps, 0, 0)
+            .with_queue(0, crate::pipeline::OverflowPolicy::Defer);
+        let run = |threads: usize| {
+            net.run_sharded_mac_service(
+                3,
+                threads,
+                0xBEEF,
+                4,
+                &payload,
+                &plan,
+                20.0,
+                &service,
+                |_, s| Box::new(SlottedAloha::new(s)),
+            )
+            .unwrap()
+        };
+        let deferred = run(1);
+        assert!(deferred.service.offered > 0);
+        assert_eq!(deferred.service.served, deferred.service.offered);
+        assert!(deferred.service.deferred > 0, "capacity 0 must spill");
+        assert_eq!(deferred.service.dropped, 0);
+        for threads in [2usize, 4, 8] {
+            assert_eq!(run(threads), deferred, "{threads} threads");
+        }
+        let instant = net
+            .run_sharded_mac(3, 1, 0xBEEF, 4, &payload, &plan, 20.0, |_, s| {
+                Box::new(SlottedAloha::new(s))
+            })
+            .unwrap();
+        assert_eq!(instant.service.deferred, 0);
+        assert_eq!(deferred.attempts, instant.attempts);
+        assert_eq!(deferred.delivered, instant.delivered);
+        assert_eq!(deferred.collisions, instant.collisions);
+        assert_eq!(deferred.energy_j.to_bits(), instant.energy_j.to_bits());
+        assert_eq!(deferred.snr_sum_db.to_bits(), instant.snr_sum_db.to_bits());
     }
 
     #[test]

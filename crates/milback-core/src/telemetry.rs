@@ -473,6 +473,24 @@ impl Metrics {
         let _ = (name, bounds, value);
     }
 
+    /// Folds a whole pre-aggregated histogram into histogram `name`
+    /// (no-op in a telemetry-off build). This is how the engine's lossless
+    /// per-label queue-depth tallies land in a campaign registry: the
+    /// tally is built outside the registry and merged bucket-by-bucket, so
+    /// no per-event registry lookup sits on the dispatch path.
+    #[inline]
+    pub fn merge_histogram(&mut self, name: &'static str, other: &Histogram) {
+        #[cfg(feature = "telemetry")]
+        {
+            match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, h)) => h.merge_from(other),
+                None => self.histograms.push((name, other.clone())),
+            }
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (name, other);
+    }
+
     /// A counter's current value (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -637,6 +655,43 @@ impl CampaignProbe {
     /// FFT pass carried.
     pub fn observe_fmcw_batch(&mut self, n_chirps: usize) {
         self.observe("fmcw_batch_chirps", FMCW_BATCH_BUCKETS, n_chirps as f64);
+    }
+
+    /// Folds the engine's lossless per-label queue-depth tallies into the
+    /// registry, if collecting metrics: each label lands under its
+    /// [`queue_depth_metric`] name, and every label also merges into the
+    /// combined `queue_depth` histogram. Unlike the retired
+    /// trace-ring reconstruction, this path loses nothing when the bounded
+    /// [`TraceBuffer`] evicts old records — the tallies were counted at
+    /// dispatch, not replayed from the ring.
+    pub fn merge_queue_depths<'a>(
+        &mut self,
+        tallies: impl Iterator<Item = (&'static str, &'a Histogram)>,
+    ) {
+        if self.metrics.is_none() {
+            return;
+        }
+        if let Some(m) = &mut self.metrics {
+            for (label, hist) in tallies {
+                m.merge_histogram(queue_depth_metric(label), hist);
+                m.merge_histogram("queue_depth", hist);
+            }
+        }
+    }
+}
+
+/// The metric name of one event label's engine queue-depth histogram.
+/// Known labels (the MAC pipeline's event kinds) get stable per-stage
+/// names; anything else folds into the shared `queue_depth_other` bucket
+/// so an unknown label can never mint an unbounded set of metric names.
+pub fn queue_depth_metric(label: &'static str) -> &'static str {
+    match label {
+        "frame_start" => "queue_depth_frame_start",
+        "slot_fire" => "queue_depth_slot_fire",
+        "stage_capture" => "queue_depth_stage_capture",
+        "stage_plan" => "queue_depth_stage_plan",
+        "stage_transmit" => "queue_depth_stage_transmit",
+        _ => "queue_depth_other",
     }
 }
 

@@ -46,6 +46,7 @@ fn run_report(nodes: Vec<SlottedNodeReport>) -> SlottedRunReport {
         frame_s: 2.5e-3,
         payload_bytes: 8,
         nodes,
+        service: Default::default(),
     }
 }
 

@@ -25,36 +25,41 @@
 #      reduced anchors survive, and no metrics artifact is written
 #  13. the net_scale_city sharded sweep in reduced mode (4+ cells, ~10³
 #      nodes) + schema validation of its full-scale CSV anchor, which must
-#      carry a completed 10⁵-node campaign
+#      carry a completed 10⁵-node campaign with live AP-service columns
+#  14. the net_load offered-vs-served sweep in reduced mode + schema,
+#      finiteness, and grant-conservation gates (served ≤ offered,
+#      served + dropped = offered) on both the reduced CSV and the
+#      full-scale anchor, which must show the served-load knee (nonzero
+#      drop and defer spill)
 #
 # Usage: scripts/ci.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/13] cargo fmt --check"
+echo "==> [1/14] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/13] cargo build --release --workspace --all-targets"
+echo "==> [2/14] cargo build --release --workspace --all-targets"
 cargo build --release --workspace --all-targets
 # The node core must stay portable to an MCU: firmware/mode/power compile
 # without std (the sim-facing modules are std-gated behind the default
 # feature).
 cargo build --release -p milback-node --no-default-features
 
-echo "==> [3/13] cargo test --release --workspace"
+echo "==> [3/14] cargo test --release --workspace"
 cargo test --release --workspace -q
 
-echo "==> [4/13] cargo clippy --release --workspace --all-targets -- -D warnings"
+echo "==> [4/14] cargo clippy --release --workspace --all-targets -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
-echo "==> [5/13] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [5/14] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [6/13] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
+echo "==> [6/14] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
 cargo run --release -p milback-bench --bin bench_smoke
 
-echo "==> [7/13] validating benchmark JSONs"
+echo "==> [7/14] validating benchmark JSONs"
 JSON=results/BENCH_dsp.json
 EXP_JSON=results/BENCH_experiments.json
 [ -s "$JSON" ] || { echo "FAIL: $JSON missing or empty" >&2; exit 1; }
@@ -138,14 +143,14 @@ else
     echo "OK: benchmark JSONs carry schema markers (python3 unavailable, shallow check)"
 fi
 
-echo "==> [8/13] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
+echo "==> [8/14] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
 CSV=results/figure_12a.csv
 before=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin fig12a_ranging
 after=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CSV" >&2; exit 1; }
 
-echo "==> [9/13] net_scale extension (reduced run + full-scale CSV anchor)"
+echo "==> [9/14] net_scale extension (reduced run + full-scale CSV anchor)"
 NET_CSV=results/extension_net_scale.csv
 before=$(sha256sum "$NET_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale
@@ -160,7 +165,7 @@ esac
 rows=$(($(wc -l < "$NET_CSV") - 1))
 [ "$rows" -ge 7 ] || { echo "FAIL: $NET_CSV has $rows data rows, expected the 1..64 sweep (7)" >&2; exit 1; }
 
-echo "==> [10/13] mac_compare extension (reduced run + full-scale CSV anchor schema)"
+echo "==> [10/14] mac_compare extension (reduced run + full-scale CSV anchor schema)"
 MAC_CSV=results/extension_mac_compare.csv
 before=$(sha256sum "$MAC_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin mac_compare
@@ -195,7 +200,7 @@ awk -F, 'NR==1 { next } { last=$0 } END {
     }
 }' "$MAC_CSV"
 
-echo "==> [11/13] instrumented campaign (MILBACK_TRACE) + telemetry artifact schemas"
+echo "==> [11/14] instrumented campaign (MILBACK_TRACE) + telemetry artifact schemas"
 TRACE_DIR=$(mktemp -d)
 METRICS=results/METRICS_mac.json
 rm -f "$METRICS"
@@ -262,7 +267,7 @@ else
 fi
 rm -rf "$TRACE_DIR"
 
-echo "==> [12/13] telemetry-off build (--no-default-features) passes the anchor gates"
+echo "==> [12/14] telemetry-off build (--no-default-features) passes the anchor gates"
 cargo test --release -p milback-bench --no-default-features -q
 cargo build --release -p milback-bench --no-default-features
 rm -f "$METRICS"
@@ -279,7 +284,7 @@ cargo build --release -p milback-bench --all-targets
 ./target/release/mac_compare >/dev/null
 grep -q '"reduced": false' "$METRICS" || { echo "FAIL: regenerated $METRICS is not full-scale" >&2; exit 1; }
 
-echo "==> [13/13] net_scale_city sharded sweep (reduced run + full-scale CSV anchor)"
+echo "==> [13/14] net_scale_city sharded sweep (reduced run + full-scale CSV anchor)"
 CITY_CSV=results/extension_net_scale_city.csv
 before=$(sha256sum "$CITY_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale_city
@@ -287,7 +292,7 @@ after=$(sha256sum "$CITY_CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CITY_CSV" >&2; exit 1; }
 [ -s "$CITY_CSV" ] || { echo "FAIL: $CITY_CSV missing or empty (regenerate with the net_scale_city binary at full scale)" >&2; exit 1; }
 header=$(head -1 "$CITY_CSV")
-want="nodes,cells,threads,frames,attempts,delivered,collisions,delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s"
+want="nodes,cells,threads,frames,attempts,delivered,collisions,offered,served,overflow,delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s"
 [ "$header" = "$want" ] || { echo "FAIL: unexpected $CITY_CSV header: $header" >&2; exit 1; }
 if grep -qiE '(nan|inf)' "$CITY_CSV"; then
     echo "FAIL: $CITY_CSV carries NaN/inf tokens" >&2; exit 1
@@ -295,14 +300,62 @@ fi
 rows=$(($(wc -l < "$CITY_CSV") - 1))
 [ "$rows" -ge 3 ] || { echo "FAIL: $CITY_CSV has $rows data rows, expected the 10^3..10^5+ sweep" >&2; exit 1; }
 # The anchor must carry a completed campaign of at least 10^5 nodes with a
-# sane cell count and throughput (the bounded-memory acceptance scale).
-awk -F, 'NR==1 { next } { if ($1 > max) { max = $1; cells = $2; nps = $11 } } END {
+# sane cell count and throughput (the bounded-memory acceptance scale),
+# and its AP-service columns must be live: grants offered and served, a
+# real backlog (overflow > 0), and served never exceeding offered.
+awk -F, 'NR==1 { next } {
+    if ($9+0 > $8+0) { printf "FAIL: row %d served %s > offered %s\n", NR, $9, $8 > "/dev/stderr"; exit 1 }
+    if ($1 > max) { max = $1; cells = $2; offered = $8; overflow = $10; nps = $14 }
+} END {
     if (max < 100000) {
         printf "FAIL: largest campaign is %s nodes, need >= 100000\n", max > "/dev/stderr"; exit 1;
     }
     if (cells < 4 || !(nps > 0)) {
         printf "FAIL: %s-node campaign has cells=%s nodes_per_sec=%s\n", max, cells, nps > "/dev/stderr"; exit 1;
     }
+    if (!(offered > 0) || !(overflow > 0)) {
+        printf "FAIL: %s-node campaign has offered=%s overflow=%s (service pipeline idle)\n", max, offered, overflow > "/dev/stderr"; exit 1;
+    }
 }' "$CITY_CSV"
+
+echo "==> [14/14] net_load offered-vs-served sweep (reduced run + full-scale CSV anchor)"
+LOAD_CSV=results/extension_net_load.csv
+LOAD_WANT="overflow,nodes,offered,served,dropped,deferred,degraded,offered_per_s,served_per_s,delivered,delivery_rate"
+# Shared gate for the reduced CSV and the full-scale anchor: exact schema,
+# no NaN/inf tokens, and grant conservation on every row (served ≤ offered
+# and served + dropped = offered — defer/degrade spill is still served).
+check_load_csv() {
+    local csv=$1
+    local header; header=$(head -1 "$csv")
+    [ "$header" = "$LOAD_WANT" ] || { echo "FAIL: unexpected $csv header: $header" >&2; exit 1; }
+    if grep -qiE '(nan|inf)' "$csv"; then
+        echo "FAIL: $csv carries NaN/inf tokens" >&2; exit 1
+    fi
+    awk -F, 'NR==1 || NF==0 { next } {
+        if ($4+0 > $3+0) { printf "FAIL: row %d served %s > offered %s\n", NR, $4, $3 > "/dev/stderr"; bad=1 }
+        if ($4+$5 != $3) { printf "FAIL: row %d served+dropped=%d != offered=%d\n", NR, $4+$5, $3 > "/dev/stderr"; bad=1 }
+        if (!($8 >= 0) || !($9 >= 0)) { printf "FAIL: row %d has non-finite load axes\n", NR > "/dev/stderr"; bad=1 }
+        if ($1 == "drop" && $5+0 > 0) sheds=1
+        if ($1 == "defer" && $6+0 > 0) spills=1
+    } END {
+        if (bad) exit 1
+        if (!sheds || !spills) {
+            print "FAIL: no saturated drop row or defer spill — the served-load knee is missing" > "/dev/stderr"; exit 1
+        }
+    }' "$csv"
+}
+before=$(sha256sum "$LOAD_CSV" 2>/dev/null || echo absent)
+LOAD_OUT=$(mktemp)
+MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_load | tee "$LOAD_OUT"
+after=$(sha256sum "$LOAD_CSV" 2>/dev/null || echo absent)
+[ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $LOAD_CSV" >&2; exit 1; }
+[ -s "$LOAD_CSV" ] || { echo "FAIL: $LOAD_CSV missing or empty (regenerate with the net_load binary at full scale)" >&2; exit 1; }
+# The reduced run prints its CSV to stdout; gate that, then the anchor.
+REDUCED_CSV=$(mktemp)
+sed -n '/^overflow,nodes,/,$p' "$LOAD_OUT" > "$REDUCED_CSV"
+[ -s "$REDUCED_CSV" ] || { echo "FAIL: reduced net_load printed no CSV" >&2; exit 1; }
+check_load_csv "$REDUCED_CSV"
+check_load_csv "$LOAD_CSV"
+rm -f "$LOAD_OUT" "$REDUCED_CSV"
 
 echo "==> ci.sh: all gates passed"
