@@ -16,7 +16,7 @@
 use milback_bench::experiments::{extension_net_scale_city, sector_campaign, NetScaleCityPoint};
 use milback_bench::runner::RunnerConfig;
 use milback_bench::{reduced_mode, results_dir, Report, Series};
-use milback_core::{ApServiceConfig, OverflowPolicy};
+use milback_core::{ApServiceConfig, OverflowPolicy, RelayConfig};
 
 /// The campaign shape shared by the full-scale anchor and the reduced CI
 /// run: 8-slot frames over 32-node cells keeps every cell contended (slot
@@ -67,6 +67,10 @@ fn main() {
         SLOTS,
         ROOT_SEED,
         &service(slot_ps),
+        // The city anchor stays a full-coverage campaign: relaying off
+        // keeps every pre-relay column bit-identical, and the new
+        // gap/relay columns report zeros.
+        &RelayConfig::disabled(),
         &cfg,
     ) {
         Ok(points) => points,
@@ -149,13 +153,14 @@ fn to_csv(points: &[NetScaleCityPoint]) -> String {
     use std::fmt::Write as _;
     let mut out = String::from(
         "nodes,cells,threads,frames,attempts,delivered,collisions,offered,served,overflow,\
-         delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s\n",
+         delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s,gap_nodes,relayed,\
+         mean_relay_hops\n",
     );
     for p in points {
         let opt = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             p.nodes,
             p.cells,
             p.threads,
@@ -171,6 +176,9 @@ fn to_csv(points: &[NetScaleCityPoint]) -> String {
             opt(p.mean_snr_db),
             p.nodes_per_sec,
             p.wall_s,
+            p.gap_nodes,
+            p.relayed,
+            opt(p.mean_relay_hops),
         );
     }
     out

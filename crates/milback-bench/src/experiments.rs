@@ -22,9 +22,9 @@ use milback_core::localization::{Impairments, LocationFix};
 use milback_core::protocol::SlotPlan;
 use milback_core::telemetry::{CampaignProbe, Metrics, TraceBuffer};
 use milback_core::{
-    ApServiceConfig, BackoffAloha, LinkSimulator, LocalizationPipeline, MacPolicy, Network,
-    OverflowPolicy, Packet, RoundRobinPolling, Scene, SdmAwareAssignment, SlottedAloha,
-    SlottedRunReport, SystemConfig,
+    ApServiceConfig, BackoffAloha, CampaignAggregate, CoverageModel, LinkSimulator,
+    LocalizationPipeline, MacPolicy, Network, OverflowPolicy, Packet, RelayAwareMac, RelayConfig,
+    RoundRobinPolling, Scene, SdmAwareAssignment, SlottedAloha, SlottedRunReport, SystemConfig,
 };
 use mmwave_rf::channel::{ApFrontend, NodePose, Vec2};
 
@@ -490,18 +490,10 @@ pub struct NetScalePoint {
 /// controls the neighbour separation SDM has to work with. Shared by the
 /// `net_scale` and `mac_compare` sweeps so their curves are comparable.
 fn sector_scene(n: usize) -> Scene {
-    let sector = 120f64.to_radians();
-    let mut scene = Scene::single_node(4.0, node_orientation_rad());
-    scene.nodes.clear();
-    for k in 0..n {
-        let az = if n == 1 {
-            0.0
-        } else {
-            -sector / 2.0 + sector * k as f64 / (n - 1) as f64
-        };
-        scene = scene.with_node_at(4.0, az, node_orientation_rad());
-    }
-    scene
+    // `Scene::arc` computes the same `-span/2 + span·k/(n-1)` azimuths
+    // (with the n == 1 division guarded), so the CSV anchors built on
+    // this scene are unchanged by the shared-helper refactor.
+    Scene::arc(n, 4.0, 120f64.to_radians(), node_orientation_rad())
 }
 
 /// The shared setup every sector-scene MAC sweep starts from: payload,
@@ -819,6 +811,13 @@ pub struct NetScaleCityPoint {
     pub nodes_per_sec: f64,
     /// Wall-clock time for this point, seconds.
     pub wall_s: f64,
+    /// Nodes outside AP coverage (0 under the default unbounded model).
+    pub gap_nodes: u64,
+    /// Packets delivered over multi-hop relay routes.
+    pub relayed: u64,
+    /// Mean transmissions per relayed delivery; `None` when nothing
+    /// relayed (the relay-disabled CSV cell is empty).
+    pub mean_relay_hops: Option<f64>,
 }
 
 /// City-scale network sweep core: each node count shards the sector scene
@@ -851,6 +850,7 @@ pub fn extension_net_scale_city(
     slots: usize,
     root_seed: u64,
     service: &ApServiceConfig,
+    relay: &RelayConfig,
     cfg: &RunnerConfig,
 ) -> Result<Vec<NetScaleCityPoint>, String> {
     assert!(cell_size > 0, "cells must hold at least one node");
@@ -862,9 +862,13 @@ pub fn extension_net_scale_city(
             let cells = n.div_ceil(cell_size);
             let campaign_seed = trial_seed(root_seed, i);
             let started = std::time::Instant::now();
+            // A disabled relay keeps the plain [`SlottedAloha`] cells, so
+            // the sweep's pre-relay columns stay bit-identical to the
+            // pre-relay anchors; an enabled one swaps in the relay-aware
+            // policy per cell.
             let agg = c
                 .net
-                .run_sharded_mac_service(
+                .run_sharded_mac_relay(
                     cells,
                     cfg.threads,
                     campaign_seed,
@@ -873,7 +877,14 @@ pub fn extension_net_scale_city(
                     &c.plan,
                     20.0,
                     service,
-                    |_, seed| Box::new(SlottedAloha::new(seed)),
+                    relay,
+                    |_, seed| {
+                        if relay.is_disabled() {
+                            Box::new(SlottedAloha::new(seed)) as Box<dyn MacPolicy>
+                        } else {
+                            Box::new(RelayAwareMac::new(seed, *relay)) as Box<dyn MacPolicy>
+                        }
+                    },
                 )
                 .map_err(|e| e.to_string())?;
             let wall_s = started.elapsed().as_secs_f64();
@@ -893,6 +904,9 @@ pub fn extension_net_scale_city(
                 mean_snr_db: agg.mean_snr_db(),
                 nodes_per_sec: if wall_s > 0.0 { n as f64 / wall_s } else { 0.0 },
                 wall_s,
+                gap_nodes: agg.gap_nodes,
+                relayed: agg.relayed,
+                mean_relay_hops: agg.mean_relay_hops(),
             })
         })
         .collect()
@@ -1012,6 +1026,170 @@ pub fn extension_net_load(
     )
 }
 
+/// AP coverage range of the relay sweep's gapped scenes, meters: the
+/// 4 m inner arc is covered, the 8 m and 12 m gap rings are not.
+pub const RELAY_COVERAGE_RANGE_M: f64 = 6.0;
+/// Tag-to-tag neighbor range of the relay sweep, meters: reaches the
+/// 4 m ring-to-ring spacing of the gapped scene, nothing further.
+pub const RELAY_TAG_RANGE_M: f64 = 4.5;
+/// Deterministic per-tag-hop SNR penalty of the relay sweep, dB.
+pub const RELAY_HOP_SNR_PENALTY_DB: f64 = 3.0;
+
+/// The [`RelayConfig`] every relay sweep cell shares, at hop budget
+/// `max_hops`.
+pub fn relay_sweep_config(max_hops: usize) -> RelayConfig {
+    RelayConfig {
+        coverage: CoverageModel::with_range(RELAY_COVERAGE_RANGE_M),
+        max_hops,
+        tag_range_m: RELAY_TAG_RANGE_M,
+        hop_snr_penalty_db: RELAY_HOP_SNR_PENALTY_DB,
+    }
+}
+
+/// The sector scene with a `gap_fraction` share of its nodes pushed past
+/// AP coverage: covered nodes keep the 4 m arc, and the gap nodes split
+/// between an 8 m ring (two thirds — one tag hop from coverage) and a
+/// 12 m ring (the rest — two tag hops, each 12 m node sharing an azimuth
+/// with its 8 m forwarder so the ring spacing is exactly 4 m). The 8 m
+/// majority puts the two-transmission recovery strictly above one half
+/// of the gap population.
+fn gapped_sector_scene(n: usize, gap_fraction: f64) -> Scene {
+    let span = 120f64.to_radians();
+    let n_gap = ((n as f64 * gap_fraction).round() as usize).min(n);
+    let n_far = n_gap / 3;
+    let n_near = n_gap - n_far;
+    let mut scene = Scene::arc(n - n_gap, 4.0, span, node_orientation_rad());
+    for k in 0..n_near {
+        scene = scene.with_node_at(
+            8.0,
+            Scene::arc_azimuth_rad(k, n_near, span),
+            node_orientation_rad(),
+        );
+    }
+    for k in 0..n_far {
+        scene = scene.with_node_at(
+            12.0,
+            Scene::arc_azimuth_rad(k, n_near, span),
+            node_orientation_rad(),
+        );
+    }
+    scene
+}
+
+/// One (gap fraction, hop budget) cell of the relay recovery sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetRelayPoint {
+    /// Share of the scene's nodes placed outside AP coverage.
+    pub gap_fraction: f64,
+    /// Transmission budget per packet (tag hops + terminal uplink).
+    pub max_hops: usize,
+    /// Total nodes in the scene.
+    pub nodes: usize,
+    /// Nodes the coverage model classified as gap nodes.
+    pub gap_nodes: u64,
+    /// Packets attempted network-wide.
+    pub attempts: u64,
+    /// Packets delivered network-wide (direct + relayed).
+    pub delivered: u64,
+    /// Delivered over attempted; `None` before any attempt.
+    pub delivery_rate: Option<f64>,
+    /// Packets attempted by gap nodes.
+    pub gap_attempts: u64,
+    /// Packets gap nodes got through (necessarily relayed).
+    pub gap_delivered: u64,
+    /// Gap-node delivery rate; `None` with no gap attempts.
+    pub gap_delivery_rate: Option<f64>,
+    /// Packets delivered over relay routes.
+    pub relayed: u64,
+    /// Forwarding transmissions performed for other nodes.
+    pub forwarded: u64,
+    /// Mean transmissions per relayed delivery; `None` when nothing
+    /// relayed.
+    pub mean_relay_hops: Option<f64>,
+    /// Forwarding energy per relayed delivery, joules; `None` when
+    /// nothing relayed — the sweep's energy-cost axis.
+    pub relay_energy_per_delivered_j: Option<f64>,
+    /// Mean extra latency per relayed delivery, seconds; `None` when
+    /// nothing relayed.
+    pub mean_relay_latency_s: Option<f64>,
+}
+
+/// Relay recovery extension core: sweeps coverage-gap fraction × hop
+/// budget over the gapped sector scene and reports how much gap-node
+/// delivery multi-hop relaying buys, and at what forwarding-energy and
+/// latency cost.
+///
+/// Geometry fixes the expected shape: at `max_hops == 1` (direct only)
+/// gap delivery is exactly zero; `2` recovers the 8 m ring (two thirds
+/// of the gap population); `3` also recovers the 12 m ring. Each cell is
+/// one independent trial on its own SplitMix64 stream — bit-identical at
+/// any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn extension_net_relay(
+    gap_fractions: &[f64],
+    hop_budgets: &[usize],
+    nodes: usize,
+    frames: usize,
+    payload_bytes: usize,
+    slots: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> TrialBatch<NetRelayPoint, String> {
+    run_fallible(
+        gap_fractions.len() * hop_budgets.len(),
+        root_seed,
+        cfg,
+        |i, rng| {
+            let gap_fraction = gap_fractions[i / hop_budgets.len()];
+            let max_hops = hop_budgets[i % hop_budgets.len()];
+            let config = SystemConfig::milback_default();
+            let payload = vec![0x42u8; payload_bytes];
+            let packet = Packet::uplink(payload.clone());
+            let plan = SlotPlan::for_packet(
+                slots,
+                &packet,
+                &config.fmcw,
+                config.uplink_symbol_rate_hz,
+                10e-6,
+            )
+            .map_err(|e| e.to_string())?;
+            let net = Network::new(config, gapped_sector_scene(nodes, gap_fraction))
+                .map_err(|e| e.to_string())?;
+            let relay = relay_sweep_config(max_hops);
+            let slot_seed = root_seed.wrapping_add(nodes as u64);
+            let r = net
+                .run_mac_relay(
+                    Box::new(RelayAwareMac::new(slot_seed, relay)),
+                    frames,
+                    &payload,
+                    &plan,
+                    20.0,
+                    rng,
+                    &relay,
+                )
+                .map_err(|e| e.to_string())?;
+            let agg = CampaignAggregate::from_report(&r);
+            Ok(NetRelayPoint {
+                gap_fraction,
+                max_hops,
+                nodes,
+                gap_nodes: agg.gap_nodes,
+                attempts: agg.attempts,
+                delivered: agg.delivered,
+                delivery_rate: agg.delivery_rate(),
+                gap_attempts: agg.gap_attempts,
+                gap_delivered: agg.gap_delivered,
+                gap_delivery_rate: agg.gap_delivery_rate(),
+                relayed: agg.relayed,
+                forwarded: agg.forwarded,
+                mean_relay_hops: agg.mean_relay_hops(),
+                relay_energy_per_delivered_j: agg.relay_energy_per_delivered_j(),
+                mean_relay_latency_s: agg.mean_relay_latency_s(),
+            })
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1054,6 +1232,41 @@ mod tests {
             overflowed += p.dropped + p.deferred + p.degraded;
         }
         assert!(overflowed > 0, "the sweep never pushed past capacity");
+    }
+
+    /// The relay recovery sweep is bit-identical at any thread count, and
+    /// its geometry delivers the headline shape: gap delivery is exactly
+    /// zero at hop budget 1, recovers past one half at budget ≥ 2, and
+    /// the forwarding energy is on the books for every relayed packet.
+    #[test]
+    fn net_relay_sweep_recovers_gap_delivery_deterministically() {
+        let gaps = [0.0, 0.5];
+        let hops = [1, 2, 3];
+        let run = |cfg: &RunnerConfig| extension_net_relay(&gaps, &hops, 12, 6, 8, 8, 0x9E1A, cfg);
+        let serial = run(&RunnerConfig::serial());
+        assert_eq!(
+            serial.ok_count(),
+            gaps.len() * hops.len(),
+            "every cell must simulate"
+        );
+        let parallel = run(&RunnerConfig::with_threads(4));
+        assert_eq!(serial.results, parallel.results);
+        for p in serial.oks() {
+            assert!(p.attempts > 0, "{p:?}");
+            if p.gap_fraction == 0.0 {
+                assert_eq!((p.gap_nodes, p.relayed), (0, 0), "{p:?}");
+                assert_eq!(p.gap_delivery_rate, None, "{p:?}");
+            } else if p.max_hops == 1 {
+                assert!(p.gap_nodes > 0, "{p:?}");
+                assert_eq!(p.gap_delivered, 0, "{p:?}");
+                assert_eq!(p.gap_delivery_rate, Some(0.0), "{p:?}");
+            } else {
+                assert!(p.gap_delivery_rate.unwrap() > 0.5, "{p:?}");
+                assert!(p.relayed > 0 && p.forwarded > 0, "{p:?}");
+                assert!(p.relay_energy_per_delivered_j.unwrap() > 0.0, "{p:?}");
+                assert!(p.mean_relay_latency_s.unwrap() > 0.0, "{p:?}");
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,18 @@ pub enum MilbackError {
     Protocol(String),
     /// A configuration value is invalid.
     Config(String),
+    /// A node index addressed a scene that does not contain it — the
+    /// typed replacement for unwrapping [`Scene::view_for_node`]'s
+    /// `Option` (relay routes can name any index, so the bound must be
+    /// an error, not a panic).
+    ///
+    /// [`Scene::view_for_node`]: crate::scene::Scene::view_for_node
+    NodeOutOfScene {
+        /// The offending node index.
+        idx: usize,
+        /// How many nodes the scene actually holds.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for MilbackError {
@@ -58,6 +70,9 @@ impl std::fmt::Display for MilbackError {
             MilbackError::Engine(s) => write!(f, "engine: {s}"),
             MilbackError::Protocol(s) => write!(f, "protocol: {s}"),
             MilbackError::Config(s) => write!(f, "config: {s}"),
+            MilbackError::NodeOutOfScene { idx, nodes } => {
+                write!(f, "node {idx} out of scene ({nodes} nodes)")
+            }
         }
     }
 }
@@ -78,7 +93,10 @@ impl std::error::Error for MilbackError {
             MilbackError::UplinkRx(e) => Some(e),
             MilbackError::Frame(e) => Some(e),
             MilbackError::Transition(e) => Some(e),
-            MilbackError::Engine(_) | MilbackError::Protocol(_) | MilbackError::Config(_) => None,
+            MilbackError::Engine(_)
+            | MilbackError::Protocol(_)
+            | MilbackError::Config(_)
+            | MilbackError::NodeOutOfScene { .. } => None,
         }
     }
 }
@@ -156,6 +174,15 @@ mod tests {
         assert!(MilbackError::Protocol("x".into()).source().is_none());
         assert!(MilbackError::Config("x".into()).source().is_none());
         assert!(MilbackError::Engine("x".into()).source().is_none());
+        assert!(MilbackError::NodeOutOfScene { idx: 3, nodes: 1 }
+            .source()
+            .is_none());
+    }
+
+    #[test]
+    fn node_out_of_scene_names_the_bounds() {
+        let e = MilbackError::NodeOutOfScene { idx: 7, nodes: 4 };
+        assert_eq!(e.to_string(), "node 7 out of scene (4 nodes)");
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod localization;
 pub mod network;
 pub mod pipeline;
 pub mod protocol;
+pub mod relay;
 pub mod scene;
 pub mod session;
 pub mod shard;
@@ -35,12 +36,13 @@ pub use link::{DownlinkOutcome, LinkSimulator, TransferOutcome, UplinkOutcome};
 pub use localization::{Impairments, LocalizationPipeline, LocationFix};
 pub use network::{
     BackoffAloha, CampaignAggregate, CampaignScratch, FrameSchedule, MacContext, MacPolicy,
-    Network, RoundRobinPolling, SdmAwareAssignment, SlottedAloha, SlottedNodeReport,
+    Network, RelayGrant, RoundRobinPolling, SdmAwareAssignment, SlottedAloha, SlottedNodeReport,
     SlottedRunReport,
 };
 pub use pipeline::{ApServiceConfig, ApServiceStats, OverflowPolicy, StageKind};
 pub use protocol::Packet;
-pub use scene::{GroundTruth, Scene};
+pub use relay::{select_routes, NeighborGraph, RelayAwareMac, RelayConfig};
+pub use scene::{CoverageModel, GroundTruth, Scene};
 pub use session::{Session, SessionReport};
 pub use shard::{cell_seed, partition_cells};
 pub use telemetry::{CampaignProbe, Metrics, TraceBuffer, TraceRecord, TraceSink};

@@ -9,10 +9,11 @@ use crate::error::{MilbackError, Result};
 use crate::link::{LinkSimulator, UplinkOutcome};
 use crate::pipeline::{ApServiceConfig, ApServiceStats, OverflowPolicy, StageKind};
 use crate::protocol::{Packet, SlotPlan};
+use crate::relay::RelayConfig;
 use crate::scene::Scene;
 use crate::telemetry::{
     CampaignProbe, Histogram, TraceRecord, BACKOFF_BUCKETS_FRAMES, ENERGY_BUCKETS_J,
-    OCCUPANCY_BUCKETS, SNR_BUCKETS_DB,
+    OCCUPANCY_BUCKETS, RELAY_HOP_BUCKETS, SNR_BUCKETS_DB,
 };
 use milback_node::power::{NodeActivity, NodePowerModel};
 use mmwave_rf::antenna::Antenna;
@@ -63,12 +64,7 @@ impl Network {
     /// the primary; clutter is shared; other nodes' structures are ignored
     /// except through [`sdm_margin_db`](Self::sdm_margin_db)).
     fn view_for(&self, idx: usize) -> Result<Scene> {
-        self.scene.view_for_node(idx).ok_or_else(|| {
-            MilbackError::Engine(format!(
-                "no node {idx} in a {}-node scene",
-                self.node_count()
-            ))
-        })
+        self.scene.view_for_node_checked(idx)
     }
 
     /// Signal-to-interference margin (dB) for serving `idx` while `other`
@@ -361,7 +357,75 @@ impl Network {
             sdm_threshold_db,
             rng,
             service,
+            &RelayConfig::disabled(),
             probe,
+            None,
+        )?;
+        Ok(Self::finish_slotted(&m, frames, plan, payload))
+    }
+
+    /// [`run_mac`](Self::run_mac) with multi-hop tag-to-tag relaying:
+    /// nodes outside `relay.coverage` (gap nodes) cannot be heard by the
+    /// AP directly — their delivery path, if any, is the relay schedule
+    /// the policy grants (see
+    /// [`RelayAwareMac`](crate::relay::RelayAwareMac)). Per-hop energy and
+    /// latency land in the report's relay columns.
+    ///
+    /// [`RelayConfig::disabled`] reproduces [`run_mac`](Self::run_mac)
+    /// bit-for-bit: full coverage gates nothing, no routes exist, and no
+    /// extra randomness is drawn — the parity suite proves it by `==` and
+    /// `to_bits`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mac_relay(
+        &self,
+        policy: Box<dyn MacPolicy>,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        rng: &mut GaussianSource,
+        relay: &RelayConfig,
+    ) -> Result<SlottedRunReport> {
+        self.run_mac_relay_service(
+            policy,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            rng,
+            &ApServiceConfig::instantaneous(),
+            relay,
+        )
+    }
+
+    /// [`run_mac_relay`](Self::run_mac_relay) under an explicit
+    /// [`ApServiceConfig`]. Relay chains are tag-side transmissions, so
+    /// they bypass the AP's Capture → Plan → Transmit pipeline: only the
+    /// terminal uplink's direct-slot siblings contend for AP service, and
+    /// the service ledger counts direct grants exactly as without relays.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mac_relay_service(
+        &self,
+        policy: Box<dyn MacPolicy>,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        rng: &mut GaussianSource,
+        service: &ApServiceConfig,
+        relay: &RelayConfig,
+    ) -> Result<SlottedRunReport> {
+        let mut probe = CampaignProbe::disabled();
+        let m = self.run_mac_engine(
+            policy,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            rng,
+            service,
+            relay,
+            &mut probe,
             None,
         )?;
         Ok(Self::finish_slotted(&m, frames, plan, payload))
@@ -425,6 +489,40 @@ impl Network {
         scratch: &mut CampaignScratch,
         agg: &mut CampaignAggregate,
     ) -> Result<()> {
+        self.run_mac_streaming_relay_service(
+            policy,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            rng,
+            service,
+            &RelayConfig::disabled(),
+            scratch,
+            agg,
+        )
+    }
+
+    /// [`run_mac_streaming_service`](Self::run_mac_streaming_service) with
+    /// multi-hop relaying: the streaming counterpart of
+    /// [`run_mac_relay_service`](Self::run_mac_relay_service), folding the
+    /// per-node relay ledgers (gap classification, relayed deliveries,
+    /// hops, forwarding energy, hop latency) straight into the aggregate's
+    /// relay counters and hop histogram.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_mac_streaming_relay_service(
+        &self,
+        policy: Box<dyn MacPolicy>,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        rng: &mut GaussianSource,
+        service: &ApServiceConfig,
+        relay: &RelayConfig,
+        scratch: &mut CampaignScratch,
+        agg: &mut CampaignAggregate,
+    ) -> Result<()> {
         let mut probe = CampaignProbe::disabled();
         let m = self.run_mac_engine(
             policy,
@@ -434,6 +532,7 @@ impl Network {
             sdm_threshold_db,
             rng,
             service,
+            relay,
             &mut probe,
             Some(scratch),
         )?;
@@ -458,6 +557,7 @@ impl Network {
         sdm_threshold_db: f64,
         rng: &'a mut GaussianSource,
         service: &ApServiceConfig,
+        relay: &RelayConfig,
         probe: &mut CampaignProbe,
         scratch: Option<&mut CampaignScratch>,
     ) -> Result<SlotMedium<'a>> {
@@ -481,6 +581,14 @@ impl Network {
             Some(s) => self.slot_medium_recycled(payload, airtime_s, rng, s),
             None => self.slot_medium(payload, airtime_s, rng),
         };
+        // Coverage defaults to all-true; an unbounded model skips the
+        // classification loop entirely so the parity path never touches
+        // the per-node flags (delivery gating on `true` is an identity).
+        if !relay.coverage.is_unbounded() {
+            for (idx, c) in medium.covered.iter_mut().enumerate() {
+                *c = relay.coverage.covers(&self.scene.ground_truth(idx));
+            }
+        }
         medium.probe = std::mem::take(probe);
         let trace = medium.probe.trace.clone();
         let want_depths = medium.probe.metrics.is_some();
@@ -499,6 +607,8 @@ impl Network {
             policy,
             schedule: Vec::new(),
             service: *service,
+            relay: *relay,
+            relay_schedule: Vec::new(),
             stages: Default::default(),
             jitter_state,
         }));
@@ -579,6 +689,12 @@ impl Network {
             collisions: vec![0; n],
             energy_j: vec![0.0; n],
             snr_sum_db: vec![0.0; n],
+            covered: vec![true; n],
+            relayed: vec![0; n],
+            relay_hops: vec![0; n],
+            forwarded: vec![0; n],
+            relay_energy_j: vec![0.0; n],
+            relay_latency_s: vec![0.0; n],
             probe: CampaignProbe::disabled(),
             service: ApServiceStats::default(),
         }
@@ -612,6 +728,12 @@ impl Network {
             collisions: recycle(&mut scratch.collisions, n, 0),
             energy_j: recycle(&mut scratch.energy_j, n, 0.0),
             snr_sum_db: recycle(&mut scratch.snr_sum_db, n, 0.0),
+            covered: recycle(&mut scratch.covered, n, true),
+            relayed: recycle(&mut scratch.relayed, n, 0),
+            relay_hops: recycle(&mut scratch.relay_hops, n, 0),
+            forwarded: recycle(&mut scratch.forwarded, n, 0),
+            relay_energy_j: recycle(&mut scratch.relay_energy_j, n, 0.0),
+            relay_latency_s: recycle(&mut scratch.relay_latency_s, n, 0.0),
             probe: CampaignProbe::disabled(),
             service: ApServiceStats::default(),
         }
@@ -631,7 +753,11 @@ impl Network {
         // Duty cycling: outside its own transmissions every node idles.
         let total_s = frames as f64 * ps_to_secs(plan.frame_ps());
         for idx in 0..n {
-            let active_s = m.attempts[idx] as f64 * m.airtime_s;
+            // Forwarded relay transmissions are airtime too: without them
+            // the idle-energy complement would double-bill relays as both
+            // transmitting and idling. Zero forwards reproduces the
+            // pre-relay expression bit-for-bit.
+            let active_s = (m.attempts[idx] + m.forwarded[idx]) as f64 * m.airtime_s;
             let energy_j =
                 m.energy_j[idx] + m.power.energy_j(NodeActivity::Idle, total_s - active_s);
             each(SlottedNodeReport {
@@ -642,6 +768,12 @@ impl Network {
                 energy_j,
                 mean_snr_db: (m.delivered[idx] > 0)
                     .then(|| m.snr_sum_db[idx] / m.delivered[idx] as f64),
+                gap: !m.covered[idx],
+                relayed: m.relayed[idx],
+                relay_hops: m.relay_hops[idx],
+                forwarded: m.forwarded[idx],
+                relay_energy_j: m.relay_energy_j[idx],
+                relay_latency_s: m.relay_latency_s[idx],
             });
         }
     }
@@ -776,6 +908,33 @@ pub struct SlottedNodeReport {
     /// `null`/`NaN` into serialized reports.)
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub mean_snr_db: Option<f64>,
+    /// True when the node sits outside the campaign's AP coverage (a
+    /// cell-edge gap node): its direct uplinks cannot be heard, so any
+    /// delivery it reports arrived over a relay route. Always `false`
+    /// under the default unbounded coverage, and for pre-relay reports
+    /// (`serde(default)`).
+    #[serde(default)]
+    pub gap: bool,
+    /// Of `delivered`, how many arrived over a multi-hop relay route.
+    #[serde(default)]
+    pub relayed: usize,
+    /// Total transmissions across this node's relayed deliveries (tag
+    /// hops + the terminal uplink each; direct counts as 1), so
+    /// `relay_hops / relayed` is the mean route length.
+    #[serde(default)]
+    pub relay_hops: usize,
+    /// Packets this node forwarded on behalf of other nodes' routes.
+    #[serde(default)]
+    pub forwarded: usize,
+    /// Energy spent forwarding other nodes' packets, joules (already
+    /// included in `energy_j` — this is the relay share, not an extra).
+    #[serde(default)]
+    pub relay_energy_j: f64,
+    /// Extra delivery latency this node's relayed packets accrued over a
+    /// direct uplink (one slot per tag hop), seconds, summed across its
+    /// relayed deliveries.
+    #[serde(default)]
+    pub relay_latency_s: f64,
 }
 
 /// The outcome of [`Network::run_slotted`].
@@ -860,6 +1019,30 @@ pub struct CampaignAggregate {
     pub node_energy_j: Histogram,
     /// Per-node mean-delivered-SNR distribution over [`SNR_BUCKETS_DB`].
     pub node_snr_db: Histogram,
+    /// Nodes outside AP coverage (cell-edge gap nodes).
+    pub gap_nodes: u64,
+    /// Packets attempted by gap nodes (their direct attempts can never
+    /// deliver, so these dominate the no-relay loss).
+    pub gap_attempts: u64,
+    /// Packets gap nodes got through (necessarily over relay routes).
+    pub gap_delivered: u64,
+    /// Packets delivered over multi-hop relay routes, network-wide.
+    pub relayed: u64,
+    /// Total transmissions across relayed deliveries (route length summed
+    /// per delivery), so `relayed > 0` makes `relay_hops / relayed` the
+    /// mean route length.
+    pub relay_hops: u64,
+    /// Forwarding transmissions performed on behalf of other nodes.
+    pub forwarded: u64,
+    /// Energy spent forwarding, joules (a share of `energy_j`).
+    pub relay_energy_j: f64,
+    /// Extra relay latency over direct uplinks, seconds, summed across
+    /// relayed deliveries.
+    pub relay_latency_s: f64,
+    /// Per-node mean-route-length distribution over
+    /// [`RELAY_HOP_BUCKETS`], observed only for nodes with at least one
+    /// relayed delivery.
+    pub node_relay_hops: Histogram,
     /// AP service pipeline accounting summed over the folded runs —
     /// exact u64 adds, so any cell merge order agrees.
     pub service: ApServiceStats,
@@ -882,6 +1065,15 @@ impl CampaignAggregate {
             delivering_nodes: 0,
             node_energy_j: Histogram::new(ENERGY_BUCKETS_J),
             node_snr_db: Histogram::new(SNR_BUCKETS_DB),
+            gap_nodes: 0,
+            gap_attempts: 0,
+            gap_delivered: 0,
+            relayed: 0,
+            relay_hops: 0,
+            forwarded: 0,
+            relay_energy_j: 0.0,
+            relay_latency_s: 0.0,
+            node_relay_hops: Histogram::new(RELAY_HOP_BUCKETS),
             service: ApServiceStats::default(),
         }
     }
@@ -916,6 +1108,20 @@ impl CampaignAggregate {
             self.delivering_nodes += 1;
             self.snr_sum_db += snr;
             self.node_snr_db.observe(snr);
+        }
+        if r.gap {
+            self.gap_nodes += 1;
+            self.gap_attempts += r.attempts as u64;
+            self.gap_delivered += r.delivered as u64;
+        }
+        self.relayed += r.relayed as u64;
+        self.relay_hops += r.relay_hops as u64;
+        self.forwarded += r.forwarded as u64;
+        self.relay_energy_j += r.relay_energy_j;
+        self.relay_latency_s += r.relay_latency_s;
+        if r.relayed > 0 {
+            self.node_relay_hops
+                .observe(r.relay_hops as f64 / r.relayed as f64);
         }
     }
 
@@ -965,6 +1171,15 @@ impl CampaignAggregate {
         self.delivering_nodes += other.delivering_nodes;
         self.node_energy_j.merge_from(&other.node_energy_j);
         self.node_snr_db.merge_from(&other.node_snr_db);
+        self.gap_nodes += other.gap_nodes;
+        self.gap_attempts += other.gap_attempts;
+        self.gap_delivered += other.gap_delivered;
+        self.relayed += other.relayed;
+        self.relay_hops += other.relay_hops;
+        self.forwarded += other.forwarded;
+        self.relay_energy_j += other.relay_energy_j;
+        self.relay_latency_s += other.relay_latency_s;
+        self.node_relay_hops.merge_from(&other.node_relay_hops);
         self.service.merge_from(&other.service);
     }
 
@@ -1005,11 +1220,39 @@ impl CampaignAggregate {
         (self.delivering_nodes > 0).then(|| self.snr_sum_db / self.delivering_nodes as f64)
     }
 
+    /// Delivered over attempted among gap nodes alone; `None` when no gap
+    /// node attempted anything (including the all-covered default).
+    /// Without relaying this is exactly 0; the `net_relay` sweep shows it
+    /// recovering with `max_hops`.
+    pub fn gap_delivery_rate(&self) -> Option<f64> {
+        (self.gap_attempts > 0).then(|| self.gap_delivered as f64 / self.gap_attempts as f64)
+    }
+
+    /// Mean route length (transmissions per relayed delivery; direct
+    /// would be 1); `None` when nothing was relayed.
+    pub fn mean_relay_hops(&self) -> Option<f64> {
+        (self.relayed > 0).then(|| self.relay_hops as f64 / self.relayed as f64)
+    }
+
+    /// Forwarding energy per relayed delivery, joules; `None` when
+    /// nothing was relayed.
+    pub fn relay_energy_per_delivered_j(&self) -> Option<f64> {
+        (self.relayed > 0).then(|| self.relay_energy_j / self.relayed as f64)
+    }
+
+    /// Mean extra latency per relayed delivery, seconds; `None` when
+    /// nothing was relayed.
+    pub fn mean_relay_latency_s(&self) -> Option<f64> {
+        (self.relayed > 0).then(|| self.relay_latency_s / self.relayed as f64)
+    }
+
     /// Total histogram bucket slots held — the aggregate's only
     /// node-count-independent heap footprint, which the bounded-memory
     /// acceptance check compares across campaign sizes.
     pub fn bucket_footprint(&self) -> usize {
-        self.node_energy_j.counts.len() + self.node_snr_db.counts.len()
+        self.node_energy_j.counts.len()
+            + self.node_snr_db.counts.len()
+            + self.node_relay_hops.counts.len()
     }
 }
 
@@ -1032,6 +1275,12 @@ pub struct CampaignScratch {
     collisions: Vec<usize>,
     energy_j: Vec<f64>,
     snr_sum_db: Vec<f64>,
+    covered: Vec<bool>,
+    relayed: Vec<usize>,
+    relay_hops: Vec<usize>,
+    forwarded: Vec<usize>,
+    relay_energy_j: Vec<f64>,
+    relay_latency_s: Vec<f64>,
 }
 
 impl CampaignScratch {
@@ -1047,6 +1296,12 @@ impl CampaignScratch {
         self.collisions = m.collisions;
         self.energy_j = m.energy_j;
         self.snr_sum_db = m.snr_sum_db;
+        self.covered = m.covered;
+        self.relayed = m.relayed;
+        self.relay_hops = m.relay_hops;
+        self.forwarded = m.forwarded;
+        self.relay_energy_j = m.relay_energy_j;
+        self.relay_latency_s = m.relay_latency_s;
     }
 }
 
@@ -1074,6 +1329,18 @@ enum SlotEvent {
         /// Which stage completed.
         stage: StageKind,
     },
+    /// A granted relay chain resolves: the route's tag hops fire
+    /// back-to-back inside the granted slot and the terminal node uplinks
+    /// for the origin. Posted after the frame's direct `SlotFire` events,
+    /// so the engine's `(time, seq)` order gives every chain a fixed,
+    /// posting-determined position among same-instant events at any
+    /// thread count.
+    RelayFire {
+        /// Frame number.
+        frame: usize,
+        /// Index into the coordinator's per-frame relay grants.
+        grant: usize,
+    },
 }
 
 /// The stable trace/metric label of a campaign event — shared by the
@@ -1084,6 +1351,7 @@ fn slot_event_label(ev: &SlotEvent) -> &'static str {
         SlotEvent::FrameStart { .. } => "frame_start",
         SlotEvent::SlotFire { .. } => "slot_fire",
         SlotEvent::StageDone { stage } => stage.label(),
+        SlotEvent::RelayFire { .. } => "relay_fire",
     }
 }
 
@@ -1099,6 +1367,20 @@ struct SlotMedium<'a> {
     collisions: Vec<usize>,
     energy_j: Vec<f64>,
     snr_sum_db: Vec<f64>,
+    /// Per-node AP reachability under the campaign's coverage model.
+    /// All-`true` by default (unbounded coverage), so the delivery gate
+    /// `&& covered[node]` is an identity on the parity path.
+    covered: Vec<bool>,
+    /// Deliveries that arrived over a relay route, per origin node.
+    relayed: Vec<usize>,
+    /// Route lengths summed across relayed deliveries, per origin node.
+    relay_hops: Vec<usize>,
+    /// Forwarding transmissions performed for other nodes' routes.
+    forwarded: Vec<usize>,
+    /// Energy spent forwarding, joules (also added to `energy_j`).
+    relay_energy_j: Vec<f64>,
+    /// Extra relay latency over direct uplinks, seconds, per origin node.
+    relay_latency_s: Vec<f64>,
     /// The campaign's instrumentation surface. Disabled (all-`None`) on
     /// every uninstrumented path, so recording helpers no-op and both
     /// paths execute the same code.
@@ -1176,7 +1458,11 @@ impl<'a> SlotMedium<'a> {
                     outcome.snr_db = 10.0 * (sig / (1.0 + interference)).log10();
                 }
             }
-            if outcome.decoded == self.payload {
+            // Coverage gates delivery, not transmission: a gap node still
+            // burns the attempt and the airtime energy (it cannot know the
+            // AP missed it), but nothing lands. The noise draw above stays
+            // unconditional so covered nodes see an unchanged stream.
+            if outcome.decoded == self.payload && self.covered[node] {
                 self.delivered[node] += 1;
                 self.snr_sum_db[node] += outcome.snr_db;
                 self.probe
@@ -1185,6 +1471,73 @@ impl<'a> SlotMedium<'a> {
         }
         self.record_slot(group, false, now_ps, frame, slot);
         Ok(false)
+    }
+
+    /// Resolves one granted relay chain: the origin's packet hops
+    /// tag-to-tag along `route` and the terminal (covered) node uplinks
+    /// it to the AP on the origin's behalf.
+    ///
+    /// `route` holds node indices origin-first, terminal-last, so
+    /// `route.len()` is the total transmission count (tag hops + the
+    /// terminal uplink; a direct delivery would be 1). Every member pays
+    /// one uplink airtime of transmit energy; non-origin members also
+    /// ledger it as forwarding. Channel noise is drawn once, for the
+    /// terminal uplink — the tag hops are modeled as lossless short-range
+    /// retransmissions whose degradation is the deterministic per-hop SNR
+    /// penalty subtracted after decode (a documented simplification: hop
+    /// losses shift the reported SNR, not the decode verdict).
+    ///
+    /// `inline(never)` for the same anti-drift reason as
+    /// [`fire_slot`](Self::fire_slot).
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn fire_relay(
+        &mut self,
+        route: &[usize],
+        hop_snr_penalty_db: f64,
+        slot_s: f64,
+        now_ps: TimePs,
+        frame: usize,
+        slot: usize,
+    ) -> Result<()> {
+        let n = self.net.node_count();
+        if route.len() < 2 {
+            return Err(MilbackError::Protocol(format!(
+                "a relay route needs at least two nodes, got {}",
+                route.len()
+            )));
+        }
+        if let Some(&bad) = route.iter().find(|&&idx| idx >= n) {
+            return Err(MilbackError::NodeOutOfScene { idx: bad, nodes: n });
+        }
+        let origin = route[0];
+        let terminal = route[route.len() - 1];
+        let tag_hops = route.len() - 1;
+        self.attempts[origin] += 1;
+        let e_tx = self.power.energy_j(NodeActivity::Uplink, self.airtime_s);
+        for &tx in route {
+            self.energy_j[tx] += e_tx;
+            if tx != origin {
+                self.forwarded[tx] += 1;
+                self.relay_energy_j[tx] += e_tx;
+            }
+        }
+        let sim = LinkSimulator::new(self.net.config.clone(), self.net.view_for(terminal)?)?;
+        let mut outcome = sim.uplink(self.payload, self.rng)?;
+        outcome.snr_db -= hop_snr_penalty_db * tag_hops as f64;
+        self.probe.inc("relay_fired", 1);
+        if outcome.decoded == self.payload && self.covered[terminal] {
+            self.delivered[origin] += 1;
+            self.relayed[origin] += 1;
+            self.relay_hops[origin] += route.len();
+            self.relay_latency_s[origin] += tag_hops as f64 * slot_s;
+            self.snr_sum_db[origin] += outcome.snr_db;
+            self.probe.inc("relayed_delivered", 1);
+            self.probe
+                .observe("delivered_snr_db", SNR_BUCKETS_DB, outcome.snr_db);
+        }
+        self.record_slot(&[origin], false, now_ps, frame, slot);
+        Ok(())
     }
 
     /// Records one resolved slot into the probe: the slot outcome (with
@@ -1303,6 +1656,11 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for SlotCoordinator {
                     "the direct coordinator runs no pipeline stages".into(),
                 ));
             }
+            SlotEvent::RelayFire { .. } => {
+                return Err(MilbackError::Engine(
+                    "the direct coordinator schedules no relays".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -1312,6 +1670,18 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for SlotCoordinator {
 /// strictly increasing slot order, transmitters in ascending node order,
 /// no empty groups.
 pub type FrameSchedule = Vec<(usize, Vec<usize>)>;
+
+/// One granted relay chain for a frame: the route fires inside `slot`,
+/// after that slot's direct traffic resolves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayGrant {
+    /// Slot within the frame the chain occupies.
+    pub slot: usize,
+    /// Node indices origin-first, terminal-last (the terminal uplinks to
+    /// the AP). At least two nodes — a single-node "route" is a direct
+    /// uplink and belongs in the frame schedule instead.
+    pub route: Vec<usize>,
+}
 
 /// Campaign-wide facts a [`MacPolicy`] consults while scheduling: the
 /// network (node geometry and SDM separability), the airtime plan, the
@@ -1375,12 +1745,20 @@ pub trait MacPolicy {
         _probe: &mut CampaignProbe,
     ) {
     }
+
+    /// The relay chains to grant on `frame`, resolved after each granted
+    /// slot's direct traffic. The default grants none — every existing
+    /// policy stays direct-only and the coordinator posts no relay
+    /// events, which is what keeps relay-disabled runs bit-exact.
+    fn relay_frame(&mut self, _frame: usize, _ctx: &MacContext<'_>) -> Vec<RelayGrant> {
+        Vec::new()
+    }
 }
 
 /// One SplitMix64 step: advances `state` and returns the mixed output.
 /// The per-node backoff generators and [`SlotPlan::slot_for`] share the
 /// same hash family but never the same stream.
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -1394,7 +1772,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// [`SlotCoordinator::group`] re-hashed every node per occupied slot,
 /// O(nodes × slots) per frame with up to
 /// [`MAX_SLOTS_PER_FRAME`](crate::protocol::MAX_SLOTS_PER_FRAME) slots).
-fn hash_into_slots(
+pub(crate) fn hash_into_slots(
     ctx: &MacContext<'_>,
     frame: usize,
     seed: u64,
@@ -1727,6 +2105,12 @@ struct PolicyCoordinator {
     schedule: FrameSchedule,
     /// The AP service pipeline configuration.
     service: ApServiceConfig,
+    /// The campaign's relay configuration (coverage model and chain
+    /// parameters). Disabled by default: no grants, no relay events.
+    relay: RelayConfig,
+    /// The current frame's granted relay chains, indexed by the
+    /// [`SlotEvent::RelayFire`] events posted at the frame boundary.
+    relay_schedule: Vec<RelayGrant>,
     /// Stage states, indexed by [`StageKind`] discriminant.
     stages: [StageState; 3],
     /// SplitMix64 jitter state, seeded once from the trial stream —
@@ -1844,6 +2228,23 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
                         SlotEvent::SlotFire { frame, slot },
                     );
                 }
+                // Relay grants post after the direct slots, so the
+                // engine's (time, seq) order resolves a chain sharing a
+                // slot instant with direct traffic at a fixed, posting-
+                // determined position — the RNG draw order is a pure
+                // function of the schedule at any thread count. A policy
+                // granting no relays posts nothing here, which is what
+                // keeps relay-disabled runs bit-exact with the pre-relay
+                // path.
+                self.relay_schedule = self.policy.relay_frame(frame, &ctx);
+                for (grant, g) in self.relay_schedule.iter().enumerate() {
+                    debug_assert!(g.slot < self.plan.slots_per_frame, "slot beyond the plan");
+                    out.post_at(
+                        now_ps + g.slot as TimePs * self.plan.slot_ps,
+                        self.me,
+                        SlotEvent::RelayFire { frame, grant },
+                    );
+                }
                 if frame + 1 < self.frames {
                     out.post_at(
                         now_ps + self.plan.frame_ps(),
@@ -1901,6 +2302,24 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
                 if let Some(next_job) = self.stages[stage as usize].queue.pop_front() {
                     self.start_stage(stage, next_job, now_ps, out);
                 }
+            }
+            SlotEvent::RelayFire { frame, grant } => {
+                // Relay chains are tag-side transmissions: they never enter
+                // the AP's Capture/Plan/Transmit pipeline, so the service
+                // ledger stays exactly what the direct traffic produced.
+                let g = self.relay_schedule.get(grant).ok_or_else(|| {
+                    MilbackError::Engine(format!(
+                        "relay grant {grant} of frame {frame} fired without a schedule entry"
+                    ))
+                })?;
+                m.fire_relay(
+                    &g.route,
+                    self.relay.hop_snr_penalty_db,
+                    ps_to_secs(self.plan.slot_ps),
+                    now_ps,
+                    frame,
+                    g.slot,
+                )?;
             }
         }
         Ok(())

@@ -42,6 +42,7 @@ use crate::error::{MilbackError, Result};
 use crate::network::{CampaignAggregate, CampaignScratch, MacPolicy, Network, SlottedRunReport};
 use crate::pipeline::ApServiceConfig;
 use crate::protocol::SlotPlan;
+use crate::relay::RelayConfig;
 use crate::scene::Scene;
 use mmwave_sigproc::parallel;
 use mmwave_sigproc::random::GaussianSource;
@@ -65,10 +66,15 @@ pub fn cell_seed(campaign_seed: u64, cell_idx: usize) -> u64 {
 /// cell the partition is an identity clone of the scene — node order,
 /// boresight, and clutter untouched — so a 1-cell sharded campaign is the
 /// plain campaign.
-pub fn partition_cells(scene: &Scene, n_cells: usize) -> Vec<Scene> {
+///
+/// A partition that fails to cover every node exactly once is a
+/// [`MilbackError::Protocol`] — checked in release builds too, not just a
+/// `debug_assert` (a malformed partition used to pass silently in release
+/// and quietly drop nodes from the campaign).
+pub fn partition_cells(scene: &Scene, n_cells: usize) -> Result<Vec<Scene>> {
     let cells = n_cells.clamp(1, scene.nodes.len().max(1));
     if cells <= 1 {
-        return vec![scene.clone()];
+        return Ok(vec![scene.clone()]);
     }
     let n = scene.nodes.len();
     let base = n / cells;
@@ -84,8 +90,12 @@ pub fn partition_cells(scene: &Scene, n_cells: usize) -> Vec<Scene> {
         });
         start += len;
     }
-    debug_assert_eq!(start, n, "partition must cover every node exactly once");
-    out
+    if start != n {
+        return Err(MilbackError::Protocol(format!(
+            "cell partition covered {start} of {n} nodes across {cells} cells"
+        )));
+    }
+    Ok(out)
 }
 
 /// Runs `run_cell` over every cell of `net`'s scene, one result slot per
@@ -97,7 +107,7 @@ where
     T: Send,
     F: Fn(&mut CampaignScratch, usize, &Network) -> Result<T> + Sync,
 {
-    let mut slots: Vec<(Network, Option<Result<T>>)> = partition_cells(&net.scene, n_cells)
+    let mut slots: Vec<(Network, Option<Result<T>>)> = partition_cells(&net.scene, n_cells)?
         .into_iter()
         .map(|scene| {
             (
@@ -189,11 +199,50 @@ impl Network {
     where
         F: Fn(usize, u64) -> Box<dyn MacPolicy> + Sync,
     {
+        self.run_sharded_mac_relay(
+            n_cells,
+            threads,
+            campaign_seed,
+            frames,
+            payload,
+            plan,
+            sdm_threshold_db,
+            service,
+            &RelayConfig::disabled(),
+            policy_for_cell,
+        )
+    }
+
+    /// [`run_sharded_mac_service`](Self::run_sharded_mac_service) with
+    /// multi-hop tag-to-tag relaying: every cell classifies its nodes
+    /// against `relay.coverage` and runs relay chains for its gap nodes
+    /// (routes are per-cell — relays never cross a cell boundary, because
+    /// cells are independent engines). A
+    /// [`RelayConfig::disabled`] config reproduces
+    /// [`run_sharded_mac_service`](Self::run_sharded_mac_service)
+    /// bit-for-bit; the parity suite proves it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_sharded_mac_relay<F>(
+        &self,
+        n_cells: usize,
+        threads: usize,
+        campaign_seed: u64,
+        frames: usize,
+        payload: &[u8],
+        plan: &SlotPlan,
+        sdm_threshold_db: f64,
+        service: &ApServiceConfig,
+        relay: &RelayConfig,
+        policy_for_cell: F,
+    ) -> Result<CampaignAggregate>
+    where
+        F: Fn(usize, u64) -> Box<dyn MacPolicy> + Sync,
+    {
         let per_cell = run_cells(self, n_cells, threads, |scratch, idx, cell| {
             let seed = cell_seed(campaign_seed, idx);
             let mut rng = GaussianSource::new(seed);
             let mut agg = CampaignAggregate::new();
-            cell.run_mac_streaming_service(
+            cell.run_mac_streaming_relay_service(
                 policy_for_cell(idx, seed),
                 frames,
                 payload,
@@ -201,6 +250,7 @@ impl Network {
                 sdm_threshold_db,
                 &mut rng,
                 service,
+                relay,
                 scratch,
                 &mut agg,
             )?;
@@ -259,19 +309,10 @@ mod tests {
     use crate::protocol::Packet;
 
     /// A nine-node ±40° arc at 4 m — node order is azimuth order, so the
-    /// partition's contiguous runs are spatial cells.
+    /// partition's contiguous runs are spatial cells. Built on the shared
+    /// guarded constructor, so `n == 1` stays finite.
     fn arc_scene(n: usize) -> Scene {
-        let mut scene = Scene::single_node(4.0, 12f64.to_radians());
-        scene.nodes.clear();
-        for k in 0..n {
-            let az = if n == 1 {
-                0.0
-            } else {
-                (-40.0 + 80.0 * k as f64 / (n - 1) as f64).to_radians()
-            };
-            scene = scene.with_node_at(4.0, az, 12f64.to_radians());
-        }
-        scene
+        Scene::arc(n, 4.0, 80f64.to_radians(), 12f64.to_radians())
     }
 
     fn plan_for(net: &Network, slots: usize, payload: &[u8]) -> SlotPlan {
@@ -299,7 +340,7 @@ mod tests {
     fn partition_covers_every_node_in_order() {
         let scene = arc_scene(10);
         for cells in [1usize, 2, 3, 4, 7, 10, 25] {
-            let parts = partition_cells(&scene, cells);
+            let parts = partition_cells(&scene, cells).unwrap();
             assert_eq!(parts.len(), cells.clamp(1, 10));
             let flattened: Vec<_> = parts.iter().flat_map(|c| c.nodes.iter()).collect();
             assert_eq!(flattened.len(), 10, "{cells} cells");
@@ -317,9 +358,26 @@ mod tests {
     }
 
     #[test]
+    fn partition_coverage_is_checked_in_release() {
+        // Regression for the old `debug_assert_eq!` coverage check: the
+        // exactly-once property is now a typed-`Result` invariant, so it
+        // holds (and would surface as an error, not silence) in release
+        // builds too. Sweep enough shapes to hit every base/rem split.
+        for n in [1usize, 2, 3, 5, 9, 16, 31] {
+            let scene = arc_scene(n);
+            for cells in 1..=n + 2 {
+                let parts = partition_cells(&scene, cells)
+                    .unwrap_or_else(|e| panic!("{n} nodes / {cells} cells: {e}"));
+                let covered: usize = parts.iter().map(|c| c.nodes.len()).sum();
+                assert_eq!(covered, n, "{n} nodes / {cells} cells");
+            }
+        }
+    }
+
+    #[test]
     fn one_cell_partition_is_an_identity_clone() {
         let scene = arc_scene(5);
-        let parts = partition_cells(&scene, 1);
+        let parts = partition_cells(&scene, 1).unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].nodes, scene.nodes);
         assert_eq!(

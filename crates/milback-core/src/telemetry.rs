@@ -59,6 +59,10 @@ pub const BACKOFF_BUCKETS_FRAMES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
 /// Fixed buckets for delivered-packet SNR, dB.
 pub const SNR_BUCKETS_DB: &[f64] = &[-10.0, 0.0, 10.0, 20.0, 30.0, 40.0];
 
+/// Fixed buckets for relay route lengths (transmissions per delivered
+/// relayed packet: tag hops + the terminal uplink, so direct == 1).
+pub const RELAY_HOP_BUCKETS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0];
+
 /// Fixed buckets for FMCW chirp-stack batch sizes (chirps per batched FFT
 /// pass). The paper's Field-2 capture is a five-chirp stack; Doppler
 /// captures run longer.

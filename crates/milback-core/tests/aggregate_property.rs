@@ -22,6 +22,18 @@ fn report_from_entropy(idx: usize, bits: u64) -> SlottedNodeReport {
     let collisions = ((bits >> 12) & 0x3F) as usize % (attempts + 1);
     let energy_j = ((bits >> 24) & 0xFFFFF) as f64 * 1e-9;
     let snr_db = -10.0 + ((bits >> 44) & 0xFFF) as f64 * (60.0 / 4096.0);
+    // Relay columns with the real invariants: only a gap node relays,
+    // relayed deliveries are a subset of deliveries, every relayed
+    // delivery took at least two transmissions, and the relay energy is
+    // a share of the node total.
+    let gap = (bits >> 18) & 1 == 1;
+    let relayed = if gap { delivered } else { 0 };
+    let relay_hops = relayed * (2 + ((bits >> 19) & 0x3) as usize);
+    let forwarded = if gap {
+        0
+    } else {
+        ((bits >> 21) & 0x7) as usize
+    };
     SlottedNodeReport {
         node_idx: idx,
         attempts,
@@ -29,6 +41,12 @@ fn report_from_entropy(idx: usize, bits: u64) -> SlottedNodeReport {
         collisions,
         energy_j,
         mean_snr_db: (delivered > 0).then_some(snr_db),
+        gap,
+        relayed,
+        relay_hops,
+        forwarded,
+        relay_energy_j: forwarded as f64 * 0.25 * 1e-9,
+        relay_latency_s: (relay_hops.saturating_sub(relayed)) as f64 * 1e-4,
     }
 }
 
@@ -63,6 +81,14 @@ fn counters_and_buckets_eq(a: &CampaignAggregate, b: &CampaignAggregate) -> bool
         && a.node_energy_j.count == b.node_energy_j.count
         && a.node_snr_db.counts == b.node_snr_db.counts
         && a.node_snr_db.count == b.node_snr_db.count
+        && a.gap_nodes == b.gap_nodes
+        && a.gap_attempts == b.gap_attempts
+        && a.gap_delivered == b.gap_delivered
+        && a.relayed == b.relayed
+        && a.relay_hops == b.relay_hops
+        && a.forwarded == b.forwarded
+        && a.node_relay_hops.counts == b.node_relay_hops.counts
+        && a.node_relay_hops.count == b.node_relay_hops.count
 }
 
 proptest! {

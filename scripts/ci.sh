@@ -31,35 +31,39 @@
 #      served + dropped = offered) on both the reduced CSV and the
 #      full-scale anchor, which must show the served-load knee (nonzero
 #      drop and defer spill)
+#  15. the net_relay multi-hop recovery sweep in reduced mode + schema and
+#      finiteness gates on both the reduced CSV and the full-scale anchor:
+#      gap nodes deliver nothing at hop budget 1 and recover past one half
+#      at budget ≥ 2 with nonzero forwarding energy per relayed delivery
 #
 # Usage: scripts/ci.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/14] cargo fmt --check"
+echo "==> [1/15] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/14] cargo build --release --workspace --all-targets"
+echo "==> [2/15] cargo build --release --workspace --all-targets"
 cargo build --release --workspace --all-targets
 # The node core must stay portable to an MCU: firmware/mode/power compile
 # without std (the sim-facing modules are std-gated behind the default
 # feature).
 cargo build --release -p milback-node --no-default-features
 
-echo "==> [3/14] cargo test --release --workspace"
+echo "==> [3/15] cargo test --release --workspace"
 cargo test --release --workspace -q
 
-echo "==> [4/14] cargo clippy --release --workspace --all-targets -- -D warnings"
+echo "==> [4/15] cargo clippy --release --workspace --all-targets -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
-echo "==> [5/14] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [5/15] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [6/14] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
+echo "==> [6/15] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
 cargo run --release -p milback-bench --bin bench_smoke
 
-echo "==> [7/14] validating benchmark JSONs"
+echo "==> [7/15] validating benchmark JSONs"
 JSON=results/BENCH_dsp.json
 EXP_JSON=results/BENCH_experiments.json
 [ -s "$JSON" ] || { echo "FAIL: $JSON missing or empty" >&2; exit 1; }
@@ -143,14 +147,14 @@ else
     echo "OK: benchmark JSONs carry schema markers (python3 unavailable, shallow check)"
 fi
 
-echo "==> [8/14] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
+echo "==> [8/15] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
 CSV=results/figure_12a.csv
 before=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin fig12a_ranging
 after=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CSV" >&2; exit 1; }
 
-echo "==> [9/14] net_scale extension (reduced run + full-scale CSV anchor)"
+echo "==> [9/15] net_scale extension (reduced run + full-scale CSV anchor)"
 NET_CSV=results/extension_net_scale.csv
 before=$(sha256sum "$NET_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale
@@ -165,7 +169,7 @@ esac
 rows=$(($(wc -l < "$NET_CSV") - 1))
 [ "$rows" -ge 7 ] || { echo "FAIL: $NET_CSV has $rows data rows, expected the 1..64 sweep (7)" >&2; exit 1; }
 
-echo "==> [10/14] mac_compare extension (reduced run + full-scale CSV anchor schema)"
+echo "==> [10/15] mac_compare extension (reduced run + full-scale CSV anchor schema)"
 MAC_CSV=results/extension_mac_compare.csv
 before=$(sha256sum "$MAC_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin mac_compare
@@ -200,7 +204,7 @@ awk -F, 'NR==1 { next } { last=$0 } END {
     }
 }' "$MAC_CSV"
 
-echo "==> [11/14] instrumented campaign (MILBACK_TRACE) + telemetry artifact schemas"
+echo "==> [11/15] instrumented campaign (MILBACK_TRACE) + telemetry artifact schemas"
 TRACE_DIR=$(mktemp -d)
 METRICS=results/METRICS_mac.json
 rm -f "$METRICS"
@@ -267,7 +271,7 @@ else
 fi
 rm -rf "$TRACE_DIR"
 
-echo "==> [12/14] telemetry-off build (--no-default-features) passes the anchor gates"
+echo "==> [12/15] telemetry-off build (--no-default-features) passes the anchor gates"
 cargo test --release -p milback-bench --no-default-features -q
 cargo build --release -p milback-bench --no-default-features
 rm -f "$METRICS"
@@ -284,7 +288,7 @@ cargo build --release -p milback-bench --all-targets
 ./target/release/mac_compare >/dev/null
 grep -q '"reduced": false' "$METRICS" || { echo "FAIL: regenerated $METRICS is not full-scale" >&2; exit 1; }
 
-echo "==> [13/14] net_scale_city sharded sweep (reduced run + full-scale CSV anchor)"
+echo "==> [13/15] net_scale_city sharded sweep (reduced run + full-scale CSV anchor)"
 CITY_CSV=results/extension_net_scale_city.csv
 before=$(sha256sum "$CITY_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale_city
@@ -292,7 +296,7 @@ after=$(sha256sum "$CITY_CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CITY_CSV" >&2; exit 1; }
 [ -s "$CITY_CSV" ] || { echo "FAIL: $CITY_CSV missing or empty (regenerate with the net_scale_city binary at full scale)" >&2; exit 1; }
 header=$(head -1 "$CITY_CSV")
-want="nodes,cells,threads,frames,attempts,delivered,collisions,offered,served,overflow,delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s"
+want="nodes,cells,threads,frames,attempts,delivered,collisions,offered,served,overflow,delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s,gap_nodes,relayed,mean_relay_hops"
 [ "$header" = "$want" ] || { echo "FAIL: unexpected $CITY_CSV header: $header" >&2; exit 1; }
 if grep -qiE '(nan|inf)' "$CITY_CSV"; then
     echo "FAIL: $CITY_CSV carries NaN/inf tokens" >&2; exit 1
@@ -318,7 +322,7 @@ awk -F, 'NR==1 { next } {
     }
 }' "$CITY_CSV"
 
-echo "==> [14/14] net_load offered-vs-served sweep (reduced run + full-scale CSV anchor)"
+echo "==> [14/15] net_load offered-vs-served sweep (reduced run + full-scale CSV anchor)"
 LOAD_CSV=results/extension_net_load.csv
 LOAD_WANT="overflow,nodes,offered,served,dropped,deferred,degraded,offered_per_s,served_per_s,delivered,delivery_rate"
 # Shared gate for the reduced CSV and the full-scale anchor: exact schema,
@@ -357,5 +361,50 @@ sed -n '/^overflow,nodes,/,$p' "$LOAD_OUT" > "$REDUCED_CSV"
 check_load_csv "$REDUCED_CSV"
 check_load_csv "$LOAD_CSV"
 rm -f "$LOAD_OUT" "$REDUCED_CSV"
+
+echo "==> [15/15] net_relay multi-hop recovery sweep (reduced run + full-scale CSV anchor)"
+RELAY_CSV=results/extension_net_relay.csv
+RELAY_WANT="gap_fraction,max_hops,nodes,gap_nodes,attempts,delivered,delivery_rate,gap_attempts,gap_delivered,gap_delivery_rate,relayed,forwarded,mean_relay_hops,relay_energy_per_delivered_j,mean_relay_latency_s"
+# Shared gate for the reduced CSV and the full-scale anchor: exact schema,
+# no NaN/inf tokens, and the recovery shape — gap nodes deliver exactly
+# nothing when the hop budget forbids relaying (max_hops = 1) and recover
+# past one half of their attempts at budget ≥ 2, with the forwarding
+# energy per relayed delivery on the books.
+check_relay_csv() {
+    local csv=$1
+    local header; header=$(head -1 "$csv")
+    [ "$header" = "$RELAY_WANT" ] || { echo "FAIL: unexpected $csv header: $header" >&2; exit 1; }
+    if grep -qiE '(nan|inf)' "$csv"; then
+        echo "FAIL: $csv carries NaN/inf tokens" >&2; exit 1
+    fi
+    awk -F, 'NR==1 || NF==0 { next } {
+        if ($9+0 > $8+0) { printf "FAIL: row %d gap_delivered %s > gap_attempts %s\n", NR, $9, $8 > "/dev/stderr"; bad=1 }
+        if ($4+0 > 0 && $2+0 == 1 && $9+0 != 0) {
+            printf "FAIL: row %d delivered %s gap packets with no hop budget\n", NR, $9 > "/dev/stderr"; bad=1
+        }
+        if ($4+0 > 0 && $2+0 >= 2) {
+            recovered=1
+            if (!($10+0 > 0.5)) { printf "FAIL: row %d gap_delivery_rate %s <= 0.5 at max_hops %s\n", NR, $10, $2 > "/dev/stderr"; bad=1 }
+            if (!($14+0 > 0)) { printf "FAIL: row %d relayed for free (energy %s)\n", NR, $14 > "/dev/stderr"; bad=1 }
+        }
+    } END {
+        if (bad) exit 1
+        if (!recovered) {
+            print "FAIL: no gap row with hop budget >= 2 — the recovery axis is missing" > "/dev/stderr"; exit 1
+        }
+    }' "$csv"
+}
+before=$(sha256sum "$RELAY_CSV" 2>/dev/null || echo absent)
+RELAY_OUT=$(mktemp)
+MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_relay | tee "$RELAY_OUT"
+after=$(sha256sum "$RELAY_CSV" 2>/dev/null || echo absent)
+[ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $RELAY_CSV" >&2; exit 1; }
+[ -s "$RELAY_CSV" ] || { echo "FAIL: $RELAY_CSV missing or empty (regenerate with the net_relay binary at full scale)" >&2; exit 1; }
+REDUCED_RELAY_CSV=$(mktemp)
+sed -n '/^gap_fraction,max_hops,/,$p' "$RELAY_OUT" > "$REDUCED_RELAY_CSV"
+[ -s "$REDUCED_RELAY_CSV" ] || { echo "FAIL: reduced net_relay printed no CSV" >&2; exit 1; }
+check_relay_csv "$REDUCED_RELAY_CSV"
+check_relay_csv "$RELAY_CSV"
+rm -f "$RELAY_OUT" "$REDUCED_RELAY_CSV"
 
 echo "==> ci.sh: all gates passed"
