@@ -121,6 +121,12 @@ fn main() {
          the backlog, and Defer's FIFO admission keeps every other column bit-identical to \
          the instantaneous campaign"
     ));
+    report.note(
+        "every shard cell's packet ledger is conservation-audited (offered == delivered + Σ drops) \
+         before it merges; the lifecycle CSV columns carry the merged ledger and its slot-wait \
+         percentiles, bit-identical at any MILBACK_THREADS"
+            .to_string(),
+    );
     print!("{}", report.render());
 
     // The wide per-point schema goes out as a hand-rolled CSV (the Report
@@ -154,13 +160,14 @@ fn to_csv(points: &[NetScaleCityPoint]) -> String {
     let mut out = String::from(
         "nodes,cells,threads,frames,attempts,delivered,collisions,offered,served,overflow,\
          delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s,gap_nodes,relayed,\
-         mean_relay_hops\n",
+         mean_relay_hops,offered_packets,dropped_packets,slot_wait_p50_us,slot_wait_p95_us,\
+         slot_wait_p99_us\n",
     );
     for p in points {
         let opt = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             p.nodes,
             p.cells,
             p.threads,
@@ -179,6 +186,11 @@ fn to_csv(points: &[NetScaleCityPoint]) -> String {
             p.gap_nodes,
             p.relayed,
             opt(p.mean_relay_hops),
+            p.offered_packets,
+            p.dropped_packets,
+            opt(p.slot_wait_p50_us),
+            opt(p.slot_wait_p95_us),
+            opt(p.slot_wait_p99_us),
         );
     }
     out

@@ -22,7 +22,7 @@ use milback_core::localization::{Impairments, LocationFix};
 use milback_core::protocol::SlotPlan;
 use milback_core::telemetry::{CampaignProbe, Metrics, TraceBuffer};
 use milback_core::{
-    ApServiceConfig, BackoffAloha, CampaignAggregate, CoverageModel, LinkSimulator,
+    ApServiceConfig, BackoffAloha, CampaignAggregate, CoverageModel, LifecycleStats, LinkSimulator,
     LocalizationPipeline, MacPolicy, Network, OverflowPolicy, Packet, RelayAwareMac, RelayConfig,
     RoundRobinPolling, Scene, SdmAwareAssignment, SlottedAloha, SlottedRunReport, SystemConfig,
 };
@@ -761,6 +761,10 @@ pub fn extension_mac_compare_instrumented(
             let slot = &mut folded[i / per_policy];
             slot.metrics.merge_from(metrics);
             if let Some(buf) = trace {
+                // The ring's own eviction count rides along in the metrics
+                // document, so a truncated trace is visible downstream
+                // instead of silently looking complete.
+                slot.metrics.inc("trace_dropped_records", buf.dropped());
                 slot.trace = Some(buf.clone());
             }
         }
@@ -818,6 +822,17 @@ pub struct NetScaleCityPoint {
     /// Mean transmissions per relayed delivery; `None` when nothing
     /// relayed (the relay-disabled CSV cell is empty).
     pub mean_relay_hops: Option<f64>,
+    /// Packets offered on the lifecycle ledger, summed over cells in
+    /// cell-index order (0 in a telemetry-off build).
+    pub offered_packets: u64,
+    /// Packets dropped on the lifecycle ledger, all reasons combined.
+    pub dropped_packets: u64,
+    /// Slot-wait sketch median, µs; `None` when the sketch is empty.
+    pub slot_wait_p50_us: Option<f64>,
+    /// Slot-wait sketch 95th percentile, µs; `None` when empty.
+    pub slot_wait_p95_us: Option<f64>,
+    /// Slot-wait sketch 99th percentile, µs; `None` when empty.
+    pub slot_wait_p99_us: Option<f64>,
 }
 
 /// City-scale network sweep core: each node count shards the sector scene
@@ -907,6 +922,11 @@ pub fn extension_net_scale_city(
                 gap_nodes: agg.gap_nodes,
                 relayed: agg.relayed,
                 mean_relay_hops: agg.mean_relay_hops(),
+                offered_packets: agg.lifecycle.offered,
+                dropped_packets: agg.lifecycle.dropped(),
+                slot_wait_p50_us: agg.lifecycle.slot_wait_us.quantile(0.50),
+                slot_wait_p95_us: agg.lifecycle.slot_wait_us.quantile(0.95),
+                slot_wait_p99_us: agg.lifecycle.slot_wait_us.quantile(0.99),
             })
         })
         .collect()
@@ -1190,6 +1210,156 @@ pub fn extension_net_relay(
     )
 }
 
+/// Fraction of the audit sweep's relay-leg nodes placed past AP coverage.
+pub const NET_AUDIT_GAP_FRACTION: f64 = 0.25;
+
+/// The congested AP pipeline every `net_audit` cell runs: a Capture stage
+/// two slot widths deep behind a one-slot queue under
+/// [`OverflowPolicy::Drop`], so `service_shed` drops are on the books and
+/// the residence sketch sees real queueing — while the Drop policy keeps
+/// shed grants off the air instead of perturbing the slot schedule.
+pub fn net_audit_service(plan: &SlotPlan) -> ApServiceConfig {
+    ApServiceConfig::instantaneous()
+        .with_stage_latencies(2 * plan.slot_ps, 0, 0)
+        .with_queue(1, OverflowPolicy::Drop)
+}
+
+/// One (MAC policy, relay on/off) cell of the packet-lifecycle audit
+/// sweep: the cell's full [`LifecycleStats`] ledger, conservation-checked
+/// (`offered == delivered + Σ drops`) before it is returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetAuditPoint {
+    /// MAC policy tag (see [`MAC_POLICY_NAMES`]).
+    pub policy: &'static str,
+    /// Whether this cell ran the gapped scene with 2-hop relaying.
+    pub relay: bool,
+    /// Nodes in the scene.
+    pub nodes: usize,
+    /// The audited lifecycle ledger.
+    pub lifecycle: LifecycleStats,
+}
+
+/// Packet-lifecycle audit core: `policies × {direct, relay}` cells over
+/// the 64-node sector scene (the relay leg swaps in the
+/// [`NET_AUDIT_GAP_FRACTION`]-gapped scene and a 2-hop budget), every cell
+/// under the congested [`net_audit_service`] pipeline so all three loss
+/// families — channel (collision/SDM/decode), service (shed), and
+/// coverage (routeless gap nodes) — appear in one sweep.
+///
+/// Every cell's ledger is audited before it is returned: a conservation
+/// leak surfaces as the cell's error, not as a silently wrong row. The
+/// relay leg keeps each policy's own schedule except `"aloha"`, which maps
+/// to [`RelayAwareMac`] (the relay-aware slotted-ALOHA variant) so the
+/// sweep exercises granted relay chains, not just routeless drops. Cells
+/// are independent trials on their own SplitMix64 streams — bit-identical
+/// at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn extension_net_audit(
+    policies: &[&'static str],
+    nodes: usize,
+    frames: usize,
+    payload_bytes: usize,
+    slots: usize,
+    root_seed: u64,
+    cfg: &RunnerConfig,
+) -> TrialBatch<NetAuditPoint, String> {
+    run_fallible(policies.len() * 2, root_seed, cfg, |i, rng| {
+        let policy_name = policies[i / 2];
+        let with_relay = i % 2 == 1;
+        let config = SystemConfig::milback_default();
+        let payload = vec![0x42u8; payload_bytes];
+        let packet = Packet::uplink(payload.clone());
+        let plan = SlotPlan::for_packet(
+            slots,
+            &packet,
+            &config.fmcw,
+            config.uplink_symbol_rate_hz,
+            10e-6,
+        )
+        .map_err(|e| e.to_string())?;
+        let scene = if with_relay {
+            gapped_sector_scene(nodes, NET_AUDIT_GAP_FRACTION)
+        } else {
+            sector_scene(nodes)
+        };
+        let net = Network::new(config, scene).map_err(|e| e.to_string())?;
+        let relay = if with_relay {
+            relay_sweep_config(2)
+        } else {
+            RelayConfig::disabled()
+        };
+        let slot_seed = root_seed.wrapping_add(nodes as u64);
+        let service = net_audit_service(&plan);
+        let policy: Box<dyn MacPolicy> = if with_relay && policy_name == "aloha" {
+            Box::new(RelayAwareMac::new(slot_seed, relay))
+        } else {
+            mac_policy_by_name(policy_name, slot_seed)
+                .ok_or_else(|| format!("unknown MAC policy {policy_name:?}"))?
+        };
+        let r = net
+            .run_mac_relay_service(policy, frames, &payload, &plan, 20.0, rng, &service, &relay)
+            .map_err(|e| e.to_string())?;
+        r.lifecycle.audit().map_err(|e| e.to_string())?;
+        Ok(NetAuditPoint {
+            policy: policy_name,
+            relay: with_relay,
+            nodes,
+            lifecycle: r.lifecycle,
+        })
+    })
+}
+
+/// The sharded city path's merged lifecycle ledger at one worker-thread
+/// count: the gapped audit scene under [`net_audit_service`] congestion
+/// and a 2-hop relay budget, sharded into `cells` spatial cells via
+/// [`Network::run_sharded_mac_relay`]. Callers run this across
+/// `MILBACK_THREADS`-style thread counts and demand the returned sketches
+/// be bit-identical — the merge happens serially in cell-index order, so
+/// they are. The merged ledger is conservation-audited here on top of the
+/// runner's own per-cell audit.
+#[allow(clippy::too_many_arguments)]
+pub fn net_audit_sharded_lifecycle(
+    nodes: usize,
+    cells: usize,
+    threads: usize,
+    frames: usize,
+    payload_bytes: usize,
+    slots: usize,
+    root_seed: u64,
+) -> Result<LifecycleStats, String> {
+    let config = SystemConfig::milback_default();
+    let payload = vec![0x42u8; payload_bytes];
+    let packet = Packet::uplink(payload.clone());
+    let plan = SlotPlan::for_packet(
+        slots,
+        &packet,
+        &config.fmcw,
+        config.uplink_symbol_rate_hz,
+        10e-6,
+    )
+    .map_err(|e| e.to_string())?;
+    let net = Network::new(config, gapped_sector_scene(nodes, NET_AUDIT_GAP_FRACTION))
+        .map_err(|e| e.to_string())?;
+    let relay = relay_sweep_config(2);
+    let service = net_audit_service(&plan);
+    let agg = net
+        .run_sharded_mac_relay(
+            cells,
+            threads,
+            trial_seed(root_seed, 0),
+            frames,
+            &payload,
+            &plan,
+            20.0,
+            &service,
+            &relay,
+            |_, seed| Box::new(RelayAwareMac::new(seed, relay)) as Box<dyn MacPolicy>,
+        )
+        .map_err(|e| e.to_string())?;
+    agg.lifecycle.audit().map_err(|e| e.to_string())?;
+    Ok(agg.lifecycle)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1267,6 +1437,78 @@ mod tests {
                 assert!(p.mean_relay_latency_s.unwrap() > 0.0, "{p:?}");
             }
         }
+    }
+
+    /// The lifecycle audit sweep is bit-identical at any thread count,
+    /// every cell's ledger conserves (a violation would have failed the
+    /// cell), and — with telemetry on — the sweep exercises all three loss
+    /// families plus relayed deliveries somewhere in the grid.
+    #[test]
+    fn net_audit_sweep_conserves_at_any_thread_count() {
+        let run =
+            |cfg: &RunnerConfig| extension_net_audit(&MAC_POLICY_NAMES, 16, 6, 8, 4, 0xA0D1, cfg);
+        let serial = run(&RunnerConfig::serial());
+        assert_eq!(
+            serial.ok_count(),
+            MAC_POLICY_NAMES.len() * 2,
+            "every cell must simulate and conserve: {:?}",
+            serial
+                .results
+                .iter()
+                .filter_map(|r| r.as_ref().err())
+                .collect::<Vec<_>>()
+        );
+        let parallel = run(&RunnerConfig::with_threads(4));
+        assert_eq!(serial.results, parallel.results);
+        #[cfg(feature = "telemetry")]
+        {
+            let mut total = LifecycleStats::new();
+            for p in serial.oks() {
+                assert!(p.lifecycle.offered > 0, "{p:?}");
+                assert_eq!(
+                    p.lifecycle.offered,
+                    p.lifecycle.delivered() + p.lifecycle.dropped(),
+                    "{p:?}"
+                );
+                if !p.relay {
+                    // The uniform 4 m sector is fully covered: no
+                    // coverage-family drops without a gap ring.
+                    assert_eq!(p.lifecycle.drops[3] + p.lifecycle.drops[4], 0, "{p:?}");
+                }
+                total.merge_from(&p.lifecycle);
+            }
+            total.audit().expect("the merged sweep ledger conserves");
+            assert!(total.delivered_relayed > 0, "no relay chain delivered");
+            let channel = total.drops[0] + total.drops[1] + total.drops[5];
+            assert!(channel > 0, "no channel-family drops: {total:?}");
+            assert!(total.drops[2] > 0, "the congested pipeline never shed");
+            assert!(total.drops[3] > 0, "no routeless gap drops: {total:?}");
+        }
+    }
+
+    /// The sharded city path reports the same lifecycle ledger — counters
+    /// `==` and sketch sums bit-equal — at 1/2/4/8 worker threads.
+    #[test]
+    fn sharded_lifecycle_is_thread_count_invariant() {
+        let run = |threads| net_audit_sharded_lifecycle(24, 4, threads, 4, 8, 6, 0xC17).unwrap();
+        let reference = run(1);
+        reference.audit().expect("the merged ledger conserves");
+        for threads in [2, 4, 8] {
+            let l = run(threads);
+            assert_eq!(reference, l, "ledger changed at {threads} threads");
+            for (a, b) in [
+                (&reference.slot_wait_us, &l.slot_wait_us),
+                (&reference.service_residence_us, &l.service_residence_us),
+                (&reference.relay_extra_us, &l.relay_extra_us),
+            ] {
+                assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        assert!(
+            reference.offered > 0,
+            "the sharded campaign offered nothing"
+        );
     }
 
     #[test]

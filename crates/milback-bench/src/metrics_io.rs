@@ -10,10 +10,14 @@
 
 use crate::hostinfo::HostInfo;
 use milback_core::telemetry::Metrics;
+use milback_core::LifecycleStats;
 use std::fmt::Write as _;
 
 /// Schema tag of `results/METRICS_mac.json`.
 pub const METRICS_MAC_SCHEMA: &str = "milback-metrics-mac-v1";
+
+/// Schema tag of `results/METRICS_lifecycle.json`.
+pub const METRICS_LIFECYCLE_SCHEMA: &str = "milback-metrics-lifecycle-v1";
 
 // `fold_queue_depths` — the trace-ring reconstruction of the engine's
 // queue-depth histogram — is gone: a bounded ring evicts its oldest
@@ -44,6 +48,37 @@ pub fn metrics_mac_json(
     for (i, (name, metrics)) in policies.iter().enumerate() {
         let _ = write!(out, "    \"{name}\": {}", metrics.to_json());
         out.push_str(if i + 1 < policies.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Renders the full `METRICS_lifecycle.json` document: schema, host
+/// block, campaign configuration, and one [`LifecycleStats::to_json`]
+/// ledger per sweep cell (in the given order, which `net_audit` keeps
+/// deterministic: policy-major, direct before relay). Every cell carries
+/// all seven canonical drop labels even at zero, and percentile keys
+/// appear only on non-empty sketches — the same hygiene contract as the
+/// MAC document.
+pub fn metrics_lifecycle_json(
+    host: &HostInfo,
+    config: &[(&str, String)],
+    cells: &[(String, &LifecycleStats)],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{METRICS_LIFECYCLE_SCHEMA}\",");
+    let _ = writeln!(out, "  \"host\": {},", host.to_json());
+    out.push_str("  \"config\": { ");
+    for (i, (k, v)) in config.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{k}\": {v}");
+    }
+    out.push_str(" },\n  \"cells\": {\n");
+    for (i, (name, lifecycle)) in cells.iter().enumerate() {
+        let _ = write!(out, "    \"{name}\": {}", lifecycle.to_json());
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }
     out.push_str("  }\n}\n");
     out
@@ -81,6 +116,45 @@ mod tests {
             rustc: "rustc 1.99.0 (test)".into(),
             features: vec!["telemetry"],
         }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn lifecycle_document_carries_every_label_and_round_trips() {
+        use milback_core::DropReason;
+        let mut direct = LifecycleStats::new();
+        direct.offer(5);
+        direct.deliver_direct(3);
+        direct.record_drops(DropReason::SdmInseparable, 2);
+        direct.observe_slot_wait_us(120.0, 3);
+        let relayed = LifecycleStats::new();
+        let doc = metrics_lifecycle_json(
+            &host(),
+            &[("nodes", "64".into()), ("frames", "24".into())],
+            &[
+                ("aloha/direct".into(), &direct),
+                ("aloha/relay".into(), &relayed),
+            ],
+        );
+        assert!(doc.contains(METRICS_LIFECYCLE_SCHEMA));
+        assert!(!doc.contains("NaN") && !doc.contains("inf"));
+        for label in DropReason::LABELS {
+            // Both cells carry the full drop table, even the empty one.
+            assert_eq!(doc.matches(&format!("\"{label}\":")).count(), 2);
+        }
+        // The section reader works on lifecycle cells too.
+        assert_eq!(
+            parse_policy_counter(&doc, "aloha/direct", "offered"),
+            Some(5)
+        );
+        assert_eq!(
+            parse_policy_counter(&doc, "aloha/direct", "sdm_inseparable"),
+            Some(2)
+        );
+        assert_eq!(
+            parse_policy_counter(&doc, "aloha/relay", "offered"),
+            Some(0)
+        );
     }
 
     #[cfg(feature = "telemetry")]

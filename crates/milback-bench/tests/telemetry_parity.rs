@@ -10,13 +10,16 @@
 //! the parity half of every assertion is feature-independent.
 
 use milback_bench::experiments::{
-    extension_mac_compare, extension_mac_compare_instrumented, MacComparePoint, MAC_POLICY_NAMES,
+    extension_mac_compare, extension_mac_compare_instrumented, extension_net_audit,
+    net_audit_sharded_lifecycle, MacComparePoint, MAC_POLICY_NAMES,
 };
 use milback_bench::runner::{trial_rng, RunnerConfig};
 use milback_core::protocol::SlotPlan;
 use milback_core::{
-    CampaignProbe, Network, Packet, Scene, Session, SessionReport, SlottedRunReport, SystemConfig,
+    CampaignProbe, DropReason, LifecycleStats, Network, Packet, Scene, Session, SessionReport,
+    SlottedRunReport, SystemConfig,
 };
+use proptest::prelude::*;
 
 fn network() -> Network {
     let scene = Scene::single_node(4.0, 12f64.to_radians())
@@ -221,6 +224,238 @@ fn instrumented_sweep_matches_plain_at_every_thread_count() {
                 reference, &jsons,
                 "merged metrics changed at {threads} threads"
             ),
+        }
+    }
+}
+
+/// Lifecycle-probed campaigns are the plain campaigns: the audit sweep —
+/// which records every offer, drop, and latency observation — returns
+/// bit-identical cells at 1/2/4/8 threads, every cell's ledger conserves
+/// (a violation fails the cell), and attaching a full trace probe to the
+/// same campaign leaves the report `==`/`to_bits` identical, lifecycle
+/// ledger included.
+#[test]
+fn lifecycle_recording_is_non_perturbing_at_every_thread_count() {
+    let mut reference = None;
+    for threads in [1, 2, 4, 8] {
+        let batch = extension_net_audit(
+            &MAC_POLICY_NAMES,
+            12,
+            5,
+            8,
+            4,
+            0x11FE,
+            &RunnerConfig::with_threads(threads),
+        );
+        assert_eq!(
+            batch.ok_count(),
+            MAC_POLICY_NAMES.len() * 2,
+            "a cell failed (conservation or simulation) at {threads} threads"
+        );
+        match &reference {
+            None => reference = Some(batch.results),
+            Some(r) => assert_eq!(r, &batch.results, "sweep changed at {threads} threads"),
+        }
+    }
+
+    // Plain vs trace-probed single campaign: the lifecycle ledger rides in
+    // the report and must be byte-identical on both sides.
+    let n = network();
+    let payload = vec![0x42u8; 16];
+    let plan = plan_for(&n, 4, &payload);
+    for (k, &name) in MAC_POLICY_NAMES.iter().enumerate() {
+        let mut rng_plain = trial_rng(0x11FE, k);
+        let mut rng_probed = trial_rng(0x11FE, k);
+        let plain = n
+            .run_mac(
+                milback_bench::experiments::mac_policy_by_name(name, 9).unwrap(),
+                6,
+                &payload,
+                &plan,
+                20.0,
+                &mut rng_plain,
+            )
+            .unwrap();
+        let mut probe = CampaignProbe::with_trace(4096);
+        let probed = n
+            .run_mac_probed(
+                milback_bench::experiments::mac_policy_by_name(name, 9).unwrap(),
+                6,
+                &payload,
+                &plan,
+                20.0,
+                &mut rng_probed,
+                &mut probe,
+            )
+            .unwrap();
+        assert_eq!(plain.lifecycle, probed.lifecycle, "policy {name}");
+        plain.lifecycle.audit().expect("plain ledger conserves");
+        for (a, b) in [
+            (
+                &plain.lifecycle.slot_wait_us,
+                &probed.lifecycle.slot_wait_us,
+            ),
+            (
+                &plain.lifecycle.service_residence_us,
+                &probed.lifecycle.service_residence_us,
+            ),
+            (
+                &plain.lifecycle.relay_extra_us,
+                &probed.lifecycle.relay_extra_us,
+            ),
+        ] {
+            assert_eq!(a.sum.to_bits(), b.sum.to_bits(), "policy {name}");
+        }
+        #[cfg(feature = "telemetry")]
+        assert!(plain.lifecycle.offered > 0, "policy {name} offered nothing");
+    }
+}
+
+/// The sharded city path's merged lifecycle ledger — counters and latency
+/// sketches — is bit-identical at `MILBACK_THREADS` 1/2/4/8.
+#[test]
+fn sharded_lifecycle_sketches_are_thread_invariant() {
+    let run = |threads| net_audit_sharded_lifecycle(24, 4, threads, 4, 8, 6, 0x11FE).unwrap();
+    let reference = run(1);
+    reference.audit().expect("the merged ledger conserves");
+    for threads in [2, 4, 8] {
+        let l = run(threads);
+        assert_eq!(reference, l, "lifecycle changed at {threads} threads");
+        assert_eq!(
+            reference.slot_wait_us.sum.to_bits(),
+            l.slot_wait_us.sum.to_bits()
+        );
+        assert_eq!(
+            reference.service_residence_us.sum.to_bits(),
+            l.service_residence_us.sum.to_bits()
+        );
+        assert_eq!(
+            reference.relay_extra_us.sum.to_bits(),
+            l.relay_extra_us.sum.to_bits()
+        );
+    }
+}
+
+/// Decodes one packet outcome from two bytes of entropy: deliveries
+/// (direct or relayed) or one of the seven drop reasons, weighted so every
+/// family appears routinely.
+fn apply_outcome(stats: &mut LifecycleStats, bits: u16) -> (u64, u64) {
+    use milback_core::{OverflowPolicy, StageKind};
+    stats.offer(1);
+    match bits % 9 {
+        0 | 1 => {
+            stats.deliver_direct(1);
+            (1, 0)
+        }
+        2 => {
+            stats.deliver_relayed(1);
+            (1, 0)
+        }
+        3 => {
+            stats.record_drops(DropReason::ContentionCollision, 1);
+            (0, 1)
+        }
+        4 => {
+            stats.record_drops(DropReason::SdmInseparable, 1);
+            (0, 1)
+        }
+        5 => {
+            let stage = match (bits >> 4) % 3 {
+                0 => StageKind::Capture,
+                1 => StageKind::Plan,
+                _ => StageKind::Transmit,
+            };
+            stats.record_drops(
+                DropReason::ServiceShed {
+                    stage,
+                    policy: OverflowPolicy::Drop,
+                },
+                1,
+            );
+            (0, 1)
+        }
+        6 => {
+            stats.record_drops(DropReason::NoRelayRoute, 1);
+            (0, 1)
+        }
+        7 => {
+            stats.record_drops(DropReason::HopBudgetExhausted, 1);
+            (0, 1)
+        }
+        _ => {
+            stats.record_drops(
+                if (bits >> 4) & 1 == 0 {
+                    DropReason::DecodeFailure
+                } else {
+                    DropReason::NeverScheduled
+                },
+                1,
+            );
+            (0, 1)
+        }
+    }
+}
+
+proptest! {
+    /// The drop reasons partition the offered packets: any sequence of
+    /// per-packet outcomes — each offered packet resolving to exactly one
+    /// delivery or drop — keeps the ledger conserving (`offered ==
+    /// delivered + Σ drops`), the audit passing, and merges of arbitrary
+    /// splits agreeing with the whole. With telemetry on, one extra
+    /// unresolved offer must break the audit (the taxonomy has no
+    /// "pending" bucket to leak into).
+    #[test]
+    fn drop_reasons_partition_offered_packets(
+        outcomes in proptest::collection::vec(any::<u16>(), 0..256),
+        split in any::<u16>(),
+    ) {
+        let mut whole = LifecycleStats::new();
+        let (mut delivered, mut dropped) = (0u64, 0u64);
+        for &bits in &outcomes {
+            let (d, x) = apply_outcome(&mut whole, bits);
+            delivered += d;
+            dropped += x;
+        }
+        whole.audit().expect("a fully resolved ledger conserves");
+        #[cfg(feature = "telemetry")]
+        {
+            prop_assert_eq!(whole.offered, outcomes.len() as u64);
+            prop_assert_eq!(whole.delivered(), delivered);
+            prop_assert_eq!(whole.dropped(), dropped);
+            prop_assert_eq!(whole.offered, whole.delivered() + whole.dropped());
+            prop_assert_eq!(
+                whole.shed_by_stage.iter().sum::<u64>(),
+                whole.drops[DropReason::ServiceShed {
+                    stage: milback_core::StageKind::Capture,
+                    policy: milback_core::OverflowPolicy::Drop,
+                }.index()]
+            );
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = (delivered, dropped);
+            prop_assert_eq!(whole.offered, 0);
+        }
+
+        // Partition the outcome stream and merge: same ledger.
+        let cut = split as usize % (outcomes.len() + 1);
+        let mut left = LifecycleStats::new();
+        let mut right = LifecycleStats::new();
+        for &bits in &outcomes[..cut] {
+            apply_outcome(&mut left, bits);
+        }
+        for &bits in &outcomes[cut..] {
+            apply_outcome(&mut right, bits);
+        }
+        left.merge_from(&right);
+        prop_assert_eq!(&left, &whole);
+        left.audit().expect("merged ledgers conserve");
+
+        // A leak — one offer with no terminal outcome — must be caught.
+        #[cfg(feature = "telemetry")]
+        {
+            whole.offer(1);
+            prop_assert!(whole.audit().is_err(), "an unresolved offer must fail the audit");
         }
     }
 }

@@ -52,6 +52,19 @@ pub enum MilbackError {
         /// How many nodes the scene actually holds.
         nodes: usize,
     },
+    /// The packet-lifecycle conservation audit failed: offered packets
+    /// did not partition into deliveries plus attributed drops
+    /// (see [`LifecycleStats::audit`]).
+    ///
+    /// [`LifecycleStats::audit`]: crate::lifecycle::LifecycleStats::audit
+    Conservation {
+        /// Packets offered to the MAC layer.
+        offered: u64,
+        /// Packets delivered (direct plus relayed).
+        delivered: u64,
+        /// Packets dropped across the attribution taxonomy.
+        dropped: u64,
+    },
 }
 
 impl std::fmt::Display for MilbackError {
@@ -73,6 +86,15 @@ impl std::fmt::Display for MilbackError {
             MilbackError::NodeOutOfScene { idx, nodes } => {
                 write!(f, "node {idx} out of scene ({nodes} nodes)")
             }
+            MilbackError::Conservation {
+                offered,
+                delivered,
+                dropped,
+            } => write!(
+                f,
+                "lifecycle conservation violated: offered {offered} != delivered {delivered} \
+                 + dropped {dropped}"
+            ),
         }
     }
 }
@@ -96,7 +118,8 @@ impl std::error::Error for MilbackError {
             MilbackError::Engine(_)
             | MilbackError::Protocol(_)
             | MilbackError::Config(_)
-            | MilbackError::NodeOutOfScene { .. } => None,
+            | MilbackError::NodeOutOfScene { .. }
+            | MilbackError::Conservation { .. } => None,
         }
     }
 }
@@ -183,6 +206,20 @@ mod tests {
     fn node_out_of_scene_names_the_bounds() {
         let e = MilbackError::NodeOutOfScene { idx: 7, nodes: 4 };
         assert_eq!(e.to_string(), "node 7 out of scene (4 nodes)");
+    }
+
+    #[test]
+    fn conservation_violation_names_the_ledger() {
+        let e = MilbackError::Conservation {
+            offered: 10,
+            delivered: 6,
+            dropped: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "lifecycle conservation violated: offered 10 != delivered 6 + dropped 3"
+        );
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod config;
 pub mod dense;
 pub mod engine;
 pub mod error;
+pub mod lifecycle;
 pub mod link;
 pub mod localization;
 pub mod network;
@@ -32,6 +33,7 @@ pub mod tracking;
 pub use config::SystemConfig;
 pub use engine::{Actor, ActorId, Engine, Outbox, TimePs};
 pub use error::{MilbackError, Result};
+pub use lifecycle::{DropReason, LifecycleStats, PacketId};
 pub use link::{DownlinkOutcome, LinkSimulator, TransferOutcome, UplinkOutcome};
 pub use localization::{Impairments, LocalizationPipeline, LocationFix};
 pub use network::{
@@ -41,7 +43,7 @@ pub use network::{
 };
 pub use pipeline::{ApServiceConfig, ApServiceStats, OverflowPolicy, StageKind};
 pub use protocol::Packet;
-pub use relay::{select_routes, NeighborGraph, RelayAwareMac, RelayConfig};
+pub use relay::{classify_gap_reasons, select_routes, NeighborGraph, RelayAwareMac, RelayConfig};
 pub use scene::{CoverageModel, GroundTruth, Scene};
 pub use session::{Session, SessionReport};
 pub use shard::{cell_seed, partition_cells};

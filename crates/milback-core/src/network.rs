@@ -6,6 +6,7 @@
 use crate::config::SystemConfig;
 use crate::engine::{ps_to_secs, Actor, ActorId, Engine, Outbox, TimePs};
 use crate::error::{MilbackError, Result};
+use crate::lifecycle::{DropReason, LifecycleStats, PacketId};
 use crate::link::{LinkSimulator, UplinkOutcome};
 use crate::pipeline::{ApServiceConfig, ApServiceStats, OverflowPolicy, StageKind};
 use crate::protocol::{Packet, SlotPlan};
@@ -539,6 +540,7 @@ impl Network {
         agg.begin_run(frames, ps_to_secs(plan.frame_ps()), payload.len());
         Self::for_each_node_report(&m, frames, plan, |r| agg.observe_node(&r));
         agg.service.merge_from(&m.service);
+        agg.lifecycle.merge_from(&m.lifecycle);
         scratch.reclaim(m);
         Ok(())
     }
@@ -587,6 +589,15 @@ impl Network {
         if !relay.coverage.is_unbounded() {
             for (idx, c) in medium.covered.iter_mut().enumerate() {
                 *c = relay.coverage.covers(&self.scene.ground_truth(idx));
+            }
+            // Pre-classify every gap node's drop reason once per run (the
+            // relay topology is static over a campaign), so the serve path
+            // attributes uncovered losses by table lookup — no per-slot
+            // graph work, no RNG, no clock.
+            #[cfg(feature = "telemetry")]
+            {
+                medium.gap_reason =
+                    crate::relay::classify_gap_reasons(&self.scene, &medium.covered, relay);
             }
         }
         medium.probe = std::mem::take(probe);
@@ -695,6 +706,8 @@ impl Network {
             forwarded: vec![0; n],
             relay_energy_j: vec![0.0; n],
             relay_latency_s: vec![0.0; n],
+            gap_reason: Vec::new(),
+            lifecycle: LifecycleStats::new(),
             probe: CampaignProbe::disabled(),
             service: ApServiceStats::default(),
         }
@@ -734,6 +747,8 @@ impl Network {
             forwarded: recycle(&mut scratch.forwarded, n, 0),
             relay_energy_j: recycle(&mut scratch.relay_energy_j, n, 0.0),
             relay_latency_s: recycle(&mut scratch.relay_latency_s, n, 0.0),
+            gap_reason: Vec::new(),
+            lifecycle: LifecycleStats::new(),
             probe: CampaignProbe::disabled(),
             service: ApServiceStats::default(),
         }
@@ -790,12 +805,18 @@ impl Network {
     ) -> SlottedRunReport {
         let mut nodes = Vec::with_capacity(m.net.node_count());
         Self::for_each_node_report(m, frames, plan, |r| nodes.push(r));
+        debug_assert!(
+            m.lifecycle.audit().is_ok(),
+            "lifecycle ledger must conserve at run end: {:?}",
+            m.lifecycle.audit()
+        );
         SlottedRunReport {
             frames,
             frame_s: ps_to_secs(plan.frame_ps()),
             payload_bytes: payload.len(),
             nodes,
             service: m.service,
+            lifecycle: m.lifecycle.clone(),
         }
     }
 }
@@ -952,6 +973,12 @@ pub struct SlottedRunReport {
     /// when deserializing pre-pipeline reports.
     #[serde(default)]
     pub service: ApServiceStats,
+    /// Packet-lifecycle ledger for the run: offered/delivered totals,
+    /// drop counts by [`DropReason`] taxonomy slot, and the three latency
+    /// sketches. Defaults to empty when deserializing pre-lifecycle
+    /// reports; all-zero in a telemetry-off build.
+    #[serde(default)]
+    pub lifecycle: LifecycleStats,
 }
 
 impl SlottedRunReport {
@@ -1046,6 +1073,11 @@ pub struct CampaignAggregate {
     /// AP service pipeline accounting summed over the folded runs —
     /// exact u64 adds, so any cell merge order agrees.
     pub service: ApServiceStats,
+    /// Packet-lifecycle ledger summed over the folded runs: exact
+    /// integer adds plus fixed-bucket sketch merges, so merging cells in
+    /// index order reproduces counts and percentiles bit-identically at
+    /// any thread count.
+    pub lifecycle: LifecycleStats,
 }
 
 impl CampaignAggregate {
@@ -1075,6 +1107,7 @@ impl CampaignAggregate {
             relay_latency_s: 0.0,
             node_relay_hops: Histogram::new(RELAY_HOP_BUCKETS),
             service: ApServiceStats::default(),
+            lifecycle: LifecycleStats::new(),
         }
     }
 
@@ -1133,6 +1166,7 @@ impl CampaignAggregate {
             self.observe_node(node);
         }
         self.service.merge_from(&r.service);
+        self.lifecycle.merge_from(&r.lifecycle);
     }
 
     /// The aggregate of one materialized report.
@@ -1181,6 +1215,7 @@ impl CampaignAggregate {
         self.relay_latency_s += other.relay_latency_s;
         self.node_relay_hops.merge_from(&other.node_relay_hops);
         self.service.merge_from(&other.service);
+        self.lifecycle.merge_from(&other.lifecycle);
     }
 
     /// Elapsed campaign time, seconds (cells run concurrently in
@@ -1253,6 +1288,7 @@ impl CampaignAggregate {
         self.node_energy_j.counts.len()
             + self.node_snr_db.counts.len()
             + self.node_relay_hops.counts.len()
+            + self.lifecycle.bucket_footprint()
     }
 }
 
@@ -1381,6 +1417,17 @@ struct SlotMedium<'a> {
     relay_energy_j: Vec<f64>,
     /// Extra relay latency over direct uplinks, seconds, per origin node.
     relay_latency_s: Vec<f64>,
+    /// Per-node drop attribution for uncovered (gap) nodes, precomputed
+    /// once per run from the relay topology: `None` for covered nodes,
+    /// [`DropReason::HopBudgetExhausted`] or [`DropReason::NoRelayRoute`]
+    /// otherwise. Empty under unbounded coverage or a telemetry-off
+    /// build; the serve path falls back to `NoRelayRoute`.
+    gap_reason: Vec<Option<DropReason>>,
+    /// The run's packet-lifecycle ledger: offered/delivered/dropped
+    /// counts and latency sketches (see [`LifecycleStats`]). Recording is
+    /// feature-gated, not probe-gated, so plain and probed runs account
+    /// identically.
+    lifecycle: LifecycleStats,
     /// The campaign's instrumentation surface. Disabled (all-`None`) on
     /// every uninstrumented path, so recording helpers no-op and both
     /// paths execute the same code.
@@ -1440,6 +1487,21 @@ impl<'a> SlotMedium<'a> {
             for &node in group {
                 self.collisions[node] += 1;
             }
+            // A degraded grant never ran SDM arbitration — plain
+            // contention; an arbitrated loss is an inseparability drop.
+            self.lifecycle.record_drops(
+                if degraded {
+                    DropReason::ContentionCollision
+                } else {
+                    DropReason::SdmInseparable
+                },
+                group.len() as u64,
+            );
+            self.probe.trace(|| TraceRecord::FlowEnd {
+                time_ps: now_ps,
+                flow: PacketId::direct(frame, slot).raw(),
+                outcome: "collision",
+            });
             self.record_slot(group, true, now_ps, frame, slot);
             return Ok(true);
         }
@@ -1465,10 +1527,30 @@ impl<'a> SlotMedium<'a> {
             if outcome.decoded == self.payload && self.covered[node] {
                 self.delivered[node] += 1;
                 self.snr_sum_db[node] += outcome.snr_db;
+                self.lifecycle.deliver_direct(1);
                 self.probe
                     .observe("delivered_snr_db", SNR_BUCKETS_DB, outcome.snr_db);
+            } else if !self.covered[node] {
+                // A gap node's direct uplink can never land; the
+                // precomputed classification says whether a relay route
+                // could have existed within the hop budget.
+                self.lifecycle.record_drops(
+                    self.gap_reason
+                        .get(node)
+                        .copied()
+                        .flatten()
+                        .unwrap_or(DropReason::NoRelayRoute),
+                    1,
+                );
+            } else {
+                self.lifecycle.record_drops(DropReason::DecodeFailure, 1);
             }
         }
+        self.probe.trace(|| TraceRecord::FlowEnd {
+            time_ps: now_ps,
+            flow: PacketId::direct(frame, slot).raw(),
+            outcome: "served",
+        });
         self.record_slot(group, false, now_ps, frame, slot);
         Ok(false)
     }
@@ -1526,15 +1608,48 @@ impl<'a> SlotMedium<'a> {
         let mut outcome = sim.uplink(self.payload, self.rng)?;
         outcome.snr_db -= hop_snr_penalty_db * tag_hops as f64;
         self.probe.inc("relay_fired", 1);
+        // The chain's flow id links its hop spans and terminal outcome in
+        // the exported trace; hops fire back-to-back inside the slot, so
+        // every span shares the grant instant.
+        let flow = PacketId::relayed(frame, origin).raw();
+        let hop_dur_ps = crate::engine::secs_to_ps(self.airtime_s);
+        for (hop, pair) in route.windows(2).enumerate() {
+            let (from, to) = (pair[0], pair[1]);
+            self.probe.trace(|| TraceRecord::RelayHop {
+                time_ps: now_ps,
+                flow,
+                hop,
+                from,
+                to,
+                dur_ps: hop_dur_ps,
+            });
+        }
         if outcome.decoded == self.payload && self.covered[terminal] {
             self.delivered[origin] += 1;
             self.relayed[origin] += 1;
             self.relay_hops[origin] += route.len();
             self.relay_latency_s[origin] += tag_hops as f64 * slot_s;
             self.snr_sum_db[origin] += outcome.snr_db;
+            self.lifecycle.deliver_relayed(1);
+            self.lifecycle
+                .observe_relay_extra_us(tag_hops as f64 * slot_s * 1e6);
             self.probe.inc("relayed_delivered", 1);
             self.probe
                 .observe("delivered_snr_db", SNR_BUCKETS_DB, outcome.snr_db);
+            self.probe.trace(|| TraceRecord::FlowEnd {
+                time_ps: now_ps,
+                flow,
+                outcome: "relayed",
+            });
+        } else {
+            // Routes terminate at covered nodes by construction, so the
+            // only terminal failure mode is a decode miss at the AP.
+            self.lifecycle.record_drops(DropReason::DecodeFailure, 1);
+            self.probe.trace(|| TraceRecord::FlowEnd {
+                time_ps: now_ps,
+                flow,
+                outcome: "relay_failed",
+            });
         }
         self.record_slot(&[origin], false, now_ps, frame, slot);
         Ok(())
@@ -1619,6 +1734,12 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for SlotCoordinator {
         let n = m.net.node_count();
         match *event {
             SlotEvent::FrameStart { frame } => {
+                // Direct ALOHA schedules every node exactly once per frame
+                // (each hashes into one slot), so the frame offers `n`
+                // packets and never leaves one unscheduled — the same
+                // accounting the policy coordinator derives from its
+                // schedule, which keeps the parity suite's `==` honest.
+                m.lifecycle.offer(n as u64);
                 let mut occupied: Vec<usize> = (0..n)
                     .map(|node| self.plan.slot_for(node, frame, self.slot_seed))
                     .collect();
@@ -1648,6 +1769,15 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for SlotCoordinator {
                 // parity suite's `==` covers the service ledger too.
                 let group = self.group(n, frame, slot);
                 m.service.offered += 1;
+                // Same observation points, same values, as the pipeline
+                // path under the instantaneous config: the wait is the
+                // slot offset from the frame boundary, and the direct AP's
+                // service residence is identically zero.
+                m.lifecycle.observe_slot_wait_us(
+                    (slot as u64 * self.plan.slot_ps) as f64 / 1e6,
+                    group.len(),
+                );
+                m.lifecycle.observe_service_residence_us(0.0, group.len());
                 m.fire_slot(&group, self.sdm_threshold_db, now_ps, frame, slot, false)?;
                 m.service.served += 1;
             }
@@ -2060,6 +2190,10 @@ struct SlotJob {
     slot: usize,
     group: Vec<usize>,
     degraded: bool,
+    /// Engine time the grant entered the pipeline (its `SlotFire`
+    /// instant), so Transmit completion can ledger the job's service
+    /// residence without re-deriving the grant schedule.
+    offered_ps: TimePs,
 }
 
 /// One serial AP service stage: at most one job in service (its
@@ -2138,7 +2272,7 @@ impl PolicyCoordinator {
             self.stages[idx].occupancy() as f64,
         );
         if self.stages[idx].current.is_none() {
-            self.start_stage(stage, job, now_ps, out);
+            self.start_stage(stage, job, now_ps, m, out);
             return;
         }
         if let Some(cap) = self.service.queue_capacity {
@@ -2147,6 +2281,20 @@ impl PolicyCoordinator {
                     OverflowPolicy::Drop => {
                         m.service.dropped += 1;
                         m.probe.inc("ap_dropped", 1);
+                        // The whole group dies with the shed grant; the
+                        // ledger records which stage's queue was full.
+                        m.lifecycle.record_drops(
+                            DropReason::ServiceShed {
+                                stage,
+                                policy: OverflowPolicy::Drop,
+                            },
+                            job.group.len() as u64,
+                        );
+                        m.probe.trace(|| TraceRecord::FlowEnd {
+                            time_ps: now_ps,
+                            flow: PacketId::direct(job.frame, job.slot).raw(),
+                            outcome: "shed",
+                        });
                         return;
                     }
                     OverflowPolicy::Defer => {
@@ -2174,6 +2322,7 @@ impl PolicyCoordinator {
         stage: StageKind,
         job: SlotJob,
         now_ps: TimePs,
+        m: &mut SlotMedium<'_>,
         out: &mut Outbox<SlotEvent>,
     ) {
         let base_ps = if job.degraded && stage == StageKind::Plan {
@@ -2185,12 +2334,19 @@ impl PolicyCoordinator {
             Some(state) => splitmix64(state) % (self.service.jitter_ps + 1),
             None => 0,
         };
+        let dur_ps = base_ps + jitter_ps;
+        // The job's service span, tagged with its packet flow id so the
+        // exported trace links Capture → Plan → Transmit → outcome as one
+        // Perfetto flow. The duration is the already-drawn completion
+        // offset — copying it records nothing the engine won't replay.
+        m.probe.trace(|| TraceRecord::Stage {
+            time_ps: now_ps,
+            stage: stage.label(),
+            flow: PacketId::direct(job.frame, job.slot).raw(),
+            dur_ps,
+        });
         self.stages[stage as usize].current = Some(job);
-        out.post_at(
-            now_ps + base_ps + jitter_ps,
-            self.me,
-            SlotEvent::StageDone { stage },
-        );
+        out.post_at(now_ps + dur_ps, self.me, SlotEvent::StageDone { stage });
     }
 }
 
@@ -2245,6 +2401,34 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
                         SlotEvent::RelayFire { frame, grant },
                     );
                 }
+                // Lifecycle offers: one packet per scheduled transmitter
+                // appearance, one per granted relay chain, and one per
+                // node this frame left entirely unscheduled (backoff
+                // deferral, polling rotation, waiting SDM group) — the
+                // last resolve immediately as `NeverScheduled`, so every
+                // offered packet reaches exactly one terminal outcome.
+                // Integer bookkeeping over the already-built schedules:
+                // no RNG, no clock.
+                #[cfg(feature = "telemetry")]
+                {
+                    let mut scheduled = vec![false; m.net.node_count()];
+                    let mut direct = 0u64;
+                    for (_, group) in &self.schedule {
+                        direct += group.len() as u64;
+                        for &node in group {
+                            scheduled[node] = true;
+                        }
+                    }
+                    for g in &self.relay_schedule {
+                        if let Some(&origin) = g.route.first() {
+                            scheduled[origin] = true;
+                        }
+                    }
+                    let never = scheduled.iter().filter(|&&s| !s).count() as u64;
+                    m.lifecycle
+                        .offer(direct + self.relay_schedule.len() as u64 + never);
+                    m.lifecycle.record_drops(DropReason::NeverScheduled, never);
+                }
                 if frame + 1 < self.frames {
                     out.post_at(
                         now_ps + self.plan.frame_ps(),
@@ -2267,9 +2451,16 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
                     slot,
                     group: self.schedule[idx].1.clone(),
                     degraded: false,
+                    offered_ps: now_ps,
                 };
                 m.service.offered += 1;
                 m.probe.inc("ap_offered", 1);
+                // Every member of the group waited from the frame
+                // boundary to this slot's airtime.
+                m.lifecycle.observe_slot_wait_us(
+                    (slot as u64 * self.plan.slot_ps) as f64 / 1e6,
+                    job.group.len(),
+                );
                 self.offer_stage(StageKind::Capture, job, now_ps, m, out);
             }
             SlotEvent::StageDone { stage } => {
@@ -2285,6 +2476,14 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
                 match stage.next() {
                     Some(next) => self.offer_stage(next, job, now_ps, m, out),
                     None => {
+                        // Transmit completion: the job is about to reach
+                        // the channel, so its pipeline residence ends
+                        // here. Identically zero under the instantaneous
+                        // config — what the direct coordinator observes.
+                        m.lifecycle.observe_service_residence_us(
+                            (now_ps - job.offered_ps) as f64 / 1e6,
+                            job.group.len(),
+                        );
                         let collided = m.fire_slot(
                             &job.group,
                             self.sdm_threshold_db,
@@ -2300,7 +2499,7 @@ impl<'a> Actor<SlotMedium<'a>, SlotEvent> for PolicyCoordinator {
                     }
                 }
                 if let Some(next_job) = self.stages[stage as usize].queue.pop_front() {
-                    self.start_stage(stage, next_job, now_ps, out);
+                    self.start_stage(stage, next_job, now_ps, m, out);
                 }
             }
             SlotEvent::RelayFire { frame, grant } => {

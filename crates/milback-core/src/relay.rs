@@ -31,6 +31,7 @@
 //! nothing, and grants nothing: the parity suite proves it bit-exact
 //! (`==` and `to_bits`) with the relay-free MAC paths.
 
+use crate::lifecycle::DropReason;
 use crate::network::{
     hash_into_slots, splitmix64, FrameSchedule, MacContext, MacPolicy, RelayGrant,
 };
@@ -214,6 +215,39 @@ pub fn select_routes(
         .collect()
 }
 
+/// Classifies every gap node's drop attribution under `config`: the
+/// [`DropReason`] its direct uplink earns when the AP cannot hear it.
+/// `reasons[idx]` is `None` for covered nodes;
+/// [`DropReason::HopBudgetExhausted`] when a tag-to-tag path to coverage
+/// exists but its transmission count (`tag hops + 1`) exceeds
+/// `config.max_hops`; and [`DropReason::NoRelayRoute`] otherwise — the
+/// node is unreachable through the neighbor graph, or reachable within
+/// budget but the campaign's policy granted it no chain.
+///
+/// Pure geometry (the same BFS route selection runs), no RNG, no clock:
+/// safe to call from the lifecycle recorder without perturbing a run.
+pub fn classify_gap_reasons(
+    scene: &Scene,
+    covered: &[bool],
+    config: &RelayConfig,
+) -> Vec<Option<DropReason>> {
+    let graph = NeighborGraph::from_scene(scene, config.tag_range_m);
+    let dist = hop_distances(&graph, covered);
+    covered
+        .iter()
+        .zip(&dist)
+        .map(|(&c, &d)| {
+            if c {
+                None
+            } else if d != usize::MAX && d + 1 > config.max_hops {
+                Some(DropReason::HopBudgetExhausted)
+            } else {
+                Some(DropReason::NoRelayRoute)
+            }
+        })
+        .collect()
+}
+
 /// Relay-aware slotted ALOHA: covered nodes contend directly exactly as
 /// [`SlottedAloha`](crate::network::SlottedAloha) does (same hash, same
 /// seed), routed gap nodes are granted relay chains in their hashed
@@ -383,6 +417,33 @@ mod tests {
                 assert_eq!(x.len(), y.len(), "seeds must not change path length");
             }
         }
+    }
+
+    #[test]
+    fn gap_reasons_partition_by_reachability_and_budget() {
+        let scene = ringed_scene(4, 4).with_node_at(20.0, 0.0, 0.0);
+        let covered = CoverageModel::with_range(6.0).classify(&scene);
+        let cfg = RelayConfig {
+            coverage: CoverageModel::with_range(6.0),
+            max_hops: 1,
+            tag_range_m: 4.5,
+            hop_snr_penalty_db: 0.0,
+        };
+        // Direct-only budget: the outer ring is reachable but over
+        // budget; the far node is unreachable outright.
+        let reasons = classify_gap_reasons(&scene, &covered, &cfg);
+        assert!(reasons[..4].iter().all(|r| r.is_none()), "covered nodes");
+        assert!(reasons[4..8]
+            .iter()
+            .all(|r| *r == Some(DropReason::HopBudgetExhausted)));
+        assert_eq!(reasons[8], Some(DropReason::NoRelayRoute));
+        // A two-transmission budget makes the outer ring routable — any
+        // remaining direct-uplink loss there is a missing grant, not a
+        // budget violation.
+        let reasons = classify_gap_reasons(&scene, &covered, &RelayConfig { max_hops: 2, ..cfg });
+        assert!(reasons[4..8]
+            .iter()
+            .all(|r| *r == Some(DropReason::NoRelayRoute)));
     }
 
     #[test]

@@ -254,6 +254,11 @@ impl Network {
                 scratch,
                 &mut agg,
             )?;
+            // Per-cell conservation gate: every packet a cell offered must
+            // have resolved to a delivery or an attributed drop before the
+            // cell folds into the campaign total. Trivially satisfied (all
+            // zeros) in a telemetry-off build.
+            agg.lifecycle.audit()?;
             Ok(agg)
         })?;
         let mut total = CampaignAggregate::new();

@@ -68,6 +68,16 @@ pub const RELAY_HOP_BUCKETS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0];
 /// captures run longer.
 pub const FMCW_BATCH_BUCKETS: &[f64] = &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
 
+/// Fixed log-spaced buckets for packet-latency sketches, microseconds:
+/// a 1-2-5 decade ladder from one slot width (~tens of µs) out to a full
+/// second. Fixed bounds are what make the sketches mergeable — sharded
+/// cells fold bucket-by-bucket in cell-index order, so `p50/p95/p99` are
+/// bit-identical at any `MILBACK_THREADS`.
+pub const LATENCY_BUCKETS_US: &[f64] = &[
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3, 2e3, 5e3, 1e4, 2e4, 5e4, 1e5, 2e5,
+    5e5, 1e6,
+];
+
 /// One structured trace record. Timestamps are simulated integer
 /// picoseconds, always supplied by the recording site (never read here).
 #[derive(Debug, Clone, PartialEq)]
@@ -129,6 +139,43 @@ pub enum TraceRecord {
         /// Cumulative energy spent so far, joules.
         cumulative_j: f64,
     },
+    /// An AP pipeline stage began serving one granted slot's job — one
+    /// span of the job's packet flow.
+    Stage {
+        /// Service start, picoseconds.
+        time_ps: u64,
+        /// Stage label (`stage_capture` / `stage_plan` / `stage_transmit`).
+        stage: &'static str,
+        /// The packet flow id ([`PacketId`](crate::lifecycle::PacketId)).
+        flow: u64,
+        /// Planned service time (base latency + jitter), picoseconds.
+        dur_ps: u64,
+    },
+    /// One tag-to-tag hop of a granted relay chain.
+    RelayHop {
+        /// Chain resolution time, picoseconds.
+        time_ps: u64,
+        /// The relay packet flow id.
+        flow: u64,
+        /// Hop index along the route (0 = the origin's handoff).
+        hop: usize,
+        /// Transmitting node.
+        from: usize,
+        /// Receiving node.
+        to: usize,
+        /// Hop airtime, picoseconds.
+        dur_ps: u64,
+    },
+    /// A packet flow reached its terminal outcome.
+    FlowEnd {
+        /// Resolution time, picoseconds.
+        time_ps: u64,
+        /// The packet flow id.
+        flow: u64,
+        /// Terminal outcome label (`served`, `collision`, `shed`,
+        /// `relayed`, `relay_failed`).
+        outcome: &'static str,
+    },
 }
 
 impl TraceRecord {
@@ -139,7 +186,20 @@ impl TraceRecord {
             | TraceRecord::Slot { time_ps, .. }
             | TraceRecord::Backoff { time_ps, .. }
             | TraceRecord::SdmRotation { time_ps, .. }
-            | TraceRecord::Energy { time_ps, .. } => time_ps,
+            | TraceRecord::Energy { time_ps, .. }
+            | TraceRecord::Stage { time_ps, .. }
+            | TraceRecord::RelayHop { time_ps, .. }
+            | TraceRecord::FlowEnd { time_ps, .. } => time_ps,
+        }
+    }
+
+    /// The packet flow this record belongs to, when it carries one.
+    pub fn flow(&self) -> Option<u64> {
+        match *self {
+            TraceRecord::Stage { flow, .. }
+            | TraceRecord::RelayHop { flow, .. }
+            | TraceRecord::FlowEnd { flow, .. } => Some(flow),
+            _ => None,
         }
     }
 
@@ -195,6 +255,34 @@ impl TraceRecord {
                 "{{\"type\":\"energy\",\"time_ps\":{time_ps},\"node\":{node},\
                  \"cumulative_j\":{}}}",
                 json_f64(*cumulative_j)
+            ),
+            TraceRecord::Stage {
+                time_ps,
+                stage,
+                flow,
+                dur_ps,
+            } => format!(
+                "{{\"type\":\"stage\",\"time_ps\":{time_ps},\"stage\":\"{stage}\",\
+                 \"flow\":{flow},\"dur_ps\":{dur_ps}}}"
+            ),
+            TraceRecord::RelayHop {
+                time_ps,
+                flow,
+                hop,
+                from,
+                to,
+                dur_ps,
+            } => format!(
+                "{{\"type\":\"relay_hop\",\"time_ps\":{time_ps},\"flow\":{flow},\
+                 \"hop\":{hop},\"from\":{from},\"to\":{to},\"dur_ps\":{dur_ps}}}"
+            ),
+            TraceRecord::FlowEnd {
+                time_ps,
+                flow,
+                outcome,
+            } => format!(
+                "{{\"type\":\"flow_end\",\"time_ps\":{time_ps},\"flow\":{flow},\
+                 \"outcome\":\"{outcome}\"}}"
             ),
         }
     }
@@ -398,7 +486,44 @@ impl Histogram {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
 
-    /// JSON object: `{"bounds":[..],"counts":[..],"count":N,"sum":S}`.
+    /// The `q`-quantile estimate (`0 ≤ q ≤ 1`), by linear interpolation
+    /// within the fixed buckets; `None` when empty or `q` is out of range.
+    ///
+    /// The estimate is a deterministic function of the bucket counts alone
+    /// — no stored samples — so two histograms merged in the same order
+    /// report bit-identical quantiles. Ranks landing in the first bucket
+    /// report its upper bound, and ranks in the overflow bucket report the
+    /// last bound, so estimates are clamped to `[bounds[0], bounds.last()]`
+    /// and `quantile(a) <= quantile(b)` whenever `a <= b`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || self.bounds.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut below = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (below + c) as f64 >= target {
+                if idx == 0 {
+                    return Some(self.bounds[0]);
+                }
+                if idx == self.bounds.len() {
+                    return Some(self.bounds[self.bounds.len() - 1]);
+                }
+                let lo = self.bounds[idx - 1];
+                let hi = self.bounds[idx];
+                let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+            below += c;
+        }
+        Some(self.bounds[self.bounds.len() - 1])
+    }
+
+    /// JSON object: `{"bounds":[..],"counts":[..],"count":N,"sum":S}`,
+    /// plus `"p50"/"p95"/"p99"` quantile estimates when non-empty.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"bounds\":[");
         for (i, b) in self.bounds.iter().enumerate() {
@@ -416,10 +541,24 @@ impl Histogram {
         }
         let _ = write!(
             s,
-            "],\"count\":{},\"sum\":{}}}",
+            "],\"count\":{},\"sum\":{}",
             self.count,
             json_f64(self.sum)
         );
+        if let (Some(p50), Some(p95), Some(p99)) = (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        ) {
+            let _ = write!(
+                s,
+                ",\"p50\":{},\"p95\":{},\"p99\":{}",
+                json_f64(p50),
+                json_f64(p95),
+                json_f64(p99)
+            );
+        }
+        s.push('}');
         s
     }
 }
@@ -711,7 +850,16 @@ pub fn queue_depth_metric(label: &'static str) -> &'static str {
 ///
 /// Record mapping: engine events → instant (`"ph":"i"`), slots → complete
 /// spans (`"ph":"X"` with `dur`), backoff/rotation → instants with args,
-/// energy → counter tracks (`"ph":"C"`).
+/// energy → counter tracks (`"ph":"C"`), and packet-lifecycle records
+/// (stage service, relay hops, terminal outcomes) → spans/instants tied
+/// together by Perfetto **flow events** (`"ph":"s"/"t"/"f"`).
+///
+/// Flow ids are namespaced per section (`"p{pid}.{flow}"`). A flow chain
+/// is only rendered when at least two of its records survive in the ring
+/// buffer — the first surviving record opens the flow (`s`), the last
+/// closes it (`f`), any middle records step it (`t`) — so eviction can
+/// never leave a dangling flow id ([`validate_chrome_trace`] rejects
+/// those).
 pub fn chrome_trace(sections: &[(&str, &TraceBuffer)]) -> String {
     let mut s = String::from("{\"traceEvents\":[");
     let mut first = true;
@@ -722,7 +870,32 @@ pub fn chrome_trace(sections: &[(&str, &TraceBuffer)]) -> String {
         *first = false;
         s.push_str(&ev);
     };
+    // The tid lane of a flow-bearing record: stages get one lane each,
+    // relay hops stack by hop index, terminals share one lane.
+    fn flow_tid(r: &TraceRecord) -> usize {
+        match r {
+            TraceRecord::Stage { stage, .. } => match *stage {
+                "stage_plan" => 301,
+                "stage_transmit" => 302,
+                _ => 300,
+            },
+            TraceRecord::RelayHop { hop, .. } => 320 + hop,
+            _ => 310,
+        }
+    }
     for (pid, (name, buf)) in sections.iter().enumerate() {
+        // Pre-pass: how many records each flow id keeps in the buffer.
+        // Linear-scan map (flow counts are small) for deterministic order.
+        let mut chains: Vec<(u64, usize)> = Vec::new();
+        for r in buf.records() {
+            if let Some(flow) = r.flow() {
+                match chains.iter_mut().find(|(f, _)| *f == flow) {
+                    Some((_, n)) => *n += 1,
+                    None => chains.push((flow, 1)),
+                }
+            }
+        }
+        let mut emitted: Vec<(u64, usize)> = Vec::new();
         push(
             &mut s,
             &mut first,
@@ -786,8 +959,76 @@ pub fn chrome_trace(sections: &[(&str, &TraceBuffer)]) -> String {
                      \"tid\":0,\"args\":{{\"joules\":{}}}}}",
                     json_f64(*cumulative_j)
                 ),
+                TraceRecord::Stage {
+                    stage,
+                    flow,
+                    dur_ps,
+                    ..
+                } => format!(
+                    "{{\"name\":\"{stage}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":{pid},\
+                     \"tid\":{},\"args\":{{\"flow\":{flow}}}}}",
+                    json_f64(*dur_ps as f64 / 1e6),
+                    flow_tid(r),
+                ),
+                TraceRecord::RelayHop {
+                    flow,
+                    hop,
+                    from,
+                    to,
+                    dur_ps,
+                    ..
+                } => format!(
+                    "{{\"name\":\"relay_hop\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{},\"pid\":{pid},\
+                     \"tid\":{},\"args\":{{\"flow\":{flow},\"hop\":{hop},\"from\":{from},\
+                     \"to\":{to}}}}}",
+                    json_f64(*dur_ps as f64 / 1e6),
+                    flow_tid(r),
+                ),
+                TraceRecord::FlowEnd { flow, outcome, .. } => format!(
+                    "{{\"name\":\"{outcome}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":{pid},\
+                     \"tid\":{},\"args\":{{\"flow\":{flow}}}}}",
+                    flow_tid(r),
+                ),
             };
             push(&mut s, &mut first, ev);
+            // Tie the packet's spans together with a flow event: only
+            // chains with ≥ 2 surviving records render, first record
+            // starts (`s`), last finishes (`f`), middles step (`t`).
+            if let Some(flow) = r.flow() {
+                let total = chains
+                    .iter()
+                    .find(|(f, _)| *f == flow)
+                    .map(|(_, n)| *n)
+                    .unwrap_or(0);
+                let pos = match emitted.iter_mut().find(|(f, _)| *f == flow) {
+                    Some((_, p)) => {
+                        *p += 1;
+                        *p
+                    }
+                    None => {
+                        emitted.push((flow, 0));
+                        0
+                    }
+                };
+                if total >= 2 {
+                    let ph = if pos == 0 {
+                        "s"
+                    } else if pos + 1 == total {
+                        "f"
+                    } else {
+                        "t"
+                    };
+                    push(
+                        &mut s,
+                        &mut first,
+                        format!(
+                            "{{\"name\":\"packet\",\"cat\":\"flow\",\"ph\":\"{ph}\",\
+                             \"id\":\"p{pid}.{flow}\",\"ts\":{ts},\"pid\":{pid},\"tid\":{}}}",
+                            flow_tid(r),
+                        ),
+                    );
+                }
+            }
         }
     }
     s.push_str("],\"displayTimeUnit\":\"ns\"}");
@@ -796,8 +1037,11 @@ pub fn chrome_trace(sections: &[(&str, &TraceBuffer)]) -> String {
 
 /// A minimal structural validator for the Chrome traces [`chrome_trace`]
 /// emits: checks the envelope, balanced braces/brackets, the absence of
-/// `NaN`/`inf` tokens, and that every event object carries the required
-/// `ph`/`pid`/`ts`-or-metadata fields. Returns the event count.
+/// `NaN`/`inf` tokens, that every event object carries the required
+/// `ph`/`pid`/`ts`-or-metadata fields, and that **flow events pair up** —
+/// every flow id appearing in a `"ph":"s"/"t"/"f"` event must both start
+/// (`s`) and finish (`f`), so a dangling flow can never ship. Returns the
+/// event count.
 ///
 /// This is not a general JSON parser — it validates the subset this module
 /// generates, which is exactly what the schema round-trip tests and CI
@@ -831,6 +1075,8 @@ pub fn validate_chrome_trace(s: &str) -> Result<usize, String> {
         ));
     }
     let mut events = 0usize;
+    // Flow-pairing ledger: (id, saw_start, saw_finish), first-seen order.
+    let mut flows: Vec<(String, bool, bool)> = Vec::new();
     let marker = "{\"name\":";
     for (pos, _) in body.match_indices(marker) {
         // Skip nested objects (a metadata event's `"args":{"name":..}`).
@@ -846,7 +1092,40 @@ pub fn validate_chrome_trace(s: &str) -> Result<usize, String> {
         if !head.contains("\"pid\":") {
             return Err("event without pid".into());
         }
+        let phase = if head.starts_with("\"packet\",\"cat\":\"flow\"") {
+            ["s", "t", "f"]
+                .into_iter()
+                .find(|p| head.contains(&format!("\"ph\":\"{p}\"")))
+        } else {
+            None
+        };
+        if let Some(phase) = phase {
+            let id = head
+                .split("\"id\":\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .ok_or("flow event without an id")?;
+            let entry = match flows.iter_mut().find(|(f, _, _)| f == id) {
+                Some(e) => e,
+                None => {
+                    flows.push((id.to_string(), false, false));
+                    flows.last_mut().expect("just pushed")
+                }
+            };
+            match phase {
+                "s" => entry.1 = true,
+                "f" => entry.2 = true,
+                _ => {}
+            }
+        }
         events += 1;
+    }
+    for &(ref id, started, finished) in &flows {
+        if !(started && finished) {
+            return Err(format!(
+                "dangling flow id {id}: start={started}, finish={finished}"
+            ));
+        }
     }
     Ok(events)
 }
@@ -1027,6 +1306,118 @@ mod tests {
         assert!(json.contains("\"process_name\""));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ph\":\"C\""));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn quantiles_interpolate_and_stay_monotone() {
+        let mut h = Histogram::new(OCCUPANCY_BUCKETS);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for v in [1.0, 3.0, 3.5, 6.0, 100.0] {
+            h.observe(v);
+        }
+        // Ranks in the first bucket clamp to its upper bound, overflow
+        // ranks clamp to the last bound.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(64.0));
+        // p50: target rank 2.5 of 5 lands in the (2, 4] bucket (two
+        // observations, one rank already below) → 2 + 2 * (1.5 / 2).
+        assert!((h.quantile(0.5).unwrap() - 3.5).abs() < 1e-12);
+        assert_eq!(h.quantile(1.5), None, "out-of-range q is rejected");
+        let (p50, p95, p99) = (
+            h.quantile(0.50).unwrap(),
+            h.quantile(0.95).unwrap(),
+            h.quantile(0.99).unwrap(),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        let json = h.to_json();
+        assert!(
+            json.contains("\"p50\":") && json.contains("\"p99\":"),
+            "{json}"
+        );
+        // Merging two histograms quantiles exactly like observing the
+        // union — the sketch is a pure function of the bucket counts.
+        let mut a = Histogram::new(OCCUPANCY_BUCKETS);
+        let mut b = Histogram::new(OCCUPANCY_BUCKETS);
+        for v in [1.0, 3.0, 3.5] {
+            a.observe(v);
+        }
+        for v in [6.0, 100.0] {
+            b.observe(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.quantile(0.5), h.quantile(0.5));
+        assert_eq!(a.quantile(0.99), h.quantile(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_serializes_without_percentiles() {
+        let h = Histogram::new(OCCUPANCY_BUCKETS);
+        let json = h.to_json();
+        assert!(!json.contains("\"p50\""), "{json}");
+        assert!(json.contains("\"count\":0"), "{json}");
+    }
+
+    #[test]
+    fn flow_events_pair_and_round_trip() {
+        let mut buf = TraceBuffer::new(64);
+        buf.push(TraceRecord::Stage {
+            time_ps: 0,
+            stage: "stage_capture",
+            flow: 42,
+            dur_ps: 1_000,
+        });
+        buf.push(TraceRecord::Stage {
+            time_ps: 1_000,
+            stage: "stage_plan",
+            flow: 42,
+            dur_ps: 2_000,
+        });
+        buf.push(TraceRecord::RelayHop {
+            time_ps: 2_000,
+            flow: 42,
+            hop: 0,
+            from: 3,
+            to: 1,
+            dur_ps: 500,
+        });
+        buf.push(TraceRecord::FlowEnd {
+            time_ps: 3_000,
+            flow: 42,
+            outcome: "served",
+        });
+        let json = chrome_trace(&[("audit", &buf)]);
+        // 1 metadata + 4 record events + 4 flow events (s, t, t, f).
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 9);
+        assert!(json.contains("\"ph\":\"s\""), "{json}");
+        assert!(json.contains("\"ph\":\"f\""), "{json}");
+        assert!(json.contains("\"id\":\"p0.42\""), "{json}");
+        // A mangled finish leaves the flow dangling — the validator must
+        // reject it, not just the emitter avoid it.
+        let dangling = json.replace("\"ph\":\"f\"", "\"ph\":\"t\"");
+        let err = validate_chrome_trace(&dangling).unwrap_err();
+        assert!(err.contains("dangling flow"), "{err}");
+        // JSONL lines for the new records carry no NaN/inf and parse the
+        // flow field back out.
+        let jsonl = buf.to_jsonl();
+        assert!(jsonl.contains("\"type\":\"stage\""));
+        assert!(jsonl.contains("\"type\":\"relay_hop\""));
+        assert!(jsonl.contains("\"outcome\":\"served\""));
+    }
+
+    #[test]
+    fn lone_flow_records_render_no_flow_events() {
+        // A ring-evicted chain can leave a single record; the renderer
+        // must not open a flow it cannot close.
+        let mut buf = TraceBuffer::new(64);
+        buf.push(TraceRecord::FlowEnd {
+            time_ps: 0,
+            flow: 7,
+            outcome: "shed",
+        });
+        let json = chrome_trace(&[("x", &buf)]);
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 2);
+        assert!(!json.contains("\"cat\":\"flow\""), "{json}");
     }
 
     #[test]

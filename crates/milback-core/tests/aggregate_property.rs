@@ -65,6 +65,7 @@ fn run_report(nodes: Vec<SlottedNodeReport>) -> SlottedRunReport {
         payload_bytes: 8,
         nodes,
         service: Default::default(),
+        lifecycle: Default::default(),
     }
 }
 

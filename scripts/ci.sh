@@ -35,35 +35,41 @@
 #      finiteness gates on both the reduced CSV and the full-scale anchor:
 #      gap nodes deliver nothing at hop budget 1 and recover past one half
 #      at budget ≥ 2 with nonzero forwarding energy per relayed delivery
+#  16. the net_audit packet-lifecycle sweep in reduced mode: every row of
+#      the drop-attribution CSV must conserve (offered = delivered +
+#      Σ drops over all seven reasons, each label present even at zero)
+#      with ordered latency percentiles (p50 ≤ p95 ≤ p99), the reduced
+#      METRICS_lifecycle.json must validate cell-by-cell, and the
+#      full-scale anchors are regenerated at the end
 #
 # Usage: scripts/ci.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "==> [1/15] cargo fmt --check"
+echo "==> [1/16] cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> [2/15] cargo build --release --workspace --all-targets"
+echo "==> [2/16] cargo build --release --workspace --all-targets"
 cargo build --release --workspace --all-targets
 # The node core must stay portable to an MCU: firmware/mode/power compile
 # without std (the sim-facing modules are std-gated behind the default
 # feature).
 cargo build --release -p milback-node --no-default-features
 
-echo "==> [3/15] cargo test --release --workspace"
+echo "==> [3/16] cargo test --release --workspace"
 cargo test --release --workspace -q
 
-echo "==> [4/15] cargo clippy --release --workspace --all-targets -- -D warnings"
+echo "==> [4/16] cargo clippy --release --workspace --all-targets -- -D warnings"
 cargo clippy --release --workspace --all-targets -- -D warnings
 
-echo "==> [5/15] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+echo "==> [5/16] cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
-echo "==> [6/15] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
+echo "==> [6/16] bench_smoke (writes results/BENCH_dsp.json + BENCH_experiments.json)"
 cargo run --release -p milback-bench --bin bench_smoke
 
-echo "==> [7/15] validating benchmark JSONs"
+echo "==> [7/16] validating benchmark JSONs"
 JSON=results/BENCH_dsp.json
 EXP_JSON=results/BENCH_experiments.json
 [ -s "$JSON" ] || { echo "FAIL: $JSON missing or empty" >&2; exit 1; }
@@ -147,14 +153,14 @@ else
     echo "OK: benchmark JSONs carry schema markers (python3 unavailable, shallow check)"
 fi
 
-echo "==> [8/15] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
+echo "==> [8/16] reduced-mode figure run (MILBACK_REDUCED=1 fig12a_ranging)"
 CSV=results/figure_12a.csv
 before=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin fig12a_ranging
 after=$(sha256sum "$CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CSV" >&2; exit 1; }
 
-echo "==> [9/15] net_scale extension (reduced run + full-scale CSV anchor)"
+echo "==> [9/16] net_scale extension (reduced run + full-scale CSV anchor)"
 NET_CSV=results/extension_net_scale.csv
 before=$(sha256sum "$NET_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale
@@ -169,7 +175,7 @@ esac
 rows=$(($(wc -l < "$NET_CSV") - 1))
 [ "$rows" -ge 7 ] || { echo "FAIL: $NET_CSV has $rows data rows, expected the 1..64 sweep (7)" >&2; exit 1; }
 
-echo "==> [10/15] mac_compare extension (reduced run + full-scale CSV anchor schema)"
+echo "==> [10/16] mac_compare extension (reduced run + full-scale CSV anchor schema)"
 MAC_CSV=results/extension_mac_compare.csv
 before=$(sha256sum "$MAC_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin mac_compare
@@ -204,7 +210,7 @@ awk -F, 'NR==1 { next } { last=$0 } END {
     }
 }' "$MAC_CSV"
 
-echo "==> [11/15] instrumented campaign (MILBACK_TRACE) + telemetry artifact schemas"
+echo "==> [11/16] instrumented campaign (MILBACK_TRACE) + telemetry artifact schemas"
 TRACE_DIR=$(mktemp -d)
 METRICS=results/METRICS_mac.json
 rm -f "$METRICS"
@@ -256,8 +262,15 @@ for name in sorted(os.listdir(trace_dir)):
         chrome = json.load(open(path))
         assert chrome["traceEvents"], f"{name}: no trace events"
         finite(chrome, name)
+        flows = {}
         for ev in chrome["traceEvents"]:
-            assert ev["ph"] in ("M", "i", "X", "C"), ev
+            assert ev["ph"] in ("M", "i", "X", "C", "s", "t", "f"), ev
+            if ev["ph"] in ("s", "t", "f"):
+                flows.setdefault(ev["id"], set()).add(ev["ph"])
+        # Flow chains must pair up: every flow id that starts ends, and
+        # none materializes mid-air (a bare "t" with no "s"/"f").
+        for fid, phases in flows.items():
+            assert "s" in phases and "f" in phases, f"dangling flow {fid}: {phases}"
 print(f"OK: {sys.argv[1]} and {trace_dir}/*.trace.json* are well-formed "
       f"({sum(1 for _ in open(os.path.join(trace_dir, 'mac_aloha.trace.jsonl')))} aloha trace lines)")
 PY
@@ -271,7 +284,7 @@ else
 fi
 rm -rf "$TRACE_DIR"
 
-echo "==> [12/15] telemetry-off build (--no-default-features) passes the anchor gates"
+echo "==> [12/16] telemetry-off build (--no-default-features) passes the anchor gates"
 cargo test --release -p milback-bench --no-default-features -q
 cargo build --release -p milback-bench --no-default-features
 rm -f "$METRICS"
@@ -288,7 +301,7 @@ cargo build --release -p milback-bench --all-targets
 ./target/release/mac_compare >/dev/null
 grep -q '"reduced": false' "$METRICS" || { echo "FAIL: regenerated $METRICS is not full-scale" >&2; exit 1; }
 
-echo "==> [13/15] net_scale_city sharded sweep (reduced run + full-scale CSV anchor)"
+echo "==> [13/16] net_scale_city sharded sweep (reduced run + full-scale CSV anchor)"
 CITY_CSV=results/extension_net_scale_city.csv
 before=$(sha256sum "$CITY_CSV" 2>/dev/null || echo absent)
 MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_scale_city
@@ -296,7 +309,7 @@ after=$(sha256sum "$CITY_CSV" 2>/dev/null || echo absent)
 [ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $CITY_CSV" >&2; exit 1; }
 [ -s "$CITY_CSV" ] || { echo "FAIL: $CITY_CSV missing or empty (regenerate with the net_scale_city binary at full scale)" >&2; exit 1; }
 header=$(head -1 "$CITY_CSV")
-want="nodes,cells,threads,frames,attempts,delivered,collisions,offered,served,overflow,delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s,gap_nodes,relayed,mean_relay_hops"
+want="nodes,cells,threads,frames,attempts,delivered,collisions,offered,served,overflow,delivery_rate,energy_per_node_j,mean_snr_db,nodes_per_sec,wall_s,gap_nodes,relayed,mean_relay_hops,offered_packets,dropped_packets,slot_wait_p50_us,slot_wait_p95_us,slot_wait_p99_us"
 [ "$header" = "$want" ] || { echo "FAIL: unexpected $CITY_CSV header: $header" >&2; exit 1; }
 if grep -qiE '(nan|inf)' "$CITY_CSV"; then
     echo "FAIL: $CITY_CSV carries NaN/inf tokens" >&2; exit 1
@@ -322,7 +335,7 @@ awk -F, 'NR==1 { next } {
     }
 }' "$CITY_CSV"
 
-echo "==> [14/15] net_load offered-vs-served sweep (reduced run + full-scale CSV anchor)"
+echo "==> [14/16] net_load offered-vs-served sweep (reduced run + full-scale CSV anchor)"
 LOAD_CSV=results/extension_net_load.csv
 LOAD_WANT="overflow,nodes,offered,served,dropped,deferred,degraded,offered_per_s,served_per_s,delivered,delivery_rate"
 # Shared gate for the reduced CSV and the full-scale anchor: exact schema,
@@ -362,7 +375,7 @@ check_load_csv "$REDUCED_CSV"
 check_load_csv "$LOAD_CSV"
 rm -f "$LOAD_OUT" "$REDUCED_CSV"
 
-echo "==> [15/15] net_relay multi-hop recovery sweep (reduced run + full-scale CSV anchor)"
+echo "==> [15/16] net_relay multi-hop recovery sweep (reduced run + full-scale CSV anchor)"
 RELAY_CSV=results/extension_net_relay.csv
 RELAY_WANT="gap_fraction,max_hops,nodes,gap_nodes,attempts,delivered,delivery_rate,gap_attempts,gap_delivered,gap_delivery_rate,relayed,forwarded,mean_relay_hops,relay_energy_per_delivered_j,mean_relay_latency_s"
 # Shared gate for the reduced CSV and the full-scale anchor: exact schema,
@@ -406,5 +419,91 @@ sed -n '/^gap_fraction,max_hops,/,$p' "$RELAY_OUT" > "$REDUCED_RELAY_CSV"
 check_relay_csv "$REDUCED_RELAY_CSV"
 check_relay_csv "$RELAY_CSV"
 rm -f "$RELAY_OUT" "$REDUCED_RELAY_CSV"
+
+echo "==> [16/16] net_audit packet-lifecycle sweep (conservation + percentile gates)"
+AUDIT_CSV=results/extension_net_audit.csv
+LIFECYCLE=results/METRICS_lifecycle.json
+AUDIT_WANT="policy,relay,nodes,offered,delivered_direct,delivered_relayed,contention_collision,sdm_inseparable,service_shed,no_relay_route,hop_budget_exhausted,decode_failure,never_scheduled,slot_wait_p50_us,slot_wait_p95_us,slot_wait_p99_us,residence_p50_us,residence_p95_us,residence_p99_us,relay_extra_p50_us,relay_extra_p95_us,relay_extra_p99_us"
+# Shared gate for the reduced CSV and the full-scale anchor: exact schema
+# (all seven drop-reason columns, present even at zero), no NaN/inf
+# tokens, the conservation invariant on every row (offered = delivered +
+# Σ drops — the flight recorder's whole point), and ordered percentiles
+# on every non-empty sketch.
+check_audit_csv() {
+    local csv=$1
+    local header; header=$(head -1 "$csv")
+    [ "$header" = "$AUDIT_WANT" ] || { echo "FAIL: unexpected $csv header: $header" >&2; exit 1; }
+    if grep -qiE '(nan|inf)' "$csv"; then
+        echo "FAIL: $csv carries NaN/inf tokens" >&2; exit 1
+    fi
+    awk -F, 'NR==1 || NF==0 { next } {
+        drops = $7+$8+$9+$10+$11+$12+$13
+        if ($4+0 != $5+$6+drops) { printf "FAIL: row %d offered=%s != delivered=%d + drops=%d\n", NR, $4, $5+$6, drops > "/dev/stderr"; bad=1 }
+        if ($14 != "" && ($14+0 > $15+0 || $15+0 > $16+0)) { printf "FAIL: row %d slot-wait percentiles unordered\n", NR > "/dev/stderr"; bad=1 }
+        if ($17 != "" && ($17+0 > $18+0 || $18+0 > $19+0)) { printf "FAIL: row %d residence percentiles unordered\n", NR > "/dev/stderr"; bad=1 }
+        if ($20 != "" && ($20+0 > $21+0 || $21+0 > $22+0)) { printf "FAIL: row %d relay-extra percentiles unordered\n", NR > "/dev/stderr"; bad=1 }
+        rows++
+    } END {
+        if (bad) exit 1
+        if (rows != 8) { printf "FAIL: %d data rows, expected 4 policies x 2 relay legs\n", rows > "/dev/stderr"; exit 1 }
+    }' "$csv"
+}
+before=$(sha256sum "$AUDIT_CSV" 2>/dev/null || echo absent)
+AUDIT_OUT=$(mktemp)
+MILBACK_REDUCED=1 cargo run --release -p milback-bench --bin net_audit | tee "$AUDIT_OUT"
+after=$(sha256sum "$AUDIT_CSV" 2>/dev/null || echo absent)
+[ "$before" = "$after" ] || { echo "FAIL: reduced mode overwrote $AUDIT_CSV" >&2; exit 1; }
+[ -s "$AUDIT_CSV" ] || { echo "FAIL: $AUDIT_CSV missing or empty (regenerate with the net_audit binary at full scale)" >&2; exit 1; }
+REDUCED_AUDIT_CSV=$(mktemp)
+sed -n '/^policy,relay,/,$p' "$AUDIT_OUT" > "$REDUCED_AUDIT_CSV"
+[ -s "$REDUCED_AUDIT_CSV" ] || { echo "FAIL: reduced net_audit printed no CSV" >&2; exit 1; }
+check_audit_csv "$REDUCED_AUDIT_CSV"
+check_audit_csv "$AUDIT_CSV"
+rm -f "$AUDIT_OUT" "$REDUCED_AUDIT_CSV"
+# The reduced run rewrote METRICS_lifecycle.json (flagged reduced, like
+# METRICS_mac.json in step 11): validate it cell-by-cell, then regenerate
+# the full-scale anchor so the tree is left with "reduced": false.
+[ -s "$LIFECYCLE" ] || { echo "FAIL: $LIFECYCLE missing or empty" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$LIFECYCLE" <<'PY'
+import json, math, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "milback-metrics-lifecycle-v1", doc.get("schema")
+for key in ("host", "config", "cells"):
+    assert key in doc, f"missing top-level key: {key}"
+labels = ("contention_collision", "sdm_inseparable", "service_shed",
+          "no_relay_route", "hop_budget_exhausted", "decode_failure",
+          "never_scheduled")
+assert len(doc["cells"]) == 8, f"expected 8 cells, got {len(doc['cells'])}"
+for name, cell in doc["cells"].items():
+    drops = cell["drops"]
+    assert set(drops) == set(labels), f"{name}: drop table keys {sorted(drops)}"
+    total_drops = sum(drops.values())
+    delivered = cell["delivered_direct"] + cell["delivered_relayed"]
+    assert cell["offered"] == delivered + total_drops, \
+        f"{name}: offered {cell['offered']} != delivered {delivered} + drops {total_drops}"
+    assert sum(cell["shed_by_stage"].values()) == drops["service_shed"], name
+    for sketch in ("slot_wait_us", "service_residence_us", "relay_extra_us"):
+        h = cell[sketch]
+        assert sum(h["counts"]) == h["count"], f"{name}.{sketch}: bucket counts disagree"
+        if h["count"] > 0:
+            assert h["p50"] <= h["p95"] <= h["p99"], f"{name}.{sketch}: percentiles unordered"
+            for q in ("p50", "p95", "p99"):
+                assert math.isfinite(h[q]), f"{name}.{sketch}.{q} non-finite"
+        else:
+            assert "p50" not in h, f"{name}.{sketch}: percentiles on an empty sketch"
+print(f"OK: {sys.argv[1]} conserves across {len(doc['cells'])} cells")
+PY
+else
+    grep -q '"schema": "milback-metrics-lifecycle-v1"' "$LIFECYCLE"
+    for label in contention_collision sdm_inseparable service_shed no_relay_route hop_budget_exhausted decode_failure never_scheduled; do
+        grep -q "\"$label\":" "$LIFECYCLE" || { echo "FAIL: $LIFECYCLE missing drop label $label" >&2; exit 1; }
+    done
+    echo "OK: lifecycle metrics carry schema markers (python3 unavailable, shallow check)"
+fi
+# Leave the tree with the full-scale artifacts, as step 12 does for
+# METRICS_mac.json.
+./target/release/net_audit >/dev/null
+grep -q '"reduced": false' "$LIFECYCLE" || { echo "FAIL: regenerated $LIFECYCLE is not full-scale" >&2; exit 1; }
 
 echo "==> ci.sh: all gates passed"
